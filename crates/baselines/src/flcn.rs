@@ -1,0 +1,176 @@
+//! FLCN — federated learning with continual local training \[57\].
+//!
+//! The published method keeps a sample buffer *at the server* and uses it
+//! when updating the global model so newly initialised rounds do not
+//! forget. In this client-side simulation each client ships 10 % of every
+//! task's samples to the server (charged on the wire at task start,
+//! exactly the traffic the real system pays) and the server-side
+//! rehearsal update is applied at the same point of the protocol it would
+//! land: right after aggregation, the received global model takes a few
+//! corrective steps on the buffered samples before local training
+//! continues.
+
+use crate::common::EpisodicMemory;
+use fedknow_data::ClientTask;
+use fedknow_fl::{CommBytes, FclClient, IterationStats, LocalTrainer, ModelTemplate};
+use fedknow_nn::optim::{LrSchedule, Sgd};
+use rand::rngs::StdRng;
+
+/// FLCN client.
+pub struct FlcnClient {
+    trainer: LocalTrainer,
+    /// Samples shipped to the server (the server-side buffer's view from
+    /// this client).
+    server_buffer: EpisodicMemory,
+    sample_fraction: f64,
+    /// Corrective steps on the buffer after each aggregation.
+    rehearsal_steps: usize,
+    current_task: Option<ClientTask>,
+    /// Bytes of samples to charge at the next round (shipped once per
+    /// task).
+    pending_upload_bytes: u64,
+    pending_flops: u64,
+}
+
+impl FlcnClient {
+    /// Build from the shared template.
+    pub fn new(
+        template: &ModelTemplate,
+        sample_fraction: f64,
+        lr: f64,
+        lr_decrease: f64,
+        batch_size: usize,
+        image_shape: Vec<usize>,
+    ) -> Self {
+        let opt = Sgd::new(lr, LrSchedule::LinearDecrease { decrease: lr_decrease });
+        Self {
+            trainer: LocalTrainer::new(template.instantiate(), opt, batch_size, image_shape),
+            server_buffer: EpisodicMemory::new(),
+            sample_fraction,
+            rehearsal_steps: 2,
+            current_task: None,
+            pending_upload_bytes: 0,
+            pending_flops: 0,
+        }
+    }
+}
+
+impl FclClient for FlcnClient {
+    fn start_task(&mut self, task: &ClientTask, rng: &mut StdRng) {
+        self.trainer.set_task(task, rng);
+        self.current_task = Some(task.clone());
+        // Ship this task's contribution to the server buffer now; the
+        // bytes are charged with the first round of the task.
+        let before = self.server_buffer.size_bytes();
+        self.server_buffer.store_task(task, self.sample_fraction, rng);
+        self.pending_upload_bytes = self.server_buffer.size_bytes() - before;
+    }
+
+    fn train_iteration(&mut self, rng: &mut StdRng) -> IterationStats {
+        let loss = self.trainer.sgd_iteration(rng);
+        let flops = self.trainer.iteration_flops() + self.pending_flops;
+        self.pending_flops = 0;
+        IterationStats { loss: loss as f64, flops }
+    }
+
+    fn upload(&mut self) -> Option<Vec<f32>> {
+        Some(self.trainer.model.flat_params())
+    }
+
+    fn receive_global(&mut self, global: &[f32], rng: &mut StdRng) {
+        self.trainer.model.set_flat_params(global);
+        // Server-side rehearsal correction of the aggregated model.
+        let image_shape = self.trainer.image_shape().to_vec();
+        for _ in 0..self.rehearsal_steps {
+            if let Some((x, labels)) = self.server_buffer.sample_mixed_batch(
+                self.trainer.batch_size,
+                &image_shape,
+                rng,
+            ) {
+                self.trainer.compute_grads(&x, &labels);
+                let lr = self.trainer.opt.current_lr() as f32;
+                self.trainer.model.sgd_step(lr * 0.5);
+                self.pending_flops += self.trainer.iteration_flops();
+            }
+        }
+        // The per-task sample shipment has now been charged (the
+        // simulator reads extra_comm during the round that just ended).
+        self.pending_upload_bytes = 0;
+    }
+
+    fn finish_task(&mut self, _rng: &mut StdRng) {
+        self.current_task = None;
+    }
+
+    fn evaluate(&mut self, task: &ClientTask) -> f64 {
+        self.trainer.evaluate_task(task)
+    }
+
+    fn extra_comm(&self) -> CommBytes {
+        CommBytes { up: self.pending_upload_bytes, down: 0 }
+    }
+
+    fn retained_bytes(&self) -> u64 {
+        // The buffer lives on the server; the client itself retains
+        // nothing (that is FLCN's selling point and privacy problem).
+        0
+    }
+
+    fn method_name(&self) -> &'static str {
+        "flcn"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedknow_data::{generate::generate, partition, DatasetSpec, PartitionConfig};
+    use fedknow_math::rng::seeded;
+    use fedknow_nn::ModelKind;
+
+    fn setup() -> (FlcnClient, Vec<ClientTask>) {
+        let spec = DatasetSpec::cifar100().scaled(0.3, 8).with_tasks(2);
+        let d = generate(&spec, 1);
+        let parts = partition(&d, 1, &PartitionConfig::default(), 1);
+        let template = ModelTemplate::new(ModelKind::SixCnn, 3, spec.total_classes(), 1.0, 3);
+        (FlcnClient::new(&template, 0.1, 0.05, 1e-4, 8, vec![3, 8, 8]), parts[0].tasks.clone())
+    }
+
+    #[test]
+    fn samples_shipped_once_per_task() {
+        let (mut c, tasks) = setup();
+        let mut rng = seeded(1);
+        c.start_task(&tasks[0], &mut rng);
+        let first = c.extra_comm();
+        assert!(first.up > 0, "task samples must be charged");
+        assert_eq!(first.down, 0);
+        // The charge is consumed at the end of the first round.
+        let g = vec![0.0f32; c.upload().unwrap().len()];
+        c.receive_global(&g, &mut rng);
+        assert_eq!(c.extra_comm().up, 0, "samples must be charged only once per task");
+        c.start_task(&tasks[1], &mut rng);
+        assert!(c.extra_comm().up > 0, "a new task ships a new contribution");
+    }
+
+    #[test]
+    fn rehearsal_runs_after_aggregation() {
+        let (mut c, tasks) = setup();
+        let mut rng = seeded(2);
+        c.start_task(&tasks[0], &mut rng);
+        c.train_iteration(&mut rng);
+        let before = c.upload().unwrap();
+        let global = vec![0.1f32; before.len()];
+        c.receive_global(&global, &mut rng);
+        let after = c.upload().unwrap();
+        assert_ne!(after, global, "rehearsal must move the model off the raw global");
+    }
+
+    #[test]
+    fn client_retains_nothing_locally() {
+        let (mut c, tasks) = setup();
+        let mut rng = seeded(3);
+        c.start_task(&tasks[0], &mut rng);
+        c.finish_task(&mut rng);
+        assert_eq!(c.retained_bytes(), 0);
+    }
+}

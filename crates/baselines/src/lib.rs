@@ -1,0 +1,34 @@
+//! The 11 baseline methods of the paper's evaluation (§V-A), all
+//! implemented against the same [`fedknow_fl::FclClient`] interface as
+//! FedKNOW so every comparison runs in an identical federated loop.
+//!
+//! * Continual learning: [`gem::GemClient`] (gradient episodic memory),
+//!   [`bcn::BcnClient`] (balanced rehearsal), [`co2l::Co2lClient`]
+//!   (representation-preserving distillation), [`regularized`] (EWC, MAS
+//!   and AGS-CL as three configurations of weight-importance
+//!   regularisation).
+//! * Federated learning: [`fedavg::FedAvgClient`], [`apfl::ApflClient`]
+//!   (adaptive global/local mixture), [`fedrep::FedRepClient`] (shared
+//!   representation, personal head).
+//! * Federated continual learning: [`flcn::FlcnClient`] (server-side
+//!   sample rehearsal) and [`fedweit::FedWeitClient`] (base + task-
+//!   adaptive weight decomposition with all-client knowledge exchange).
+//!
+//! Where a baseline's exact published form is impractical to reproduce
+//! bit-for-bit, the implementation keeps the *mechanism class* the paper
+//! contrasts against (rehearsal volume, importance regularisation,
+//! decomposition + exchange) — each file documents its simplifications.
+
+pub mod apfl;
+pub mod bcn;
+pub mod co2l;
+pub mod common;
+pub mod factory;
+pub mod fedavg;
+pub mod fedrep;
+pub mod fedweit;
+pub mod flcn;
+pub mod gem;
+pub mod regularized;
+
+pub use factory::{build_client, Method};

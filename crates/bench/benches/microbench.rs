@@ -1,0 +1,127 @@
+//! Criterion micro-benchmarks for the primitives whose costs drive the
+//! paper's training-time axes: the QP gradient integration (per-iteration
+//! cost of FedKNOW and GEM), knowledge extraction (per-task cost),
+//! gradient restoration (per signature task per iteration), distance
+//! ranking, FedAvg aggregation (per round), and forward+backward passes
+//! of the two main architectures.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fedknow::{GradientIntegrator, GradientRestorer, KnowledgeExtractor};
+use fedknow_fl::server::fedavg;
+use fedknow_math::distance::{most_dissimilar, DistanceMetric};
+use fedknow_math::rng::{normal_vec, seeded};
+use fedknow_math::{SparseVec, Tensor};
+use fedknow_nn::loss::cross_entropy;
+use fedknow_nn::ModelKind;
+
+fn bench_qp_solve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qp_integrate");
+    let dim = 10_000;
+    let mut rng = seeded(1);
+    for k in [5usize, 10, 20] {
+        let g = normal_vec(&mut rng, dim, 0.0, 1.0);
+        // Anti-correlated constraints so the QP actually solves.
+        let constraints: Vec<Vec<f32>> = (0..k)
+            .map(|_| {
+                let mut c = normal_vec(&mut rng, dim, 0.0, 1.0);
+                for (ci, gi) in c.iter_mut().zip(&g) {
+                    *ci -= 0.5 * gi;
+                }
+                c
+            })
+            .collect();
+        let integrator = GradientIntegrator::new(0.0);
+        group.bench_with_input(BenchmarkId::new("k", k), &k, |b, _| {
+            b.iter(|| integrator.integrate(&g, &constraints))
+        });
+    }
+    group.finish();
+}
+
+fn bench_knowledge_extract(c: &mut Criterion) {
+    let mut group = c.benchmark_group("knowledge_extract");
+    let mut rng = seeded(2);
+    for dim in [10_000usize, 100_000, 1_000_000] {
+        let params = normal_vec(&mut rng, dim, 0.0, 1.0);
+        let extractor = KnowledgeExtractor::new(0.10, 0);
+        group.bench_with_input(BenchmarkId::new("params", dim), &dim, |b, _| {
+            b.iter(|| extractor.extract(&params))
+        });
+    }
+    group.finish();
+}
+
+fn bench_gradient_restore(c: &mut Criterion) {
+    let mut rng = seeded(3);
+    let mut model = ModelKind::SixCnn.build(&mut rng, 3, 100, 1.0);
+    let params = model.flat_params();
+    let knowledge = SparseVec::top_fraction_by_magnitude(&params, 0.10);
+    let x = Tensor::from_vec(normal_vec(&mut rng, 16 * 3 * 8 * 8, 0.0, 1.0), &[16, 3, 8, 8]);
+    c.bench_function("gradient_restore_sixcnn_b16", |b| {
+        b.iter(|| GradientRestorer.restore(&mut model, &knowledge, &x))
+    });
+}
+
+fn bench_distance_ranking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("signature_selection");
+    let mut rng = seeded(4);
+    let dim = 50_000;
+    let reference = normal_vec(&mut rng, dim, 0.0, 1.0);
+    let candidates: Vec<Vec<f32>> = (0..20).map(|_| normal_vec(&mut rng, dim, 0.0, 1.0)).collect();
+    for (name, metric) in [
+        ("wasserstein", DistanceMetric::Wasserstein),
+        ("cosine", DistanceMetric::Cosine),
+        ("euclidean", DistanceMetric::Euclidean),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| most_dissimilar(metric, &reference, &candidates, 10))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fedavg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fedavg_aggregate");
+    let mut rng = seeded(5);
+    let dim = 100_000;
+    for n in [10usize, 20, 100] {
+        let uploads: Vec<Option<Vec<f32>>> =
+            (0..n).map(|_| Some(normal_vec(&mut rng, dim, 0.0, 1.0))).collect();
+        let weights: Vec<usize> = (1..=n).collect();
+        group.bench_with_input(BenchmarkId::new("clients", n), &n, |b, _| {
+            b.iter(|| fedavg(&uploads, &weights))
+        });
+    }
+    group.finish();
+}
+
+fn bench_forward_backward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("train_iteration");
+    group.sample_size(20);
+    let mut rng = seeded(6);
+    for kind in [ModelKind::SixCnn, ModelKind::ResNet18] {
+        let mut model = kind.build(&mut rng, 3, 100, 1.0);
+        let x = Tensor::from_vec(normal_vec(&mut rng, 16 * 3 * 8 * 8, 0.0, 1.0), &[16, 3, 8, 8]);
+        let labels: Vec<usize> = (0..16).map(|i| i % 100).collect();
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| {
+                model.zero_grad();
+                let logits = model.forward(x.clone(), true);
+                let (_, grad) = cross_entropy(&logits, &labels);
+                model.backward(grad);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_qp_solve,
+    bench_knowledge_extract,
+    bench_gradient_restore,
+    bench_distance_ranking,
+    bench_fedavg,
+    bench_forward_backward
+);
+criterion_main!(benches);

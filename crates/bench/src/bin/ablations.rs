@@ -1,0 +1,100 @@
+//! Ablations of FedKNOW's design choices (the starred items in
+//! DESIGN.md):
+//!
+//! * signature-task selection metric — Wasserstein (paper) vs cosine vs
+//!   Euclidean;
+//! * number of restored gradients k;
+//! * the post-aggregation gradient integration (negative-transfer
+//!   prevention) on vs off — isolated by setting `post_agg_iters = 0`.
+
+use fedknow_baselines::factory::MethodConfig;
+use fedknow_baselines::Method;
+use fedknow_bench::{parse_args, print_table, scaled_spec, write_json, MethodCurve};
+use fedknow_data::DatasetSpec;
+use fedknow_math::distance::DistanceMetric;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct AblationResult {
+    ablation: String,
+    setting: String,
+    curve: MethodCurve,
+}
+
+fn main() {
+    let args = parse_args();
+    let base = scaled_spec(DatasetSpec::cifar100(), args.scale, args.seed);
+    let mut results = Vec::new();
+    let mut rows = Vec::new();
+
+    // 1. Selection metric.
+    for (label, metric) in [
+        ("metric-wasserstein", DistanceMetric::Wasserstein),
+        ("metric-cosine", DistanceMetric::Cosine),
+        ("metric-euclidean", DistanceMetric::Euclidean),
+    ] {
+        let mut spec = base.clone();
+        spec.method_cfg = MethodConfig::default();
+        spec.method_cfg.fedknow.metric = metric;
+        eprintln!("[ablation] {label} ...");
+        let curve = MethodCurve::from_report(&spec.run(Method::FedKnow));
+        rows.push((label.to_string(), vec![curve.final_accuracy(), *curve.forgetting.last().unwrap()]));
+        results.push(AblationResult {
+            ablation: "selection-metric".into(),
+            setting: label.into(),
+            curve,
+        });
+    }
+
+    // 2. Number of restored gradients k.
+    for k in [1usize, 2, 5, 10] {
+        let mut spec = base.clone();
+        spec.method_cfg.fedknow.k = k;
+        let label = format!("k={k}");
+        eprintln!("[ablation] {label} ...");
+        let curve = MethodCurve::from_report(&spec.run(Method::FedKnow));
+        rows.push((label.clone(), vec![curve.final_accuracy(), *curve.forgetting.last().unwrap()]));
+        results.push(AblationResult { ablation: "k".into(), setting: label, curve });
+    }
+
+    // 3. Knowledge-extraction strategy (magnitude vs structured filter
+    //    pruning — the paper's §III-B extension).
+    for (label, strategy) in [
+        ("extract-magnitude", fedknow::ExtractionStrategy::Magnitude),
+        ("extract-filter-l1", fedknow::ExtractionStrategy::FilterL1),
+        ("extract-filter-l2", fedknow::ExtractionStrategy::FilterL2),
+    ] {
+        let mut spec = base.clone();
+        spec.method_cfg = MethodConfig::default();
+        spec.method_cfg.fedknow.strategy = strategy;
+        eprintln!("[ablation] {label} ...");
+        let curve = MethodCurve::from_report(&spec.run(Method::FedKnow));
+        rows.push((label.to_string(), vec![curve.final_accuracy(), *curve.forgetting.last().unwrap()]));
+        results.push(AblationResult {
+            ablation: "extraction-strategy".into(),
+            setting: label.into(),
+            curve,
+        });
+    }
+
+    // 4. Post-aggregation integration on/off.
+    for (label, iters) in [("post-agg-on", Some(2usize)), ("post-agg-off", Some(0))] {
+        let mut spec = base.clone();
+        spec.method_cfg.fedknow.post_agg_iters = iters;
+        eprintln!("[ablation] {label} ...");
+        let curve = MethodCurve::from_report(&spec.run(Method::FedKnow));
+        rows.push((label.to_string(), vec![curve.final_accuracy(), *curve.forgetting.last().unwrap()]));
+        results.push(AblationResult {
+            ablation: "post-aggregation-integration".into(),
+            setting: label.into(),
+            curve,
+        });
+    }
+
+    print_table(
+        "FedKNOW ablations — final accuracy / final forgetting",
+        &["accuracy".into(), "forgetting".into()],
+        &rows,
+    );
+    write_json("ablations", &results);
+}

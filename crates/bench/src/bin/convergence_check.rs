@@ -1,0 +1,80 @@
+//! §IV empirical check of Theorem 1: FedKNOW converges when the local
+//! learning rate decays at O(r^{-1/2}) and the global (post-aggregation)
+//! rate at O(r^{-1}).
+//!
+//! A single client trains one task for many iterations under three
+//! schedules — the theorem's pair, constant rates, and an aggressive
+//! constant rate — and the per-window mean loss is reported. The
+//! theorem-compliant schedule must converge (monotone decreasing window
+//! means); the aggressive constant rate shows the contrast.
+
+use fedknow::{FedKnowClient, FedKnowConfig};
+use fedknow_bench::{parse_args, print_table, write_json, Scale};
+use fedknow_data::{generate::generate, partition, DatasetSpec, PartitionConfig};
+use fedknow_fl::{FclClient, ModelTemplate};
+use fedknow_math::rng::seeded;
+use fedknow_nn::ModelKind;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct ConvergenceResult {
+    schedule: String,
+    window_losses: Vec<f64>,
+    converged: bool,
+}
+
+fn main() {
+    let args = parse_args();
+    let iters = match args.scale {
+        Scale::Smoke => 60usize,
+        Scale::Quick => 200,
+        Scale::Paper => 1000,
+    };
+    let window = iters / 10;
+    let spec = DatasetSpec::cifar100().scaled(0.5, 8).with_tasks(1);
+    let data = generate(&spec, args.seed);
+    let parts = partition(&data, 1, &PartitionConfig::default(), args.seed);
+    let template = ModelTemplate::new(ModelKind::SixCnn, 3, spec.total_classes(), 1.0, args.seed);
+
+    // (label, local schedule is handled by FedKnowConfig's decrease; we
+    // emulate O(r^{-1/2}) by the substrate's InverseSqrt-equivalent
+    // decrease and contrast with constant rates.)
+    let schedules = [
+        ("theorem1 (decaying)", 0.08, 1e-2),
+        ("constant small", 0.05, 0.0),
+        ("constant aggressive", 0.6, 0.0),
+    ];
+    let mut results = Vec::new();
+    let mut rows = Vec::new();
+    for (label, lr, dec) in schedules {
+        let cfg = FedKnowConfig { local_lr: lr, lr_decrease: dec, ..Default::default() };
+        let mut client = FedKnowClient::new(&template, cfg, 8, vec![3, 8, 8]);
+        let mut rng = seeded(args.seed);
+        client.start_task(&parts[0].tasks[0], &mut rng);
+        let mut losses = Vec::with_capacity(iters);
+        for _ in 0..iters {
+            losses.push(client.train_iteration(&mut rng).loss);
+        }
+        let windows: Vec<f64> = losses
+            .chunks(window.max(1))
+            .map(|w| w.iter().sum::<f64>() / w.len() as f64)
+            .collect();
+        // Converged: the last window is finite and far below the first.
+        let converged = windows.last().unwrap().is_finite()
+            && *windows.last().unwrap() < 0.5 * windows[0];
+        println!(
+            "[convergence] {label}: first window {:.4}, last window {:.4}, converged = {converged}",
+            windows[0],
+            windows.last().unwrap()
+        );
+        rows.push((label.to_string(), windows.clone()));
+        results.push(ConvergenceResult {
+            schedule: label.to_string(),
+            window_losses: windows,
+            converged,
+        });
+    }
+    let columns: Vec<String> = (1..=rows[0].1.len()).map(|w| format!("w{w}")).collect();
+    print_table("Theorem 1 empirical check — mean loss per window", &columns, &rows);
+    write_json("convergence_check", &results);
+}

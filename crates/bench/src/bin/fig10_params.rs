@@ -1,0 +1,59 @@
+//! Figure 10: how much retained information each knowledge-retention
+//! strategy needs — GEM storing 10/20/50/100 % of samples, FedWEIT with
+//! all clients' vs only its own adaptive weights, FedKNOW with
+//! ρ ∈ {5, 10, 20} % — accuracy and training time on MiniImageNet +
+//! ResNet-18.
+
+use fedknow_baselines::factory::MethodConfig;
+use fedknow_baselines::Method;
+use fedknow_bench::{parse_args, print_table, scaled_spec, write_json, MethodCurve};
+use fedknow_data::DatasetSpec;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct ParamResult {
+    setting: String,
+    curve: MethodCurve,
+    retained_setting: String,
+}
+
+fn main() {
+    let args = parse_args();
+    let base = scaled_spec(DatasetSpec::mini_imagenet(), args.scale, args.seed);
+    // (label, method, config tweak)
+    let settings: Vec<(String, Method, MethodConfig)> = {
+        let mut v = Vec::new();
+        for frac in [0.10, 0.20, 0.50, 1.00] {
+            let cfg = MethodConfig { memory_fraction: frac, ..Default::default() };
+            v.push((format!("gem-{:.0}%", frac * 100.0), Method::Gem, cfg));
+        }
+        v.push(("fedweit-all".to_string(), Method::FedWeit, MethodConfig::default()));
+        v.push(("fedweit-own".to_string(), Method::FedWeitOwn, MethodConfig::default()));
+        for rho in [0.05, 0.10, 0.20] {
+            let mut cfg = MethodConfig::default();
+            cfg.fedknow.rho = rho;
+            v.push((format!("fedknow-{:.0}%", rho * 100.0), Method::FedKnow, cfg));
+        }
+        v
+    };
+    let mut results = Vec::new();
+    let mut acc_rows = Vec::new();
+    let mut time_rows = Vec::new();
+    for (label, method, cfg) in settings {
+        eprintln!("[fig10] {label} ...");
+        let mut spec = base.clone();
+        spec.method_cfg = cfg;
+        let report = spec.run(method);
+        let curve = MethodCurve::from_report(&report);
+        acc_rows.push((label.clone(), vec![curve.final_accuracy()]));
+        time_rows.push((label.clone(), vec![*curve.cumulative_time.last().unwrap()]));
+        results.push(ParamResult {
+            setting: label.clone(),
+            retained_setting: label,
+            curve,
+        });
+    }
+    print_table("Fig.10(a) — final accuracy per setting", &["accuracy".to_string()], &acc_rows);
+    print_table("Fig.10(b) — training time (s) per setting", &["seconds".to_string()], &time_rows);
+    write_json("fig10_params", &results);
+}

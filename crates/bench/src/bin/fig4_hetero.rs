@@ -1,0 +1,67 @@
+//! Figure 4(d–f): the heterogeneous-cluster study — the Jetson cluster
+//! extended with 10 Raspberry Pis (1×2 GB, 5×4 GB, 4×8 GB) — for the
+//! three strongest methods (GEM, FedWEIT, FedKNOW) on CIFAR-100, FC100
+//! and CORe50.
+//!
+//! Reproduced observations: training slows roughly an order of magnitude
+//! (RPi stragglers gate synchronous rounds), and FedWEIT's all-client
+//! knowledge exhausts the 2 GB RPi's memory budget after several tasks,
+//! dropping it from the federation.
+
+use fedknow_baselines::Method;
+use fedknow_bench::{parse_args, print_table, scaled_spec, write_json, MethodCurve, Scale};
+use fedknow_data::DatasetSpec;
+use fedknow_fl::{CommModel, DeviceProfile};
+
+fn main() {
+    let args = parse_args();
+    let methods = [Method::Gem, Method::FedWeit, Method::FedKnow];
+    let datasets = match args.scale {
+        Scale::Smoke => vec![DatasetSpec::cifar100()],
+        _ => vec![DatasetSpec::cifar100(), DatasetSpec::fc100(), DatasetSpec::core50()],
+    };
+    for base in datasets {
+        let name = base.name.clone();
+        let mut spec = scaled_spec(base, args.scale, args.seed);
+        let devices = if args.scale == Scale::Paper {
+            DeviceProfile::heterogeneous_cluster()
+        } else {
+            // Proportional shrink: keep the RPi tail, including the 2 GB
+            // straggler that the memory model can OOM.
+            vec![
+                DeviceProfile::jetson_agx(),
+                DeviceProfile::jetson_nx(),
+                DeviceProfile::jetson_nano(),
+                DeviceProfile::raspberry_pi(2),
+                DeviceProfile::raspberry_pi(4),
+                DeviceProfile::raspberry_pi(8),
+            ]
+        };
+        spec.num_clients = devices.len();
+        let mut curves = Vec::new();
+        for method in methods {
+            eprintln!("[fig4-hetero] {name} / {} ...", method.name());
+            let report = spec.run_on(method, devices.clone(), CommModel::paper_default());
+            if !report.dropouts.is_empty() {
+                eprintln!(
+                    "[fig4-hetero]   dropouts: {:?} (client, task) — memory-gated",
+                    report.dropouts
+                );
+            }
+            curves.push(MethodCurve::from_report(&report));
+        }
+        let columns: Vec<String> =
+            (1..=curves[0].accuracy.len()).map(|t| format!("task{t}")).collect();
+        let acc_rows: Vec<(String, Vec<f64>)> =
+            curves.iter().map(|c| (c.method.clone(), c.accuracy.clone())).collect();
+        print_table(&format!("Fig.4(d-f) heterogeneous accuracy — {name}"), &columns, &acc_rows);
+        let time_rows: Vec<(String, Vec<f64>)> =
+            curves.iter().map(|c| (c.method.clone(), c.cumulative_time.clone())).collect();
+        print_table(
+            &format!("Fig.4(d-f) heterogeneous cumulative time (s) — {name}"),
+            &columns,
+            &time_rows,
+        );
+        write_json(&format!("fig4_hetero_{name}"), &curves);
+    }
+}

@@ -1,0 +1,58 @@
+//! Figure 4(a–c, g, h): model accuracy and training time for all 12
+//! methods on the five benchmarks, on the 20-Jetson cluster.
+//!
+//! Emits one JSON file per dataset (`results/fig4_<dataset>.json`) with
+//! each method's accuracy curve, forgetting curve and cumulative time —
+//! the inputs for Table I as well.
+
+use fedknow_baselines::Method;
+use fedknow_bench::{parse_args, print_table, scaled_spec, write_json, MethodCurve, Scale};
+use fedknow_data::DatasetSpec;
+use fedknow_fl::{CommModel, DeviceProfile};
+
+fn main() {
+    let args = parse_args();
+    let mut datasets = match args.scale {
+        // The smoke pass covers one CNN and one ResNet dataset.
+        Scale::Smoke => vec![DatasetSpec::cifar100(), DatasetSpec::mini_imagenet()],
+        _ => DatasetSpec::all_benchmarks(),
+    };
+    if let Some(only) = &args.only {
+        datasets.retain(|d| only.contains(&d.name));
+    }
+    for base in datasets {
+        let name = base.name.clone();
+        let spec = scaled_spec(base, args.scale, args.seed);
+        let mut curves = Vec::new();
+        for method in Method::COMPARISON {
+            eprintln!("[fig4] {name} / {} ...", method.name());
+            let devices = if args.scale == Scale::Paper {
+                DeviceProfile::jetson_cluster()
+            } else {
+                // Shrink the cluster proportionally: AGX, TX2, NX, Nano.
+                let mut d = vec![
+                    DeviceProfile::jetson_agx(),
+                    DeviceProfile::jetson_tx2(),
+                    DeviceProfile::jetson_nx(),
+                    DeviceProfile::jetson_nano(),
+                ];
+                d.truncate(spec.num_clients);
+                while d.len() < spec.num_clients {
+                    d.push(DeviceProfile::jetson_nx());
+                }
+                d
+            };
+            let report = spec.run_on(method, devices, CommModel::paper_default());
+            curves.push(MethodCurve::from_report(&report));
+        }
+        let columns: Vec<String> =
+            (1..=curves[0].accuracy.len()).map(|t| format!("task{t}")).collect();
+        let acc_rows: Vec<(String, Vec<f64>)> =
+            curves.iter().map(|c| (c.method.clone(), c.accuracy.clone())).collect();
+        print_table(&format!("Fig.4 accuracy — {name}"), &columns, &acc_rows);
+        let time_rows: Vec<(String, Vec<f64>)> =
+            curves.iter().map(|c| (c.method.clone(), c.cumulative_time.clone())).collect();
+        print_table(&format!("Fig.4 cumulative time (s) — {name}"), &columns, &time_rows);
+        write_json(&format!("fig4_{name}"), &curves);
+    }
+}

@@ -1,0 +1,51 @@
+//! Figure 5: communication time of FedKNOW vs FedWEIT across the five
+//! workloads at the 1 MB/s default bandwidth.
+//!
+//! FedKNOW (like the non-FedWEIT baselines) moves only the FedAvg model;
+//! FedWEIT additionally circulates every client's task-adaptive weights,
+//! so its traffic grows with clients × tasks.
+
+use fedknow_baselines::Method;
+use fedknow_bench::{parse_args, print_table, scaled_spec, write_json, Scale};
+use fedknow_data::DatasetSpec;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct CommResult {
+    dataset: String,
+    method: String,
+    comm_seconds: f64,
+    total_bytes: u64,
+}
+
+fn main() {
+    let args = parse_args();
+    let datasets = match args.scale {
+        Scale::Smoke => vec![DatasetSpec::cifar100()],
+        _ => DatasetSpec::all_benchmarks(),
+    };
+    let mut results = Vec::new();
+    let mut rows = Vec::new();
+    for base in datasets {
+        let name = base.name.clone();
+        let spec = scaled_spec(base, args.scale, args.seed);
+        let mut pair = Vec::new();
+        for method in [Method::FedKnow, Method::FedWeit] {
+            eprintln!("[fig5] {name} / {} ...", method.name());
+            let report = spec.run(method);
+            pair.push(report.total_comm_seconds());
+            results.push(CommResult {
+                dataset: name.clone(),
+                method: method.name().to_string(),
+                comm_seconds: report.total_comm_seconds(),
+                total_bytes: report.total_bytes,
+            });
+        }
+        let saving = fedknow_math::stats::percent_improvement(pair[1], pair[0]);
+        println!("[fig5] {name}: FedKNOW saves {saving:.1}% of FedWEIT's communication time");
+        rows.push((name, pair));
+    }
+    let columns = vec!["fedknow(s)".to_string(), "fedweit(s)".to_string()];
+    print_table("Fig.5 — communication time per workload", &columns, &rows);
+    write_json("fig5_comm_workloads", &results);
+}

@@ -1,0 +1,64 @@
+//! Figure 6: communication time of FedKNOW vs FedWEIT under 8 network
+//! bandwidths (50 KB/s – 10 MB/s), for the 6-layer CNN and ResNet-18.
+//!
+//! Bytes-on-wire do not depend on bandwidth, so each (model, method)
+//! pair is simulated once at the reference 1 MB/s and the sweep is the
+//! exact rescaling `t(bw) = t(1 MB/s) · (1 MB/s ÷ bw)` — identical to
+//! rerunning, without paying the training time eight times.
+
+use fedknow_baselines::Method;
+use fedknow_bench::{parse_args, print_table, scaled_spec, write_json, Scale};
+use fedknow_data::DatasetSpec;
+use fedknow_fl::CommModel;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct BandwidthCurve {
+    model: String,
+    method: String,
+    bandwidth_kb_per_sec: Vec<f64>,
+    comm_seconds: Vec<f64>,
+}
+
+fn main() {
+    let args = parse_args();
+    // SixCNN ↔ CIFAR-100, ResNet-18 ↔ MiniImageNet (the paper's pairing).
+    let datasets = match args.scale {
+        Scale::Smoke => vec![DatasetSpec::cifar100()],
+        _ => vec![DatasetSpec::cifar100(), DatasetSpec::mini_imagenet()],
+    };
+    let sweep = CommModel::fig6_sweep();
+    let reference = CommModel::paper_default();
+    let mut curves = Vec::new();
+    for base in datasets {
+        let _name = base.name.clone();
+        let spec = scaled_spec(base, args.scale, args.seed);
+        let model_name = spec.model.name().to_string();
+        for method in [Method::FedKnow, Method::FedWeit] {
+            eprintln!("[fig6] {model_name} / {} ...", method.name());
+            let report = spec.run(method);
+            let ref_secs = report.total_comm_seconds();
+            let (bws, secs): (Vec<f64>, Vec<f64>) = sweep
+                .iter()
+                .map(|c| {
+                    let scale = reference.bandwidth_bytes_per_sec / c.bandwidth_bytes_per_sec;
+                    (c.bandwidth_bytes_per_sec / 1000.0, ref_secs * scale)
+                })
+                .unzip();
+            curves.push(BandwidthCurve {
+                model: model_name.clone(),
+                method: method.name().to_string(),
+                bandwidth_kb_per_sec: bws,
+                comm_seconds: secs,
+            });
+        }
+    }
+    let columns: Vec<String> =
+        sweep.iter().map(|c| format!("{}KB/s", c.bandwidth_bytes_per_sec / 1000.0)).collect();
+    let rows: Vec<(String, Vec<f64>)> = curves
+        .iter()
+        .map(|c| (format!("{}/{}", c.model, c.method), c.comm_seconds.clone()))
+        .collect();
+    print_table("Fig.6 — communication time (s) vs bandwidth", &columns, &rows);
+    write_json("fig6_comm_bandwidth", &curves);
+}

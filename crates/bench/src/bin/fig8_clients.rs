@@ -1,0 +1,47 @@
+//! Figure 8: scalability in the number of clients — 50 and 100 clients
+//! on MiniImageNet with ResNet-18; average accuracy and forgetting rate
+//! for GEM, FedWEIT and FedKNOW. More clients → fewer samples per client
+//! and stronger non-IID, so negative transfer grows.
+
+use fedknow_baselines::Method;
+use fedknow_bench::{parse_args, print_table, scaled_spec, write_json, MethodCurve, Scale};
+use fedknow_data::DatasetSpec;
+use fedknow_fl::{CommModel, DeviceProfile};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct ClientScaleResult {
+    num_clients: usize,
+    curves: Vec<MethodCurve>,
+}
+
+fn main() {
+    let args = parse_args();
+    let client_counts: Vec<usize> = match args.scale {
+        Scale::Smoke => vec![4],
+        Scale::Quick => vec![8, 16],
+        Scale::Paper => vec![50, 100],
+    };
+    let mut results = Vec::new();
+    for &n in &client_counts {
+        let mut spec = scaled_spec(DatasetSpec::mini_imagenet(), args.scale, args.seed);
+        spec.num_clients = n;
+        let devices = DeviceProfile::uniform_cluster(n);
+        let mut curves = Vec::new();
+        for method in [Method::Gem, Method::FedWeit, Method::FedKnow] {
+            eprintln!("[fig8] {n} clients / {} ...", method.name());
+            let report = spec.run_on(method, devices.clone(), CommModel::paper_default());
+            curves.push(MethodCurve::from_report(&report));
+        }
+        let columns: Vec<String> =
+            (1..=curves[0].accuracy.len()).map(|t| format!("task{t}")).collect();
+        let acc_rows: Vec<(String, Vec<f64>)> =
+            curves.iter().map(|c| (c.method.clone(), c.accuracy.clone())).collect();
+        print_table(&format!("Fig.8 — accuracy, {n} clients"), &columns, &acc_rows);
+        let forget_rows: Vec<(String, Vec<f64>)> =
+            curves.iter().map(|c| (c.method.clone(), c.forgetting.clone())).collect();
+        print_table(&format!("Fig.8 — forgetting rate, {n} clients"), &columns, &forget_rows);
+        results.push(ClientScaleResult { num_clients: n, curves });
+    }
+    write_json("fig8_clients", &results);
+}

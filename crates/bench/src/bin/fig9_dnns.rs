@@ -1,0 +1,53 @@
+//! Figure 9: applicability across DNN architectures — the eight zoo
+//! members spanning six categories (depth, multi-path, width, feature-map
+//! exploitation/attention, lightweight), each learning the MiniImageNet
+//! task sequence under GEM, FedWEIT and FedKNOW.
+
+use fedknow_baselines::Method;
+use fedknow_bench::{parse_args, print_table, scaled_spec, write_json, MethodCurve, Scale};
+use fedknow_data::DatasetSpec;
+use fedknow_nn::ModelKind;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct DnnResult {
+    model: String,
+    curves: Vec<MethodCurve>,
+}
+
+fn main() {
+    let args = parse_args();
+    // (architecture, width multiplier, label): the paper evaluates
+    // MobileNetV2 at width multipliers 1.0 and 2.0.
+    let models: Vec<(ModelKind, f64, String)> = match args.scale {
+        Scale::Smoke => vec![
+            (ModelKind::MobileNetV2, 1.0, "mobilenetv2".into()),
+            (ModelKind::SENet18, 1.0, "senet18".into()),
+        ],
+        _ => {
+            let mut v: Vec<(ModelKind, f64, String)> =
+                ModelKind::FIG9.iter().map(|m| (*m, 1.0, m.name().to_string())).collect();
+            v.push((ModelKind::MobileNetV2, 2.0, "mobilenetv2-w2".into()));
+            v
+        }
+    };
+    let mut results = Vec::new();
+    for (model, width, label) in models {
+        let mut spec = scaled_spec(DatasetSpec::mini_imagenet(), args.scale, args.seed);
+        spec.model = model;
+        spec.width = width;
+        let mut curves = Vec::new();
+        for method in [Method::Gem, Method::FedWeit, Method::FedKnow] {
+            eprintln!("[fig9] {label} / {} ...", method.name());
+            let report = spec.run(method);
+            curves.push(MethodCurve::from_report(&report));
+        }
+        let columns: Vec<String> =
+            (1..=curves[0].accuracy.len()).map(|t| format!("task{t}")).collect();
+        let rows: Vec<(String, Vec<f64>)> =
+            curves.iter().map(|c| (c.method.clone(), c.accuracy.clone())).collect();
+        print_table(&format!("Fig.9 — accuracy on {label}"), &columns, &rows);
+        results.push(DnnResult { model: label, curves });
+    }
+    write_json("fig9_dnns", &results);
+}

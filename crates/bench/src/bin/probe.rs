@@ -1,0 +1,92 @@
+//! Free-form single-run probe: run one method on one configuration and
+//! print its curves. Useful for hyper-parameter exploration beyond the
+//! fixed per-figure binaries.
+//!
+//! ```text
+//! probe --method fedknow --dataset cifar100 --tasks 4 --clients 6 \
+//!       --rounds 3 --iters 10 --samples 1.0 --hw 8 --seed 42
+//! ```
+
+use fedknow_baselines::Method;
+use fedknow_bench::MethodCurve;
+use fedknow_data::DatasetSpec;
+use fedknow_nn::ModelKind;
+use fedknow_suite::RunSpec;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    let get = |flag: &str, default: &str| -> String {
+        argv.iter()
+            .position(|a| a == flag)
+            .and_then(|i| argv.get(i + 1))
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    };
+    let method = match get("--method", "fedknow").as_str() {
+        "fedknow" => Method::FedKnow,
+        "gem" => Method::Gem,
+        "bcn" => Method::Bcn,
+        "co2l" => Method::Co2l,
+        "ewc" => Method::Ewc,
+        "mas" => Method::Mas,
+        "agscl" => Method::AgsCl,
+        "fedavg" => Method::FedAvg,
+        "apfl" => Method::Apfl,
+        "fedrep" => Method::FedRep,
+        "flcn" => Method::Flcn,
+        "fedweit" => Method::FedWeit,
+        "fedweit-own" => Method::FedWeitOwn,
+        other => {
+            eprintln!("unknown method {other}");
+            std::process::exit(2);
+        }
+    };
+    let dataset = match get("--dataset", "cifar100").as_str() {
+        "cifar100" => DatasetSpec::cifar100(),
+        "fc100" => DatasetSpec::fc100(),
+        "core50" => DatasetSpec::core50(),
+        "miniimagenet" => DatasetSpec::mini_imagenet(),
+        "tinyimagenet" => DatasetSpec::tiny_imagenet(),
+        "svhn" => DatasetSpec::svhn(),
+        other => {
+            eprintln!("unknown dataset {other}");
+            std::process::exit(2);
+        }
+    };
+    let model = match get("--model", "auto").as_str() {
+        "auto" => fedknow_bench::paper_model_for(&dataset.name),
+        "sixcnn" => ModelKind::SixCnn,
+        "resnet18" => ModelKind::ResNet18,
+        other => {
+            eprintln!("unknown model {other}");
+            std::process::exit(2);
+        }
+    };
+    let tasks: usize = get("--tasks", "3").parse().expect("--tasks");
+    let samples: f64 = get("--samples", "1.0").parse().expect("--samples");
+    let hw: usize = get("--hw", "8").parse().expect("--hw");
+    let spec = RunSpec {
+        dataset: dataset.scaled(samples, hw).with_tasks(tasks),
+        model,
+        width: 1.0,
+        num_clients: get("--clients", "4").parse().expect("--clients"),
+        rounds_per_task: get("--rounds", "3").parse().expect("--rounds"),
+        iters_per_round: get("--iters", "8").parse().expect("--iters"),
+        seed: get("--seed", "42").parse().expect("--seed"),
+        method_cfg: Default::default(),
+    };
+    let start = std::time::Instant::now();
+    let report = spec.run(method);
+    let curve = MethodCurve::from_report(&report);
+    println!("method      {}", curve.method);
+    for m in 0..report.accuracy.num_tasks() {
+        let row: Vec<f64> =
+            (0..=m).map(|k| (report.accuracy.at(m, k) * 1000.0).round() / 1000.0).collect();
+        println!("matrix[{m}]   {row:?}");
+    }
+    println!("accuracy    {:?}", curve.accuracy);
+    println!("forgetting  {:?}", curve.forgetting);
+    println!("comm (s)    {:.3}", curve.comm_seconds);
+    println!("bytes       {}", curve.total_bytes);
+    println!("wall clock  {:.1}s", start.elapsed().as_secs_f64());
+}

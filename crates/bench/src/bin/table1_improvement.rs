@@ -1,0 +1,71 @@
+//! Table I: the per-task percentage accuracy improvement of FedKNOW over
+//! the *average of all 11 baselines*, for each dataset.
+//!
+//! Consumes the JSON written by `fig4_main` (run it first); recomputing
+//! from the same files the paper's table is derived from keeps the two
+//! artifacts consistent.
+
+use fedknow_bench::{parse_args, print_table, results_dir, write_json};
+use fedknow_math::stats::percent_improvement;
+use serde::{Deserialize, Serialize};
+
+#[derive(Deserialize)]
+struct CurveIn {
+    method: String,
+    accuracy: Vec<f64>,
+}
+
+#[derive(Serialize)]
+struct Improvement {
+    dataset: String,
+    /// Percentage improvement per task step.
+    per_task_percent: Vec<f64>,
+    /// Mean over all tasks.
+    mean_percent: f64,
+}
+
+fn main() {
+    let _args = parse_args();
+    let datasets = ["cifar100", "fc100", "core50", "miniimagenet", "tinyimagenet"];
+    let mut out = Vec::new();
+    let mut rows = Vec::new();
+    let mut max_tasks = 0usize;
+    for ds in datasets {
+        let path = results_dir().join(format!("fig4_{ds}.json"));
+        let Ok(raw) = std::fs::read_to_string(&path) else {
+            eprintln!("[table1] skipping {ds}: run fig4_main first ({} missing)", path.display());
+            continue;
+        };
+        let curves: Vec<CurveIn> = serde_json::from_str(&raw).expect("parse fig4 JSON");
+        let fedknow = curves
+            .iter()
+            .find(|c| c.method == "fedknow")
+            .expect("fig4 results must include fedknow");
+        let tasks = fedknow.accuracy.len();
+        let per_task: Vec<f64> = (0..tasks)
+            .map(|t| {
+                let baselines: Vec<f64> = curves
+                    .iter()
+                    .filter(|c| c.method != "fedknow")
+                    .map(|c| c.accuracy[t])
+                    .collect();
+                let mean = fedknow_math::stats::mean(&baselines);
+                percent_improvement(fedknow.accuracy[t], mean)
+            })
+            .collect();
+        let mean_percent = fedknow_math::stats::mean(&per_task);
+        max_tasks = max_tasks.max(tasks);
+        rows.push((ds.to_string(), per_task.clone()));
+        out.push(Improvement { dataset: ds.to_string(), per_task_percent: per_task, mean_percent });
+    }
+    if out.is_empty() {
+        eprintln!("[table1] no fig4 results found — nothing to do");
+        std::process::exit(1);
+    }
+    let columns: Vec<String> = (1..=max_tasks).map(|t| format!("task{t}%")).collect();
+    print_table("Table I — % accuracy improvement of FedKNOW over baseline mean", &columns, &rows);
+    let overall =
+        fedknow_math::stats::mean(&out.iter().map(|i| i.mean_percent).collect::<Vec<_>>());
+    println!("\noverall mean improvement: {overall:.2}%");
+    write_json("table1_improvement", &out);
+}

@@ -1,0 +1,267 @@
+//! Experiment harness shared by the per-figure binaries.
+//!
+//! Every binary accepts `--scale smoke|quick|paper` (default `quick`) and
+//! `--seed N`, builds its runs through [`scaled_spec`], prints
+//! human-readable tables, and writes machine-readable JSON under
+//! `results/` — EXPERIMENTS.md is generated from those files.
+//!
+//! Scales: `smoke` is a seconds-long sanity pass, `quick` (default)
+//! reproduces every curve's *shape* in minutes on one CPU core, and
+//! `paper` uses the paper's task/client/round counts (hours; intended
+//! for real hardware).
+
+use fedknow_baselines::factory::MethodConfig;
+use fedknow_data::DatasetSpec;
+use fedknow_nn::ModelKind;
+use fedknow_suite::RunSpec;
+use serde::Serialize;
+use std::path::PathBuf;
+
+/// Experiment scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds: tiny structural sanity run.
+    Smoke,
+    /// Minutes: reduced counts, same curve shapes (default).
+    Quick,
+    /// The paper's counts (20+ clients, full task sequences).
+    Paper,
+}
+
+impl Scale {
+    /// Parse from a CLI string.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "smoke" => Some(Scale::Smoke),
+            "quick" => Some(Scale::Quick),
+            "paper" => Some(Scale::Paper),
+            _ => None,
+        }
+    }
+}
+
+/// Parsed common CLI arguments.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// Selected scale.
+    pub scale: Scale,
+    /// Experiment seed.
+    pub seed: u64,
+    /// Optional comma-separated filter (dataset/model names) — binaries
+    /// that iterate over a set honour it.
+    pub only: Option<Vec<String>>,
+}
+
+/// Parse `--scale` and `--seed` from `std::env::args`, with defaults.
+/// Exits with a usage message on malformed input.
+pub fn parse_args() -> Args {
+    let mut scale = Scale::Quick;
+    let mut seed = 42u64;
+    let mut only: Option<Vec<String>> = None;
+    let argv: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = argv
+                    .get(i)
+                    .and_then(|s| Scale::parse(s))
+                    .unwrap_or_else(|| usage("--scale expects smoke|quick|paper"));
+            }
+            "--seed" => {
+                i += 1;
+                seed = argv
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--seed expects an integer"));
+            }
+            "--only" => {
+                i += 1;
+                only = Some(
+                    argv.get(i)
+                        .unwrap_or_else(|| usage("--only expects a comma-separated list"))
+                        .split(',')
+                        .map(str::to_string)
+                        .collect(),
+                );
+            }
+            other => usage(&format!("unknown argument {other}")),
+        }
+        i += 1;
+    }
+    Args { scale, seed, only }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}\nusage: <bin> [--scale smoke|quick|paper] [--seed N] [--only a,b,c]");
+    std::process::exit(2)
+}
+
+/// The architecture the paper pairs with each dataset: SixCNN for
+/// CIFAR-100 / FC100 / CORe50, ResNet-18 for Mini/TinyImageNet (§V-A).
+pub fn paper_model_for(dataset: &str) -> ModelKind {
+    match dataset {
+        "miniimagenet" | "tinyimagenet" => ModelKind::ResNet18,
+        _ => ModelKind::SixCnn,
+    }
+}
+
+/// The paper's aggregation-round counts per dataset (§V-B: 15, 15, 15,
+/// 10, 5).
+pub fn paper_rounds_for(dataset: &str) -> usize {
+    match dataset {
+        "miniimagenet" => 10,
+        "tinyimagenet" => 5,
+        _ => 15,
+    }
+}
+
+/// Build a [`RunSpec`] for a dataset at the given scale.
+pub fn scaled_spec(base: DatasetSpec, scale: Scale, seed: u64) -> RunSpec {
+    let name = base.name.clone();
+    let model = paper_model_for(&name);
+    let (dataset, clients, rounds, iters) = match scale {
+        Scale::Smoke => (base.scaled(0.25, 8).with_tasks(2), 2, 2, 4),
+        Scale::Quick => (base.scaled(1.2, 8).with_tasks(4), 4, 3, 8),
+        Scale::Paper => {
+            let rounds = paper_rounds_for(&name);
+            (base, 20, rounds, 25)
+        }
+    };
+    RunSpec {
+        dataset,
+        model,
+        width: 1.0,
+        num_clients: clients,
+        rounds_per_task: rounds,
+        iters_per_round: iters,
+        seed,
+        method_cfg: MethodConfig::default(),
+    }
+}
+
+/// Write a serialisable result to `results/<name>.json` (repo-relative,
+/// falling back to the current directory).
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value).expect("serialise result");
+    std::fs::write(&path, json).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    println!("[written] {}", path.display());
+}
+
+/// Locate the `results/` directory next to the workspace root.
+pub fn results_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR of this crate is <repo>/crates/bench.
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .map(|root| root.join("results"))
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+/// Print a fixed-width table: header plus rows of (label, values).
+pub fn print_table(title: &str, columns: &[String], rows: &[(String, Vec<f64>)]) {
+    println!("\n== {title} ==");
+    print!("{:<16}", "");
+    for c in columns {
+        print!("{c:>12}");
+    }
+    println!();
+    for (label, values) in rows {
+        print!("{label:<16}");
+        for v in values {
+            print!("{v:>12.4}");
+        }
+        println!();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parses() {
+        assert_eq!(Scale::parse("quick"), Some(Scale::Quick));
+        assert_eq!(Scale::parse("paper"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("smoke"), Some(Scale::Smoke));
+        assert_eq!(Scale::parse("bogus"), None);
+    }
+
+    #[test]
+    fn paper_pairings_match_section_va() {
+        assert_eq!(paper_model_for("cifar100"), ModelKind::SixCnn);
+        assert_eq!(paper_model_for("core50"), ModelKind::SixCnn);
+        assert_eq!(paper_model_for("miniimagenet"), ModelKind::ResNet18);
+        assert_eq!(paper_model_for("tinyimagenet"), ModelKind::ResNet18);
+        assert_eq!(paper_rounds_for("cifar100"), 15);
+        assert_eq!(paper_rounds_for("miniimagenet"), 10);
+        assert_eq!(paper_rounds_for("tinyimagenet"), 5);
+    }
+
+    #[test]
+    fn paper_scale_keeps_full_structure() {
+        let s = scaled_spec(DatasetSpec::tiny_imagenet(), Scale::Paper, 1);
+        assert_eq!(s.dataset.num_tasks, 20);
+        assert_eq!(s.num_clients, 20);
+        assert_eq!(s.iters_per_round, 25);
+    }
+
+    #[test]
+    fn quick_scale_shrinks() {
+        let s = scaled_spec(DatasetSpec::cifar100(), Scale::Quick, 1);
+        assert!(s.dataset.num_tasks <= 4);
+        assert!(s.num_clients <= 4);
+        assert_eq!(s.dataset.height, 8);
+    }
+
+    #[test]
+    fn results_dir_points_into_repo() {
+        let d = results_dir();
+        assert!(d.ends_with("results"));
+    }
+}
+
+/// One method's curves from a finished run — the unit every figure's
+/// JSON output is built from.
+#[derive(Debug, Clone, Serialize)]
+pub struct MethodCurve {
+    /// Method name.
+    pub method: String,
+    /// Average accuracy over learned tasks, per task step.
+    pub accuracy: Vec<f64>,
+    /// Average forgetting rate, per task step.
+    pub forgetting: Vec<f64>,
+    /// Cumulative simulated training time (compute + comm), seconds.
+    pub cumulative_time: Vec<f64>,
+    /// Total simulated communication seconds.
+    pub comm_seconds: f64,
+    /// Total bytes on the wire.
+    pub total_bytes: u64,
+    /// Clients that dropped out (OOM).
+    pub dropouts: usize,
+}
+
+impl MethodCurve {
+    /// Summarise a simulation report.
+    pub fn from_report(r: &fedknow_fl::SimReport) -> Self {
+        Self {
+            method: r.method.clone(),
+            accuracy: r.accuracy.accuracy_curve(),
+            forgetting: r.accuracy.forgetting_curve(),
+            cumulative_time: r.cumulative_time(),
+            comm_seconds: r.total_comm_seconds(),
+            total_bytes: r.total_bytes,
+            dropouts: r.dropouts.len(),
+        }
+    }
+
+    /// Final average accuracy.
+    pub fn final_accuracy(&self) -> f64 {
+        *self.accuracy.last().unwrap_or(&0.0)
+    }
+}

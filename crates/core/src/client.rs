@@ -1,0 +1,303 @@
+//! The FedKNOW client — wiring the extractor, restorer and integrator
+//! into the federated round protocol (§III-A, Figure 3).
+
+use crate::config::FedKnowConfig;
+use crate::extractor::KnowledgeExtractor;
+use crate::integrator::GradientIntegrator;
+use crate::restorer::GradientRestorer;
+use fedknow_data::ClientTask;
+use fedknow_fl::{FclClient, IterationStats, LocalTrainer, ModelTemplate};
+use fedknow_math::SparseVec;
+use fedknow_nn::optim::{LrSchedule, Sgd};
+use rand::rngs::StdRng;
+
+/// A FedKNOW client.
+///
+/// Per training iteration it integrates the current gradient with the
+/// restored gradients of its signature tasks (forgetting prevention);
+/// after each FedAvg aggregation it fine-tunes the received global model
+/// with gradients rotated to stay acute with the post-aggregation
+/// direction (negative-transfer prevention); after each task it extracts
+/// and retains the task's signature knowledge.
+pub struct FedKnowClient {
+    trainer: LocalTrainer,
+    cfg: FedKnowConfig,
+    extractor: KnowledgeExtractor,
+    restorer: GradientRestorer,
+    integrator: GradientIntegrator,
+    /// Post-aggregation fine-tune schedule (Theorem 1: O(r^{-1})).
+    global_opt: Sgd,
+    knowledges: Vec<SparseVec>,
+    /// Indices into `knowledges` of the current signature tasks.
+    selected: Vec<usize>,
+    /// FLOPs spent outside train_iteration (selection, fine-tunes),
+    /// charged to the next iteration's stats.
+    pending_flops: u64,
+}
+
+impl FedKnowClient {
+    /// Build a client from the shared model template.
+    pub fn new(
+        template: &ModelTemplate,
+        cfg: FedKnowConfig,
+        batch_size: usize,
+        image_shape: Vec<usize>,
+    ) -> Self {
+        let model = template.instantiate();
+        let opt = Sgd::new(cfg.local_lr, LrSchedule::LinearDecrease { decrease: cfg.lr_decrease });
+        let global_opt = Sgd::new(cfg.global_lr, LrSchedule::Inverse);
+        Self {
+            trainer: LocalTrainer::new(model, opt, batch_size, image_shape),
+            extractor: KnowledgeExtractor::with_strategy(
+                cfg.rho,
+                cfg.knowledge_finetune_iters,
+                cfg.strategy,
+            ),
+            restorer: GradientRestorer,
+            integrator: GradientIntegrator::new(cfg.margin),
+            global_opt,
+            cfg,
+            knowledges: Vec::new(),
+            selected: Vec::new(),
+            pending_flops: 0,
+        }
+    }
+
+    /// Retained signature knowledge, one entry per finished task.
+    pub fn knowledges(&self) -> &[SparseVec] {
+        &self.knowledges
+    }
+
+    /// Currently selected signature-task indices.
+    pub fn selected(&self) -> &[usize] {
+        &self.selected
+    }
+
+    /// Borrow the underlying trainer (benchmarks and tests).
+    pub fn trainer_mut(&mut self) -> &mut LocalTrainer {
+        &mut self.trainer
+    }
+
+    /// Re-rank signature tasks on a fresh batch (run at task start and
+    /// after every aggregation, so selection tracks the moving model).
+    fn reselect(&mut self, rng: &mut StdRng) {
+        if self.knowledges.is_empty() || self.trainer.num_samples() == 0 {
+            self.selected.clear();
+            return;
+        }
+        let (x, labels) = self.trainer.next_batch(rng);
+        self.trainer.compute_grads(&x, &labels);
+        let g = self.trainer.model.flat_grads();
+        self.selected = self.restorer.select_signature_tasks(
+            &mut self.trainer.model,
+            &self.knowledges,
+            &x,
+            &g,
+            self.cfg.k,
+            self.cfg.metric,
+        );
+        // Selection restores all m candidates: m × (4/3) iterations of
+        // work, plus the probe forward/backward.
+        let probe = self.trainer.iteration_flops();
+        self.pending_flops += probe + self.knowledges.len() as u64 * probe * 4 / 3;
+    }
+}
+
+impl FclClient for FedKnowClient {
+    fn start_task(&mut self, task: &ClientTask, rng: &mut StdRng) {
+        self.trainer.set_task(task, rng);
+        self.global_opt.reset();
+        self.reselect(rng);
+    }
+
+    fn train_iteration(&mut self, rng: &mut StdRng) -> IterationStats {
+        let (x, labels) = self.trainer.next_batch(rng);
+        let loss = self.trainer.compute_grads(&x, &labels);
+        let g = self.trainer.model.flat_grads();
+        let mut flops = self.trainer.iteration_flops() + self.pending_flops;
+        self.pending_flops = 0;
+        let update = if self.selected.is_empty() {
+            g
+        } else {
+            let restored: Vec<Vec<f32>> = self
+                .selected
+                .iter()
+                .map(|&i| self.restorer.restore(&mut self.trainer.model, &self.knowledges[i], &x))
+                .collect();
+            flops += self.selected.len() as u64 * self.trainer.iteration_flops() * 4 / 3;
+            self.integrator.integrate(&g, &restored)
+        };
+        let lr = self.trainer.opt.next_lr() as f32;
+        self.trainer.model.apply_update(&update, lr);
+        IterationStats { loss: loss as f64, flops }
+    }
+
+    fn upload(&mut self) -> Option<Vec<f32>> {
+        Some(self.trainer.model.flat_params())
+    }
+
+    fn receive_global(&mut self, global: &[f32], rng: &mut StdRng) {
+        // Keep the pre-aggregation model for the cross-aggregation
+        // integration, then adopt the global model.
+        let local = self.trainer.model.flat_params();
+        self.trainer.model.set_flat_params(global);
+        if self.trainer.num_samples() > 0 {
+            let epoch = self.trainer.num_samples().div_ceil(self.trainer.batch_size);
+            let iters = self.cfg.post_agg_iters.map_or(epoch, |n| n.min(epoch.max(1)));
+            for _ in 0..iters {
+                let (x, labels) = self.trainer.next_batch(rng);
+                // Gradient after aggregation (at the global weights).
+                self.trainer.compute_grads(&x, &labels);
+                let g_after = self.trainer.model.flat_grads();
+                // Gradient before aggregation (at the saved local
+                // weights), on the same batch.
+                let now = self.trainer.model.flat_params();
+                self.trainer.model.set_flat_params(&local);
+                self.trainer.compute_grads(&x, &labels);
+                let g_before = self.trainer.model.flat_grads();
+                self.trainer.model.set_flat_params(&now);
+                // Constraints: the post-aggregation gradient (negative-
+                // transfer prevention) plus the signature-task gradients
+                // (the fine-tune must not undo forgetting prevention).
+                let mut constraints = vec![g_after];
+                for &i in &self.selected {
+                    constraints.push(self.restorer.restore(
+                        &mut self.trainer.model,
+                        &self.knowledges[i],
+                        &x,
+                    ));
+                }
+                self.pending_flops +=
+                    self.selected.len() as u64 * self.trainer.iteration_flops() * 4 / 3;
+                let update = self.integrator.integrate(&g_before, &constraints);
+                let lr = self.global_opt.next_lr() as f32;
+                self.trainer.model.apply_update(&update, lr);
+                self.pending_flops += 2 * self.trainer.iteration_flops();
+            }
+        }
+        // The model moved: refresh the signature selection.
+        self.reselect(rng);
+    }
+
+    fn finish_task(&mut self, rng: &mut StdRng) {
+        let (knowledge, flops) = self.extractor.extract_and_finetune(&mut self.trainer, rng);
+        self.pending_flops += flops;
+        self.knowledges.push(knowledge);
+        self.selected.clear();
+    }
+
+    fn evaluate(&mut self, task: &ClientTask) -> f64 {
+        self.trainer.evaluate_task(task)
+    }
+
+    fn retained_bytes(&self) -> u64 {
+        self.knowledges.iter().map(|k| k.size_bytes() as u64).sum()
+    }
+
+    fn method_name(&self) -> &'static str {
+        "fedknow"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedknow_data::{generate::generate, partition, DatasetSpec, PartitionConfig};
+    use fedknow_math::rng::seeded;
+    use fedknow_nn::ModelKind;
+
+    fn setup(tasks: usize) -> (FedKnowClient, Vec<ClientTask>) {
+        let spec = DatasetSpec::cifar100().scaled(0.3, 8).with_tasks(tasks);
+        let data = generate(&spec, 3);
+        let parts = partition(&data, 1, &PartitionConfig::default(), 3);
+        let template = ModelTemplate::new(ModelKind::SixCnn, 3, spec.total_classes(), 1.0, 7);
+        let cfg = FedKnowConfig { k: 2, knowledge_finetune_iters: 2, ..Default::default() };
+        let client = FedKnowClient::new(&template, cfg, 8, vec![3, 8, 8]);
+        (client, parts[0].tasks.clone())
+    }
+
+    #[test]
+    fn knowledge_accumulates_per_task() {
+        let (mut c, tasks) = setup(2);
+        let mut rng = seeded(1);
+        for t in &tasks {
+            c.start_task(t, &mut rng);
+            for _ in 0..4 {
+                c.train_iteration(&mut rng);
+            }
+            c.finish_task(&mut rng);
+        }
+        assert_eq!(c.knowledges().len(), 2);
+        let expected = ((c.trainer_mut().model.param_count() as f64) * 0.1).round() as usize;
+        assert_eq!(c.knowledges()[0].nnz(), expected);
+        assert!(c.retained_bytes() > 0);
+    }
+
+    #[test]
+    fn second_task_uses_signature_selection() {
+        let (mut c, tasks) = setup(2);
+        let mut rng = seeded(2);
+        c.start_task(&tasks[0], &mut rng);
+        assert!(c.selected().is_empty(), "no knowledge yet on the first task");
+        for _ in 0..4 {
+            c.train_iteration(&mut rng);
+        }
+        c.finish_task(&mut rng);
+        c.start_task(&tasks[1], &mut rng);
+        assert_eq!(c.selected().len(), 1, "one knowledge, k clamps to it");
+        let stats = c.train_iteration(&mut rng);
+        assert!(stats.flops > 0);
+    }
+
+    #[test]
+    fn receive_global_adopts_and_fine_tunes() {
+        let (mut c, tasks) = setup(1);
+        let mut rng = seeded(3);
+        c.start_task(&tasks[0], &mut rng);
+        for _ in 0..3 {
+            c.train_iteration(&mut rng);
+        }
+        let dim = c.upload().unwrap().len();
+        let global = vec![0.01f32; dim];
+        c.receive_global(&global, &mut rng);
+        let after = c.upload().unwrap();
+        // Fine-tuning moved the model off the raw global weights...
+        assert_ne!(after, global);
+        // ...but it stays near them (a couple of small steps).
+        let dist: f32 =
+            after.iter().zip(&global).map(|(a, b)| (a - b) * (a - b)).sum::<f32>().sqrt();
+        assert!(dist < 10.0, "model flew away from global: {dist}");
+    }
+
+    #[test]
+    fn training_learns_first_task() {
+        let (mut c, tasks) = setup(1);
+        let mut rng = seeded(4);
+        c.start_task(&tasks[0], &mut rng);
+        for _ in 0..80 {
+            c.train_iteration(&mut rng);
+        }
+        let acc = c.evaluate(&tasks[0]);
+        let chance = 1.0 / tasks[0].classes.len() as f64;
+        assert!(acc > 2.0 * chance, "accuracy {acc} vs chance {chance}");
+    }
+
+    #[test]
+    fn retained_bytes_scale_with_rho() {
+        let spec = DatasetSpec::cifar100().scaled(0.3, 8).with_tasks(1);
+        let data = generate(&spec, 3);
+        let parts = partition(&data, 1, &PartitionConfig::default(), 3);
+        let template = ModelTemplate::new(ModelKind::SixCnn, 3, spec.total_classes(), 1.0, 7);
+        let mut sizes = Vec::new();
+        for rho in [0.05, 0.10, 0.20] {
+            let cfg = FedKnowConfig { rho, knowledge_finetune_iters: 0, ..Default::default() };
+            let mut c = FedKnowClient::new(&template, cfg, 8, vec![3, 8, 8]);
+            let mut rng = seeded(5);
+            c.start_task(&parts[0].tasks[0], &mut rng);
+            c.train_iteration(&mut rng);
+            c.finish_task(&mut rng);
+            sizes.push(c.retained_bytes());
+        }
+        assert!(sizes[0] < sizes[1] && sizes[1] < sizes[2], "{sizes:?}");
+    }
+}

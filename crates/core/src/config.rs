@@ -1,0 +1,77 @@
+//! FedKNOW hyper-parameters.
+
+use crate::extractor::ExtractionStrategy;
+use fedknow_math::distance::DistanceMetric;
+use serde::{Deserialize, Serialize};
+
+/// All FedKNOW knobs, with the paper's evaluation defaults (§V-B):
+/// ρ = 10 %, k = 10, Wasserstein selection.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FedKnowConfig {
+    /// Fraction ρ of weights retained as each task's signature knowledge.
+    pub rho: f64,
+    /// Number k of most-dissimilar past gradients used in integration.
+    pub k: usize,
+    /// Metric ranking gradient dissimilarity for signature-task
+    /// selection.
+    pub metric: DistanceMetric,
+    /// Pruning flavour for knowledge extraction (§III-B: magnitude by
+    /// default, with L1/L2 filter pruning as structured alternatives).
+    pub strategy: ExtractionStrategy,
+    /// QP constraint margin (0 reproduces Eq. 3 exactly).
+    pub margin: f64,
+    /// Iterations of knowledge fine-tuning after extraction (§III-B
+    /// step 3).
+    pub knowledge_finetune_iters: usize,
+    /// Fine-tuning iterations after each global aggregation ("one epoch
+    /// of local samples", §III-A). `None` = exactly one epoch of the
+    /// current task; `Some(n)` caps it.
+    pub post_agg_iters: Option<usize>,
+    /// Base learning rate for local training.
+    pub local_lr: f64,
+    /// Per-step learning-rate decrease rate (paper: 1e-4 / 1e-5).
+    pub lr_decrease: f64,
+    /// Base learning rate for the post-aggregation fine-tune. Theorem 1
+    /// wants this to decay at O(r^{-1}); the base is typically the local
+    /// rate.
+    pub global_lr: f64,
+}
+
+impl Default for FedKnowConfig {
+    fn default() -> Self {
+        Self {
+            rho: 0.10,
+            k: 10,
+            metric: DistanceMetric::Wasserstein,
+            strategy: ExtractionStrategy::Magnitude,
+            margin: 0.0,
+            knowledge_finetune_iters: 5,
+            post_agg_iters: None,
+            local_lr: 0.05,
+            lr_decrease: 1e-4,
+            global_lr: 0.05,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_headline_setting() {
+        let c = FedKnowConfig::default();
+        assert!((c.rho - 0.10).abs() < 1e-12);
+        assert_eq!(c.k, 10);
+        assert_eq!(c.metric, DistanceMetric::Wasserstein);
+    }
+
+    #[test]
+    fn config_roundtrips_through_serde() {
+        let c = FedKnowConfig { rho: 0.2, k: 5, ..Default::default() };
+        let json = serde_json::to_string(&c).unwrap();
+        let back: FedKnowConfig = serde_json::from_str(&json).unwrap();
+        assert!((back.rho - 0.2).abs() < 1e-12);
+        assert_eq!(back.k, 5);
+    }
+}

@@ -1,0 +1,90 @@
+//! Gradient integrator (§III-D) — a thin, configured wrapper over the
+//! dual-QP solver in `fedknow_math::qp`.
+
+use fedknow_math::qp::{integrate_gradient, QpConfig};
+use fedknow_math::MathError;
+
+/// Rotates gradients to keep acute angles with constraint gradients
+/// (Eqs. 3–5).
+#[derive(Debug, Clone)]
+pub struct GradientIntegrator {
+    qp: QpConfig,
+}
+
+impl GradientIntegrator {
+    /// New integrator with the given constraint margin.
+    pub fn new(margin: f64) -> Self {
+        Self { qp: QpConfig { margin, ..Default::default() } }
+    }
+
+    /// Integrate `g` against the signature gradients `constraints`:
+    /// returns `g'` minimally rotated so `⟨g_i, g'⟩ ≥ 0` for all `i`.
+    ///
+    /// Falls back to the un-rotated gradient if the QP fails to converge
+    /// (never observed with k ≤ 20, but training must not abort on a
+    /// pathological batch).
+    pub fn integrate(&self, g: &[f32], constraints: &[Vec<f32>]) -> Vec<f32> {
+        match integrate_gradient(g, constraints, &self.qp) {
+            Ok(r) => r.gradient,
+            Err(MathError::QpNotConverged { .. }) => g.to_vec(),
+            Err(e) => panic!("gradient integration failed: {e}"),
+        }
+    }
+
+    /// The cross-aggregation integration (§III-A): rotate the
+    /// pre-aggregation gradient `g_before` to have an acute angle with
+    /// the post-aggregation gradient `g_after`, producing the update
+    /// that "incorporates global information from other clients, while
+    /// avoiding decreasing model accuracy in local data".
+    pub fn integrate_across_aggregation(
+        &self,
+        g_before: &[f32],
+        g_after: &[f32],
+    ) -> Vec<f32> {
+        self.integrate(g_before, std::slice::from_ref(&g_after.to_vec()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dot(a: &[f32], b: &[f32]) -> f32 {
+        a.iter().zip(b).map(|(x, y)| x * y).sum()
+    }
+
+    #[test]
+    fn integration_enforces_acute_angles() {
+        let integ = GradientIntegrator::new(0.0);
+        let g = vec![1.0, 0.0, 0.0];
+        let cons = vec![vec![-1.0, 1.0, 0.0], vec![0.0, 0.0, 1.0]];
+        let out = integ.integrate(&g, &cons);
+        for c in &cons {
+            assert!(dot(c, &out) >= -1e-4);
+        }
+    }
+
+    #[test]
+    fn aggregation_integration_respects_global_direction() {
+        let integ = GradientIntegrator::new(0.0);
+        let g_before = vec![1.0, 0.0];
+        let g_after = vec![-1.0, 1.0];
+        let out = integ.integrate_across_aggregation(&g_before, &g_after);
+        assert!(dot(&g_after, &out) >= -1e-4, "conflict with post-aggregation gradient");
+        // And it stays as close to the local direction as possible:
+        // closer to g_before than g_after is.
+        let d_before: f32 =
+            out.iter().zip(&g_before).map(|(a, b)| (a - b) * (a - b)).sum::<f32>();
+        let d_after: f32 =
+            out.iter().zip(&g_after).map(|(a, b)| (a - b) * (a - b)).sum::<f32>();
+        assert!(d_before < d_after);
+    }
+
+    #[test]
+    fn aligned_gradients_pass_through() {
+        let integ = GradientIntegrator::new(0.0);
+        let g = vec![1.0, 1.0];
+        let out = integ.integrate_across_aggregation(&g, &[2.0, 2.0]);
+        assert_eq!(out, g);
+    }
+}

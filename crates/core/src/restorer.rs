@@ -1,0 +1,161 @@
+//! Gradient restorer (§III-C).
+//!
+//! Restores a previous task's gradient *without its training samples*
+//! (Eq. 2): the model restricted to the task's signature knowledge `W_i`
+//! predicts pseudo-labels on the *current* task's batch, and the restored
+//! gradient is ∇ of the cross-entropy between the live model's
+//! predictions and those pseudo-labels — the direction that keeps the
+//! live model consistent with what task `i` knew.
+
+use fedknow_math::distance::{most_dissimilar, DistanceMetric};
+use fedknow_math::{SparseVec, Tensor};
+use fedknow_nn::loss::soft_cross_entropy;
+use fedknow_nn::Model;
+
+/// Restores past-task gradients from retained knowledge.
+#[derive(Debug, Clone, Default)]
+pub struct GradientRestorer;
+
+impl GradientRestorer {
+    /// Restore task `i`'s gradient on the batch `x` (Eq. 2).
+    ///
+    /// The model's parameters are temporarily replaced by the dense
+    /// expansion of `knowledge` (retained weights keep their value,
+    /// pruned ones are zero) to produce the pseudo-label distribution;
+    /// the gradient is then taken at the *current* weights against that
+    /// distribution. Parameters and gradient buffers are restored on
+    /// exit.
+    pub fn restore(&self, model: &mut Model, knowledge: &SparseVec, x: &Tensor) -> Vec<f32> {
+        let current = model.flat_params();
+        assert_eq!(knowledge.dense_len(), current.len(), "knowledge/model size mismatch");
+        // Pseudo-labels from the pruned snapshot (eval mode: no caches,
+        // running BN statistics).
+        model.set_flat_params(&knowledge.to_dense());
+        let teacher_logits = model.forward(x.clone(), false);
+        let target = teacher_logits.softmax_rows();
+        // Gradient of the live model against the pseudo-labels.
+        model.set_flat_params(&current);
+        model.zero_grad();
+        let logits = model.forward(x.clone(), true);
+        let (_, grad) = soft_cross_entropy(&logits, &target);
+        model.backward(grad);
+        let restored = model.flat_grads();
+        model.zero_grad();
+        restored
+    }
+
+    /// Restore gradients for every knowledge entry and rank them: returns
+    /// the indices of the `k` tasks whose restored gradients are most
+    /// dissimilar from `current_grad` (the signature tasks, §III-C).
+    pub fn select_signature_tasks(
+        &self,
+        model: &mut Model,
+        knowledges: &[SparseVec],
+        x: &Tensor,
+        current_grad: &[f32],
+        k: usize,
+        metric: DistanceMetric,
+    ) -> Vec<usize> {
+        if knowledges.is_empty() || k == 0 {
+            return Vec::new();
+        }
+        let candidates: Vec<Vec<f32>> =
+            knowledges.iter().map(|w| self.restore(model, w, x)).collect();
+        most_dissimilar(metric, current_grad, &candidates, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedknow_math::rng::{normal_vec, seeded};
+    use fedknow_nn::ModelKind;
+
+    fn model_and_batch() -> (Model, Tensor) {
+        let mut rng = seeded(1);
+        let model = ModelKind::SixCnn.build(&mut rng, 3, 10, 1.0);
+        let x = Tensor::from_vec(normal_vec(&mut rng, 4 * 3 * 8 * 8, 0.0, 1.0), &[4, 3, 8, 8]);
+        (model, x)
+    }
+
+    #[test]
+    fn restore_leaves_model_untouched() {
+        let (mut model, x) = model_and_batch();
+        let before = model.flat_params();
+        let knowledge = SparseVec::top_fraction_by_magnitude(&before, 0.1);
+        let g = GradientRestorer.restore(&mut model, &knowledge, &x);
+        assert_eq!(model.flat_params(), before, "restore must not mutate parameters");
+        assert!(model.flat_grads().iter().all(|&v| v == 0.0), "grad buffers must be cleared");
+        assert_eq!(g.len(), before.len());
+    }
+
+    #[test]
+    fn full_knowledge_restores_near_zero_gradient() {
+        // If the knowledge is the *entire* model, teacher and student
+        // agree (up to BN train/eval differences in deeper nets; SixCnn
+        // has no BN), so the distillation gradient is ~zero.
+        let (mut model, x) = model_and_batch();
+        let params = model.flat_params();
+        let knowledge = SparseVec::top_fraction_by_magnitude(&params, 1.0);
+        let g = GradientRestorer.restore(&mut model, &knowledge, &x);
+        let norm: f32 = g.iter().map(|v| v * v).sum::<f32>().sqrt();
+        assert!(norm < 1e-3, "self-distillation gradient should vanish, got {norm}");
+    }
+
+    #[test]
+    fn partial_knowledge_restores_nonzero_gradient() {
+        let (mut model, x) = model_and_batch();
+        let params = model.flat_params();
+        let knowledge = SparseVec::top_fraction_by_magnitude(&params, 0.05);
+        let g = GradientRestorer.restore(&mut model, &knowledge, &x);
+        let norm: f32 = g.iter().map(|v| v * v).sum::<f32>().sqrt();
+        assert!(norm > 1e-4, "pruned teacher should disagree, got {norm}");
+    }
+
+    #[test]
+    fn selection_returns_k_distinct_indices() {
+        let (mut model, x) = model_and_batch();
+        let params = model.flat_params();
+        let knowledges: Vec<SparseVec> = (1..=4)
+            .map(|i| SparseVec::top_fraction_by_magnitude(&params, 0.02 * i as f64))
+            .collect();
+        let current = vec![0.01f32; params.len()];
+        let sel = GradientRestorer.select_signature_tasks(
+            &mut model,
+            &knowledges,
+            &x,
+            &current,
+            2,
+            DistanceMetric::Wasserstein,
+        );
+        assert_eq!(sel.len(), 2);
+        assert_ne!(sel[0], sel[1]);
+        assert!(sel.iter().all(|&i| i < 4));
+    }
+
+    #[test]
+    fn selection_handles_empty_and_oversized_k() {
+        let (mut model, x) = model_and_batch();
+        let current = vec![0.0f32; model.param_count()];
+        let none = GradientRestorer.select_signature_tasks(
+            &mut model,
+            &[],
+            &x,
+            &current,
+            5,
+            DistanceMetric::Cosine,
+        );
+        assert!(none.is_empty());
+        let params = model.flat_params();
+        let ks = vec![SparseVec::top_fraction_by_magnitude(&params, 0.1)];
+        let sel = GradientRestorer.select_signature_tasks(
+            &mut model,
+            &ks,
+            &x,
+            &current,
+            5,
+            DistanceMetric::Cosine,
+        );
+        assert_eq!(sel, vec![0]);
+    }
+}

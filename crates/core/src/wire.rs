@@ -1,0 +1,201 @@
+//! Binary wire format for signature-task knowledge.
+//!
+//! On a real deployment a client persists its knowledge across restarts
+//! and could migrate it between devices; the format here is what the
+//! byte-accounting in the communication model corresponds to: a small
+//! fixed header, then delta-encoded `u32` indices and raw `f32` values.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! magic  "FKNW"            4 bytes
+//! version u16              2 bytes
+//! task_id u32              4 bytes
+//! dense_len u32            4 bytes
+//! nnz     u32              4 bytes
+//! indices u32 × nnz        (delta-encoded: first absolute, rest gaps)
+//! values  f32 × nnz
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use fedknow_math::SparseVec;
+
+/// Format magic.
+const MAGIC: &[u8; 4] = b"FKNW";
+/// Current format version.
+const VERSION: u16 = 1;
+
+/// Errors decoding a knowledge blob.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Blob too short for the section being read.
+    Truncated,
+    /// Magic bytes did not match.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u16),
+    /// Index stream was not strictly increasing or ran out of bounds.
+    CorruptIndices,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "knowledge blob truncated"),
+            WireError::BadMagic => write!(f, "not a FedKNOW knowledge blob"),
+            WireError::BadVersion(v) => write!(f, "unsupported knowledge format version {v}"),
+            WireError::CorruptIndices => write!(f, "corrupt index stream"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Serialise a task's knowledge.
+pub fn encode_knowledge(task_id: u32, knowledge: &SparseVec) -> Bytes {
+    let nnz = knowledge.nnz();
+    let mut buf = BytesMut::with_capacity(18 + 8 * nnz);
+    buf.put_slice(MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_u32_le(task_id);
+    buf.put_u32_le(knowledge.dense_len() as u32);
+    buf.put_u32_le(nnz as u32);
+    let mut prev = 0u32;
+    for (i, &idx) in knowledge.indices().iter().enumerate() {
+        let delta = if i == 0 { idx } else { idx - prev };
+        buf.put_u32_le(delta);
+        prev = idx;
+    }
+    for &v in knowledge.values() {
+        buf.put_f32_le(v);
+    }
+    buf.freeze()
+}
+
+/// Deserialise a knowledge blob; returns `(task_id, knowledge)`.
+pub fn decode_knowledge(mut blob: &[u8]) -> Result<(u32, SparseVec), WireError> {
+    if blob.remaining() < 18 {
+        return Err(WireError::Truncated);
+    }
+    let mut magic = [0u8; 4];
+    blob.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    let version = blob.get_u16_le();
+    if version != VERSION {
+        return Err(WireError::BadVersion(version));
+    }
+    let task_id = blob.get_u32_le();
+    let dense_len = blob.get_u32_le() as usize;
+    let nnz = blob.get_u32_le() as usize;
+    if blob.remaining() < 8 * nnz {
+        return Err(WireError::Truncated);
+    }
+    let mut indices = Vec::with_capacity(nnz);
+    let mut prev = 0u32;
+    for i in 0..nnz {
+        let delta = blob.get_u32_le();
+        let idx = if i == 0 {
+            delta
+        } else {
+            prev.checked_add(delta).ok_or(WireError::CorruptIndices)?
+        };
+        if i > 0 && delta == 0 {
+            return Err(WireError::CorruptIndices);
+        }
+        if idx as usize >= dense_len {
+            return Err(WireError::CorruptIndices);
+        }
+        indices.push(idx);
+        prev = idx;
+    }
+    let mut values = Vec::with_capacity(nnz);
+    for _ in 0..nnz {
+        values.push(blob.get_f32_le());
+    }
+    Ok((task_id, SparseVec::new(dense_len, indices, values)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SparseVec {
+        SparseVec::new(100, vec![0, 7, 42, 99], vec![1.5, -2.25, 0.0, 3.75])
+    }
+
+    #[test]
+    fn roundtrip() {
+        let k = sample();
+        let blob = encode_knowledge(5, &k);
+        let (task, back) = decode_knowledge(&blob).unwrap();
+        assert_eq!(task, 5);
+        assert_eq!(back, k);
+    }
+
+    #[test]
+    fn size_matches_header_plus_payload() {
+        let k = sample();
+        let blob = encode_knowledge(0, &k);
+        assert_eq!(blob.len(), 18 + 8 * k.nnz());
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let k = sample();
+        let mut blob = encode_knowledge(0, &k).to_vec();
+        blob[0] = b'X';
+        assert_eq!(decode_knowledge(&blob).unwrap_err(), WireError::BadMagic);
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let k = sample();
+        let mut blob = encode_knowledge(0, &k).to_vec();
+        blob[4] = 99;
+        assert!(matches!(decode_knowledge(&blob).unwrap_err(), WireError::BadVersion(_)));
+    }
+
+    #[test]
+    fn rejects_truncation_everywhere() {
+        let k = sample();
+        let blob = encode_knowledge(0, &k).to_vec();
+        for cut in [0, 3, 17, blob.len() - 1] {
+            assert_eq!(
+                decode_knowledge(&blob[..cut]).unwrap_err(),
+                WireError::Truncated,
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_bounds_indices() {
+        // Hand-craft a blob whose index exceeds dense_len.
+        let k = SparseVec::new(100, vec![99], vec![1.0]);
+        let mut blob = encode_knowledge(0, &k).to_vec();
+        // Bump the delta-encoded first index past dense_len (offset 18).
+        blob[18] = 200;
+        assert_eq!(decode_knowledge(&blob).unwrap_err(), WireError::CorruptIndices);
+    }
+
+    #[test]
+    fn empty_knowledge_roundtrips() {
+        let k = SparseVec::new(10, vec![], vec![]);
+        let blob = encode_knowledge(7, &k);
+        let (task, back) = decode_knowledge(&blob).unwrap();
+        assert_eq!(task, 7);
+        assert_eq!(back.nnz(), 0);
+        assert_eq!(back.dense_len(), 10);
+    }
+
+    #[test]
+    fn delta_encoding_is_compact_and_exact() {
+        // Dense run of indices → deltas of 1.
+        let k = SparseVec::new(1000, (10..20).collect(), vec![0.5; 10]);
+        let blob = encode_knowledge(1, &k);
+        let (_, back) = decode_knowledge(&blob).unwrap();
+        assert_eq!(back.indices(), k.indices());
+    }
+}

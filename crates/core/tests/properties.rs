@@ -1,0 +1,108 @@
+//! Property-based tests for the FedKNOW components.
+
+use fedknow::wire::{decode_knowledge, encode_knowledge};
+use fedknow::{ExtractionStrategy, GradientIntegrator, GradientRestorer, KnowledgeExtractor};
+use fedknow_math::rng::seeded;
+use fedknow_math::{SparseVec, Tensor};
+use fedknow_nn::ModelKind;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The wire format round-trips arbitrary sparse knowledge exactly.
+    #[test]
+    fn wire_roundtrip(
+        task_id in 0u32..10_000,
+        dense_len in 1usize..500,
+        entries in prop::collection::vec((any::<u16>(), -100.0f32..100.0), 0..64),
+    ) {
+        // Build a valid strictly-increasing index set within bounds.
+        let mut idx: Vec<u32> =
+            entries.iter().map(|(i, _)| (*i as u32) % dense_len as u32).collect();
+        idx.sort_unstable();
+        idx.dedup();
+        let values: Vec<f32> = entries.iter().take(idx.len()).map(|(_, v)| *v).collect();
+        let k = SparseVec::new(dense_len, idx, values);
+        let blob = encode_knowledge(task_id, &k);
+        let (t, back) = decode_knowledge(&blob).unwrap();
+        prop_assert_eq!(t, task_id);
+        prop_assert_eq!(back, k);
+    }
+
+    /// Truncating a valid blob anywhere must error, never panic or
+    /// return garbage.
+    #[test]
+    fn wire_truncation_always_errors(cut_frac in 0.0f64..0.999) {
+        let k = SparseVec::new(50, vec![1, 5, 30], vec![1.0, -2.0, 3.0]);
+        let blob = encode_knowledge(3, &k);
+        let cut = ((blob.len() as f64) * cut_frac) as usize;
+        prop_assert!(decode_knowledge(&blob[..cut]).is_err());
+    }
+
+    /// The integrated gradient never conflicts with any constraint, for
+    /// random gradients of realistic dimensionality.
+    #[test]
+    fn integrator_never_conflicts(
+        seed in 0u64..10_000, k in 1usize..6
+    ) {
+        let mut rng = seeded(seed);
+        let dim = 64;
+        let g = fedknow_math::rng::normal_vec(&mut rng, dim, 0.0, 1.0);
+        let cons: Vec<Vec<f32>> = (0..k)
+            .map(|_| fedknow_math::rng::normal_vec(&mut rng, dim, 0.0, 1.0))
+            .collect();
+        let out = GradientIntegrator::new(0.0).integrate(&g, &cons);
+        for c in &cons {
+            let d: f64 = c.iter().zip(&out).map(|(&a, &b)| a as f64 * b as f64).sum();
+            prop_assert!(d >= -1e-3, "conflict {d}");
+        }
+    }
+
+    /// Every extraction strategy keeps a fraction of weights in a sane
+    /// band around ρ and never invents indices.
+    #[test]
+    fn extraction_fraction_band(
+        rho in 0.05f64..0.4,
+        strategy_pick in 0usize..3,
+    ) {
+        let strategy = [
+            ExtractionStrategy::Magnitude,
+            ExtractionStrategy::FilterL1,
+            ExtractionStrategy::FilterL2,
+        ][strategy_pick];
+        let mut rng = seeded(7);
+        let mut model = ModelKind::SixCnn.build(&mut rng, 3, 10, 1.0);
+        let params = model.flat_params();
+        let layout = model.layout().to_vec();
+        let ex = KnowledgeExtractor::with_strategy(rho, 0, strategy);
+        let k = ex.extract_structured(&params, &layout);
+        prop_assert_eq!(k.dense_len(), params.len());
+        let frac = k.nnz() as f64 / params.len() as f64;
+        prop_assert!(
+            frac > rho * 0.4 && frac < rho * 2.5 + 0.02,
+            "{:?} at rho {} kept {}", strategy, rho, frac
+        );
+        // Stored values must mirror the parameter vector.
+        for (&i, &v) in k.indices().iter().zip(k.values()) {
+            prop_assert_eq!(v, params[i as usize]);
+        }
+    }
+
+    /// Gradient restoration is side-effect free for arbitrary knowledge.
+    #[test]
+    fn restore_is_pure(rho in 0.02f64..0.5, seed in 0u64..100) {
+        let mut rng = seeded(seed);
+        let mut model = ModelKind::SixCnn.build(&mut rng, 3, 10, 1.0);
+        let params = model.flat_params();
+        let k = SparseVec::top_fraction_by_magnitude(&params, rho);
+        let x = Tensor::from_vec(
+            fedknow_math::rng::normal_vec(&mut rng, 2 * 3 * 8 * 8, 0.0, 1.0),
+            &[2, 3, 8, 8],
+        );
+        let g = GradientRestorer.restore(&mut model, &k, &x);
+        prop_assert_eq!(g.len(), params.len());
+        prop_assert_eq!(model.flat_params(), params);
+        prop_assert!(g.iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,226 @@
+//! FedRep-style non-IID federated partitioning (paper §V-A).
+//!
+//! "Each client has all tasks of a dataset and its distinct task
+//! sequence. To guarantee the data heterogeneity (non-IID) among
+//! different clients, we randomly allocate 2 to 5 of each task's classes
+//! to each client. For each class, we randomly select 5 % to 10 % of the
+//! training samples."
+//!
+//! On top of the class/sample allocation, every selected sample gets the
+//! client's deterministic feature shift so clients differ in input
+//! distribution as well as label distribution.
+
+use crate::generate::{apply_client_shift, ContinualDataset, Sample};
+use fedknow_math::rng::{sample_indices, shuffle, substream};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the non-IID split.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PartitionConfig {
+    /// Minimum classes of each task allocated to a client.
+    pub min_classes: usize,
+    /// Maximum classes of each task allocated to a client.
+    pub max_classes: usize,
+    /// Minimum fraction of a class's training samples given to a client.
+    pub min_frac: f64,
+    /// Maximum fraction of a class's training samples given to a client.
+    pub max_frac: f64,
+    /// Whether to apply the per-client feature shift.
+    pub feature_shift: bool,
+}
+
+impl Default for PartitionConfig {
+    /// The paper's setting: 2–5 classes, 5–10 % of samples, with feature
+    /// shift on.
+    fn default() -> Self {
+        Self { min_classes: 2, max_classes: 5, min_frac: 0.05, max_frac: 0.10, feature_shift: true }
+    }
+}
+
+/// One client's view of one task.
+#[derive(Debug, Clone)]
+pub struct ClientTask {
+    /// Task id in the dataset's canonical numbering.
+    pub task_id: usize,
+    /// The classes allocated to this client for this task.
+    pub classes: Vec<usize>,
+    /// Training samples (feature-shifted when configured).
+    pub train: Vec<Sample>,
+    /// Test samples for the allocated classes (feature-shifted when
+    /// configured).
+    pub test: Vec<Sample>,
+}
+
+/// One client's full task sequence, in the order the client learns them.
+#[derive(Debug, Clone)]
+pub struct ClientDataset {
+    /// Client index.
+    pub client_id: usize,
+    /// Tasks in this client's (permuted) learning order.
+    pub tasks: Vec<ClientTask>,
+}
+
+/// Split a dataset across `num_clients` clients. Deterministic in
+/// `(dataset, num_clients, cfg, seed)`.
+pub fn partition(
+    dataset: &ContinualDataset,
+    num_clients: usize,
+    cfg: &PartitionConfig,
+    seed: u64,
+) -> Vec<ClientDataset> {
+    assert!(num_clients >= 1);
+    assert!(cfg.min_classes >= 1 && cfg.min_classes <= cfg.max_classes);
+    assert!(cfg.min_frac > 0.0 && cfg.min_frac <= cfg.max_frac && cfg.max_frac <= 1.0);
+    let spec = &dataset.spec;
+    (0..num_clients)
+        .map(|client| {
+            let mut rng = substream(seed, 0xC0_0000 + client as u64);
+            // Distinct task sequence per client.
+            let mut order: Vec<usize> = (0..dataset.tasks.len()).collect();
+            shuffle(&mut rng, &mut order);
+            let tasks = order
+                .iter()
+                .map(|&tid| {
+                    let task = &dataset.tasks[tid];
+                    let k = rng
+                        .gen_range(cfg.min_classes..=cfg.max_classes.min(task.classes.len()));
+                    let class_idx = sample_indices(&mut rng, task.classes.len(), k);
+                    let classes: Vec<usize> =
+                        class_idx.iter().map(|&i| task.classes[i]).collect();
+                    let mut train = Vec::new();
+                    for &c in &classes {
+                        let pool: Vec<&Sample> =
+                            task.train.iter().filter(|s| s.label == c).collect();
+                        let frac = rng.gen_range(cfg.min_frac..=cfg.max_frac);
+                        let take = ((pool.len() as f64 * frac).round() as usize).max(1);
+                        for i in sample_indices(&mut rng, pool.len(), take) {
+                            train.push(pool[i].clone());
+                        }
+                    }
+                    let mut test: Vec<Sample> = task
+                        .test
+                        .iter()
+                        .filter(|s| classes.contains(&s.label))
+                        .cloned()
+                        .collect();
+                    if cfg.feature_shift {
+                        for s in train.iter_mut().chain(test.iter_mut()) {
+                            apply_client_shift(spec, seed, client as u64, &mut s.x);
+                        }
+                    }
+                    ClientTask { task_id: tid, classes, train, test }
+                })
+                .collect();
+            ClientDataset { client_id: client, tasks }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::generate;
+    use crate::spec::DatasetSpec;
+
+    fn dataset() -> ContinualDataset {
+        generate(&DatasetSpec::cifar100().scaled(0.5, 8).with_tasks(3), 11)
+    }
+
+    #[test]
+    fn partition_is_deterministic() {
+        let d = dataset();
+        let a = partition(&d, 4, &PartitionConfig::default(), 9);
+        let b = partition(&d, 4, &PartitionConfig::default(), 9);
+        assert_eq!(a[2].tasks[1].classes, b[2].tasks[1].classes);
+        assert_eq!(a[2].tasks[1].train[0].x, b[2].tasks[1].train[0].x);
+    }
+
+    #[test]
+    fn every_client_sees_every_task_once() {
+        let d = dataset();
+        let parts = partition(&d, 5, &PartitionConfig::default(), 1);
+        for p in &parts {
+            let mut ids: Vec<usize> = p.tasks.iter().map(|t| t.task_id).collect();
+            ids.sort_unstable();
+            assert_eq!(ids, vec![0, 1, 2]);
+        }
+    }
+
+    #[test]
+    fn task_orders_differ_across_clients() {
+        let d = dataset();
+        let parts = partition(&d, 8, &PartitionConfig::default(), 1);
+        let orders: Vec<Vec<usize>> =
+            parts.iter().map(|p| p.tasks.iter().map(|t| t.task_id).collect()).collect();
+        assert!(
+            orders.iter().any(|o| o != &orders[0]),
+            "all 8 clients got the same task order"
+        );
+    }
+
+    #[test]
+    fn class_counts_in_paper_range() {
+        let d = dataset();
+        let parts = partition(&d, 6, &PartitionConfig::default(), 2);
+        for p in &parts {
+            for t in &p.tasks {
+                assert!((2..=5).contains(&t.classes.len()), "{} classes", t.classes.len());
+                for s in &t.train {
+                    assert!(t.classes.contains(&s.label));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sample_fraction_in_paper_range() {
+        let d = dataset();
+        let per_class = d.spec.train_per_class;
+        let parts = partition(&d, 6, &PartitionConfig::default(), 3);
+        for p in &parts {
+            for t in &p.tasks {
+                for &c in &t.classes {
+                    let n = t.train.iter().filter(|s| s.label == c).count();
+                    let frac = n as f64 / per_class as f64;
+                    // round() on 5–10 % of a small pool, floor 1 sample.
+                    assert!(
+                        n >= 1 && frac <= 0.15,
+                        "class {c}: {n}/{per_class} = {frac}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clients_differ_in_allocation() {
+        let d = dataset();
+        let parts = partition(&d, 4, &PartitionConfig::default(), 4);
+        let sig: Vec<Vec<usize>> = parts
+            .iter()
+            .map(|p| {
+                let mut t: Vec<&ClientTask> = p.tasks.iter().collect();
+                t.sort_by_key(|ct| ct.task_id);
+                t.iter().flat_map(|ct| ct.classes.clone()).collect()
+            })
+            .collect();
+        assert!(sig.iter().any(|s| s != &sig[0]), "all clients got identical classes");
+    }
+
+    #[test]
+    fn feature_shift_off_keeps_samples_verbatim() {
+        let d = dataset();
+        let cfg = PartitionConfig { feature_shift: false, ..Default::default() };
+        let parts = partition(&d, 2, &cfg, 5);
+        let t = &parts[0].tasks[0];
+        let orig = &d.tasks[t.task_id];
+        // Every client training sample must exist verbatim in the pool.
+        for s in &t.train {
+            assert!(
+                orig.train.iter().any(|o| o.label == s.label && o.x == s.x),
+                "shifted sample found despite feature_shift = false"
+            );
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Property-based tests for dataset generation and non-IID partitioning.
+
+use fedknow_data::{generate::generate, partition, DatasetSpec, PartitionConfig};
+use proptest::prelude::*;
+
+fn small_spec(tasks: usize, cpt: usize) -> DatasetSpec {
+    let mut s = DatasetSpec::cifar100().scaled(0.2, 8);
+    s.num_tasks = tasks;
+    s.classes_per_task = cpt;
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every sample's label belongs to its task's class set; tasks'
+    /// classes are disjoint; counts match the spec.
+    #[test]
+    fn generated_dataset_invariants(
+        tasks in 1usize..4, cpt in 5usize..8, seed in 0u64..1000
+    ) {
+        let spec = small_spec(tasks, cpt);
+        let d = generate(&spec, seed);
+        prop_assert_eq!(d.tasks.len(), tasks);
+        let mut seen = std::collections::HashSet::new();
+        for t in &d.tasks {
+            prop_assert_eq!(t.classes.len(), cpt);
+            for &c in &t.classes {
+                prop_assert!(seen.insert(c), "class {} appears in two tasks", c);
+            }
+            prop_assert_eq!(t.train.len(), cpt * spec.train_per_class);
+            for s in t.train.iter().chain(&t.test) {
+                prop_assert!(t.classes.contains(&s.label));
+                prop_assert_eq!(s.x.len(), spec.image_len());
+                prop_assert!(s.x.iter().all(|v| v.is_finite()));
+            }
+        }
+    }
+
+    /// Partitioning respects class-count bounds and sample provenance for
+    /// every client count and seed.
+    #[test]
+    fn partition_invariants(
+        clients in 1usize..6, seed in 0u64..1000, shift in any::<bool>()
+    ) {
+        let spec = small_spec(2, 6);
+        let d = generate(&spec, 5);
+        let cfg = PartitionConfig { feature_shift: shift, ..Default::default() };
+        let parts = partition(&d, clients, &cfg, seed);
+        prop_assert_eq!(parts.len(), clients);
+        for p in &parts {
+            // Each client sees every task exactly once.
+            let mut ids: Vec<usize> = p.tasks.iter().map(|t| t.task_id).collect();
+            ids.sort_unstable();
+            prop_assert_eq!(ids, (0..2).collect::<Vec<_>>());
+            for t in &p.tasks {
+                prop_assert!((2..=5).contains(&t.classes.len()));
+                let source = &d.tasks[t.task_id];
+                for &c in &t.classes {
+                    prop_assert!(source.classes.contains(&c));
+                    // At least one training sample per allocated class.
+                    prop_assert!(t.train.iter().any(|s| s.label == c));
+                }
+                // Test samples exactly cover the allocated classes.
+                for s in &t.test {
+                    prop_assert!(t.classes.contains(&s.label));
+                }
+            }
+        }
+    }
+
+    /// Same seed → identical partition; different seed → different
+    /// allocation somewhere (with overwhelming probability).
+    #[test]
+    fn partition_seed_sensitivity(seed in 0u64..500) {
+        let spec = small_spec(2, 6);
+        let d = generate(&spec, 5);
+        let cfg = PartitionConfig::default();
+        let a = partition(&d, 3, &cfg, seed);
+        let b = partition(&d, 3, &cfg, seed);
+        for (pa, pb) in a.iter().zip(&b) {
+            for (ta, tb) in pa.tasks.iter().zip(&pb.tasks) {
+                prop_assert_eq!(&ta.classes, &tb.classes);
+            }
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Network/bandwidth model — the physical-network substitute.
+//!
+//! Communication time is bytes-on-wire divided by per-client bandwidth,
+//! which is exactly what the paper varies in Figures 5–6 (default
+//! 1 MB/s, sweep 50 KB/s – 10 MB/s).
+
+use serde::{Deserialize, Serialize};
+
+/// Per-client link model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CommModel {
+    /// Link bandwidth in bytes per second (same up and down, as in the
+    /// paper's bandwidth-limit experiments).
+    pub bandwidth_bytes_per_sec: f64,
+}
+
+impl CommModel {
+    /// The paper's default limit of 1 MB/s (§V-C).
+    pub fn paper_default() -> Self {
+        Self { bandwidth_bytes_per_sec: 1_000_000.0 }
+    }
+
+    /// Arbitrary bandwidth in KB/s (the unit of the Figure 6 sweep).
+    pub fn kb_per_sec(kb: f64) -> Self {
+        Self { bandwidth_bytes_per_sec: kb * 1000.0 }
+    }
+
+    /// The Figure 6 sweep: 50 KB/s to 10 MB/s over 8 points.
+    pub fn fig6_sweep() -> Vec<CommModel> {
+        [50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0]
+            .into_iter()
+            .map(Self::kb_per_sec)
+            .collect()
+    }
+
+    /// Seconds to transfer `bytes` over this link.
+    pub fn transfer_seconds(&self, bytes: u64) -> f64 {
+        bytes as f64 / self.bandwidth_bytes_per_sec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_one_megabyte_per_second() {
+        let c = CommModel::paper_default();
+        assert!((c.transfer_seconds(1_000_000) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sweep_has_eight_increasing_points() {
+        let sweep = CommModel::fig6_sweep();
+        assert_eq!(sweep.len(), 8);
+        for w in sweep.windows(2) {
+            assert!(w[0].bandwidth_bytes_per_sec < w[1].bandwidth_bytes_per_sec);
+        }
+        assert_eq!(sweep[0].bandwidth_bytes_per_sec, 50_000.0);
+        assert_eq!(sweep[7].bandwidth_bytes_per_sec, 10_000_000.0);
+    }
+
+    #[test]
+    fn slower_links_take_longer() {
+        let slow = CommModel::kb_per_sec(50.0);
+        let fast = CommModel::kb_per_sec(10_000.0);
+        assert!(slow.transfer_seconds(1 << 20) > fast.transfer_seconds(1 << 20));
+    }
+}

@@ -1,0 +1,195 @@
+//! Edge-device profiles — the testbed substitute.
+//!
+//! The paper's testbed is 20 Jetson devices (2 AGX, 2 TX2, 8 Xavier NX,
+//! 8 Nano), extended with 10 Raspberry Pis (1×2 GB, 5×4 GB, 4×8 GB) for
+//! the heterogeneity study. We model each device by an effective DNN
+//! training throughput (FLOPs/s) and a memory budget for retained
+//! continual-learning state. Throughputs are set so the *ratios* match
+//! the paper's observations (Raspberry Pis slow training by ≈12×,
+//! §V-B); absolute values only scale the time axis uniformly.
+
+use serde::{Deserialize, Serialize};
+
+/// One edge device's compute/memory profile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceProfile {
+    /// Device name for reports.
+    pub name: String,
+    /// Effective training throughput in FLOPs/second.
+    pub flops_per_sec: f64,
+    /// Memory budget available for retained continual-learning state
+    /// (knowledge, rehearsal buffers, adaptive weights), in bytes.
+    ///
+    /// This is deliberately much smaller than the device RAM: activations,
+    /// the framework, and the OS consume the rest. The scale is calibrated
+    /// so the paper's observation — FedWEIT exhausting a 2 GB Raspberry Pi
+    /// after 7 tasks of 20-client knowledge — reproduces (§V-B).
+    pub retained_budget_bytes: u64,
+}
+
+/// Bytes of retained-state budget granted per GB of device RAM.
+/// Calibrated against the paper's §V-B observation: FedWEIT retains
+/// ~10 % adaptive weights per (client × task) of a ~95k-parameter model
+/// (≈76 kB each); with 20 clients that is ≈1.5 MB per task, so a 2 GB
+/// Raspberry Pi (10 MiB budget) is exhausted around task 7 while 4/8 GB
+/// devices survive the 10-task stream. See
+/// `calibration_tests::fedweit_knowledge_ooms_2gb_rpi_around_task_seven`.
+pub const RETAINED_BUDGET_PER_GB: u64 = 5 * 1024 * 1024;
+
+impl DeviceProfile {
+    fn new(name: &str, flops_per_sec: f64, mem_gb: u64) -> Self {
+        Self {
+            name: name.to_string(),
+            flops_per_sec,
+            retained_budget_bytes: mem_gb * RETAINED_BUDGET_PER_GB,
+        }
+    }
+
+    /// Jetson AGX: 512-core Volta, 32 GB.
+    pub fn jetson_agx() -> Self {
+        Self::new("jetson-agx", 1.0e12, 32)
+    }
+
+    /// Jetson Xavier NX: 384-core Volta, 16 GB.
+    pub fn jetson_nx() -> Self {
+        Self::new("jetson-nx", 6.0e11, 16)
+    }
+
+    /// Jetson TX2: 256-core Pascal, 8 GB.
+    pub fn jetson_tx2() -> Self {
+        Self::new("jetson-tx2", 2.5e11, 8)
+    }
+
+    /// Jetson Nano: 128-core Maxwell, 4 GB.
+    pub fn jetson_nano() -> Self {
+        Self::new("jetson-nano", 1.0e11, 4)
+    }
+
+    /// Raspberry Pi 4B (CPU only) with the given RAM size.
+    pub fn raspberry_pi(mem_gb: u64) -> Self {
+        Self::new(&format!("rpi-{mem_gb}gb"), 2.4e10, mem_gb)
+    }
+
+    /// The paper's 20-device Jetson cluster: 2 AGX, 2 TX2, 8 NX, 8 Nano
+    /// (§V-B).
+    pub fn jetson_cluster() -> Vec<DeviceProfile> {
+        let mut v = Vec::with_capacity(20);
+        v.extend(std::iter::repeat_with(Self::jetson_agx).take(2));
+        v.extend(std::iter::repeat_with(Self::jetson_tx2).take(2));
+        v.extend(std::iter::repeat_with(Self::jetson_nx).take(8));
+        v.extend(std::iter::repeat_with(Self::jetson_nano).take(8));
+        v
+    }
+
+    /// The heterogeneous 30-device cluster: the Jetson cluster plus
+    /// 10 Raspberry Pis (1×2 GB, 5×4 GB, 4×8 GB).
+    pub fn heterogeneous_cluster() -> Vec<DeviceProfile> {
+        let mut v = Self::jetson_cluster();
+        v.push(Self::raspberry_pi(2));
+        v.extend(std::iter::repeat_with(|| Self::raspberry_pi(4)).take(5));
+        v.extend(std::iter::repeat_with(|| Self::raspberry_pi(8)).take(4));
+        v
+    }
+
+    /// A uniform cluster of `n` mid-range devices (used for the 50/100
+    /// client scalability study, where the paper does not enumerate
+    /// hardware).
+    pub fn uniform_cluster(n: usize) -> Vec<DeviceProfile> {
+        std::iter::repeat_with(Self::jetson_nx).take(n).collect()
+    }
+
+    /// Seconds this device needs for `flops` of training work.
+    pub fn compute_seconds(&self, flops: u64) -> f64 {
+        flops as f64 / self.flops_per_sec
+    }
+
+    /// Whether retaining `bytes` of continual-learning state exceeds this
+    /// device's budget (→ the client drops out, like the 2 GB RPi in the
+    /// paper).
+    pub fn would_oom(&self, bytes: u64) -> bool {
+        bytes > self.retained_budget_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jetson_cluster_composition_matches_paper() {
+        let c = DeviceProfile::jetson_cluster();
+        assert_eq!(c.len(), 20);
+        let count = |n: &str| c.iter().filter(|d| d.name == n).count();
+        assert_eq!(count("jetson-agx"), 2);
+        assert_eq!(count("jetson-tx2"), 2);
+        assert_eq!(count("jetson-nx"), 8);
+        assert_eq!(count("jetson-nano"), 8);
+    }
+
+    #[test]
+    fn heterogeneous_cluster_adds_ten_rpis() {
+        let c = DeviceProfile::heterogeneous_cluster();
+        assert_eq!(c.len(), 30);
+        assert_eq!(c.iter().filter(|d| d.name.starts_with("rpi")).count(), 10);
+        assert_eq!(c.iter().filter(|d| d.name == "rpi-2gb").count(), 1);
+        assert_eq!(c.iter().filter(|d| d.name == "rpi-4gb").count(), 5);
+        assert_eq!(c.iter().filter(|d| d.name == "rpi-8gb").count(), 4);
+    }
+
+    #[test]
+    fn rpi_is_roughly_12x_slower_than_jetson_average() {
+        let jetsons = DeviceProfile::jetson_cluster();
+        let avg: f64 =
+            jetsons.iter().map(|d| d.flops_per_sec).sum::<f64>() / jetsons.len() as f64;
+        let ratio = avg / DeviceProfile::raspberry_pi(4).flops_per_sec;
+        assert!((8.0..20.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn compute_seconds_scales_inversely_with_throughput() {
+        let fast = DeviceProfile::jetson_agx();
+        let slow = DeviceProfile::jetson_nano();
+        assert!(slow.compute_seconds(1_000_000) > fast.compute_seconds(1_000_000));
+    }
+
+    #[test]
+    fn oom_thresholds_by_memory() {
+        let small = DeviceProfile::raspberry_pi(2);
+        let big = DeviceProfile::raspberry_pi(8);
+        let load = 3 * RETAINED_BUDGET_PER_GB;
+        assert!(small.would_oom(load));
+        assert!(!big.would_oom(load));
+    }
+}
+
+#[cfg(test)]
+mod calibration_tests {
+    use super::*;
+
+    /// The paper-scale calibration behind `RETAINED_BUDGET_PER_GB`: with
+    /// 20 clients each publishing ~10 % adaptive weights of a ~95k-param
+    /// model per task, a 2 GB Raspberry Pi's budget is exhausted around
+    /// task 7 (the paper's §V-B observation), while an 8 GB device
+    /// survives the full 10-task stream.
+    #[test]
+    fn fedweit_knowledge_ooms_2gb_rpi_around_task_seven() {
+        let params = 95_000u64; // ResNet-18 at the default width
+        let adaptive_bytes = params / 10 * 8; // 10 % × (4B index + 4B value)
+        let clients = 20u64;
+        let rpi2 = DeviceProfile::raspberry_pi(2);
+        let rpi8 = DeviceProfile::raspberry_pi(8);
+        let mut oom_task = None;
+        for task in 1..=10u64 {
+            let retained = clients * task * adaptive_bytes;
+            if oom_task.is_none() && rpi2.would_oom(retained) {
+                oom_task = Some(task);
+            }
+            assert!(!rpi8.would_oom(retained), "8 GB device must survive task {task}");
+        }
+        let t = oom_task.expect("2 GB device never OOMed");
+        assert!(
+            (5..=9).contains(&t),
+            "2 GB OOM at task {t}, expected around the paper's task 7"
+        );
+    }
+}

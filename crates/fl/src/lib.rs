@@ -1,0 +1,37 @@
+//! Federated continual learning simulation engine.
+//!
+//! This crate is the testbed stand-in: where the paper runs 20–100
+//! physical Jetson/Raspberry-Pi clients against a central server over a
+//! real network, we run the same round structure in-process with
+//! byte-accurate communication accounting and a FLOP-based device clock.
+//!
+//! * [`client::FclClient`] — the interface every method (FedKNOW and all
+//!   11 baselines) implements: per-iteration local training, model
+//!   upload/download, task transitions, evaluation.
+//! * [`trainer::LocalTrainer`] — shared batch/forward/backward plumbing
+//!   so algorithm crates only write their *algorithm*.
+//! * [`server`] — FedAvg aggregation (the paper's global aggregator).
+//! * [`device`] — Jetson AGX/NX/TX2/Nano and Raspberry-Pi profiles; the
+//!   simulated clock charges each client `3 × forward-FLOPs / throughput`
+//!   per iteration and models out-of-memory dropout for retained state.
+//! * [`comm`] — bandwidth model; communication time is bytes-on-wire over
+//!   bandwidth, per client, per round.
+//! * [`metrics`] — the accuracy matrix, average accuracy, and the paper's
+//!   forgetting-rate definition (§V-D).
+//! * [`sim`] — the synchronized task/round/iteration loop, with clients
+//!   trained in parallel threads.
+
+pub mod client;
+pub mod comm;
+pub mod device;
+pub mod metrics;
+pub mod server;
+pub mod sim;
+pub mod trainer;
+
+pub use client::{CommBytes, FclClient, IterationStats, ModelTemplate, Payload};
+pub use comm::CommModel;
+pub use device::DeviceProfile;
+pub use metrics::AccuracyMatrix;
+pub use sim::{SimConfig, SimReport, Simulation};
+pub use trainer::LocalTrainer;

@@ -1,0 +1,199 @@
+//! Continual-learning metrics.
+//!
+//! The paper reports, for each task index `m`, the *average accuracy over
+//! all m learned tasks* (§V-A) and, in §V-D, the *forgetting rate* of
+//! task `k` after learning `m` tasks: the relative drop between task
+//! `k`'s accuracy right after it was learned and its accuracy now.
+
+use serde::{Deserialize, Serialize};
+
+/// The lower-triangular accuracy matrix of a continual run:
+/// `acc[m][k]` = accuracy on task `k` measured after learning task `m`
+/// (`k ≤ m`). Accuracies are in `[0, 1]`.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct AccuracyMatrix {
+    rows: Vec<Vec<f64>>,
+}
+
+impl AccuracyMatrix {
+    /// Empty matrix.
+    pub fn new() -> Self {
+        Self { rows: Vec::new() }
+    }
+
+    /// Record the evaluation row after learning the `rows.len()`-th task:
+    /// `row[k]` is the accuracy on task `k`. The row must cover exactly
+    /// the tasks learned so far.
+    pub fn push_row(&mut self, row: Vec<f64>) {
+        assert_eq!(row.len(), self.rows.len() + 1, "row must cover all learned tasks");
+        self.rows.push(row);
+    }
+
+    /// Number of learned tasks recorded so far.
+    pub fn num_tasks(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Accuracy on task `k` after learning task `m` (0-based).
+    pub fn at(&self, m: usize, k: usize) -> f64 {
+        self.rows[m][k]
+    }
+
+    /// Average accuracy over all learned tasks after task `m` — the
+    /// paper's headline accuracy metric.
+    pub fn avg_accuracy_after(&self, m: usize) -> f64 {
+        let row = &self.rows[m];
+        row.iter().sum::<f64>() / row.len() as f64
+    }
+
+    /// The paper's forgetting rate of task `k` after learning `m` tasks:
+    /// `(acc[k][k] − acc[m][k]) / acc[k][k]`, clamped to `[0, 1]`.
+    /// Zero when the task was never accurate to begin with.
+    pub fn forgetting_rate(&self, m: usize, k: usize) -> f64 {
+        assert!(k <= m);
+        let initial = self.rows[k][k];
+        if initial <= 0.0 {
+            return 0.0;
+        }
+        ((initial - self.rows[m][k]) / initial).clamp(0.0, 1.0)
+    }
+
+    /// Mean forgetting rate over all previous tasks after learning task
+    /// `m` (excludes the just-learned task, which cannot yet be
+    /// forgotten). Zero for the first task.
+    pub fn avg_forgetting_after(&self, m: usize) -> f64 {
+        if m == 0 {
+            return 0.0;
+        }
+        (0..m).map(|k| self.forgetting_rate(m, k)).sum::<f64>() / m as f64
+    }
+
+    /// The per-step average accuracies `[avg_after(0), …]` — the curve
+    /// plotted in the paper's accuracy figures.
+    pub fn accuracy_curve(&self) -> Vec<f64> {
+        (0..self.rows.len()).map(|m| self.avg_accuracy_after(m)).collect()
+    }
+
+    /// The per-step average forgetting rates (Figures 7–8, right panels).
+    pub fn forgetting_curve(&self) -> Vec<f64> {
+        (0..self.rows.len()).map(|m| self.avg_forgetting_after(m)).collect()
+    }
+}
+
+/// Element-wise mean of several accuracy matrices (averaging over
+/// clients). All matrices must have the same shape.
+pub fn mean_matrix(mats: &[AccuracyMatrix]) -> AccuracyMatrix {
+    assert!(!mats.is_empty());
+    let n = mats[0].num_tasks();
+    let mut out = AccuracyMatrix::new();
+    for m in 0..n {
+        let row = (0..=m)
+            .map(|k| mats.iter().map(|a| a.at(m, k)).sum::<f64>() / mats.len() as f64)
+            .collect();
+        out.push_row(row);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> AccuracyMatrix {
+        let mut a = AccuracyMatrix::new();
+        a.push_row(vec![0.8]);
+        a.push_row(vec![0.6, 0.7]);
+        a.push_row(vec![0.4, 0.5, 0.9]);
+        a
+    }
+
+    #[test]
+    fn avg_accuracy_is_row_mean() {
+        let a = sample();
+        assert!((a.avg_accuracy_after(0) - 0.8).abs() < 1e-12);
+        assert!((a.avg_accuracy_after(2) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn forgetting_rate_matches_definition() {
+        let a = sample();
+        // Task 0: 0.8 → 0.4 after task 2 → rate 0.5.
+        assert!((a.forgetting_rate(2, 0) - 0.5).abs() < 1e-12);
+        // Just-learned task has rate 0.
+        assert_eq!(a.forgetting_rate(2, 2), 0.0);
+    }
+
+    #[test]
+    fn forgetting_clamps_negative_transfer_gains() {
+        let mut a = AccuracyMatrix::new();
+        a.push_row(vec![0.5]);
+        a.push_row(vec![0.9, 0.6]); // backward transfer improved task 0
+        assert_eq!(a.forgetting_rate(1, 0), 0.0);
+    }
+
+    #[test]
+    fn zero_initial_accuracy_is_not_divided() {
+        let mut a = AccuracyMatrix::new();
+        a.push_row(vec![0.0]);
+        a.push_row(vec![0.0, 0.5]);
+        assert_eq!(a.forgetting_rate(1, 0), 0.0);
+    }
+
+    #[test]
+    fn curves_have_one_point_per_task() {
+        let a = sample();
+        assert_eq!(a.accuracy_curve().len(), 3);
+        assert_eq!(a.forgetting_curve().len(), 3);
+        assert_eq!(a.forgetting_curve()[0], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "row must cover")]
+    fn wrong_row_length_panics() {
+        let mut a = AccuracyMatrix::new();
+        a.push_row(vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn mean_matrix_averages_clients() {
+        let mut a = AccuracyMatrix::new();
+        a.push_row(vec![0.2]);
+        let mut b = AccuracyMatrix::new();
+        b.push_row(vec![0.6]);
+        let m = mean_matrix(&[a, b]);
+        assert!((m.at(0, 0) - 0.4).abs() < 1e-12);
+    }
+}
+
+impl AccuracyMatrix {
+    /// Backward transfer after learning task `m`: the mean *signed*
+    /// change in previous tasks' accuracy relative to when they were
+    /// learned, `mean_k (acc[m][k] − acc[k][k])` for `k < m`. Positive
+    /// values mean later learning improved earlier tasks; catastrophic
+    /// forgetting shows as strongly negative BWT. Zero for the first
+    /// task.
+    pub fn backward_transfer_after(&self, m: usize) -> f64 {
+        if m == 0 {
+            return 0.0;
+        }
+        (0..m).map(|k| self.rows[m][k] - self.rows[k][k]).sum::<f64>() / m as f64
+    }
+}
+
+#[cfg(test)]
+mod bwt_tests {
+    use super::*;
+
+    #[test]
+    fn backward_transfer_signs() {
+        let mut a = AccuracyMatrix::new();
+        a.push_row(vec![0.5]);
+        a.push_row(vec![0.7, 0.6]); // task 0 improved: positive BWT
+        assert!((a.backward_transfer_after(1) - 0.2).abs() < 1e-12);
+        let mut b = AccuracyMatrix::new();
+        b.push_row(vec![0.8]);
+        b.push_row(vec![0.3, 0.6]); // task 0 collapsed: negative BWT
+        assert!((b.backward_transfer_after(1) + 0.5).abs() < 1e-12);
+        assert_eq!(b.backward_transfer_after(0), 0.0);
+    }
+}

@@ -1,0 +1,74 @@
+//! FedAvg aggregation — the paper's global aggregator (§III-A follows
+//! "the standard federated learning setting", citing FedAvg).
+
+/// Weighted FedAvg: each upload is weighted by its client's training
+/// sample count ("FedAvg calculates each client's weight factor according
+/// to its number of training samples", §V-A). Uploads of `None` (clients
+/// that dropped out, e.g. OOM) are excluded.
+///
+/// Returns `None` when no client uploaded.
+pub fn fedavg(uploads: &[Option<Vec<f32>>], weights: &[usize]) -> Option<Vec<f32>> {
+    assert_eq!(uploads.len(), weights.len(), "uploads/weights length mismatch");
+    let mut acc: Option<Vec<f64>> = None;
+    let mut total = 0.0f64;
+    let mut dim = 0usize;
+    for (u, &w) in uploads.iter().zip(weights) {
+        let Some(u) = u else { continue };
+        if w == 0 {
+            continue;
+        }
+        let a = acc.get_or_insert_with(|| {
+            dim = u.len();
+            vec![0.0; u.len()]
+        });
+        assert_eq!(u.len(), dim, "clients uploaded models of different sizes");
+        let wf = w as f64;
+        for (ai, &ui) in a.iter_mut().zip(u) {
+            *ai += wf * ui as f64;
+        }
+        total += wf;
+    }
+    acc.map(|a| {
+        let inv = 1.0 / total;
+        a.into_iter().map(|v| (v * inv) as f32).collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_weights_average() {
+        let uploads = vec![Some(vec![1.0, 2.0]), Some(vec![3.0, 4.0])];
+        let g = fedavg(&uploads, &[10, 10]).unwrap();
+        assert_eq!(g, vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn sample_counts_weight_the_average() {
+        let uploads = vec![Some(vec![0.0]), Some(vec![4.0])];
+        let g = fedavg(&uploads, &[1, 3]).unwrap();
+        assert!((g[0] - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dropouts_are_excluded() {
+        let uploads = vec![Some(vec![2.0]), None, Some(vec![4.0])];
+        let g = fedavg(&uploads, &[1, 100, 1]).unwrap();
+        assert!((g[0] - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn no_uploads_yields_none() {
+        let uploads: Vec<Option<Vec<f32>>> = vec![None, None];
+        assert!(fedavg(&uploads, &[1, 1]).is_none());
+    }
+
+    #[test]
+    fn zero_weight_clients_ignored() {
+        let uploads = vec![Some(vec![5.0]), Some(vec![1.0])];
+        let g = fedavg(&uploads, &[0, 2]).unwrap();
+        assert!((g[0] - 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,540 @@
+//! The synchronized federated continual learning loop.
+//!
+//! Mirrors the paper's §III-A protocol: every client trains its current
+//! task for `r` aggregation rounds of `v` local iterations; after each
+//! round the server FedAvg-aggregates the uploads and broadcasts the
+//! global model. At every task boundary each client is evaluated on all
+//! tasks it has learned so far, filling one row of its accuracy matrix.
+//!
+//! Clients train in parallel threads (they are independent between
+//! aggregations), but all randomness is drawn from per-client streams, so
+//! results are bit-identical regardless of thread count.
+
+use crate::client::{CommBytes, FclClient, Payload};
+use crate::comm::CommModel;
+use crate::device::DeviceProfile;
+use crate::metrics::{mean_matrix, AccuracyMatrix};
+use crate::server::fedavg;
+use fedknow_data::ClientDataset;
+use fedknow_math::rng::substream;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// Loop-shape parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Aggregation rounds per task (paper: 5–15 depending on dataset).
+    pub rounds_per_task: usize,
+    /// Local training iterations per round (paper: 25).
+    pub iters_per_round: usize,
+    /// Base seed for all per-client random streams.
+    pub seed: u64,
+    /// Train clients on parallel threads.
+    pub parallel: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self { rounds_per_task: 5, iters_per_round: 10, seed: 0, parallel: true }
+    }
+}
+
+/// Everything a finished run reports.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Method under test.
+    pub method: String,
+    /// Mean accuracy matrix over clients.
+    pub accuracy: AccuracyMatrix,
+    /// Simulated training compute time per task step (seconds; the
+    /// slowest active device gates each round, as in synchronous FedAvg).
+    pub task_compute_seconds: Vec<f64>,
+    /// Simulated communication time per task step (seconds).
+    pub task_comm_seconds: Vec<f64>,
+    /// Total bytes moved on the wire over the whole run.
+    pub total_bytes: u64,
+    /// `(client, task_step)` pairs where a device ran out of retained-
+    /// state memory and left the federation.
+    pub dropouts: Vec<(usize, usize)>,
+    /// Mean training loss per task step (diagnostic).
+    pub task_mean_loss: Vec<f64>,
+}
+
+impl SimReport {
+    /// Cumulative training time (compute + communication) after each
+    /// task — the paper's "training time (hour)" axis.
+    pub fn cumulative_time(&self) -> Vec<f64> {
+        let mut acc = 0.0;
+        self.task_compute_seconds
+            .iter()
+            .zip(&self.task_comm_seconds)
+            .map(|(c, m)| {
+                acc += c + m;
+                acc
+            })
+            .collect()
+    }
+
+    /// Total communication seconds over the run.
+    pub fn total_comm_seconds(&self) -> f64 {
+        self.task_comm_seconds.iter().sum()
+    }
+}
+
+/// A configured simulation: clients (one algorithm instance each), their
+/// datasets, devices, and the link model.
+pub struct Simulation {
+    clients: Vec<Box<dyn FclClient>>,
+    data: Vec<ClientDataset>,
+    devices: Vec<DeviceProfile>,
+    comm: CommModel,
+    cfg: SimConfig,
+    /// Base model size on the wire (bytes).
+    model_bytes: u64,
+}
+
+/// Per-round, per-client training result gathered from the worker
+/// threads.
+struct RoundOutcome {
+    flops: u64,
+    loss_sum: f64,
+    iters: usize,
+}
+
+impl Simulation {
+    /// Assemble a simulation. `clients`, `data` and `devices` must have
+    /// equal lengths; every client must have the same number of tasks.
+    pub fn new(
+        clients: Vec<Box<dyn FclClient>>,
+        data: Vec<ClientDataset>,
+        devices: Vec<DeviceProfile>,
+        comm: CommModel,
+        cfg: SimConfig,
+        model_bytes: u64,
+    ) -> Self {
+        assert_eq!(clients.len(), data.len(), "one dataset per client");
+        assert_eq!(clients.len(), devices.len(), "one device per client");
+        assert!(!clients.is_empty());
+        let t0 = data[0].tasks.len();
+        assert!(data.iter().all(|d| d.tasks.len() == t0), "task counts differ across clients");
+        Self { clients, data, devices, comm, cfg, model_bytes }
+    }
+
+    /// Run the full task sequence and produce the report.
+    pub fn run(&mut self) -> SimReport {
+        let num_tasks = self.data[0].tasks.len();
+        let n = self.clients.len();
+        let method = self.clients[0].method_name().to_string();
+        let mut rngs: Vec<StdRng> =
+            (0..n).map(|c| substream(self.cfg.seed, 0xF1_0000 + c as u64)).collect();
+        let mut active = vec![true; n];
+        let mut dropouts = Vec::new();
+        let mut matrices: Vec<AccuracyMatrix> = vec![AccuracyMatrix::new(); n];
+        let mut task_compute = Vec::with_capacity(num_tasks);
+        let mut task_comm = Vec::with_capacity(num_tasks);
+        let mut task_loss = Vec::with_capacity(num_tasks);
+        let mut total_bytes = 0u64;
+
+        for step in 0..num_tasks {
+            // Task start on every active client.
+            self.for_each_active(&active, &mut rngs, |_c, client, data, rng| {
+                client.start_task(&data.tasks[step], rng);
+            });
+
+            let mut compute_secs = 0.0f64;
+            let mut comm_secs = 0.0f64;
+            let mut loss_sum = 0.0f64;
+            let mut loss_iters = 0usize;
+
+            for _round in 0..self.cfg.rounds_per_task {
+                // Local training, parallel across clients.
+                let outcomes = self.train_round(&active, &mut rngs);
+                // The slowest active device gates the synchronous round.
+                let mut round_compute: f64 = 0.0;
+                for (c, o) in outcomes.iter().enumerate() {
+                    if let Some(o) = o {
+                        round_compute =
+                            round_compute.max(self.devices[c].compute_seconds(o.flops));
+                        loss_sum += o.loss_sum;
+                        loss_iters += o.iters;
+                    }
+                }
+                compute_secs += round_compute;
+
+                // Aggregation.
+                let mut uploads: Vec<Option<Vec<f32>>> = Vec::with_capacity(n);
+                let mut weights: Vec<usize> = Vec::with_capacity(n);
+                for (c, client) in self.clients.iter_mut().enumerate() {
+                    if active[c] {
+                        uploads.push(client.upload());
+                        weights.push(self.data[c].tasks[step].train.len());
+                    } else {
+                        uploads.push(None);
+                        weights.push(0);
+                    }
+                }
+                let global = fedavg(&uploads, &weights);
+
+                // Method payload exchange through the server (e.g.
+                // FedWEIT adaptive weights).
+                let mut payloads: Vec<Payload> = Vec::new();
+                let mut payload_up = vec![0u64; n];
+                for (c, client) in self.clients.iter_mut().enumerate() {
+                    if !active[c] {
+                        continue;
+                    }
+                    for mut p in client.payload_out() {
+                        p.from_client = c;
+                        payload_up[c] += p.size_bytes();
+                        payloads.push(p);
+                    }
+                }
+                let payload_total: u64 = payloads.iter().map(|p| p.size_bytes()).sum();
+
+                // Communication accounting (per client, gated by slowest).
+                let mut round_comm: f64 = 0.0;
+                for (c, up) in uploads.iter().enumerate() {
+                    if !active[c] {
+                        continue;
+                    }
+                    let extra: CommBytes = self.clients[c].extra_comm();
+                    let base: CommBytes = self.clients[c].base_comm(self.model_bytes);
+                    // Clients download every payload but their own.
+                    let payload_down = payload_total - payload_up[c];
+                    let up_bytes =
+                        if up.is_some() { base.up } else { 0 } + extra.up + payload_up[c];
+                    let down_bytes =
+                        if global.is_some() { base.down } else { 0 } + extra.down + payload_down;
+                    total_bytes += up_bytes + down_bytes;
+                    round_comm =
+                        round_comm.max(self.comm.transfer_seconds(up_bytes + down_bytes));
+                }
+                comm_secs += round_comm;
+
+                // Broadcast the aggregated model and the payload set.
+                if let Some(g) = &global {
+                    self.receive_round(&active, &mut rngs, g);
+                }
+                if !payloads.is_empty() {
+                    let payloads = &payloads;
+                    self.for_each_active(&active, &mut rngs, |_c, client, _data, rng| {
+                        client.payloads_in(payloads, rng);
+                    });
+                }
+            }
+
+            // Task end: consolidate knowledge, then check memory budgets.
+            self.for_each_active(&active, &mut rngs, |_c, client, _data, rng| {
+                client.finish_task(rng);
+            });
+            for c in 0..n {
+                if active[c] && self.devices[c].would_oom(self.clients[c].retained_bytes()) {
+                    active[c] = false;
+                    dropouts.push((c, step));
+                }
+            }
+
+            // Evaluation row: every client, all learned tasks (dropped
+            // clients keep their stale model).
+            let rows = self.evaluate_all(step);
+            for (m, row) in matrices.iter_mut().zip(rows) {
+                m.push_row(row);
+            }
+
+            task_compute.push(compute_secs);
+            task_comm.push(comm_secs);
+            task_loss.push(if loss_iters > 0 { loss_sum / loss_iters as f64 } else { 0.0 });
+        }
+
+        SimReport {
+            method,
+            accuracy: mean_matrix(&matrices),
+            task_compute_seconds: task_compute,
+            task_comm_seconds: task_comm,
+            total_bytes,
+            dropouts,
+            task_mean_loss: task_loss,
+        }
+    }
+
+    /// Apply `f(index, client, data, rng)` to every active client, in
+    /// parallel when configured. Determinism holds because each client's
+    /// randomness comes only from its own stream.
+    fn for_each_active<F>(&mut self, active: &[bool], rngs: &mut [StdRng], f: F)
+    where
+        F: Fn(usize, &mut dyn FclClient, &ClientDataset, &mut StdRng) + Sync,
+    {
+        let data = &self.data;
+        let mut jobs: Vec<(usize, &mut Box<dyn FclClient>, &mut StdRng)> = self
+            .clients
+            .iter_mut()
+            .zip(rngs.iter_mut())
+            .enumerate()
+            .filter(|(c, _)| active[*c])
+            .map(|(c, (client, rng))| (c, client, rng))
+            .collect();
+        if self.cfg.parallel && jobs.len() > 1 {
+            let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+            let chunk = jobs.len().div_ceil(threads.max(1)).max(1);
+            crossbeam::thread::scope(|s| {
+                for chunk_jobs in jobs.chunks_mut(chunk) {
+                    s.spawn(|_| {
+                        for (c, client, rng) in chunk_jobs.iter_mut() {
+                            f(*c, client.as_mut(), &data[*c], rng);
+                        }
+                    });
+                }
+            })
+            .expect("worker thread panicked");
+        } else {
+            for (c, client, rng) in jobs {
+                f(c, client.as_mut(), &data[c], rng);
+            }
+        }
+    }
+
+    /// Run `iters_per_round` iterations on every active client; returns
+    /// per-client outcome (`None` for inactive clients).
+    fn train_round(&mut self, active: &[bool], rngs: &mut [StdRng]) -> Vec<Option<RoundOutcome>> {
+        let iters = self.cfg.iters_per_round;
+        let results: Vec<parking_lot::Mutex<Option<RoundOutcome>>> =
+            (0..self.clients.len()).map(|_| parking_lot::Mutex::new(None)).collect();
+        self.for_each_active(active, rngs, |c, client, _data, rng| {
+            let mut flops = 0u64;
+            let mut loss_sum = 0.0f64;
+            for _ in 0..iters {
+                let stats = client.train_iteration(rng);
+                flops += stats.flops;
+                loss_sum += stats.loss;
+            }
+            *results[c].lock() = Some(RoundOutcome { flops, loss_sum, iters });
+        });
+        results.into_iter().map(|m| m.into_inner()).collect()
+    }
+
+    /// Broadcast the global model to active clients.
+    fn receive_round(&mut self, active: &[bool], rngs: &mut [StdRng], global: &[f32]) {
+        self.for_each_active(active, rngs, |_c, client, _data, rng| {
+            client.receive_global(global, rng);
+        });
+    }
+
+    /// Evaluate every client (dropped ones included — they keep a stale
+    /// model) on its learned tasks `0..=step`, in the client's own task
+    /// order.
+    fn evaluate_all(&mut self, step: usize) -> Vec<Vec<f64>> {
+        let all = vec![true; self.clients.len()];
+        // Evaluation draws no randomness; a scratch RNG set satisfies the
+        // signature without perturbing the training streams.
+        let mut scratch: Vec<StdRng> =
+            (0..self.clients.len()).map(|c| substream(0, c as u64)).collect();
+        let results: Vec<parking_lot::Mutex<Vec<f64>>> =
+            (0..self.clients.len()).map(|_| parking_lot::Mutex::new(Vec::new())).collect();
+        self.for_each_active(&all, &mut scratch, |c, client, data, _rng| {
+            let row: Vec<f64> = (0..=step).map(|k| client.evaluate(&data.tasks[k])).collect();
+            *results[c].lock() = row;
+        });
+        results.into_iter().map(|m| m.into_inner()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::{FclClient, IterationStats};
+    use fedknow_data::{generate::generate, partition, ClientTask, DatasetSpec, PartitionConfig};
+
+    /// Minimal client: a parameter vector that moves toward a constant,
+    /// plus counters to observe protocol order.
+    struct StubClient {
+        params: Vec<f32>,
+        retained: u64,
+        started: usize,
+        finished: usize,
+        received: usize,
+        acc: f64,
+    }
+
+    impl StubClient {
+        fn new(acc: f64, retained: u64) -> Self {
+            Self { params: vec![0.0; 4], retained, started: 0, finished: 0, received: 0, acc }
+        }
+    }
+
+    impl FclClient for StubClient {
+        fn start_task(&mut self, _t: &ClientTask, _rng: &mut rand::rngs::StdRng) {
+            self.started += 1;
+        }
+        fn train_iteration(&mut self, _rng: &mut rand::rngs::StdRng) -> IterationStats {
+            for p in &mut self.params {
+                *p += 1.0;
+            }
+            IterationStats { loss: 1.0, flops: 1000 }
+        }
+        fn upload(&mut self) -> Option<Vec<f32>> {
+            Some(self.params.clone())
+        }
+        fn receive_global(&mut self, g: &[f32], _rng: &mut rand::rngs::StdRng) {
+            self.params.copy_from_slice(g);
+            self.received += 1;
+        }
+        fn finish_task(&mut self, _rng: &mut rand::rngs::StdRng) {
+            self.finished += 1;
+            self.retained += 1_000;
+        }
+        fn evaluate(&mut self, _t: &ClientTask) -> f64 {
+            self.acc
+        }
+        fn retained_bytes(&self) -> u64 {
+            self.retained
+        }
+        fn method_name(&self) -> &'static str {
+            "stub"
+        }
+    }
+
+    fn tiny_data(n_clients: usize) -> Vec<fedknow_data::ClientDataset> {
+        let spec = DatasetSpec::cifar100().scaled(0.2, 8).with_tasks(3);
+        let d = generate(&spec, 1);
+        partition(&d, n_clients, &PartitionConfig::default(), 1)
+    }
+
+    fn run_sim(parallel: bool, retained: u64) -> SimReport {
+        let data = tiny_data(3);
+        let clients: Vec<Box<dyn FclClient>> = (0..3)
+            .map(|c| Box::new(StubClient::new(0.5 + 0.1 * c as f64, retained)) as Box<dyn FclClient>)
+            .collect();
+        let devices = vec![
+            DeviceProfile::jetson_agx(),
+            DeviceProfile::jetson_nano(),
+            DeviceProfile::raspberry_pi(2),
+        ];
+        let cfg = SimConfig { rounds_per_task: 2, iters_per_round: 3, seed: 5, parallel };
+        let mut sim =
+            Simulation::new(clients, data, devices, CommModel::paper_default(), cfg, 400);
+        sim.run()
+    }
+
+    #[test]
+    fn report_shape_matches_tasks() {
+        let r = run_sim(true, 0);
+        assert_eq!(r.accuracy.num_tasks(), 3);
+        assert_eq!(r.task_compute_seconds.len(), 3);
+        assert_eq!(r.task_comm_seconds.len(), 3);
+        assert_eq!(r.cumulative_time().len(), 3);
+        // Mean of client accuracies 0.5/0.6/0.7.
+        assert!((r.accuracy.avg_accuracy_after(2) - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_and_serial_agree() {
+        let a = run_sim(true, 0);
+        let b = run_sim(false, 0);
+        assert_eq!(a.total_bytes, b.total_bytes);
+        assert_eq!(a.accuracy.accuracy_curve(), b.accuracy.accuracy_curve());
+        assert_eq!(a.task_mean_loss, b.task_mean_loss);
+    }
+
+    #[test]
+    fn comm_bytes_are_model_up_and_down_per_round() {
+        let r = run_sim(false, 0);
+        // 3 tasks × 2 rounds × 3 clients × (400 up + 400 down).
+        assert_eq!(r.total_bytes, 3 * 2 * 3 * 800);
+    }
+
+    #[test]
+    fn compute_time_gated_by_slowest_device() {
+        let r = run_sim(false, 0);
+        // Slowest = RPi: 3 iters × 1000 flops / 2.4e10.
+        let expected_round = 3.0 * 1000.0 / 2.4e10;
+        assert!((r.task_compute_seconds[0] - 2.0 * expected_round).abs() < 1e-12);
+    }
+
+    #[test]
+    fn oom_client_drops_out() {
+        // Retained state beyond the 2 GB RPi's budget after first task.
+        let r = run_sim(false, 2 * 1024 * 1024 * 1024);
+        assert!(!r.dropouts.is_empty());
+        let (client, step) = r.dropouts[0];
+        assert_eq!(step, 0, "drop happens at first task boundary");
+        // All three stubs exceed any budget here, so all drop.
+        assert_eq!(r.dropouts.len(), 3);
+        let _ = client;
+        // Subsequent rounds move no bytes.
+        assert_eq!(r.total_bytes, 2 * 3 * 800);
+    }
+
+    #[test]
+    fn fedavg_synchronises_stub_params() {
+        // After one round all clients share the averaged vector; with
+        // identical stubs they stay identical forever.
+        let r = run_sim(false, 0);
+        assert!(r.task_mean_loss.iter().all(|&l| (l - 1.0).abs() < 1e-12));
+    }
+}
+
+#[cfg(test)]
+mod payload_tests {
+    use super::*;
+    use crate::client::{FclClient, IterationStats, Payload};
+    use fedknow_data::{generate::generate, partition, ClientTask, DatasetSpec, PartitionConfig};
+    use fedknow_math::SparseVec;
+
+    /// Client that publishes one fixed-size payload per round and records
+    /// what it receives.
+    struct PayloadClient {
+        received: usize,
+        own_seen: bool,
+        id_hint: u32,
+    }
+
+    impl FclClient for PayloadClient {
+        fn start_task(&mut self, _t: &ClientTask, _r: &mut rand::rngs::StdRng) {}
+        fn train_iteration(&mut self, _r: &mut rand::rngs::StdRng) -> IterationStats {
+            IterationStats { loss: 0.0, flops: 1 }
+        }
+        fn upload(&mut self) -> Option<Vec<f32>> {
+            Some(vec![0.0; 4])
+        }
+        fn receive_global(&mut self, _g: &[f32], _r: &mut rand::rngs::StdRng) {}
+        fn finish_task(&mut self, _r: &mut rand::rngs::StdRng) {}
+        fn evaluate(&mut self, _t: &ClientTask) -> f64 {
+            0.5
+        }
+        fn payload_out(&mut self) -> Vec<Payload> {
+            vec![Payload {
+                from_client: 0,
+                tag: self.id_hint as u64,
+                sparse: SparseVec::new(10, vec![0, 1], vec![1.0, 2.0]),
+            }]
+        }
+        fn payloads_in(&mut self, payloads: &[Payload], _r: &mut rand::rngs::StdRng) {
+            self.received += payloads.len();
+            self.own_seen |= payloads.iter().any(|p| p.tag == self.id_hint as u64);
+        }
+        fn method_name(&self) -> &'static str {
+            "payload-stub"
+        }
+    }
+
+    #[test]
+    fn payloads_are_collected_tagged_and_broadcast() {
+        let spec = DatasetSpec::cifar100().scaled(0.2, 8).with_tasks(1);
+        let d = generate(&spec, 1);
+        let data = partition(&d, 3, &PartitionConfig::default(), 1);
+        let clients: Vec<Box<dyn FclClient>> = (0..3)
+            .map(|i| Box::new(PayloadClient { received: 0, own_seen: false, id_hint: i }) as _)
+            .collect();
+        let devices = vec![DeviceProfile::jetson_nx(); 3];
+        let cfg = SimConfig { rounds_per_task: 2, iters_per_round: 1, seed: 0, parallel: false };
+        let model_bytes = 16u64;
+        let mut sim =
+            Simulation::new(clients, data, devices, CommModel::paper_default(), cfg, model_bytes);
+        let report = sim.run();
+        // Per round: 3 payloads of (2·8 + 16) = 32 bytes each.
+        // Up: model 16 + payload 32 per client; down: model 16 + the two
+        // foreign payloads (64) per client. 2 rounds × 3 clients.
+        let per_client_round = (16 + 32) + (16 + 64);
+        assert_eq!(report.total_bytes, 2 * 3 * per_client_round);
+    }
+}

@@ -1,0 +1,73 @@
+//! Property-based tests for aggregation and metrics.
+
+use fedknow_fl::metrics::AccuracyMatrix;
+use fedknow_fl::server::fedavg;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// FedAvg output is a convex combination: every coordinate lies in
+    /// the [min, max] band of the uploads, and equal uploads average to
+    /// themselves.
+    #[test]
+    fn fedavg_is_convex_combination(
+        uploads in prop::collection::vec(
+            prop::collection::vec(-5.0f32..5.0, 4),
+            1..6
+        ),
+        weights in prop::collection::vec(1usize..100, 6),
+    ) {
+        let n = uploads.len();
+        let opts: Vec<Option<Vec<f32>>> = uploads.iter().cloned().map(Some).collect();
+        let g = fedavg(&opts, &weights[..n]).unwrap();
+        for j in 0..4 {
+            let lo = uploads.iter().map(|u| u[j]).fold(f32::INFINITY, f32::min);
+            let hi = uploads.iter().map(|u| u[j]).fold(f32::NEG_INFINITY, f32::max);
+            prop_assert!(g[j] >= lo - 1e-4 && g[j] <= hi + 1e-4,
+                "coordinate {j}: {} outside [{lo}, {hi}]", g[j]);
+        }
+    }
+
+    /// Aggregation is invariant to uniform weight scaling.
+    #[test]
+    fn fedavg_weight_scale_invariance(
+        uploads in prop::collection::vec(prop::collection::vec(-5.0f32..5.0, 3), 2..5),
+        base in 1usize..20,
+        scale in 2usize..5,
+    ) {
+        let n = uploads.len();
+        let opts: Vec<Option<Vec<f32>>> = uploads.iter().cloned().map(Some).collect();
+        let w1: Vec<usize> = (0..n).map(|i| base + i).collect();
+        let w2: Vec<usize> = w1.iter().map(|w| w * scale).collect();
+        let a = fedavg(&opts, &w1).unwrap();
+        let b = fedavg(&opts, &w2).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    /// Accuracy-matrix identities: forgetting of the just-learned task is
+    /// 0; avg accuracy is bounded by row extrema; forgetting ∈ [0, 1].
+    #[test]
+    fn accuracy_matrix_identities(
+        rows in prop::collection::vec(0.0f64..1.0, 6)
+    ) {
+        // Build a 3-task lower-triangular matrix from 6 values.
+        let mut m = AccuracyMatrix::new();
+        m.push_row(vec![rows[0]]);
+        m.push_row(vec![rows[1], rows[2]]);
+        m.push_row(vec![rows[3], rows[4], rows[5]]);
+        for step in 0..3 {
+            prop_assert_eq!(m.forgetting_rate(step, step), 0.0);
+            let avg = m.avg_accuracy_after(step);
+            prop_assert!((0.0..=1.0).contains(&avg));
+            for k in 0..=step {
+                let f = m.forgetting_rate(step, k);
+                prop_assert!((0.0..=1.0).contains(&f));
+            }
+        }
+        // The accuracy curve length matches the task count.
+        prop_assert_eq!(m.accuracy_curve().len(), 3);
+    }
+}

@@ -1,0 +1,164 @@
+//! Gradient-distance metrics for signature-task selection.
+//!
+//! The gradient restorer (paper §III-C) picks the `k` past tasks whose
+//! gradients are *most dissimilar* from the current task's gradient — the
+//! paper suggests the Wasserstein distance between gradients ("e.g.
+//! Wasserstein distance"), with the intuition that the largest included
+//! angles mark the tasks most damaged by an unconstrained update.
+//!
+//! Three metrics are provided so the selection rule can be ablated:
+//! 1-D [`wasserstein_1d`] over the empirical distribution of gradient
+//! components (the paper's choice), [`cosine_distance`] (1 − cosine, a
+//! direct angle proxy), and [`euclidean`].
+
+/// Which metric to use when ranking gradient dissimilarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum DistanceMetric {
+    /// 1-D Wasserstein distance between the sorted component distributions
+    /// (the paper's suggested metric).
+    Wasserstein,
+    /// `1 − cos θ` between the gradients; monotone in the included angle.
+    Cosine,
+    /// Plain Euclidean distance.
+    Euclidean,
+}
+
+/// Compute the configured distance between two equal-length gradients.
+///
+/// Panics if the lengths differ (gradient vectors in one model always
+/// agree in length; a mismatch is a programming error).
+pub fn gradient_distance(metric: DistanceMetric, a: &[f32], b: &[f32]) -> f64 {
+    assert_eq!(a.len(), b.len(), "gradient lengths differ");
+    match metric {
+        DistanceMetric::Wasserstein => wasserstein_1d(a, b),
+        DistanceMetric::Cosine => cosine_distance(a, b),
+        DistanceMetric::Euclidean => euclidean(a, b),
+    }
+}
+
+/// 1-D Wasserstein (earth mover's) distance between the empirical
+/// distributions of the two slices: mean absolute difference of the
+/// sorted samples. Both slices must have equal length.
+pub fn wasserstein_1d(a: &[f32], b: &[f32]) -> f64 {
+    assert_eq!(a.len(), b.len(), "wasserstein_1d requires equal lengths");
+    if a.is_empty() {
+        return 0.0;
+    }
+    let mut sa: Vec<f32> = a.to_vec();
+    let mut sb: Vec<f32> = b.to_vec();
+    sa.sort_unstable_by(|x, y| x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Equal));
+    sb.sort_unstable_by(|x, y| x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Equal));
+    let total: f64 = sa.iter().zip(&sb).map(|(&x, &y)| ((x - y).abs()) as f64).sum();
+    total / a.len() as f64
+}
+
+/// `1 − cosine similarity`. Ranges over `[0, 2]`; `0` for parallel,
+/// `1` for orthogonal, `2` for anti-parallel. Zero vectors are treated as
+/// orthogonal to everything (distance 1).
+pub fn cosine_distance(a: &[f32], b: &[f32]) -> f64 {
+    assert_eq!(a.len(), b.len(), "cosine_distance requires equal lengths");
+    let (mut dot, mut na, mut nb) = (0.0f64, 0.0f64, 0.0f64);
+    for (&x, &y) in a.iter().zip(b) {
+        dot += x as f64 * y as f64;
+        na += (x as f64) * (x as f64);
+        nb += (y as f64) * (y as f64);
+    }
+    if na == 0.0 || nb == 0.0 {
+        return 1.0;
+    }
+    1.0 - dot / (na.sqrt() * nb.sqrt())
+}
+
+/// Euclidean distance.
+pub fn euclidean(a: &[f32], b: &[f32]) -> f64 {
+    assert_eq!(a.len(), b.len(), "euclidean requires equal lengths");
+    a.iter().zip(b).map(|(&x, &y)| ((x - y) as f64).powi(2)).sum::<f64>().sqrt()
+}
+
+/// Rank `candidates` by descending distance from `reference` and return the
+/// indices of the `k` most dissimilar ones (the paper's signature-task
+/// selection rule). Stable for ties (lower index first). `k` is clamped to
+/// the candidate count.
+pub fn most_dissimilar(
+    metric: DistanceMetric,
+    reference: &[f32],
+    candidates: &[Vec<f32>],
+    k: usize,
+) -> Vec<usize> {
+    let mut scored: Vec<(usize, f64)> = candidates
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (i, gradient_distance(metric, reference, c)))
+        .collect();
+    scored.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+    });
+    scored.into_iter().take(k.min(candidates.len())).map(|(i, _)| i).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wasserstein_of_identical_is_zero() {
+        let a = vec![3.0, -1.0, 2.0];
+        assert_eq!(wasserstein_1d(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn wasserstein_is_shift_distance_for_shifted_samples() {
+        let a = vec![0.0, 1.0, 2.0];
+        let b = vec![1.0, 2.0, 3.0];
+        assert!((wasserstein_1d(&a, &b) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wasserstein_is_symmetric_and_permutation_invariant() {
+        let a = vec![5.0, -2.0, 0.5, 9.0];
+        let b = vec![1.0, 1.0, -3.0, 2.0];
+        let ab = wasserstein_1d(&a, &b);
+        let ba = wasserstein_1d(&b, &a);
+        assert!((ab - ba).abs() < 1e-12);
+        let a_perm = vec![9.0, 0.5, -2.0, 5.0];
+        assert!((wasserstein_1d(&a_perm, &b) - ab).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_distance_extremes() {
+        let a = vec![1.0, 0.0];
+        assert!(cosine_distance(&a, &[2.0, 0.0]).abs() < 1e-9);
+        assert!((cosine_distance(&a, &[0.0, 3.0]) - 1.0).abs() < 1e-9);
+        assert!((cosine_distance(&a, &[-1.0, 0.0]) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_vector_cosine_is_one() {
+        assert_eq!(cosine_distance(&[0.0, 0.0], &[1.0, 1.0]), 1.0);
+    }
+
+    #[test]
+    fn most_dissimilar_ranks_by_distance() {
+        let reference = vec![1.0, 0.0];
+        let candidates = vec![
+            vec![1.0, 0.0],  // identical
+            vec![-1.0, 0.0], // opposite
+            vec![0.0, 1.0],  // orthogonal
+        ];
+        let top2 = most_dissimilar(DistanceMetric::Cosine, &reference, &candidates, 2);
+        assert_eq!(top2, vec![1, 2]);
+    }
+
+    #[test]
+    fn most_dissimilar_clamps_k() {
+        let reference = vec![1.0];
+        let candidates = vec![vec![0.0]];
+        let all = most_dissimilar(DistanceMetric::Euclidean, &reference, &candidates, 10);
+        assert_eq!(all, vec![0]);
+    }
+
+    #[test]
+    fn euclidean_matches_hand_value() {
+        assert!((euclidean(&[0.0, 0.0], &[3.0, 4.0]) - 5.0).abs() < 1e-9);
+    }
+}

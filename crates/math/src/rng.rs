@@ -1,0 +1,152 @@
+//! Seeded sampling helpers.
+//!
+//! The workspace pins `rand` (allowed offline) but not `rand_distr`, so the
+//! Gaussian sampler is implemented here with the Box–Muller transform.
+//! Every experiment threads an explicit [`StdRng`] seeded from its config,
+//! making datasets, partitions and weight initialisation reproducible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Construct the workspace's standard RNG from a `u64` seed.
+pub fn seeded(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Derive an independent child RNG from a parent seed and a stream index.
+///
+/// Used to give each client / task / dataset its own deterministic stream
+/// without the streams being trivially correlated: the pair is mixed with
+/// SplitMix64 before seeding.
+pub fn substream(seed: u64, stream: u64) -> StdRng {
+    StdRng::seed_from_u64(splitmix64(seed ^ splitmix64(stream)))
+}
+
+/// SplitMix64 finaliser — a cheap, well-distributed 64-bit mixer.
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One standard-normal sample via Box–Muller.
+pub fn normal(rng: &mut StdRng) -> f32 {
+    // Draw u1 in (0, 1] to keep ln() finite.
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    ((-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()) as f32
+}
+
+/// Fill a slice with `N(mean, std)` samples.
+pub fn fill_normal(rng: &mut StdRng, out: &mut [f32], mean: f32, std: f32) {
+    for x in out.iter_mut() {
+        *x = mean + std * normal(rng);
+    }
+}
+
+/// A vector of `n` samples from `N(mean, std)`.
+pub fn normal_vec(rng: &mut StdRng, n: usize, mean: f32, std: f32) -> Vec<f32> {
+    let mut v = vec![0.0; n];
+    fill_normal(rng, &mut v, mean, std);
+    v
+}
+
+/// Kaiming/He-style fan-in initialisation: `N(0, sqrt(2 / fan_in))`.
+/// The standard init for ReLU networks; used by every layer in the zoo.
+pub fn kaiming_vec(rng: &mut StdRng, n: usize, fan_in: usize) -> Vec<f32> {
+    let std = (2.0 / fan_in.max(1) as f32).sqrt();
+    normal_vec(rng, n, 0.0, std)
+}
+
+/// Sample `k` distinct indices from `0..n` (Floyd's algorithm), sorted.
+pub fn sample_indices(rng: &mut StdRng, n: usize, k: usize) -> Vec<usize> {
+    let k = k.min(n);
+    let mut chosen = std::collections::BTreeSet::new();
+    for j in (n - k)..n {
+        let t = rng.gen_range(0..=j);
+        if !chosen.insert(t) {
+            chosen.insert(j);
+        }
+    }
+    chosen.into_iter().collect()
+}
+
+/// Fisher–Yates shuffle of a slice.
+pub fn shuffle<T>(rng: &mut StdRng, items: &mut [T]) {
+    for i in (1..items.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        items.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_is_deterministic() {
+        let mut a = seeded(42);
+        let mut b = seeded(42);
+        for _ in 0..16 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn substreams_differ() {
+        let mut a = substream(42, 0);
+        let mut b = substream(42, 1);
+        let xs: Vec<u64> = (0..8).map(|_| a.gen()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.gen()).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn normal_has_plausible_moments() {
+        let mut rng = seeded(7);
+        let n = 20_000;
+        let samples: Vec<f32> = (0..n).map(|_| normal(&mut rng)).collect();
+        let mean: f32 = samples.iter().sum::<f32>() / n as f32;
+        let var: f32 = samples.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.08, "var {var}");
+    }
+
+    #[test]
+    fn kaiming_scales_with_fan_in() {
+        let mut rng = seeded(9);
+        let v = kaiming_vec(&mut rng, 10_000, 50);
+        let var: f32 = v.iter().map(|x| x * x).sum::<f32>() / v.len() as f32;
+        assert!((var - 2.0 / 50.0).abs() < 0.01, "var {var}");
+    }
+
+    #[test]
+    fn sample_indices_distinct_and_in_range() {
+        let mut rng = seeded(3);
+        let idx = sample_indices(&mut rng, 100, 10);
+        assert_eq!(idx.len(), 10);
+        for w in idx.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert!(*idx.last().unwrap() < 100);
+    }
+
+    #[test]
+    fn sample_indices_clamps_k() {
+        let mut rng = seeded(3);
+        let idx = sample_indices(&mut rng, 5, 50);
+        assert_eq!(idx, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = seeded(11);
+        let mut v: Vec<u32> = (0..100).collect();
+        shuffle(&mut rng, &mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>(), "shuffle left input unchanged");
+    }
+}

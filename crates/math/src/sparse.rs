@@ -1,0 +1,208 @@
+//! Sparse index/value vectors.
+//!
+//! FedKNOW's *knowledge extractor* keeps only the top-ρ fraction of model
+//! weights by magnitude (paper Eq. 1). A [`SparseVec`] stores exactly that:
+//! sorted indices into the flat parameter vector plus the retained values.
+//! Byte-size accounting on this type drives the communication and memory
+//! models in `fedknow-fl`.
+
+use serde::{Deserialize, Serialize};
+
+/// A sparse view of a dense `f32` vector: strictly increasing indices with
+/// their values.
+///
+/// ```
+/// use fedknow_math::SparseVec;
+/// let weights = vec![0.1, -5.0, 0.3, 2.0];
+/// // Keep the top-50% by magnitude — the signature knowledge of Eq. 1.
+/// let knowledge = SparseVec::top_fraction_by_magnitude(&weights, 0.5);
+/// assert_eq!(knowledge.indices(), &[1, 3]);
+/// assert_eq!(knowledge.to_dense(), vec![0.0, -5.0, 0.0, 2.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SparseVec {
+    /// Length of the dense vector this was extracted from.
+    dense_len: usize,
+    /// Strictly increasing indices of retained entries.
+    indices: Vec<u32>,
+    /// Values at `indices`.
+    values: Vec<f32>,
+}
+
+impl SparseVec {
+    /// Build from parallel index/value arrays. Panics if lengths differ,
+    /// indices are not strictly increasing, or an index is out of bounds.
+    pub fn new(dense_len: usize, indices: Vec<u32>, values: Vec<f32>) -> Self {
+        assert_eq!(indices.len(), values.len(), "index/value length mismatch");
+        for w in indices.windows(2) {
+            assert!(w[0] < w[1], "indices must be strictly increasing");
+        }
+        if let Some(&last) = indices.last() {
+            assert!((last as usize) < dense_len, "index {last} out of bounds {dense_len}");
+        }
+        Self { dense_len, indices, values }
+    }
+
+    /// Extract the `keep` entries of `dense` with the largest absolute value.
+    ///
+    /// This is the paper's magnitude-based pruning: the retained entries are
+    /// the signature knowledge of a task. Ties are broken by lower index so
+    /// the result is deterministic.
+    pub fn top_k_by_magnitude(dense: &[f32], keep: usize) -> Self {
+        let keep = keep.min(dense.len());
+        if keep == 0 {
+            return Self { dense_len: dense.len(), indices: vec![], values: vec![] };
+        }
+        // Select-nth on |value| descending, then sort the kept indices.
+        let mut idx: Vec<u32> = (0..dense.len() as u32).collect();
+        idx.select_nth_unstable_by(keep - 1, |&a, &b| {
+            let (va, vb) = (dense[a as usize].abs(), dense[b as usize].abs());
+            vb.partial_cmp(&va).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+        });
+        idx.truncate(keep);
+        idx.sort_unstable();
+        let values = idx.iter().map(|&i| dense[i as usize]).collect();
+        Self { dense_len: dense.len(), indices: idx, values }
+    }
+
+    /// Extract entries whose absolute value is at least the `1 - rho`
+    /// quantile — i.e. keep the top `rho` fraction (paper Eq. 1 with
+    /// quantile ρ). `rho` is clamped to `[0, 1]`.
+    pub fn top_fraction_by_magnitude(dense: &[f32], rho: f64) -> Self {
+        let rho = rho.clamp(0.0, 1.0);
+        let keep = ((dense.len() as f64) * rho).round() as usize;
+        Self::top_k_by_magnitude(dense, keep)
+    }
+
+    /// Number of retained entries.
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Length of the originating dense vector.
+    pub fn dense_len(&self) -> usize {
+        self.dense_len
+    }
+
+    /// Retained indices (strictly increasing).
+    pub fn indices(&self) -> &[u32] {
+        &self.indices
+    }
+
+    /// Retained values, parallel to [`Self::indices`].
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Materialise as a dense vector with zeros elsewhere.
+    ///
+    /// This is how the gradient restorer rebuilds a pruned model: retained
+    /// weights keep their value, pruned weights are zero.
+    pub fn to_dense(&self) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.dense_len];
+        for (&i, &v) in self.indices.iter().zip(&self.values) {
+            out[i as usize] = v;
+        }
+        out
+    }
+
+    /// Overwrite the retained positions of `dense` with the stored values,
+    /// leaving other positions untouched.
+    pub fn scatter_into(&self, dense: &mut [f32]) {
+        assert_eq!(dense.len(), self.dense_len, "scatter_into length mismatch");
+        for (&i, &v) in self.indices.iter().zip(&self.values) {
+            dense[i as usize] = v;
+        }
+    }
+
+    /// Read the current values of the retained positions out of `dense`
+    /// (used when fine-tuning only the knowledge weights).
+    pub fn gather_from(&mut self, dense: &[f32]) {
+        assert_eq!(dense.len(), self.dense_len, "gather_from length mismatch");
+        for (i, v) in self.indices.iter().zip(self.values.iter_mut()) {
+            *v = dense[*i as usize];
+        }
+    }
+
+    /// Bytes this knowledge occupies on the wire / in memory:
+    /// 4 bytes per index + 4 bytes per value.
+    pub fn size_bytes(&self) -> usize {
+        self.indices.len() * (std::mem::size_of::<u32>() + std::mem::size_of::<f32>())
+    }
+
+    /// A boolean mask over the dense vector, true at retained positions.
+    pub fn mask(&self) -> Vec<bool> {
+        let mut m = vec![false; self.dense_len];
+        for &i in &self.indices {
+            m[i as usize] = true;
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_k_keeps_largest_magnitudes() {
+        let dense = vec![0.1, -5.0, 0.3, 2.0, -0.2];
+        let s = SparseVec::top_k_by_magnitude(&dense, 2);
+        assert_eq!(s.indices(), &[1, 3]);
+        assert_eq!(s.values(), &[-5.0, 2.0]);
+    }
+
+    #[test]
+    fn top_fraction_rounds_count() {
+        let dense: Vec<f32> = (0..10).map(|i| i as f32).collect();
+        let s = SparseVec::top_fraction_by_magnitude(&dense, 0.3);
+        assert_eq!(s.nnz(), 3);
+        assert_eq!(s.indices(), &[7, 8, 9]);
+    }
+
+    #[test]
+    fn dense_roundtrip_zeros_pruned_positions() {
+        let dense = vec![1.0, -2.0, 3.0, -4.0];
+        let s = SparseVec::top_k_by_magnitude(&dense, 2);
+        assert_eq!(s.to_dense(), vec![0.0, 0.0, 3.0, -4.0]);
+    }
+
+    #[test]
+    fn scatter_preserves_untouched_positions() {
+        let orig = vec![1.0, -2.0, 3.0, -4.0];
+        let s = SparseVec::top_k_by_magnitude(&orig, 2);
+        let mut target = vec![9.0; 4];
+        s.scatter_into(&mut target);
+        assert_eq!(target, vec![9.0, 9.0, 3.0, -4.0]);
+    }
+
+    #[test]
+    fn gather_updates_values() {
+        let orig = vec![1.0, -2.0, 3.0, -4.0];
+        let mut s = SparseVec::top_k_by_magnitude(&orig, 2);
+        let newer = vec![0.0, 0.0, 30.0, -40.0];
+        s.gather_from(&newer);
+        assert_eq!(s.values(), &[30.0, -40.0]);
+    }
+
+    #[test]
+    fn size_bytes_is_eight_per_entry() {
+        let s = SparseVec::top_k_by_magnitude(&[1.0; 100], 10);
+        assert_eq!(s.size_bytes(), 80);
+    }
+
+    #[test]
+    fn keep_zero_and_keep_all_edge_cases() {
+        let dense = vec![1.0, 2.0];
+        assert_eq!(SparseVec::top_k_by_magnitude(&dense, 0).nnz(), 0);
+        let all = SparseVec::top_k_by_magnitude(&dense, 5);
+        assert_eq!(all.nnz(), 2);
+        assert_eq!(all.to_dense(), dense);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn new_rejects_unsorted_indices() {
+        let _ = SparseVec::new(10, vec![3, 1], vec![0.0, 0.0]);
+    }
+}

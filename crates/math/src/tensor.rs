@@ -1,0 +1,347 @@
+//! A dense, row-major `f32` tensor.
+//!
+//! The tensor is intentionally minimal: the neural-network substrate in
+//! `fedknow-nn` performs manual layer-wise backpropagation, so only the
+//! operations that appear in those forward/backward passes are provided.
+//! All shape violations are programmer errors and panic with a descriptive
+//! message; this mirrors the convention of mainstream array libraries.
+
+/// Dense row-major tensor of `f32` values.
+///
+/// Shapes are arbitrary-rank, but in practice the workspace uses rank 1
+/// (parameter vectors), rank 2 (`[batch, features]`) and rank 4
+/// (`[batch, channels, height, width]`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    data: Vec<f32>,
+    shape: Vec<usize>,
+}
+
+impl Tensor {
+    /// Create a tensor from raw data and a shape. Panics if the element
+    /// count of `shape` does not match `data.len()`.
+    pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Self {
+        let n: usize = shape.iter().product();
+        assert_eq!(
+            n,
+            data.len(),
+            "shape {shape:?} implies {n} elements, data has {}",
+            data.len()
+        );
+        Self { data, shape: shape.to_vec() }
+    }
+
+    /// All-zero tensor of the given shape.
+    pub fn zeros(shape: &[usize]) -> Self {
+        Self { data: vec![0.0; shape.iter().product()], shape: shape.to_vec() }
+    }
+
+    /// Tensor filled with a constant.
+    pub fn full(shape: &[usize], value: f32) -> Self {
+        Self { data: vec![value; shape.iter().product()], shape: shape.to_vec() }
+    }
+
+    /// Shape of the tensor.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the underlying buffer (row-major).
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying buffer (row-major).
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consume the tensor, returning its buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Reinterpret the buffer under a new shape with the same element count.
+    pub fn reshape(mut self, shape: &[usize]) -> Self {
+        let n: usize = shape.iter().product();
+        assert_eq!(n, self.data.len(), "reshape to {shape:?} changes element count");
+        self.shape = shape.to_vec();
+        self
+    }
+
+    /// Element at a rank-2 index.
+    #[inline]
+    pub fn at2(&self, i: usize, j: usize) -> f32 {
+        debug_assert_eq!(self.shape.len(), 2);
+        self.data[i * self.shape[1] + j]
+    }
+
+    /// Rank-2 matrix multiply: `self [m,k] × other [k,n] → [m,n]`.
+    ///
+    /// Straightforward ikj-ordered GEMM; the k-loop is in the middle so the
+    /// innermost loop streams both the output row and the `other` row,
+    /// which auto-vectorises well (per the Rust Performance Book guidance
+    /// on keeping hot inner loops branch-free and slice-based).
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "matmul lhs must be rank-2");
+        assert_eq!(other.shape.len(), 2, "matmul rhs must be rank-2");
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (other.shape[0], other.shape[1]);
+        assert_eq!(k, k2, "matmul inner dims differ: {k} vs {k2}");
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let o_row = &mut out[i * n..(i + 1) * n];
+            for (p, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[p * n..(p + 1) * n];
+                for (o, &b) in o_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        Tensor { data: out, shape: vec![m, n] }
+    }
+
+    /// `selfᵀ × other`: `self [k,m]`, `other [k,n]` → `[m,n]`, without
+    /// materialising the transpose.
+    pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape.len(), 2);
+        assert_eq!(other.shape.len(), 2);
+        let (k, m) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (other.shape[0], other.shape[1]);
+        assert_eq!(k, k2, "matmul_tn inner dims differ: {k} vs {k2}");
+        let mut out = vec![0.0f32; m * n];
+        for p in 0..k {
+            let a_row = &self.data[p * m..(p + 1) * m];
+            let b_row = &other.data[p * n..(p + 1) * n];
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let o_row = &mut out[i * n..(i + 1) * n];
+                for (o, &b) in o_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        Tensor { data: out, shape: vec![m, n] }
+    }
+
+    /// `self × otherᵀ`: `self [m,k]`, `other [n,k]` → `[m,n]`, without
+    /// materialising the transpose.
+    pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape.len(), 2);
+        assert_eq!(other.shape.len(), 2);
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (n, k2) = (other.shape[0], other.shape[1]);
+        assert_eq!(k, k2, "matmul_nt inner dims differ: {k} vs {k2}");
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            for j in 0..n {
+                let b_row = &other.data[j * k..(j + 1) * k];
+                out[i * n + j] = dot(a_row, b_row);
+            }
+        }
+        Tensor { data: out, shape: vec![m, n] }
+    }
+
+    /// Rank-2 transpose.
+    pub fn transpose2(&self) -> Tensor {
+        assert_eq!(self.shape.len(), 2);
+        let (m, n) = (self.shape[0], self.shape[1]);
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = self.data[i * n + j];
+            }
+        }
+        Tensor { data: out, shape: vec![n, m] }
+    }
+
+    /// Elementwise in-place addition. Panics on shape mismatch.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "add_assign shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// Elementwise in-place `self += alpha * other`.
+    pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "axpy shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Elementwise in-place scaling.
+    pub fn scale(&mut self, alpha: f32) {
+        for a in &mut self.data {
+            *a *= alpha;
+        }
+    }
+
+    /// Elementwise map, returning a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor { data: self.data.iter().map(|&x| f(x)).collect(), shape: self.shape.clone() }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Euclidean norm of the flattened tensor.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Row-wise softmax of a rank-2 tensor (numerically stable).
+    pub fn softmax_rows(&self) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "softmax_rows needs rank-2 input");
+        let (m, n) = (self.shape[0], self.shape[1]);
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let row = &self.data[i * n..(i + 1) * n];
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let o = &mut out[i * n..(i + 1) * n];
+            let mut z = 0.0;
+            for (dst, &x) in o.iter_mut().zip(row) {
+                let e = (x - max).exp();
+                *dst = e;
+                z += e;
+            }
+            let inv = 1.0 / z;
+            for dst in o.iter_mut() {
+                *dst *= inv;
+            }
+        }
+        Tensor { data: out, shape: self.shape.clone() }
+    }
+
+    /// Index of the maximum element per row of a rank-2 tensor.
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        assert_eq!(self.shape.len(), 2);
+        let (m, n) = (self.shape[0], self.shape[1]);
+        (0..m)
+            .map(|i| {
+                let row = &self.data[i * n..(i + 1) * n];
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                    .map(|(j, _)| j)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+}
+
+/// Dot product of two equal-length slices.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// `y += alpha * x` over raw slices.
+#[inline]
+pub fn axpy_slice(alpha: f32, x: &[f32], y: &mut [f32]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Euclidean norm of a slice.
+#[inline]
+pub fn norm_slice(a: &[f32]) -> f32 {
+    a.iter().map(|x| x * x).sum::<f32>().sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let b = Tensor::from_vec(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_tn_equals_transpose_then_matmul() {
+        let a = Tensor::from_vec((0..12).map(|x| x as f32).collect(), &[4, 3]);
+        let b = Tensor::from_vec((0..8).map(|x| (x as f32) * 0.5).collect(), &[4, 2]);
+        let via_t = a.transpose2().matmul(&b);
+        let direct = a.matmul_tn(&b);
+        assert_eq!(via_t, direct);
+    }
+
+    #[test]
+    fn matmul_nt_equals_matmul_with_transpose() {
+        let a = Tensor::from_vec((0..6).map(|x| x as f32).collect(), &[2, 3]);
+        let b = Tensor::from_vec((0..12).map(|x| x as f32 - 3.0).collect(), &[4, 3]);
+        let via_t = a.matmul(&b.transpose2());
+        let direct = a.matmul_nt(&b);
+        assert_eq!(via_t, direct);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one_and_order_preserved() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 100.0], &[2, 3]);
+        let s = t.softmax_rows();
+        for i in 0..2 {
+            let row: f32 = (0..3).map(|j| s.at2(i, j)).sum();
+            assert!((row - 1.0).abs() < 1e-5, "row {i} sums to {row}");
+        }
+        assert!(s.at2(0, 2) > s.at2(0, 1));
+        assert!(s.at2(1, 2) > 0.99, "large logit should dominate");
+    }
+
+    #[test]
+    fn argmax_rows_picks_largest() {
+        let t = Tensor::from_vec(vec![0.1, 0.9, 0.0, 5.0, -2.0, 3.0], &[2, 3]);
+        assert_eq!(t.argmax_rows(), vec![1, 0]);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec((0..6).map(|x| x as f32).collect(), &[2, 3]);
+        let r = t.clone().reshape(&[3, 2]);
+        assert_eq!(r.data(), t.data());
+        assert_eq!(r.shape(), &[3, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape")]
+    fn from_vec_rejects_bad_shape() {
+        let _ = Tensor::from_vec(vec![1.0, 2.0], &[3]);
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let mut a = Tensor::full(&[4], 1.0);
+        let b = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[4]);
+        a.axpy(0.5, &b);
+        assert_eq!(a.data(), &[1.5, 2.0, 2.5, 3.0]);
+        a.scale(2.0);
+        assert_eq!(a.data(), &[3.0, 4.0, 5.0, 6.0]);
+    }
+}

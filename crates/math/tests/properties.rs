@@ -1,0 +1,121 @@
+//! Property-based tests for the numerical core.
+
+use fedknow_math::distance::{cosine_distance, wasserstein_1d};
+use fedknow_math::qp::{integrate_gradient, QpConfig};
+use fedknow_math::sparse::SparseVec;
+use fedknow_math::tensor::Tensor;
+use proptest::prelude::*;
+
+fn vec_f32(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-10.0f32..10.0, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// (AB)C == A(BC) within float tolerance.
+    #[test]
+    fn matmul_is_associative(
+        a in vec_f32(6), b in vec_f32(6), c in vec_f32(6)
+    ) {
+        let a = Tensor::from_vec(a, &[2, 3]);
+        let b = Tensor::from_vec(b, &[3, 2]);
+        let c = Tensor::from_vec(c, &[2, 3]);
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        for (x, y) in left.data().iter().zip(right.data()) {
+            prop_assert!((x - y).abs() < 1e-2 * (1.0 + x.abs().max(y.abs())));
+        }
+    }
+
+    /// Softmax rows always sum to 1 and are non-negative.
+    #[test]
+    fn softmax_is_probability(xs in vec_f32(12)) {
+        let t = Tensor::from_vec(xs, &[3, 4]).softmax_rows();
+        for i in 0..3 {
+            let s: f32 = (0..4).map(|j| t.at2(i, j)).sum();
+            prop_assert!((s - 1.0).abs() < 1e-4);
+            for j in 0..4 {
+                prop_assert!(t.at2(i, j) >= 0.0);
+            }
+        }
+    }
+
+    /// Top-k extraction keeps exactly the k largest magnitudes: every kept
+    /// value's magnitude is >= every dropped value's magnitude.
+    #[test]
+    fn top_k_magnitude_dominates_dropped(dense in vec_f32(32), k in 0usize..32) {
+        let s = SparseVec::top_k_by_magnitude(&dense, k);
+        prop_assert_eq!(s.nnz(), k);
+        let mask = s.mask();
+        let min_kept = s.values().iter().map(|v| v.abs()).fold(f32::INFINITY, f32::min);
+        for (i, &v) in dense.iter().enumerate() {
+            if !mask[i] {
+                prop_assert!(v.abs() <= min_kept + 1e-6);
+            }
+        }
+    }
+
+    /// Sparse round-trip: retained positions survive, others zero.
+    #[test]
+    fn sparse_roundtrip(dense in vec_f32(24), k in 0usize..24) {
+        let s = SparseVec::top_k_by_magnitude(&dense, k);
+        let d = s.to_dense();
+        let mask = s.mask();
+        for i in 0..dense.len() {
+            if mask[i] {
+                prop_assert_eq!(d[i], dense[i]);
+            } else {
+                prop_assert_eq!(d[i], 0.0);
+            }
+        }
+    }
+
+    /// Wasserstein is a pseudo-metric on these inputs: symmetric,
+    /// non-negative, zero on identical inputs.
+    #[test]
+    fn wasserstein_pseudo_metric(a in vec_f32(16), b in vec_f32(16)) {
+        let ab = wasserstein_1d(&a, &b);
+        let ba = wasserstein_1d(&b, &a);
+        prop_assert!(ab >= 0.0);
+        prop_assert!((ab - ba).abs() < 1e-9);
+        prop_assert!(wasserstein_1d(&a, &a) < 1e-9);
+    }
+
+    /// Cosine distance stays in [0, 2].
+    #[test]
+    fn cosine_bounded(a in vec_f32(16), b in vec_f32(16)) {
+        let d = cosine_distance(&a, &b);
+        prop_assert!((-1e-6..=2.0 + 1e-6).contains(&d));
+    }
+
+    /// The QP integrator's output always satisfies every constraint
+    /// (up to tolerance) and never errors on well-formed input.
+    #[test]
+    fn qp_output_satisfies_constraints(
+        g in vec_f32(8),
+        cons in prop::collection::vec(vec_f32(8), 1..5)
+    ) {
+        let r = integrate_gradient(&g, &cons, &QpConfig::default()).unwrap();
+        for c in &cons {
+            let d: f64 = c.iter().zip(&r.gradient)
+                .map(|(&x, &y)| x as f64 * y as f64).sum();
+            let cn: f64 = c.iter().map(|&x| (x as f64).powi(2)).sum::<f64>().sqrt();
+            let gn: f64 = r.gradient.iter().map(|&x| (x as f64).powi(2)).sum::<f64>().sqrt();
+            prop_assert!(d >= -1e-3 * (1.0 + cn * gn), "violated: {} (scale {})", d, cn * gn);
+        }
+        for &v in &r.dual {
+            prop_assert!(v >= 0.0);
+        }
+    }
+
+    /// Feasible inputs pass through the integrator unchanged.
+    #[test]
+    fn qp_identity_on_feasible(g in vec_f32(8)) {
+        // A constraint equal to g itself is always satisfied (⟨g,g⟩ ≥ 0).
+        let cons = vec![g.clone()];
+        let r = integrate_gradient(&g, &cons, &QpConfig::default()).unwrap();
+        prop_assert!(r.already_feasible);
+        prop_assert_eq!(r.gradient, g);
+    }
+}

@@ -1,0 +1,165 @@
+//! Model checkpointing.
+//!
+//! A real edge client survives restarts: it persists its model weights
+//! (and, at the FedKNOW layer, its knowledge — see `fedknow::wire`).
+//! Checkpoints store the architecture fingerprint alongside the weights
+//! so loading into a mismatched model is an error rather than silent
+//! corruption.
+
+use crate::model::Model;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// A serialisable snapshot of a model's parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Format version.
+    pub version: u16,
+    /// Parameter count (architecture fingerprint, part 1).
+    pub param_count: usize,
+    /// Per-segment lengths (architecture fingerprint, part 2).
+    pub segment_lens: Vec<usize>,
+    /// The flat parameter vector.
+    pub params: Vec<f32>,
+}
+
+/// Errors loading a checkpoint.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// Not valid checkpoint JSON.
+    Parse(String),
+    /// The checkpoint does not fit the target model.
+    ArchitectureMismatch {
+        /// Parameters in the checkpoint.
+        expected: usize,
+        /// Parameters in the target model.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::Parse(e) => write!(f, "checkpoint parse error: {e}"),
+            CheckpointError::ArchitectureMismatch { expected, got } => {
+                write!(f, "checkpoint holds {expected} params, model has {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// Snapshot a model's parameters.
+pub fn snapshot(model: &mut Model) -> Checkpoint {
+    Checkpoint {
+        version: 1,
+        param_count: model.param_count(),
+        segment_lens: model.layout().iter().map(|s| s.len).collect(),
+        params: model.flat_params(),
+    }
+}
+
+/// Restore a snapshot into a model of the same architecture.
+pub fn restore(model: &mut Model, ckpt: &Checkpoint) -> Result<(), CheckpointError> {
+    if ckpt.param_count != model.param_count()
+        || ckpt.segment_lens.len() != model.layout().len()
+        || ckpt
+            .segment_lens
+            .iter()
+            .zip(model.layout())
+            .any(|(&l, seg)| l != seg.len)
+    {
+        return Err(CheckpointError::ArchitectureMismatch {
+            expected: ckpt.param_count,
+            got: model.param_count(),
+        });
+    }
+    model.set_flat_params(&ckpt.params);
+    Ok(())
+}
+
+/// Persist a snapshot as JSON.
+pub fn save(model: &mut Model, path: &Path) -> Result<(), CheckpointError> {
+    let ckpt = snapshot(model);
+    let json =
+        serde_json::to_string(&ckpt).map_err(|e| CheckpointError::Parse(e.to_string()))?;
+    std::fs::write(path, json)?;
+    Ok(())
+}
+
+/// Load a snapshot from JSON and restore it into the model.
+pub fn load(model: &mut Model, path: &Path) -> Result<(), CheckpointError> {
+    let json = std::fs::read_to_string(path)?;
+    let ckpt: Checkpoint =
+        serde_json::from_str(&json).map_err(|e| CheckpointError::Parse(e.to_string()))?;
+    restore(model, &ckpt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ModelKind;
+    use fedknow_math::rng::seeded;
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let mut rng = seeded(1);
+        let mut a = ModelKind::SixCnn.build(&mut rng, 3, 10, 1.0);
+        let ckpt = snapshot(&mut a);
+        let mut rng = seeded(2);
+        let mut b = ModelKind::SixCnn.build(&mut rng, 3, 10, 1.0);
+        assert_ne!(a.flat_params(), b.flat_params());
+        restore(&mut b, &ckpt).unwrap();
+        assert_eq!(a.flat_params(), b.flat_params());
+    }
+
+    #[test]
+    fn mismatched_architecture_is_rejected() {
+        let mut rng = seeded(1);
+        let mut a = ModelKind::SixCnn.build(&mut rng, 3, 10, 1.0);
+        let ckpt = snapshot(&mut a);
+        let mut rng = seeded(1);
+        let mut b = ModelKind::ResNet18.build(&mut rng, 3, 10, 1.0);
+        assert!(matches!(
+            restore(&mut b, &ckpt),
+            Err(CheckpointError::ArchitectureMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("fedknow_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+        let mut rng = seeded(3);
+        let mut a = ModelKind::SixCnn.build(&mut rng, 3, 10, 1.0);
+        save(&mut a, &path).unwrap();
+        let mut rng = seeded(4);
+        let mut b = ModelKind::SixCnn.build(&mut rng, 3, 10, 1.0);
+        load(&mut b, &path).unwrap();
+        assert_eq!(a.flat_params(), b.flat_params());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_file_is_a_parse_error() {
+        let dir = std::env::temp_dir().join("fedknow_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corrupt.json");
+        std::fs::write(&path, "{not json").unwrap();
+        let mut rng = seeded(5);
+        let mut m = ModelKind::SixCnn.build(&mut rng, 3, 10, 1.0);
+        assert!(matches!(load(&mut m, &path), Err(CheckpointError::Parse(_))));
+        let _ = std::fs::remove_file(&path);
+    }
+}

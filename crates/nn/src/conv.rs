@@ -1,0 +1,347 @@
+//! 2-D convolution via im2col, with grouped and depthwise variants.
+//!
+//! One implementation covers the whole model zoo: `groups = 1` is ordinary
+//! convolution, `groups = cardinality` gives ResNeXt's grouped convolution,
+//! and `groups = in_channels` gives MobileNet/ShuffleNet depthwise
+//! convolution.
+
+use crate::layer::{Layer, ParamVisitor};
+use fedknow_math::rng::kaiming_vec;
+use fedknow_math::Tensor;
+use rand::rngs::StdRng;
+
+/// 2-D convolution: input `[B, C, H, W]` → output `[B, OC, OH, OW]`.
+pub struct Conv2d {
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    groups: usize,
+    /// `[OC, (C/groups) * k * k]`
+    weight: Tensor,
+    bias: Tensor,
+    grad_weight: Tensor,
+    grad_bias: Tensor,
+    /// Cached per-sample im2col matrices from the training forward pass.
+    cached_cols: Vec<Tensor>,
+    cached_in_shape: Vec<usize>,
+}
+
+impl Conv2d {
+    /// Kaiming-initialised convolution. Panics unless both channel counts
+    /// divide by `groups`.
+    pub fn new(
+        rng: &mut StdRng,
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        groups: usize,
+    ) -> Self {
+        assert!(groups >= 1 && in_channels % groups == 0 && out_channels % groups == 0,
+            "groups {groups} must divide in {in_channels} and out {out_channels}");
+        let cg = in_channels / groups;
+        let fan_in = cg * kernel * kernel;
+        let weight = Tensor::from_vec(
+            kaiming_vec(rng, out_channels * fan_in, fan_in),
+            &[out_channels, fan_in],
+        );
+        Self {
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            padding,
+            groups,
+            weight,
+            bias: Tensor::zeros(&[out_channels]),
+            grad_weight: Tensor::zeros(&[out_channels, fan_in]),
+            grad_bias: Tensor::zeros(&[out_channels]),
+            cached_cols: Vec::new(),
+            cached_in_shape: Vec::new(),
+        }
+    }
+
+    /// Plain 3×3 same-padding convolution, the workhorse of the zoo.
+    pub fn conv3x3(rng: &mut StdRng, cin: usize, cout: usize, stride: usize) -> Self {
+        Self::new(rng, cin, cout, 3, stride, 1, 1)
+    }
+
+    /// 1×1 convolution (channel mixing / residual downsample).
+    pub fn conv1x1(rng: &mut StdRng, cin: usize, cout: usize, stride: usize) -> Self {
+        Self::new(rng, cin, cout, 1, stride, 0, 1)
+    }
+
+    /// Depthwise 3×3 convolution.
+    pub fn depthwise3x3(rng: &mut StdRng, channels: usize, stride: usize) -> Self {
+        Self::new(rng, channels, channels, 3, stride, 1, channels)
+    }
+
+    fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        let oh = (h + 2 * self.padding - self.kernel) / self.stride + 1;
+        let ow = (w + 2 * self.padding - self.kernel) / self.stride + 1;
+        (oh, ow)
+    }
+
+    /// im2col for the channel range `[c0, c0+cg)` of one sample.
+    /// Output `[cg*k*k, oh*ow]`.
+    fn im2col(&self, x: &[f32], c0: usize, cg: usize, h: usize, w: usize) -> Tensor {
+        let (oh, ow) = self.out_hw(h, w);
+        let k = self.kernel;
+        let mut col = vec![0.0f32; cg * k * k * oh * ow];
+        let ncols = oh * ow;
+        for c in 0..cg {
+            let plane = &x[(c0 + c) * h * w..(c0 + c + 1) * h * w];
+            for ky in 0..k {
+                for kx in 0..k {
+                    let row = ((c * k + ky) * k + kx) * ncols;
+                    for oy in 0..oh {
+                        let iy = (oy * self.stride + ky) as isize - self.padding as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        let iy = iy as usize;
+                        for ox in 0..ow {
+                            let ix = (ox * self.stride + kx) as isize - self.padding as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            col[row + oy * ow + ox] = plane[iy * w + ix as usize];
+                        }
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(col, &[cg * k * k, ncols])
+    }
+
+    /// Scatter-accumulate a col-gradient back into an input-gradient plane
+    /// range `[c0, c0+cg)` of one sample.
+    fn col2im(&self, col: &Tensor, gx: &mut [f32], c0: usize, cg: usize, h: usize, w: usize) {
+        let (oh, ow) = self.out_hw(h, w);
+        let k = self.kernel;
+        let ncols = oh * ow;
+        let cd = col.data();
+        for c in 0..cg {
+            let plane = &mut gx[(c0 + c) * h * w..(c0 + c + 1) * h * w];
+            for ky in 0..k {
+                for kx in 0..k {
+                    let row = ((c * k + ky) * k + kx) * ncols;
+                    for oy in 0..oh {
+                        let iy = (oy * self.stride + ky) as isize - self.padding as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        let iy = iy as usize;
+                        for ox in 0..ow {
+                            let ix = (ox * self.stride + kx) as isize - self.padding as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            plane[iy * w + ix as usize] += cd[row + oy * ow + ox];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, x: Tensor, train: bool) -> Tensor {
+        let s = x.shape();
+        assert_eq!(s.len(), 4, "Conv2d expects [B,C,H,W]");
+        let (b, c, h, w) = (s[0], s[1], s[2], s[3]);
+        assert_eq!(c, self.in_channels, "Conv2d channel mismatch");
+        let (oh, ow) = self.out_hw(h, w);
+        let ncols = oh * ow;
+        let cg = self.in_channels / self.groups;
+        let ocg = self.out_channels / self.groups;
+        let fan = cg * self.kernel * self.kernel;
+
+        let mut out = vec![0.0f32; b * self.out_channels * ncols];
+        if train {
+            self.cached_cols.clear();
+            self.cached_in_shape = s.to_vec();
+        }
+        for bi in 0..b {
+            let xin = &x.data()[bi * c * h * w..(bi + 1) * c * h * w];
+            for g in 0..self.groups {
+                let col = self.im2col(xin, g * cg, cg, h, w);
+                // y_g [ocg, ncols] = W_g [ocg, fan] × col [fan, ncols]
+                let wg = Tensor::from_vec(
+                    self.weight.data()[g * ocg * fan..(g + 1) * ocg * fan].to_vec(),
+                    &[ocg, fan],
+                );
+                let y = wg.matmul(&col);
+                let dst0 = bi * self.out_channels * ncols + g * ocg * ncols;
+                out[dst0..dst0 + ocg * ncols].copy_from_slice(y.data());
+                if train {
+                    self.cached_cols.push(col);
+                }
+            }
+        }
+        // Bias per output channel.
+        let bias = self.bias.data();
+        for bi in 0..b {
+            for oc in 0..self.out_channels {
+                let base = (bi * self.out_channels + oc) * ncols;
+                let bv = bias[oc];
+                for o in &mut out[base..base + ncols] {
+                    *o += bv;
+                }
+            }
+        }
+        Tensor::from_vec(out, &[b, self.out_channels, oh, ow])
+    }
+
+    fn backward(&mut self, grad: Tensor) -> Tensor {
+        let in_shape = self.cached_in_shape.clone();
+        assert!(!in_shape.is_empty(), "backward before forward(train)");
+        let (b, c, h, w) = (in_shape[0], in_shape[1], in_shape[2], in_shape[3]);
+        let (oh, ow) = self.out_hw(h, w);
+        let ncols = oh * ow;
+        let cg = self.in_channels / self.groups;
+        let ocg = self.out_channels / self.groups;
+        let fan = cg * self.kernel * self.kernel;
+
+        let mut gx = vec![0.0f32; b * c * h * w];
+        for bi in 0..b {
+            for g in 0..self.groups {
+                let col = &self.cached_cols[bi * self.groups + g];
+                let gbase = bi * self.out_channels * ncols + g * ocg * ncols;
+                let gy = Tensor::from_vec(grad.data()[gbase..gbase + ocg * ncols].to_vec(), &[
+                    ocg, ncols,
+                ]);
+                // gW_g [ocg, fan] += gy [ocg, ncols] × colᵀ
+                let gw = gy.matmul_nt(col);
+                let wslice =
+                    &mut self.grad_weight.data_mut()[g * ocg * fan..(g + 1) * ocg * fan];
+                for (dst, &src) in wslice.iter_mut().zip(gw.data()) {
+                    *dst += src;
+                }
+                // gcol [fan, ncols] = W_gᵀ × gy
+                let wg = Tensor::from_vec(
+                    self.weight.data()[g * ocg * fan..(g + 1) * ocg * fan].to_vec(),
+                    &[ocg, fan],
+                );
+                let gcol = wg.matmul_tn(&gy);
+                self.col2im(&gcol, &mut gx[bi * c * h * w..(bi + 1) * c * h * w], g * cg, cg, h, w);
+            }
+        }
+        // Bias gradient: sum of grad over batch and spatial dims.
+        let gb = self.grad_bias.data_mut();
+        for bi in 0..b {
+            for oc in 0..self.out_channels {
+                let base = (bi * self.out_channels + oc) * ncols;
+                gb[oc] += grad.data()[base..base + ncols].iter().sum::<f32>();
+            }
+        }
+        Tensor::from_vec(gx, &in_shape)
+    }
+
+    fn visit_params(&mut self, v: &mut dyn ParamVisitor) {
+        let fan = (self.in_channels / self.groups) * self.kernel * self.kernel;
+        v.visit(
+            "conv.weight",
+            &[self.out_channels, fan],
+            self.weight.data_mut(),
+            self.grad_weight.data_mut(),
+        );
+        v.visit("conv.bias", &[self.out_channels], self.bias.data_mut(), self.grad_bias.data_mut());
+    }
+
+    fn zero_grad(&mut self) {
+        self.grad_weight.data_mut().fill(0.0);
+        self.grad_bias.data_mut().fill(0.0);
+    }
+
+    fn flops(&self, in_shape: &[usize]) -> (u64, Vec<usize>) {
+        let (b, h, w) = (in_shape[0], in_shape[2], in_shape[3]);
+        let (oh, ow) = self.out_hw(h, w);
+        let cg = self.in_channels / self.groups;
+        let per_out = 2 * cg as u64 * (self.kernel * self.kernel) as u64;
+        let f = b as u64 * self.out_channels as u64 * (oh * ow) as u64 * (per_out + 1);
+        (f, vec![b, self.out_channels, oh, ow])
+    }
+
+    fn name(&self) -> &'static str {
+        "Conv2d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedknow_math::rng::seeded;
+
+    #[test]
+    fn identity_kernel_reproduces_input() {
+        let mut rng = seeded(0);
+        let mut conv = Conv2d::new(&mut rng, 1, 1, 1, 1, 0, 1);
+        conv.weight = Tensor::from_vec(vec![1.0], &[1, 1]);
+        conv.bias = Tensor::zeros(&[1]);
+        let x = Tensor::from_vec((0..9).map(|i| i as f32).collect(), &[1, 1, 3, 3]);
+        let y = conv.forward(x.clone(), false);
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn known_3x3_sum_kernel() {
+        let mut rng = seeded(0);
+        let mut conv = Conv2d::conv3x3(&mut rng, 1, 1, 1);
+        conv.weight = Tensor::full(&[1, 9], 1.0);
+        conv.bias = Tensor::zeros(&[1]);
+        let x = Tensor::full(&[1, 1, 3, 3], 1.0);
+        let y = conv.forward(x, false);
+        // Centre pixel sees all 9 ones; corners see 4.
+        assert_eq!(y.shape(), &[1, 1, 3, 3]);
+        assert_eq!(y.data()[4], 9.0);
+        assert_eq!(y.data()[0], 4.0);
+    }
+
+    #[test]
+    fn stride_two_halves_spatial_dims() {
+        let mut rng = seeded(0);
+        let conv = Conv2d::conv3x3(&mut rng, 3, 8, 2);
+        let (_, shape) = conv.flops(&[2, 3, 8, 8]);
+        assert_eq!(shape, vec![2, 8, 4, 4]);
+    }
+
+    #[test]
+    fn depthwise_keeps_channels_independent() {
+        let mut rng = seeded(0);
+        let mut conv = Conv2d::depthwise3x3(&mut rng, 2, 1);
+        // Channel 0 kernel all zero, channel 1 kernel identity-at-centre.
+        let mut w = vec![0.0f32; 18];
+        w[9 + 4] = 1.0;
+        conv.weight = Tensor::from_vec(w, &[2, 9]);
+        conv.bias = Tensor::zeros(&[2]);
+        let x = Tensor::full(&[1, 2, 3, 3], 2.0);
+        let y = conv.forward(x, false);
+        assert!(y.data()[..9].iter().all(|&v| v == 0.0), "channel 0 should be zeroed");
+        assert_eq!(y.data()[9 + 4], 2.0, "channel 1 centre passes through");
+    }
+
+    #[test]
+    fn grouped_conv_shapes() {
+        let mut rng = seeded(0);
+        let conv = Conv2d::new(&mut rng, 8, 16, 3, 1, 1, 4);
+        let (_, shape) = conv.flops(&[1, 8, 5, 5]);
+        assert_eq!(shape, vec![1, 16, 5, 5]);
+        // Weight is [16, (8/4)*9] = [16, 18].
+        assert_eq!(conv.weight.shape(), &[16, 18]);
+    }
+
+    #[test]
+    fn backward_shapes_match_input() {
+        let mut rng = seeded(0);
+        let mut conv = Conv2d::conv3x3(&mut rng, 3, 4, 2);
+        let x = Tensor::full(&[2, 3, 6, 6], 0.5);
+        let y = conv.forward(x, true);
+        let gx = conv.backward(Tensor::full(y.shape(), 1.0));
+        assert_eq!(gx.shape(), &[2, 3, 6, 6]);
+    }
+}

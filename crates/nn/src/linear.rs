@@ -1,0 +1,149 @@
+//! Fully-connected layer.
+
+use crate::layer::{Layer, ParamVisitor};
+use fedknow_math::rng::kaiming_vec;
+use fedknow_math::Tensor;
+use rand::rngs::StdRng;
+
+/// `y = x Wᵀ + b`, with `x: [B, in]`, `W: [out, in]`, `b: [out]`.
+pub struct Linear {
+    in_features: usize,
+    out_features: usize,
+    weight: Tensor,
+    bias: Tensor,
+    grad_weight: Tensor,
+    grad_bias: Tensor,
+    cached_input: Option<Tensor>,
+}
+
+impl Linear {
+    /// Kaiming-initialised linear layer.
+    pub fn new(rng: &mut StdRng, in_features: usize, out_features: usize) -> Self {
+        let weight =
+            Tensor::from_vec(kaiming_vec(rng, out_features * in_features, in_features), &[
+                out_features,
+                in_features,
+            ]);
+        Self {
+            in_features,
+            out_features,
+            weight,
+            bias: Tensor::zeros(&[out_features]),
+            grad_weight: Tensor::zeros(&[out_features, in_features]),
+            grad_bias: Tensor::zeros(&[out_features]),
+            cached_input: None,
+        }
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&mut self, x: Tensor, train: bool) -> Tensor {
+        assert_eq!(x.shape().len(), 2, "Linear expects [B, in]");
+        assert_eq!(x.shape()[1], self.in_features, "Linear input width mismatch");
+        let mut y = x.matmul_nt(&self.weight);
+        let b = self.bias.data();
+        let n = self.out_features;
+        for row in y.data_mut().chunks_exact_mut(n) {
+            for (o, &bi) in row.iter_mut().zip(b) {
+                *o += bi;
+            }
+        }
+        if train {
+            self.cached_input = Some(x);
+        }
+        y
+    }
+
+    fn backward(&mut self, grad: Tensor) -> Tensor {
+        let x = self.cached_input.as_ref().expect("backward before forward(train)");
+        // ∂L/∂W [out,in] = gradᵀ [out,B] · x [B,in]
+        let gw = grad.matmul_tn(x);
+        self.grad_weight.add_assign(&gw);
+        // ∂L/∂b = column sums of grad
+        let n = self.out_features;
+        let gb = self.grad_bias.data_mut();
+        for row in grad.data().chunks_exact(n) {
+            for (g, &r) in gb.iter_mut().zip(row) {
+                *g += r;
+            }
+        }
+        // ∂L/∂x [B,in] = grad [B,out] · W [out,in]
+        grad.matmul(&self.weight)
+    }
+
+    fn visit_params(&mut self, v: &mut dyn ParamVisitor) {
+        v.visit(
+            "linear.weight",
+            &[self.out_features, self.in_features],
+            self.weight.data_mut(),
+            self.grad_weight.data_mut(),
+        );
+        v.visit("linear.bias", &[self.out_features], self.bias.data_mut(), self.grad_bias.data_mut());
+    }
+
+    fn zero_grad(&mut self) {
+        self.grad_weight.data_mut().fill(0.0);
+        self.grad_bias.data_mut().fill(0.0);
+    }
+
+    fn flops(&self, in_shape: &[usize]) -> (u64, Vec<usize>) {
+        let b = in_shape[0] as u64;
+        let f = b * (2 * self.in_features as u64 * self.out_features as u64
+            + self.out_features as u64);
+        (f, vec![in_shape[0], self.out_features])
+    }
+
+    fn name(&self) -> &'static str {
+        "Linear"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedknow_math::rng::seeded;
+
+    #[test]
+    fn forward_matches_hand_computation() {
+        let mut rng = seeded(0);
+        let mut l = Linear::new(&mut rng, 2, 2);
+        // Overwrite with known weights.
+        l.weight = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        l.bias = Tensor::from_vec(vec![0.5, -0.5], &[2]);
+        let x = Tensor::from_vec(vec![1.0, 1.0], &[1, 2]);
+        let y = l.forward(x, false);
+        assert_eq!(y.data(), &[3.5, 6.5]);
+    }
+
+    #[test]
+    fn backward_accumulates_bias_grad_as_column_sum() {
+        let mut rng = seeded(0);
+        let mut l = Linear::new(&mut rng, 3, 2);
+        let x = Tensor::from_vec(vec![1.0; 6], &[2, 3]);
+        let _ = l.forward(x, true);
+        let g = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let _ = l.backward(g);
+        assert_eq!(l.grad_bias.data(), &[4.0, 6.0]);
+    }
+
+    #[test]
+    fn zero_grad_clears_buffers() {
+        let mut rng = seeded(0);
+        let mut l = Linear::new(&mut rng, 2, 2);
+        let _ = l.forward(Tensor::zeros(&[1, 2]), true);
+        let _ = l.backward(Tensor::from_vec(vec![1.0, 1.0], &[1, 2]));
+        l.zero_grad();
+        assert!(l.grad_weight.data().iter().all(|&x| x == 0.0));
+        assert!(l.grad_bias.data().iter().all(|&x| x == 0.0));
+    }
+}

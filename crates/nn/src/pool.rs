@@ -1,0 +1,316 @@
+//! Pooling and shape layers.
+
+use crate::layer::Layer;
+use fedknow_math::Tensor;
+
+/// 2×2 (or k×k) max pooling with stride = kernel.
+pub struct MaxPool2d {
+    kernel: usize,
+    /// For each output element, the flat input index of its argmax.
+    argmax: Vec<u32>,
+    in_shape: Vec<usize>,
+}
+
+impl MaxPool2d {
+    /// Non-overlapping max pooling with the given kernel/stride.
+    pub fn new(kernel: usize) -> Self {
+        assert!(kernel >= 1);
+        Self { kernel, argmax: Vec::new(), in_shape: Vec::new() }
+    }
+
+    fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        (h / self.kernel, w / self.kernel)
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, x: Tensor, train: bool) -> Tensor {
+        let s = x.shape().to_vec();
+        assert_eq!(s.len(), 4, "MaxPool2d expects [B,C,H,W]");
+        let (b, c, h, w) = (s[0], s[1], s[2], s[3]);
+        let (oh, ow) = self.out_hw(h, w);
+        let k = self.kernel;
+        let mut out = vec![f32::NEG_INFINITY; b * c * oh * ow];
+        let mut argmax = vec![0u32; b * c * oh * ow];
+        let xd = x.data();
+        for bc in 0..b * c {
+            let plane = &xd[bc * h * w..(bc + 1) * h * w];
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let oidx = bc * oh * ow + oy * ow + ox;
+                    for ky in 0..k {
+                        for kx in 0..k {
+                            let iy = oy * k + ky;
+                            let ix = ox * k + kx;
+                            let v = plane[iy * w + ix];
+                            if v > out[oidx] {
+                                out[oidx] = v;
+                                argmax[oidx] = (bc * h * w + iy * w + ix) as u32;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if train {
+            self.argmax = argmax;
+            self.in_shape = s;
+        }
+        Tensor::from_vec(out, &[b, c, oh, ow])
+    }
+
+    fn backward(&mut self, grad: Tensor) -> Tensor {
+        assert!(!self.in_shape.is_empty(), "backward before forward(train)");
+        let mut gx = Tensor::zeros(&self.in_shape);
+        let gxd = gx.data_mut();
+        for (g, &idx) in grad.data().iter().zip(&self.argmax) {
+            gxd[idx as usize] += g;
+        }
+        gx
+    }
+
+    fn flops(&self, in_shape: &[usize]) -> (u64, Vec<usize>) {
+        let (b, c, h, w) = (in_shape[0], in_shape[1], in_shape[2], in_shape[3]);
+        let (oh, ow) = self.out_hw(h, w);
+        (in_shape.iter().product::<usize>() as u64, vec![b, c, oh, ow])
+    }
+
+    fn name(&self) -> &'static str {
+        "MaxPool2d"
+    }
+}
+
+/// Global average pooling: `[B,C,H,W] → [B,C]`.
+pub struct GlobalAvgPool {
+    in_shape: Vec<usize>,
+}
+
+impl GlobalAvgPool {
+    /// New global-average-pool layer.
+    pub fn new() -> Self {
+        Self { in_shape: Vec::new() }
+    }
+}
+
+impl Default for GlobalAvgPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn forward(&mut self, x: Tensor, train: bool) -> Tensor {
+        let s = x.shape().to_vec();
+        assert_eq!(s.len(), 4, "GlobalAvgPool expects [B,C,H,W]");
+        let (b, c, h, w) = (s[0], s[1], s[2], s[3]);
+        let inv = 1.0 / (h * w) as f32;
+        let mut out = vec![0.0f32; b * c];
+        for bc in 0..b * c {
+            out[bc] = x.data()[bc * h * w..(bc + 1) * h * w].iter().sum::<f32>() * inv;
+        }
+        if train {
+            self.in_shape = s;
+        }
+        Tensor::from_vec(out, &[b, c])
+    }
+
+    fn backward(&mut self, grad: Tensor) -> Tensor {
+        assert!(!self.in_shape.is_empty(), "backward before forward(train)");
+        let (h, w) = (self.in_shape[2], self.in_shape[3]);
+        let inv = 1.0 / (h * w) as f32;
+        let mut gx = Tensor::zeros(&self.in_shape);
+        for (bc, &g) in grad.data().iter().enumerate() {
+            for v in &mut gx.data_mut()[bc * h * w..(bc + 1) * h * w] {
+                *v = g * inv;
+            }
+        }
+        gx
+    }
+
+    fn flops(&self, in_shape: &[usize]) -> (u64, Vec<usize>) {
+        (in_shape.iter().product::<usize>() as u64, vec![in_shape[0], in_shape[1]])
+    }
+
+    fn name(&self) -> &'static str {
+        "GlobalAvgPool"
+    }
+}
+
+/// Flatten `[B, ...] → [B, prod(...)]`.
+pub struct Flatten {
+    in_shape: Vec<usize>,
+}
+
+impl Flatten {
+    /// New flatten layer.
+    pub fn new() -> Self {
+        Self { in_shape: Vec::new() }
+    }
+}
+
+impl Default for Flatten {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, x: Tensor, train: bool) -> Tensor {
+        let s = x.shape().to_vec();
+        let b = s[0];
+        let rest: usize = s[1..].iter().product();
+        if train {
+            self.in_shape = s;
+        }
+        x.reshape(&[b, rest])
+    }
+
+    fn backward(&mut self, grad: Tensor) -> Tensor {
+        assert!(!self.in_shape.is_empty(), "backward before forward(train)");
+        grad.reshape(&self.in_shape)
+    }
+
+    fn flops(&self, in_shape: &[usize]) -> (u64, Vec<usize>) {
+        let b = in_shape[0];
+        (0, vec![b, in_shape[1..].iter().product()])
+    }
+
+    fn name(&self) -> &'static str {
+        "Flatten"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maxpool_picks_max_and_routes_gradient() {
+        let mut p = MaxPool2d::new(2);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]);
+        let y = p.forward(x, true);
+        assert_eq!(y.data(), &[4.0]);
+        let gx = p.backward(Tensor::from_vec(vec![5.0], &[1, 1, 1, 1]));
+        assert_eq!(gx.data(), &[0.0, 0.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn gap_averages_and_spreads_gradient() {
+        let mut p = GlobalAvgPool::new();
+        let x = Tensor::from_vec(vec![1.0, 3.0, 5.0, 7.0], &[1, 1, 2, 2]);
+        let y = p.forward(x, true);
+        assert_eq!(y.data(), &[4.0]);
+        let gx = p.backward(Tensor::from_vec(vec![4.0], &[1, 1]));
+        assert_eq!(gx.data(), &[1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn flatten_roundtrip() {
+        let mut f = Flatten::new();
+        let x = Tensor::zeros(&[2, 3, 4, 4]);
+        let y = f.forward(x, true);
+        assert_eq!(y.shape(), &[2, 48]);
+        let gx = f.backward(Tensor::zeros(&[2, 48]));
+        assert_eq!(gx.shape(), &[2, 3, 4, 4]);
+    }
+}
+
+/// Non-overlapping average pooling with stride = kernel.
+pub struct AvgPool2d {
+    kernel: usize,
+    in_shape: Vec<usize>,
+}
+
+impl AvgPool2d {
+    /// Average pooling with the given kernel/stride.
+    pub fn new(kernel: usize) -> Self {
+        assert!(kernel >= 1);
+        Self { kernel, in_shape: Vec::new() }
+    }
+}
+
+impl Layer for AvgPool2d {
+    fn forward(&mut self, x: Tensor, train: bool) -> Tensor {
+        let s = x.shape().to_vec();
+        assert_eq!(s.len(), 4, "AvgPool2d expects [B,C,H,W]");
+        let (b, c, h, w) = (s[0], s[1], s[2], s[3]);
+        let k = self.kernel;
+        let (oh, ow) = (h / k, w / k);
+        let inv = 1.0 / (k * k) as f32;
+        let mut out = vec![0.0f32; b * c * oh * ow];
+        let xd = x.data();
+        for bc in 0..b * c {
+            let plane = &xd[bc * h * w..(bc + 1) * h * w];
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0.0f32;
+                    for ky in 0..k {
+                        for kx in 0..k {
+                            acc += plane[(oy * k + ky) * w + ox * k + kx];
+                        }
+                    }
+                    out[bc * oh * ow + oy * ow + ox] = acc * inv;
+                }
+            }
+        }
+        if train {
+            self.in_shape = s;
+        }
+        Tensor::from_vec(out, &[b, c, oh, ow])
+    }
+
+    fn backward(&mut self, grad: Tensor) -> Tensor {
+        assert!(!self.in_shape.is_empty(), "backward before forward(train)");
+        let (b, c, h, w) =
+            (self.in_shape[0], self.in_shape[1], self.in_shape[2], self.in_shape[3]);
+        let k = self.kernel;
+        let (oh, ow) = (h / k, w / k);
+        let inv = 1.0 / (k * k) as f32;
+        let mut gx = Tensor::zeros(&self.in_shape);
+        let gxd = gx.data_mut();
+        for bc in 0..b * c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let g = grad.data()[bc * oh * ow + oy * ow + ox] * inv;
+                    for ky in 0..k {
+                        for kx in 0..k {
+                            gxd[bc * h * w + (oy * k + ky) * w + ox * k + kx] += g;
+                        }
+                    }
+                }
+            }
+        }
+        gx
+    }
+
+    fn flops(&self, in_shape: &[usize]) -> (u64, Vec<usize>) {
+        let (b, c, h, w) = (in_shape[0], in_shape[1], in_shape[2], in_shape[3]);
+        (in_shape.iter().product::<usize>() as u64, vec![b, c, h / self.kernel, w / self.kernel])
+    }
+
+    fn name(&self) -> &'static str {
+        "AvgPool2d"
+    }
+}
+
+#[cfg(test)]
+mod avgpool_tests {
+    use super::*;
+
+    #[test]
+    fn avgpool_averages_and_spreads_gradient() {
+        let mut p = AvgPool2d::new(2);
+        let x = Tensor::from_vec(vec![1.0, 3.0, 5.0, 7.0], &[1, 1, 2, 2]);
+        let y = p.forward(x, true);
+        assert_eq!(y.data(), &[4.0]);
+        let gx = p.backward(Tensor::from_vec(vec![8.0], &[1, 1, 1, 1]));
+        assert_eq!(gx.data(), &[2.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn avgpool_shape() {
+        let p = AvgPool2d::new(2);
+        let (_, s) = p.flops(&[2, 3, 8, 8]);
+        assert_eq!(s, vec![2, 3, 4, 4]);
+    }
+}

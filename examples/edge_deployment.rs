@@ -1,0 +1,58 @@
+//! Edge-deployment study: a heterogeneous cluster (Jetsons + Raspberry
+//! Pis, including a 2 GB straggler) under constrained bandwidth.
+//!
+//! Demonstrates the device and communication models: stragglers gate the
+//! synchronous rounds, knowledge-hungry methods can OOM the small
+//! device, and communication time scales inversely with bandwidth.
+//!
+//! Run with: `cargo run --release --example edge_deployment`
+
+use fedknow_baselines::Method;
+use fedknow_data::DatasetSpec;
+use fedknow_fl::{CommModel, DeviceProfile};
+use fedknow_suite::RunSpec;
+
+fn main() {
+    let devices = vec![
+        DeviceProfile::jetson_agx(),
+        DeviceProfile::jetson_nx(),
+        DeviceProfile::jetson_nano(),
+        DeviceProfile::raspberry_pi(2), // the straggler with tiny memory
+        DeviceProfile::raspberry_pi(8),
+    ];
+    println!("cluster:");
+    for d in &devices {
+        println!(
+            "  {:<12} {:>8.1e} FLOPs/s, retained-state budget {} KiB",
+            d.name,
+            d.flops_per_sec,
+            d.retained_budget_bytes / 1024
+        );
+    }
+
+    let mut spec = RunSpec::quick(9);
+    spec.dataset = DatasetSpec::cifar100().scaled(0.4, 8).with_tasks(3);
+    spec.num_clients = devices.len();
+
+    for bandwidth_kb in [100.0, 1000.0] {
+        println!("\n--- bandwidth {bandwidth_kb} KB/s ---");
+        for method in [Method::FedKnow, Method::FedWeit] {
+            let report = spec.run_on(
+                method,
+                devices.clone(),
+                CommModel::kb_per_sec(bandwidth_kb),
+            );
+            println!(
+                "{:<10} final acc {:.3}  compute {:>7.1}s  comm {:>7.2}s  dropouts {:?}",
+                report.method,
+                report.accuracy.avg_accuracy_after(report.accuracy.num_tasks() - 1),
+                report.task_compute_seconds.iter().sum::<f64>(),
+                report.total_comm_seconds(),
+                report.dropouts
+            );
+        }
+    }
+    println!("\nThe Raspberry Pi gates every synchronous round (its FLOPs/s");
+    println!("are ~40× below the AGX), and FedWEIT's all-client knowledge");
+    println!("is what pressures the 2 GB device's retained-state budget.");
+}

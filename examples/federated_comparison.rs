@@ -1,0 +1,44 @@
+//! A small federated continual learning bake-off: FedKNOW vs FedAvg
+//! (no continual mechanism) vs GEM (sample rehearsal) on a 4-client,
+//! 3-task CIFAR-100 analogue.
+//!
+//! Prints each method's accuracy curve, forgetting curve and simulated
+//! training/communication time — a miniature of the paper's Figure 4.
+//!
+//! Run with: `cargo run --release --example federated_comparison`
+
+use fedknow_baselines::Method;
+use fedknow_suite::RunSpec;
+
+fn main() {
+    let spec = RunSpec::quick(42);
+    println!(
+        "dataset: {} ({} tasks × {} classes), {} clients, {} rounds × {} iters/task\n",
+        spec.dataset.name,
+        spec.dataset.num_tasks,
+        spec.dataset.classes_per_task,
+        spec.num_clients,
+        spec.rounds_per_task,
+        spec.iters_per_round
+    );
+    for method in [Method::FedAvg, Method::Gem, Method::FedKnow] {
+        let report = spec.run(method);
+        let acc = report.accuracy.accuracy_curve();
+        let forget = report.accuracy.forgetting_curve();
+        println!("{:<10} accuracy per task step:   {:?}", report.method, rounded(&acc));
+        println!("{:<10} forgetting per task step: {:?}", report.method, rounded(&forget));
+        println!(
+            "{:<10} compute {:.1}s  comm {:.2}s  bytes {}\n",
+            report.method,
+            report.task_compute_seconds.iter().sum::<f64>(),
+            report.total_comm_seconds(),
+            report.total_bytes
+        );
+    }
+    println!("Expected shape: FedAvg forgets the most; FedKNOW keeps the");
+    println!("highest average accuracy without GEM's growing compute bill.");
+}
+
+fn rounded(xs: &[f64]) -> Vec<f64> {
+    xs.iter().map(|x| (x * 1000.0).round() / 1000.0).collect()
+}

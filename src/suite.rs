@@ -1,0 +1,106 @@
+//! Workspace-level helpers shared by the examples and integration tests:
+//! one-call assembly of a full federated continual learning simulation.
+
+use fedknow_baselines::factory::MethodConfig;
+use fedknow_baselines::{build_client, Method};
+use fedknow_data::{generate::generate, partition, DatasetSpec, PartitionConfig};
+use fedknow_fl::{CommModel, DeviceProfile, ModelTemplate, SimConfig, SimReport, Simulation};
+use fedknow_nn::ModelKind;
+
+/// Everything needed to run one method on one benchmark.
+#[derive(Debug, Clone)]
+pub struct RunSpec {
+    /// Dataset analogue (structure + scale).
+    pub dataset: DatasetSpec,
+    /// Architecture.
+    pub model: ModelKind,
+    /// Width multiplier for the model zoo.
+    pub width: f64,
+    /// Number of federated clients.
+    pub num_clients: usize,
+    /// Aggregation rounds per task.
+    pub rounds_per_task: usize,
+    /// Local iterations per round.
+    pub iters_per_round: usize,
+    /// Experiment seed.
+    pub seed: u64,
+    /// Method hyper-parameters.
+    pub method_cfg: MethodConfig,
+}
+
+impl RunSpec {
+    /// A quick configuration: 4 clients, 3 tasks of a scaled-down
+    /// CIFAR-100 analogue, SixCNN — finishes in seconds on a laptop.
+    pub fn quick(seed: u64) -> Self {
+        Self {
+            dataset: DatasetSpec::cifar100().scaled(0.5, 8).with_tasks(3),
+            model: ModelKind::SixCnn,
+            width: 1.0,
+            num_clients: 4,
+            rounds_per_task: 3,
+            iters_per_round: 6,
+            seed,
+            method_cfg: MethodConfig::default(),
+        }
+    }
+
+    /// Run a single method under this spec on a uniform device cluster.
+    pub fn run(&self, method: Method) -> SimReport {
+        let devices = DeviceProfile::uniform_cluster(self.num_clients);
+        self.run_on(method, devices, CommModel::paper_default())
+    }
+
+    /// Run a single method on explicit devices and link model.
+    pub fn run_on(
+        &self,
+        method: Method,
+        devices: Vec<DeviceProfile>,
+        comm: CommModel,
+    ) -> SimReport {
+        let dataset = generate(&self.dataset, self.seed);
+        self.run_on_dataset(method, &dataset, devices, comm)
+    }
+
+    /// Run a single method on a pre-built dataset (e.g. the combined
+    /// 80-task stream of Figure 7). `self.dataset` still supplies the
+    /// image shape and class count, so set it consistently.
+    pub fn run_on_dataset(
+        &self,
+        method: Method,
+        dataset: &fedknow_data::ContinualDataset,
+        devices: Vec<DeviceProfile>,
+        comm: CommModel,
+    ) -> SimReport {
+        assert_eq!(devices.len(), self.num_clients, "device count must match clients");
+        let parts = partition(dataset, self.num_clients, &PartitionConfig::default(), self.seed);
+        // Derive the head width from the dataset itself so pre-built
+        // streams (whose class count differs from the spec) still fit.
+        let num_classes = dataset
+            .tasks
+            .iter()
+            .flat_map(|t| t.classes.iter().copied())
+            .max()
+            .map_or(self.dataset.total_classes(), |m| m + 1);
+        let template = ModelTemplate::new(
+            self.model,
+            dataset.spec.channels,
+            num_classes,
+            self.width,
+            self.seed,
+        );
+        let image_shape =
+            vec![dataset.spec.channels, dataset.spec.height, dataset.spec.width];
+        let clients = (0..self.num_clients)
+            .map(|_| build_client(method, &template, &self.method_cfg, image_shape.clone()))
+            .collect();
+        let cfg = SimConfig {
+            rounds_per_task: self.rounds_per_task,
+            iters_per_round: self.iters_per_round,
+            seed: self.seed,
+            parallel: true,
+        };
+        let mut sim =
+            Simulation::new(clients, parts, devices, comm, cfg, template.size_bytes());
+        sim.run()
+    }
+}

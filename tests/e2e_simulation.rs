@@ -1,0 +1,83 @@
+//! End-to-end integration: full federated continual learning runs across
+//! crates — data generation → partitioning → clients → simulation →
+//! metrics — for FedKNOW and representative baselines.
+
+use fedknow_baselines::Method;
+use fedknow_suite::RunSpec;
+
+#[test]
+fn fedknow_end_to_end_learns_above_chance() {
+    let spec = RunSpec::quick(42);
+    let report = spec.run(Method::FedKnow);
+    assert_eq!(report.method, "fedknow");
+    assert_eq!(report.accuracy.num_tasks(), 3);
+    // 2–5 classes per client task → chance is at most 1/2; require the
+    // first task to be learned well above the worst-case chance level.
+    let first = report.accuracy.at(0, 0);
+    assert!(first > 0.5, "first-task accuracy {first}");
+    // Times and bytes must be accounted.
+    assert!(report.total_bytes > 0);
+    assert!(report.task_compute_seconds.iter().all(|&t| t > 0.0));
+    assert!(report.task_comm_seconds.iter().all(|&t| t > 0.0));
+}
+
+#[test]
+fn fedknow_forgets_less_than_fedavg() {
+    let spec = RunSpec::quick(7);
+    let fedknow = spec.run(Method::FedKnow);
+    let fedavg = spec.run(Method::FedAvg);
+    let fk_forget = fedknow.accuracy.avg_forgetting_after(2);
+    let fa_forget = fedavg.accuracy.avg_forgetting_after(2);
+    assert!(
+        fk_forget <= fa_forget + 0.05,
+        "FedKNOW forgetting {fk_forget} should not exceed FedAvg {fa_forget}"
+    );
+    let fk_acc = fedknow.accuracy.avg_accuracy_after(2);
+    let fa_acc = fedavg.accuracy.avg_accuracy_after(2);
+    assert!(
+        fk_acc + 0.05 >= fa_acc,
+        "FedKNOW accuracy {fk_acc} collapsed vs FedAvg {fa_acc}"
+    );
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let spec = RunSpec::quick(11);
+    let a = spec.run(Method::FedKnow);
+    let b = spec.run(Method::FedKnow);
+    assert_eq!(a.accuracy.accuracy_curve(), b.accuracy.accuracy_curve());
+    assert_eq!(a.total_bytes, b.total_bytes);
+}
+
+#[test]
+fn fedweit_moves_more_bytes_than_fedknow() {
+    let spec = RunSpec::quick(3);
+    let fedknow = spec.run(Method::FedKnow);
+    let fedweit = spec.run(Method::FedWeit);
+    assert!(
+        fedweit.total_bytes > fedknow.total_bytes,
+        "FedWEIT {} should out-traffic FedKNOW {} (adaptive-weight exchange)",
+        fedweit.total_bytes,
+        fedknow.total_bytes
+    );
+}
+
+#[test]
+fn all_twelve_methods_complete_a_tiny_run() {
+    let mut spec = RunSpec::quick(5);
+    // Make it as small as possible: 2 tasks, 2 clients, 2 rounds.
+    spec.dataset = spec.dataset.with_tasks(2);
+    spec.num_clients = 2;
+    spec.rounds_per_task = 2;
+    spec.iters_per_round = 3;
+    for method in Method::COMPARISON {
+        let report = spec.run(method);
+        assert_eq!(report.accuracy.num_tasks(), 2, "{} wrong task count", method.name());
+        let acc = report.accuracy.avg_accuracy_after(1);
+        assert!(
+            (0.0..=1.0).contains(&acc),
+            "{} produced out-of-range accuracy {acc}",
+            method.name()
+        );
+    }
+}
