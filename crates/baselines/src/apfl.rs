@@ -33,7 +33,12 @@ impl ApflClient {
         batch_size: usize,
         image_shape: Vec<usize>,
     ) -> Self {
-        let opt = Sgd::new(lr, LrSchedule::LinearDecrease { decrease: lr_decrease });
+        let opt = Sgd::new(
+            lr,
+            LrSchedule::LinearDecrease {
+                decrease: lr_decrease,
+            },
+        );
         Self {
             trainer: LocalTrainer::new(template.instantiate(), opt, batch_size, image_shape),
             personal: template.init.clone(),
@@ -82,7 +87,10 @@ impl FclClient for ApflClient {
         }
         self.alpha = (self.alpha - self.alpha_lr * dalpha).clamp(0.0, 1.0);
 
-        IterationStats { loss: loss as f64, flops: 2 * self.trainer.iteration_flops() }
+        IterationStats {
+            loss: loss as f64,
+            flops: 2 * self.trainer.iteration_flops(),
+        }
     }
 
     fn upload(&mut self) -> Option<Vec<f32>> {

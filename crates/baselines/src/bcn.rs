@@ -36,7 +36,12 @@ impl BcnClient {
         batch_size: usize,
         image_shape: Vec<usize>,
     ) -> Self {
-        let opt = Sgd::new(lr, LrSchedule::LinearDecrease { decrease: lr_decrease });
+        let opt = Sgd::new(
+            lr,
+            LrSchedule::LinearDecrease {
+                decrease: lr_decrease,
+            },
+        );
         Self {
             trainer: LocalTrainer::new(template.instantiate(), opt, batch_size, image_shape),
             memory: EpisodicMemory::new(),
@@ -77,7 +82,10 @@ impl FclClient for BcnClient {
         self.trainer.model.sgd_step(lr);
         // The mixed batch is up to 1.5× the configured batch.
         let flops = 3 * self.trainer.model.flops(x.shape()[0]);
-        IterationStats { loss: loss as f64, flops }
+        IterationStats {
+            loss: loss as f64,
+            flops,
+        }
     }
 
     fn upload(&mut self) -> Option<Vec<f32>> {

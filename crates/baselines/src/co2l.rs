@@ -42,7 +42,12 @@ impl Co2lClient {
         batch_size: usize,
         image_shape: Vec<usize>,
     ) -> Self {
-        let opt = Sgd::new(lr, LrSchedule::LinearDecrease { decrease: lr_decrease });
+        let opt = Sgd::new(
+            lr,
+            LrSchedule::LinearDecrease {
+                decrease: lr_decrease,
+            },
+        );
         Self {
             trainer: LocalTrainer::new(template.instantiate(), opt, batch_size, image_shape),
             memory: EpisodicMemory::new(),
@@ -70,11 +75,10 @@ impl FclClient for Co2lClient {
         // Distillation from the previous-task snapshot on rehearsal data.
         if let Some(snapshot) = self.snapshot.clone() {
             let image_shape = self.trainer.image_shape().to_vec();
-            if let Some((mx, _)) = self.memory.sample_mixed_batch(
-                self.trainer.batch_size,
-                &image_shape,
-                rng,
-            ) {
+            if let Some((mx, _)) =
+                self.memory
+                    .sample_mixed_batch(self.trainer.batch_size, &image_shape, rng)
+            {
                 // Teacher distribution from the frozen snapshot.
                 let live = self.trainer.model.flat_params();
                 self.trainer.model.set_flat_params(&snapshot);
@@ -94,7 +98,10 @@ impl FclClient for Co2lClient {
         }
         let lr = self.trainer.opt.next_lr() as f32;
         self.trainer.model.apply_update(&update, lr);
-        IterationStats { loss: loss as f64, flops }
+        IterationStats {
+            loss: loss as f64,
+            flops,
+        }
     }
 
     fn upload(&mut self) -> Option<Vec<f32>> {
@@ -145,7 +152,10 @@ mod tests {
         let f0 = c.train_iteration(&mut rng).flops;
         c.finish_task(&mut rng);
         assert!(c.snapshot.is_some());
-        assert!(c.retained_bytes() > template.size_bytes(), "snapshot + memory retained");
+        assert!(
+            c.retained_bytes() > template.size_bytes(),
+            "snapshot + memory retained"
+        );
         c.start_task(&parts[0].tasks[1], &mut rng);
         let f1 = c.train_iteration(&mut rng).flops;
         assert!(f1 > f0, "distillation pass must cost extra: {f1} !> {f0}");

@@ -24,7 +24,8 @@ impl EpisodicMemory {
         let n = task.train.len();
         let take = ((n as f64 * fraction).round() as usize).clamp(1, n.max(1));
         let idx = sample_indices(rng, n, take);
-        self.per_task.push(idx.into_iter().map(|i| task.train[i].clone()).collect());
+        self.per_task
+            .push(idx.into_iter().map(|i| task.train[i].clone()).collect());
     }
 
     /// Number of tasks with stored samples.

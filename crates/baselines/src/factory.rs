@@ -146,12 +146,22 @@ pub fn build_client(
             fk.lr_decrease = dec;
             Box::new(FedKnowClient::new(template, fk, bs, image_shape))
         }
-        Method::Gem => {
-            Box::new(GemClient::new(template, cfg.memory_fraction, lr, dec, bs, image_shape))
-        }
-        Method::Bcn => {
-            Box::new(BcnClient::new(template, cfg.memory_fraction, lr, dec, bs, image_shape))
-        }
+        Method::Gem => Box::new(GemClient::new(
+            template,
+            cfg.memory_fraction,
+            lr,
+            dec,
+            bs,
+            image_shape,
+        )),
+        Method::Bcn => Box::new(BcnClient::new(
+            template,
+            cfg.memory_fraction,
+            lr,
+            dec,
+            bs,
+            image_shape,
+        )),
         Method::Co2l => Box::new(Co2lClient::new(
             template,
             cfg.memory_fraction,
@@ -191,9 +201,14 @@ pub fn build_client(
         Method::FedAvg => Box::new(FedAvgClient::new(template, lr, dec, bs, image_shape)),
         Method::Apfl => Box::new(ApflClient::new(template, 0.5, lr, dec, bs, image_shape)),
         Method::FedRep => Box::new(FedRepClient::new(template, lr, dec, bs, image_shape)),
-        Method::Flcn => {
-            Box::new(FlcnClient::new(template, cfg.memory_fraction, lr, dec, bs, image_shape))
-        }
+        Method::Flcn => Box::new(FlcnClient::new(
+            template,
+            cfg.memory_fraction,
+            lr,
+            dec,
+            bs,
+            image_shape,
+        )),
         Method::FedWeit => Box::new(FedWeitClient::new(
             template,
             cfg.fedweit_fraction,
@@ -212,9 +227,14 @@ pub fn build_client(
             bs,
             image_shape,
         )),
-        Method::AGem => {
-            Box::new(AGemClient::new(template, cfg.memory_fraction, lr, dec, bs, image_shape))
-        }
+        Method::AGem => Box::new(AGemClient::new(
+            template,
+            cfg.memory_fraction,
+            lr,
+            dec,
+            bs,
+            image_shape,
+        )),
     }
 }
 

@@ -22,8 +22,15 @@ impl FedAvgClient {
         batch_size: usize,
         image_shape: Vec<usize>,
     ) -> Self {
-        let opt = Sgd::new(lr, LrSchedule::LinearDecrease { decrease: lr_decrease });
-        Self { trainer: LocalTrainer::new(template.instantiate(), opt, batch_size, image_shape) }
+        let opt = Sgd::new(
+            lr,
+            LrSchedule::LinearDecrease {
+                decrease: lr_decrease,
+            },
+        );
+        Self {
+            trainer: LocalTrainer::new(template.instantiate(), opt, batch_size, image_shape),
+        }
     }
 }
 
@@ -34,7 +41,10 @@ impl FclClient for FedAvgClient {
 
     fn train_iteration(&mut self, rng: &mut StdRng) -> IterationStats {
         let loss = self.trainer.sgd_iteration(rng);
-        IterationStats { loss: loss as f64, flops: self.trainer.iteration_flops() }
+        IterationStats {
+            loss: loss as f64,
+            flops: self.trainer.iteration_flops(),
+        }
     }
 
     fn upload(&mut self) -> Option<Vec<f32>> {
@@ -77,7 +87,11 @@ mod tests {
         }
         let acc = c.evaluate(&parts[0].tasks[0]);
         assert!(acc > 2.0 / parts[0].tasks[0].classes.len() as f64);
-        assert_eq!(c.retained_bytes(), 0, "FedAvg must retain no continual state");
+        assert_eq!(
+            c.retained_bytes(),
+            0,
+            "FedAvg must retain no continual state"
+        );
     }
 
     #[test]

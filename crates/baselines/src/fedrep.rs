@@ -30,7 +30,12 @@ impl FedRepClient {
         batch_size: usize,
         image_shape: Vec<usize>,
     ) -> Self {
-        let opt = Sgd::new(lr, LrSchedule::LinearDecrease { decrease: lr_decrease });
+        let opt = Sgd::new(
+            lr,
+            LrSchedule::LinearDecrease {
+                decrease: lr_decrease,
+            },
+        );
         let model = template.instantiate();
         // The head is the trailing run of linear segments (weight+bias of
         // the classifier).
@@ -43,7 +48,10 @@ impl FedRepClient {
                 break;
             }
         }
-        Self { trainer: LocalTrainer::new(model, opt, batch_size, image_shape), head_offset }
+        Self {
+            trainer: LocalTrainer::new(model, opt, batch_size, image_shape),
+            head_offset,
+        }
     }
 
     /// Where the personal head begins in the flat vector (tests).
@@ -59,7 +67,10 @@ impl FclClient for FedRepClient {
 
     fn train_iteration(&mut self, rng: &mut StdRng) -> IterationStats {
         let loss = self.trainer.sgd_iteration(rng);
-        IterationStats { loss: loss as f64, flops: self.trainer.iteration_flops() }
+        IterationStats {
+            loss: loss as f64,
+            flops: self.trainer.iteration_flops(),
+        }
     }
 
     fn upload(&mut self) -> Option<Vec<f32>> {
@@ -83,7 +94,10 @@ impl FclClient for FedRepClient {
         // Only the representation travels.
         let frac = self.head_offset as f64 / self.trainer.model.param_count() as f64;
         let bytes = (full_model_bytes as f64 * frac) as u64;
-        CommBytes { up: bytes, down: bytes }
+        CommBytes {
+            up: bytes,
+            down: bytes,
+        }
     }
 
     fn method_name(&self) -> &'static str {
@@ -132,7 +146,10 @@ mod tests {
         c.receive_global(&global, &mut rng);
         let after = c.upload().unwrap();
         let h = c.head_offset();
-        assert!(after[..h].iter().all(|&v| v == 0.25), "representation must be adopted");
+        assert!(
+            after[..h].iter().all(|&v| v == 0.25),
+            "representation must be adopted"
+        );
         assert_eq!(&after[h..], &before[h..], "head must stay personal");
     }
 

@@ -64,7 +64,12 @@ impl FedWeitClient {
         batch_size: usize,
         image_shape: Vec<usize>,
     ) -> Self {
-        let opt = Sgd::new(lr, LrSchedule::LinearDecrease { decrease: lr_decrease });
+        let opt = Sgd::new(
+            lr,
+            LrSchedule::LinearDecrease {
+                decrease: lr_decrease,
+            },
+        );
         let model = template.instantiate();
         let segments = model.layout().iter().map(|s| (s.offset, s.len)).collect();
         Self {
@@ -89,8 +94,7 @@ impl FedWeitClient {
         let mut indices = Vec::new();
         let mut values = Vec::new();
         for &(off, len) in &self.segments {
-            let diff: Vec<f32> =
-                (0..len).map(|i| w[off + i] - self.base[off + i]).collect();
+            let diff: Vec<f32> = (0..len).map(|i| w[off + i] - self.base[off + i]).collect();
             let keep = ((len as f64 * self.adaptive_fraction).round() as usize).min(len);
             let local = SparseVec::top_k_by_magnitude(&diff, keep);
             for (&i, &v) in local.indices().iter().zip(local.values()) {
@@ -124,7 +128,10 @@ impl FclClient for FedWeitClient {
         }
         let lr = self.trainer.opt.next_lr() as f32;
         self.trainer.model.apply_update(&update, lr);
-        IterationStats { loss: loss as f64, flops: self.trainer.iteration_flops() }
+        IterationStats {
+            loss: loss as f64,
+            flops: self.trainer.iteration_flops(),
+        }
     }
 
     fn upload(&mut self) -> Option<Vec<f32>> {
@@ -161,7 +168,8 @@ impl FclClient for FedWeitClient {
         // Cache everyone's adaptives (server-mirrored knowledge).
         let mut fresh: Vec<&Payload> = Vec::new();
         for p in payloads {
-            self.foreign.insert((p.from_client, p.tag), p.sparse.clone());
+            self.foreign
+                .insert((p.from_client, p.tag), p.sparse.clone());
             fresh.push(p);
         }
         if self.own_only || fresh.is_empty() {
@@ -208,7 +216,11 @@ impl FclClient for FedWeitClient {
     }
 
     fn retained_bytes(&self) -> u64 {
-        let own: u64 = self.own_adaptives.values().map(|a| a.size_bytes() as u64).sum();
+        let own: u64 = self
+            .own_adaptives
+            .values()
+            .map(|a| a.size_bytes() as u64)
+            .sum();
         let foreign: u64 = self.foreign.values().map(|a| a.size_bytes() as u64).sum();
         own + foreign
     }
@@ -251,7 +263,11 @@ mod tests {
         let a = c.current_adaptive();
         let n = c.trainer.model.param_count();
         assert!(a.nnz() > 0);
-        assert!(a.nnz() <= n / 5, "adaptive should be sparse: {} of {n}", a.nnz());
+        assert!(
+            a.nnz() <= n / 5,
+            "adaptive should be sparse: {} of {n}",
+            a.nnz()
+        );
     }
 
     #[test]
@@ -281,16 +297,22 @@ mod tests {
         c.start_task(&tasks[0], &mut rng);
         c.train_iteration(&mut rng);
         let n = c.trainer.model.param_count();
-        let fake = |seed: usize| {
-            SparseVec::new(n, vec![seed as u32, (seed + 10) as u32], vec![0.5, -0.5])
-        };
+        let fake =
+            |seed: usize| SparseVec::new(n, vec![seed as u32, (seed + 10) as u32], vec![0.5, -0.5]);
         let payloads: Vec<Payload> = (0..4)
-            .map(|cl| Payload { from_client: cl, tag: 0, sparse: fake(cl) })
+            .map(|cl| Payload {
+                from_client: cl,
+                tag: 0,
+                sparse: fake(cl),
+            })
             .collect();
         let before = c.retained_bytes();
         c.payloads_in(&payloads, &mut rng);
         assert_eq!(c.knowledge_counts().1, 4);
-        assert!(c.retained_bytes() > before, "foreign knowledge must cost memory");
+        assert!(
+            c.retained_bytes() > before,
+            "foreign knowledge must cost memory"
+        );
     }
 
     #[test]

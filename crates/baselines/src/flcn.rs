@@ -42,7 +42,12 @@ impl FlcnClient {
         batch_size: usize,
         image_shape: Vec<usize>,
     ) -> Self {
-        let opt = Sgd::new(lr, LrSchedule::LinearDecrease { decrease: lr_decrease });
+        let opt = Sgd::new(
+            lr,
+            LrSchedule::LinearDecrease {
+                decrease: lr_decrease,
+            },
+        );
         Self {
             trainer: LocalTrainer::new(template.instantiate(), opt, batch_size, image_shape),
             server_buffer: EpisodicMemory::new(),
@@ -62,7 +67,8 @@ impl FclClient for FlcnClient {
         // Ship this task's contribution to the server buffer now; the
         // bytes are charged with the first round of the task.
         let before = self.server_buffer.size_bytes();
-        self.server_buffer.store_task(task, self.sample_fraction, rng);
+        self.server_buffer
+            .store_task(task, self.sample_fraction, rng);
         self.pending_upload_bytes = self.server_buffer.size_bytes() - before;
     }
 
@@ -70,7 +76,10 @@ impl FclClient for FlcnClient {
         let loss = self.trainer.sgd_iteration(rng);
         let flops = self.trainer.iteration_flops() + self.pending_flops;
         self.pending_flops = 0;
-        IterationStats { loss: loss as f64, flops }
+        IterationStats {
+            loss: loss as f64,
+            flops,
+        }
     }
 
     fn upload(&mut self) -> Option<Vec<f32>> {
@@ -82,11 +91,10 @@ impl FclClient for FlcnClient {
         // Server-side rehearsal correction of the aggregated model.
         let image_shape = self.trainer.image_shape().to_vec();
         for _ in 0..self.rehearsal_steps {
-            if let Some((x, labels)) = self.server_buffer.sample_mixed_batch(
-                self.trainer.batch_size,
-                &image_shape,
-                rng,
-            ) {
+            if let Some((x, labels)) =
+                self.server_buffer
+                    .sample_mixed_batch(self.trainer.batch_size, &image_shape, rng)
+            {
                 self.trainer.compute_grads(&x, &labels);
                 let lr = self.trainer.opt.current_lr() as f32;
                 self.trainer.model.sgd_step(lr * 0.5);
@@ -107,7 +115,10 @@ impl FclClient for FlcnClient {
     }
 
     fn extra_comm(&self) -> CommBytes {
-        CommBytes { up: self.pending_upload_bytes, down: 0 }
+        CommBytes {
+            up: self.pending_upload_bytes,
+            down: 0,
+        }
     }
 
     fn retained_bytes(&self) -> u64 {
@@ -133,7 +144,10 @@ mod tests {
         let d = generate(&spec, 1);
         let parts = partition(&d, 1, &PartitionConfig::default(), 1);
         let template = ModelTemplate::new(ModelKind::SixCnn, 3, spec.total_classes(), 1.0, 3);
-        (FlcnClient::new(&template, 0.1, 0.05, 1e-4, 8, vec![3, 8, 8]), parts[0].tasks.clone())
+        (
+            FlcnClient::new(&template, 0.1, 0.05, 1e-4, 8, vec![3, 8, 8]),
+            parts[0].tasks.clone(),
+        )
     }
 
     #[test]
@@ -147,7 +161,11 @@ mod tests {
         // The charge is consumed at the end of the first round.
         let g = vec![0.0f32; c.upload().unwrap().len()];
         c.receive_global(&g, &mut rng);
-        assert_eq!(c.extra_comm().up, 0, "samples must be charged only once per task");
+        assert_eq!(
+            c.extra_comm().up,
+            0,
+            "samples must be charged only once per task"
+        );
         c.start_task(&tasks[1], &mut rng);
         assert!(c.extra_comm().up > 0, "a new task ships a new contribution");
     }
@@ -162,7 +180,10 @@ mod tests {
         let global = vec![0.1f32; before.len()];
         c.receive_global(&global, &mut rng);
         let after = c.upload().unwrap();
-        assert_ne!(after, global, "rehearsal must move the model off the raw global");
+        assert_ne!(
+            after, global,
+            "rehearsal must move the model off the raw global"
+        );
     }
 
     #[test]

@@ -36,7 +36,12 @@ impl GemClient {
         batch_size: usize,
         image_shape: Vec<usize>,
     ) -> Self {
-        let opt = Sgd::new(lr, LrSchedule::LinearDecrease { decrease: lr_decrease });
+        let opt = Sgd::new(
+            lr,
+            LrSchedule::LinearDecrease {
+                decrease: lr_decrease,
+            },
+        );
         Self {
             trainer: LocalTrainer::new(template.instantiate(), opt, batch_size, image_shape),
             memory: EpisodicMemory::new(),
@@ -68,7 +73,8 @@ impl FclClient for GemClient {
         let mut constraints = Vec::with_capacity(self.memory.num_tasks());
         for t in 0..self.memory.num_tasks() {
             if let Some((mx, mlabels)) =
-                self.memory.sample_task_batch(t, self.trainer.batch_size, &image_shape, rng)
+                self.memory
+                    .sample_task_batch(t, self.trainer.batch_size, &image_shape, rng)
             {
                 self.trainer.compute_grads(&mx, &mlabels);
                 constraints.push(self.trainer.model.flat_grads());
@@ -78,11 +84,16 @@ impl FclClient for GemClient {
         let update = if constraints.is_empty() {
             g
         } else {
-            integrate_gradient(&g, &constraints, &self.qp).map(|r| r.gradient).unwrap_or(g)
+            integrate_gradient(&g, &constraints, &self.qp)
+                .map(|r| r.gradient)
+                .unwrap_or(g)
         };
         let lr = self.trainer.opt.next_lr() as f32;
         self.trainer.model.apply_update(&update, lr);
-        IterationStats { loss: loss as f64, flops }
+        IterationStats {
+            loss: loss as f64,
+            flops,
+        }
     }
 
     fn upload(&mut self) -> Option<Vec<f32>> {
@@ -124,7 +135,10 @@ mod tests {
         let d = generate(&spec, 1);
         let parts = partition(&d, 1, &PartitionConfig::default(), 1);
         let template = ModelTemplate::new(ModelKind::SixCnn, 3, spec.total_classes(), 1.0, 3);
-        (GemClient::new(&template, frac, 0.05, 1e-4, 8, vec![3, 8, 8]), parts[0].tasks.clone())
+        (
+            GemClient::new(&template, frac, 0.05, 1e-4, 8, vec![3, 8, 8]),
+            parts[0].tasks.clone(),
+        )
     }
 
     #[test]
@@ -149,7 +163,10 @@ mod tests {
         c.finish_task(&mut rng);
         c.start_task(&tasks[1], &mut rng);
         let with_memory = c.train_iteration(&mut rng).flops;
-        assert!(with_memory > base, "{with_memory} !> {base}: GEM must pay per past task");
+        assert!(
+            with_memory > base,
+            "{with_memory} !> {base}: GEM must pay per past task"
+        );
     }
 
     #[test]
@@ -186,7 +203,14 @@ impl AGemClient {
         image_shape: Vec<usize>,
     ) -> Self {
         Self {
-            inner: GemClient::new(template, memory_fraction, lr, lr_decrease, bs_at_least_one(batch_size), image_shape),
+            inner: GemClient::new(
+                template,
+                memory_fraction,
+                lr,
+                lr_decrease,
+                bs_at_least_one(batch_size),
+                image_shape,
+            ),
         }
     }
 }
@@ -224,7 +248,10 @@ impl FclClient for AGemClient {
         };
         let lr = self.inner.trainer.opt.next_lr() as f32;
         self.inner.trainer.model.apply_update(&update, lr);
-        IterationStats { loss: loss as f64, flops }
+        IterationStats {
+            loss: loss as f64,
+            flops,
+        }
     }
 
     fn upload(&mut self) -> Option<Vec<f32>> {
@@ -276,6 +303,9 @@ mod agem_tests {
         // With ≥1 past task the cost is exactly one extra pass — it does
         // not keep growing like GEM's.
         assert!(flops_per_task[1] > flops_per_task[0]);
-        assert_eq!(flops_per_task[1], flops_per_task[2], "A-GEM cost must not grow with tasks");
+        assert_eq!(
+            flops_per_task[1], flops_per_task[2],
+            "A-GEM cost must not grow with tasks"
+        );
     }
 }

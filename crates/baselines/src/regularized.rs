@@ -74,7 +74,12 @@ impl RegularizedClient {
         batch_size: usize,
         image_shape: Vec<usize>,
     ) -> Self {
-        let opt = Sgd::new(lr, LrSchedule::LinearDecrease { decrease: lr_decrease });
+        let opt = Sgd::new(
+            lr,
+            LrSchedule::LinearDecrease {
+                decrease: lr_decrease,
+            },
+        );
         let n = template.param_count();
         Self {
             trainer: LocalTrainer::new(template.instantiate(), opt, batch_size, image_shape),
@@ -131,9 +136,9 @@ impl RegularizedClient {
                 let now = self.trainer.model.flat_params();
                 const XI: f32 = 1e-3;
                 if !self.task_start_params.is_empty() {
-                    for i in 0..self.omega.len() {
+                    for (i, om) in self.omega.iter_mut().enumerate() {
                         let dw = now[i] - self.task_start_params[i];
-                        self.omega[i] += (self.path_credit[i] / (dw * dw + XI)).max(0.0);
+                        *om += (self.path_credit[i] / (dw * dw + XI)).max(0.0);
                     }
                 }
                 self.path_credit.iter_mut().for_each(|c| *c = 0.0);
@@ -172,7 +177,10 @@ impl FclClient for RegularizedClient {
         self.trainer.model.apply_update(&update, lr);
         let flops = self.trainer.iteration_flops() + self.pending_flops;
         self.pending_flops = 0;
-        IterationStats { loss: loss as f64, flops }
+        IterationStats {
+            loss: loss as f64,
+            flops,
+        }
     }
 
     fn upload(&mut self) -> Option<Vec<f32>> {
@@ -190,8 +198,8 @@ impl FclClient for RegularizedClient {
         // by orders of magnitude between a 6-layer CNN and a ResNet,
         // which would otherwise freeze one model and under-regularise
         // the other). Standard practice in EWC implementations.
-        let mean = self.omega.iter().map(|&o| o as f64).sum::<f64>()
-            / self.omega.len().max(1) as f64;
+        let mean =
+            self.omega.iter().map(|&o| o as f64).sum::<f64>() / self.omega.len().max(1) as f64;
         if mean > 0.0 {
             let inv = (1.0 / mean) as f32;
             for o in &mut self.omega {

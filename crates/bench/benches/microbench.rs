@@ -56,7 +56,10 @@ fn bench_gradient_restore(c: &mut Criterion) {
     let mut model = ModelKind::SixCnn.build(&mut rng, 3, 100, 1.0);
     let params = model.flat_params();
     let knowledge = SparseVec::top_fraction_by_magnitude(&params, 0.10);
-    let x = Tensor::from_vec(normal_vec(&mut rng, 16 * 3 * 8 * 8, 0.0, 1.0), &[16, 3, 8, 8]);
+    let x = Tensor::from_vec(
+        normal_vec(&mut rng, 16 * 3 * 8 * 8, 0.0, 1.0),
+        &[16, 3, 8, 8],
+    );
     c.bench_function("gradient_restore_sixcnn_b16", |b| {
         b.iter(|| GradientRestorer.restore(&mut model, &knowledge, &x))
     });
@@ -67,7 +70,9 @@ fn bench_distance_ranking(c: &mut Criterion) {
     let mut rng = seeded(4);
     let dim = 50_000;
     let reference = normal_vec(&mut rng, dim, 0.0, 1.0);
-    let candidates: Vec<Vec<f32>> = (0..20).map(|_| normal_vec(&mut rng, dim, 0.0, 1.0)).collect();
+    let candidates: Vec<Vec<f32>> = (0..20)
+        .map(|_| normal_vec(&mut rng, dim, 0.0, 1.0))
+        .collect();
     for (name, metric) in [
         ("wasserstein", DistanceMetric::Wasserstein),
         ("cosine", DistanceMetric::Cosine),
@@ -85,8 +90,9 @@ fn bench_fedavg(c: &mut Criterion) {
     let mut rng = seeded(5);
     let dim = 100_000;
     for n in [10usize, 20, 100] {
-        let uploads: Vec<Option<Vec<f32>>> =
-            (0..n).map(|_| Some(normal_vec(&mut rng, dim, 0.0, 1.0))).collect();
+        let uploads: Vec<Option<Vec<f32>>> = (0..n)
+            .map(|_| Some(normal_vec(&mut rng, dim, 0.0, 1.0)))
+            .collect();
         let weights: Vec<usize> = (1..=n).collect();
         group.bench_with_input(BenchmarkId::new("clients", n), &n, |b, _| {
             b.iter(|| fedavg(&uploads, &weights))
@@ -101,7 +107,10 @@ fn bench_forward_backward(c: &mut Criterion) {
     let mut rng = seeded(6);
     for kind in [ModelKind::SixCnn, ModelKind::ResNet18] {
         let mut model = kind.build(&mut rng, 3, 100, 1.0);
-        let x = Tensor::from_vec(normal_vec(&mut rng, 16 * 3 * 8 * 8, 0.0, 1.0), &[16, 3, 8, 8]);
+        let x = Tensor::from_vec(
+            normal_vec(&mut rng, 16 * 3 * 8 * 8, 0.0, 1.0),
+            &[16, 3, 8, 8],
+        );
         let labels: Vec<usize> = (0..16).map(|i| i % 100).collect();
         group.bench_function(kind.name(), |b| {
             b.iter(|| {

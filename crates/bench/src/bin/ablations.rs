@@ -21,8 +21,21 @@ struct AblationResult {
     curve: MethodCurve,
 }
 
+/// Run one ablation under an obs span so every setting's wall time
+/// lands in the in-memory aggregator (reported at the end), replacing
+/// the old untimed progress prints.
+fn run_ablation(spec: &fedknow_suite::RunSpec, label: &str) -> MethodCurve {
+    eprintln!("[ablation] {label} ...");
+    let _span = fedknow_obs::obs_span!("ablation-{label}");
+    MethodCurve::from_report(&spec.run(Method::FedKnow))
+}
+
 fn main() {
     let args = parse_args();
+    // Summaries (per-setting wall time, aggregate phase shares) come
+    // from the obs layer's in-memory aggregator.
+    fedknow_obs::enable();
+    let obs_start = fedknow_obs::snapshot().expect("obs enabled");
     let base = scaled_spec(DatasetSpec::cifar100(), args.scale, args.seed);
     let mut results = Vec::new();
     let mut rows = Vec::new();
@@ -36,9 +49,11 @@ fn main() {
         let mut spec = base.clone();
         spec.method_cfg = MethodConfig::default();
         spec.method_cfg.fedknow.metric = metric;
-        eprintln!("[ablation] {label} ...");
-        let curve = MethodCurve::from_report(&spec.run(Method::FedKnow));
-        rows.push((label.to_string(), vec![curve.final_accuracy(), *curve.forgetting.last().unwrap()]));
+        let curve = run_ablation(&spec, label);
+        rows.push((
+            label.to_string(),
+            vec![curve.final_accuracy(), *curve.forgetting.last().unwrap()],
+        ));
         results.push(AblationResult {
             ablation: "selection-metric".into(),
             setting: label.into(),
@@ -51,10 +66,16 @@ fn main() {
         let mut spec = base.clone();
         spec.method_cfg.fedknow.k = k;
         let label = format!("k={k}");
-        eprintln!("[ablation] {label} ...");
-        let curve = MethodCurve::from_report(&spec.run(Method::FedKnow));
-        rows.push((label.clone(), vec![curve.final_accuracy(), *curve.forgetting.last().unwrap()]));
-        results.push(AblationResult { ablation: "k".into(), setting: label, curve });
+        let curve = run_ablation(&spec, &label);
+        rows.push((
+            label.clone(),
+            vec![curve.final_accuracy(), *curve.forgetting.last().unwrap()],
+        ));
+        results.push(AblationResult {
+            ablation: "k".into(),
+            setting: label,
+            curve,
+        });
     }
 
     // 3. Knowledge-extraction strategy (magnitude vs structured filter
@@ -67,9 +88,11 @@ fn main() {
         let mut spec = base.clone();
         spec.method_cfg = MethodConfig::default();
         spec.method_cfg.fedknow.strategy = strategy;
-        eprintln!("[ablation] {label} ...");
-        let curve = MethodCurve::from_report(&spec.run(Method::FedKnow));
-        rows.push((label.to_string(), vec![curve.final_accuracy(), *curve.forgetting.last().unwrap()]));
+        let curve = run_ablation(&spec, label);
+        rows.push((
+            label.to_string(),
+            vec![curve.final_accuracy(), *curve.forgetting.last().unwrap()],
+        ));
         results.push(AblationResult {
             ablation: "extraction-strategy".into(),
             setting: label.into(),
@@ -81,9 +104,11 @@ fn main() {
     for (label, iters) in [("post-agg-on", Some(2usize)), ("post-agg-off", Some(0))] {
         let mut spec = base.clone();
         spec.method_cfg.fedknow.post_agg_iters = iters;
-        eprintln!("[ablation] {label} ...");
-        let curve = MethodCurve::from_report(&spec.run(Method::FedKnow));
-        rows.push((label.to_string(), vec![curve.final_accuracy(), *curve.forgetting.last().unwrap()]));
+        let curve = run_ablation(&spec, label);
+        rows.push((
+            label.to_string(),
+            vec![curve.final_accuracy(), *curve.forgetting.last().unwrap()],
+        ));
         results.push(AblationResult {
             ablation: "post-aggregation-integration".into(),
             setting: label.into(),
@@ -96,5 +121,20 @@ fn main() {
         &["accuracy".into(), "forgetting".into()],
         &rows,
     );
+    // Per-setting wall time and aggregate phase shares over the whole
+    // sweep, from the obs registry.
+    let diff = fedknow_obs::snapshot()
+        .expect("obs enabled")
+        .since(&obs_start);
+    let wall_rows: Vec<(String, Vec<f64>)> = diff
+        .hists
+        .iter()
+        .filter_map(|(name, h)| {
+            let label = name.strip_prefix("span.ablation-")?.strip_suffix("_ns")?;
+            Some((label.to_string(), vec![h.sum() as f64 / 1e9]))
+        })
+        .collect();
+    print_table("ablation wall time", &["seconds".into()], &wall_rows);
+    fedknow_bench::print_phase_breakdown(&fedknow_fl::PhaseBreakdown::from_metrics(&diff));
     write_json("ablations", &results);
 }

@@ -47,7 +47,11 @@ fn main() {
     let mut results = Vec::new();
     let mut rows = Vec::new();
     for (label, lr, dec) in schedules {
-        let cfg = FedKnowConfig { local_lr: lr, lr_decrease: dec, ..Default::default() };
+        let cfg = FedKnowConfig {
+            local_lr: lr,
+            lr_decrease: dec,
+            ..Default::default()
+        };
         let mut client = FedKnowClient::new(&template, cfg, 8, vec![3, 8, 8]);
         let mut rng = seeded(args.seed);
         client.start_task(&parts[0].tasks[0], &mut rng);
@@ -60,8 +64,8 @@ fn main() {
             .map(|w| w.iter().sum::<f64>() / w.len() as f64)
             .collect();
         // Converged: the last window is finite and far below the first.
-        let converged = windows.last().unwrap().is_finite()
-            && *windows.last().unwrap() < 0.5 * windows[0];
+        let converged =
+            windows.last().unwrap().is_finite() && *windows.last().unwrap() < 0.5 * windows[0];
         println!(
             "[convergence] {label}: first window {:.4}, last window {:.4}, converged = {converged}",
             windows[0],
@@ -75,6 +79,10 @@ fn main() {
         });
     }
     let columns: Vec<String> = (1..=rows[0].1.len()).map(|w| format!("w{w}")).collect();
-    print_table("Theorem 1 empirical check — mean loss per window", &columns, &rows);
+    print_table(
+        "Theorem 1 empirical check — mean loss per window",
+        &columns,
+        &rows,
+    );
     write_json("convergence_check", &results);
 }

@@ -24,11 +24,22 @@ fn main() {
     let settings: Vec<(String, Method, MethodConfig)> = {
         let mut v = Vec::new();
         for frac in [0.10, 0.20, 0.50, 1.00] {
-            let cfg = MethodConfig { memory_fraction: frac, ..Default::default() };
+            let cfg = MethodConfig {
+                memory_fraction: frac,
+                ..Default::default()
+            };
             v.push((format!("gem-{:.0}%", frac * 100.0), Method::Gem, cfg));
         }
-        v.push(("fedweit-all".to_string(), Method::FedWeit, MethodConfig::default()));
-        v.push(("fedweit-own".to_string(), Method::FedWeitOwn, MethodConfig::default()));
+        v.push((
+            "fedweit-all".to_string(),
+            Method::FedWeit,
+            MethodConfig::default(),
+        ));
+        v.push((
+            "fedweit-own".to_string(),
+            Method::FedWeitOwn,
+            MethodConfig::default(),
+        ));
         for rho in [0.05, 0.10, 0.20] {
             let mut cfg = MethodConfig::default();
             cfg.fedknow.rho = rho;
@@ -53,7 +64,15 @@ fn main() {
             curve,
         });
     }
-    print_table("Fig.10(a) — final accuracy per setting", &["accuracy".to_string()], &acc_rows);
-    print_table("Fig.10(b) — training time (s) per setting", &["seconds".to_string()], &time_rows);
+    print_table(
+        "Fig.10(a) — final accuracy per setting",
+        &["accuracy".to_string()],
+        &acc_rows,
+    );
+    print_table(
+        "Fig.10(b) — training time (s) per setting",
+        &["seconds".to_string()],
+        &time_rows,
+    );
     write_json("fig10_params", &results);
 }

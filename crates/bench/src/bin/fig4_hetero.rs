@@ -18,7 +18,11 @@ fn main() {
     let methods = [Method::Gem, Method::FedWeit, Method::FedKnow];
     let datasets = match args.scale {
         Scale::Smoke => vec![DatasetSpec::cifar100()],
-        _ => vec![DatasetSpec::cifar100(), DatasetSpec::fc100(), DatasetSpec::core50()],
+        _ => vec![
+            DatasetSpec::cifar100(),
+            DatasetSpec::fc100(),
+            DatasetSpec::core50(),
+        ],
     };
     for base in datasets {
         let name = base.name.clone();
@@ -50,13 +54,22 @@ fn main() {
             }
             curves.push(MethodCurve::from_report(&report));
         }
-        let columns: Vec<String> =
-            (1..=curves[0].accuracy.len()).map(|t| format!("task{t}")).collect();
-        let acc_rows: Vec<(String, Vec<f64>)> =
-            curves.iter().map(|c| (c.method.clone(), c.accuracy.clone())).collect();
-        print_table(&format!("Fig.4(d-f) heterogeneous accuracy — {name}"), &columns, &acc_rows);
-        let time_rows: Vec<(String, Vec<f64>)> =
-            curves.iter().map(|c| (c.method.clone(), c.cumulative_time.clone())).collect();
+        let columns: Vec<String> = (1..=curves[0].accuracy.len())
+            .map(|t| format!("task{t}"))
+            .collect();
+        let acc_rows: Vec<(String, Vec<f64>)> = curves
+            .iter()
+            .map(|c| (c.method.clone(), c.accuracy.clone()))
+            .collect();
+        print_table(
+            &format!("Fig.4(d-f) heterogeneous accuracy — {name}"),
+            &columns,
+            &acc_rows,
+        );
+        let time_rows: Vec<(String, Vec<f64>)> = curves
+            .iter()
+            .map(|c| (c.method.clone(), c.cumulative_time.clone()))
+            .collect();
         print_table(
             &format!("Fig.4(d-f) heterogeneous cumulative time (s) — {name}"),
             &columns,

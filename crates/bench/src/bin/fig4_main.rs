@@ -45,14 +45,23 @@ fn main() {
             let report = spec.run_on(method, devices, CommModel::paper_default());
             curves.push(MethodCurve::from_report(&report));
         }
-        let columns: Vec<String> =
-            (1..=curves[0].accuracy.len()).map(|t| format!("task{t}")).collect();
-        let acc_rows: Vec<(String, Vec<f64>)> =
-            curves.iter().map(|c| (c.method.clone(), c.accuracy.clone())).collect();
+        let columns: Vec<String> = (1..=curves[0].accuracy.len())
+            .map(|t| format!("task{t}"))
+            .collect();
+        let acc_rows: Vec<(String, Vec<f64>)> = curves
+            .iter()
+            .map(|c| (c.method.clone(), c.accuracy.clone()))
+            .collect();
         print_table(&format!("Fig.4 accuracy — {name}"), &columns, &acc_rows);
-        let time_rows: Vec<(String, Vec<f64>)> =
-            curves.iter().map(|c| (c.method.clone(), c.cumulative_time.clone())).collect();
-        print_table(&format!("Fig.4 cumulative time (s) — {name}"), &columns, &time_rows);
+        let time_rows: Vec<(String, Vec<f64>)> = curves
+            .iter()
+            .map(|c| (c.method.clone(), c.cumulative_time.clone()))
+            .collect();
+        print_table(
+            &format!("Fig.4 cumulative time (s) — {name}"),
+            &columns,
+            &time_rows,
+        );
         write_json(&format!("fig4_{name}"), &curves);
     }
 }

@@ -53,12 +53,18 @@ fn main() {
             });
         }
     }
-    let columns: Vec<String> =
-        sweep.iter().map(|c| format!("{}KB/s", c.bandwidth_bytes_per_sec / 1000.0)).collect();
+    let columns: Vec<String> = sweep
+        .iter()
+        .map(|c| format!("{}KB/s", c.bandwidth_bytes_per_sec / 1000.0))
+        .collect();
     let rows: Vec<(String, Vec<f64>)> = curves
         .iter()
         .map(|c| (format!("{}/{}", c.model, c.method), c.comm_seconds.clone()))
         .collect();
-    print_table("Fig.6 — communication time (s) vs bandwidth", &columns, &rows);
+    print_table(
+        "Fig.6 — communication time (s) vs bandwidth",
+        &columns,
+        &rows,
+    );
     write_json("fig6_comm_bandwidth", &curves);
 }

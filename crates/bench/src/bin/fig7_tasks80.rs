@@ -42,17 +42,34 @@ fn main() {
     let mut curves = Vec::new();
     for method in [Method::Gem, Method::FedWeit, Method::FedKnow] {
         eprintln!("[fig7] {} over {num_tasks} tasks ...", method.name());
-        let report =
-            spec.run_on_dataset(method, &dataset, devices.clone(), CommModel::paper_default());
+        let report = spec.run_on_dataset(
+            method,
+            &dataset,
+            devices.clone(),
+            CommModel::paper_default(),
+        );
         curves.push(MethodCurve::from_report(&report));
     }
-    let columns: Vec<String> =
-        (1..=curves[0].accuracy.len()).map(|t| format!("task{t}")).collect();
-    let acc_rows: Vec<(String, Vec<f64>)> =
-        curves.iter().map(|c| (c.method.clone(), c.accuracy.clone())).collect();
-    print_table("Fig.7 — accuracy vs task count (combined stream)", &columns, &acc_rows);
-    let forget_rows: Vec<(String, Vec<f64>)> =
-        curves.iter().map(|c| (c.method.clone(), c.forgetting.clone())).collect();
-    print_table("Fig.7 — forgetting rate vs task count", &columns, &forget_rows);
+    let columns: Vec<String> = (1..=curves[0].accuracy.len())
+        .map(|t| format!("task{t}"))
+        .collect();
+    let acc_rows: Vec<(String, Vec<f64>)> = curves
+        .iter()
+        .map(|c| (c.method.clone(), c.accuracy.clone()))
+        .collect();
+    print_table(
+        "Fig.7 — accuracy vs task count (combined stream)",
+        &columns,
+        &acc_rows,
+    );
+    let forget_rows: Vec<(String, Vec<f64>)> = curves
+        .iter()
+        .map(|c| (c.method.clone(), c.forgetting.clone()))
+        .collect();
+    print_table(
+        "Fig.7 — forgetting rate vs task count",
+        &columns,
+        &forget_rows,
+    );
     write_json("fig7_tasks80", &curves);
 }

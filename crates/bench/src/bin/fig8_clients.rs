@@ -33,15 +33,31 @@ fn main() {
             let report = spec.run_on(method, devices.clone(), CommModel::paper_default());
             curves.push(MethodCurve::from_report(&report));
         }
-        let columns: Vec<String> =
-            (1..=curves[0].accuracy.len()).map(|t| format!("task{t}")).collect();
-        let acc_rows: Vec<(String, Vec<f64>)> =
-            curves.iter().map(|c| (c.method.clone(), c.accuracy.clone())).collect();
-        print_table(&format!("Fig.8 — accuracy, {n} clients"), &columns, &acc_rows);
-        let forget_rows: Vec<(String, Vec<f64>)> =
-            curves.iter().map(|c| (c.method.clone(), c.forgetting.clone())).collect();
-        print_table(&format!("Fig.8 — forgetting rate, {n} clients"), &columns, &forget_rows);
-        results.push(ClientScaleResult { num_clients: n, curves });
+        let columns: Vec<String> = (1..=curves[0].accuracy.len())
+            .map(|t| format!("task{t}"))
+            .collect();
+        let acc_rows: Vec<(String, Vec<f64>)> = curves
+            .iter()
+            .map(|c| (c.method.clone(), c.accuracy.clone()))
+            .collect();
+        print_table(
+            &format!("Fig.8 — accuracy, {n} clients"),
+            &columns,
+            &acc_rows,
+        );
+        let forget_rows: Vec<(String, Vec<f64>)> = curves
+            .iter()
+            .map(|c| (c.method.clone(), c.forgetting.clone()))
+            .collect();
+        print_table(
+            &format!("Fig.8 — forgetting rate, {n} clients"),
+            &columns,
+            &forget_rows,
+        );
+        results.push(ClientScaleResult {
+            num_clients: n,
+            curves,
+        });
     }
     write_json("fig8_clients", &results);
 }

@@ -25,8 +25,10 @@ fn main() {
             (ModelKind::SENet18, 1.0, "senet18".into()),
         ],
         _ => {
-            let mut v: Vec<(ModelKind, f64, String)> =
-                ModelKind::FIG9.iter().map(|m| (*m, 1.0, m.name().to_string())).collect();
+            let mut v: Vec<(ModelKind, f64, String)> = ModelKind::FIG9
+                .iter()
+                .map(|m| (*m, 1.0, m.name().to_string()))
+                .collect();
             v.push((ModelKind::MobileNetV2, 2.0, "mobilenetv2-w2".into()));
             v
         }
@@ -42,12 +44,18 @@ fn main() {
             let report = spec.run(method);
             curves.push(MethodCurve::from_report(&report));
         }
-        let columns: Vec<String> =
-            (1..=curves[0].accuracy.len()).map(|t| format!("task{t}")).collect();
-        let rows: Vec<(String, Vec<f64>)> =
-            curves.iter().map(|c| (c.method.clone(), c.accuracy.clone())).collect();
+        let columns: Vec<String> = (1..=curves[0].accuracy.len())
+            .map(|t| format!("task{t}"))
+            .collect();
+        let rows: Vec<(String, Vec<f64>)> = curves
+            .iter()
+            .map(|c| (c.method.clone(), c.accuracy.clone()))
+            .collect();
         print_table(&format!("Fig.9 — accuracy on {label}"), &columns, &rows);
-        results.push(DnnResult { model: label, curves });
+        results.push(DnnResult {
+            model: label,
+            curves,
+        });
     }
     write_json("fig9_dnns", &results);
 }

@@ -33,13 +33,24 @@ fn main() {
     let mut results: Vec<SearchResult> = Vec::new();
 
     // Per-method lr/decrease search.
-    for method in [Method::FedKnow, Method::Gem, Method::FedWeit, Method::FedAvg] {
+    for method in [
+        Method::FedKnow,
+        Method::Gem,
+        Method::FedWeit,
+        Method::FedAvg,
+    ] {
         for &lr in &lrs {
             for &dec in &decs {
                 let mut spec = spec0.clone();
-                spec.method_cfg = MethodConfig { lr, lr_decrease: dec, ..Default::default() };
+                spec.method_cfg = MethodConfig {
+                    lr,
+                    lr_decrease: dec,
+                    ..Default::default()
+                };
                 let report = spec.run(method);
-                let acc = report.accuracy.avg_accuracy_after(report.accuracy.num_tasks() - 1);
+                let acc = report
+                    .accuracy
+                    .avg_accuracy_after(report.accuracy.num_tasks() - 1);
                 eprintln!("[hp] {} lr={lr} dec={dec} acc={acc:.4}", method.name());
                 results.push(SearchResult {
                     method: method.name().to_string(),
@@ -64,7 +75,9 @@ fn main() {
             spec.method_cfg.fedknow.rho = rho;
             spec.method_cfg.fedknow.k = k;
             let report = spec.run(Method::FedKnow);
-            let acc = report.accuracy.avg_accuracy_after(report.accuracy.num_tasks() - 1);
+            let acc = report
+                .accuracy
+                .avg_accuracy_after(report.accuracy.num_tasks() - 1);
             eprintln!("[hp] fedknow rho={rho} k={k} acc={acc:.4}");
             results.push(SearchResult {
                 method: "fedknow-rho-k".to_string(),
@@ -96,7 +109,12 @@ fn main() {
         .collect();
     print_table(
         "Hyper-parameter search winners (SVHN analogue)",
-        &["lr".into(), "decrease".into(), "rho".into(), "accuracy".into()],
+        &[
+            "lr".into(),
+            "decrease".into(),
+            "rho".into(),
+            "accuracy".into(),
+        ],
         &rows,
     );
     write_json("hyperparam_search", &results);

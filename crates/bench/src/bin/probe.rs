@@ -75,18 +75,28 @@ fn main() {
         seed: get("--seed", "42").parse().expect("--seed"),
         method_cfg: Default::default(),
     };
-    let start = std::time::Instant::now();
+    // All timing below comes from the obs layer (phase timers + the run
+    // span) rather than an ad-hoc Instant, so this binary reports
+    // through the same path as obs_report and the JSONL trace.
+    fedknow_obs::enable();
     let report = spec.run(method);
     let curve = MethodCurve::from_report(&report);
     println!("method      {}", curve.method);
     for m in 0..report.accuracy.num_tasks() {
-        let row: Vec<f64> =
-            (0..=m).map(|k| (report.accuracy.at(m, k) * 1000.0).round() / 1000.0).collect();
+        let row: Vec<f64> = (0..=m)
+            .map(|k| (report.accuracy.at(m, k) * 1000.0).round() / 1000.0)
+            .collect();
         println!("matrix[{m}]   {row:?}");
     }
     println!("accuracy    {:?}", curve.accuracy);
     println!("forgetting  {:?}", curve.forgetting);
     println!("comm (s)    {:.3}", curve.comm_seconds);
     println!("bytes       {}", curve.total_bytes);
-    println!("wall clock  {:.1}s", start.elapsed().as_secs_f64());
+    let breakdown = report
+        .phase_breakdown
+        .as_ref()
+        .expect("obs enabled before the run");
+    let wall = breakdown.phase("span.run_ns").map_or(0, |p| p.total_ns);
+    println!("wall clock  {}", fedknow_bench::fmt_ns(wall));
+    fedknow_bench::print_phase_breakdown(breakdown);
 }

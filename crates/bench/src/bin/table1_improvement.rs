@@ -26,14 +26,23 @@ struct Improvement {
 
 fn main() {
     let _args = parse_args();
-    let datasets = ["cifar100", "fc100", "core50", "miniimagenet", "tinyimagenet"];
+    let datasets = [
+        "cifar100",
+        "fc100",
+        "core50",
+        "miniimagenet",
+        "tinyimagenet",
+    ];
     let mut out = Vec::new();
     let mut rows = Vec::new();
     let mut max_tasks = 0usize;
     for ds in datasets {
         let path = results_dir().join(format!("fig4_{ds}.json"));
         let Ok(raw) = std::fs::read_to_string(&path) else {
-            eprintln!("[table1] skipping {ds}: run fig4_main first ({} missing)", path.display());
+            eprintln!(
+                "[table1] skipping {ds}: run fig4_main first ({} missing)",
+                path.display()
+            );
             continue;
         };
         let curves: Vec<CurveIn> = serde_json::from_str(&raw).expect("parse fig4 JSON");
@@ -56,14 +65,22 @@ fn main() {
         let mean_percent = fedknow_math::stats::mean(&per_task);
         max_tasks = max_tasks.max(tasks);
         rows.push((ds.to_string(), per_task.clone()));
-        out.push(Improvement { dataset: ds.to_string(), per_task_percent: per_task, mean_percent });
+        out.push(Improvement {
+            dataset: ds.to_string(),
+            per_task_percent: per_task,
+            mean_percent,
+        });
     }
     if out.is_empty() {
         eprintln!("[table1] no fig4 results found — nothing to do");
         std::process::exit(1);
     }
     let columns: Vec<String> = (1..=max_tasks).map(|t| format!("task{t}%")).collect();
-    print_table("Table I — % accuracy improvement of FedKNOW over baseline mean", &columns, &rows);
+    print_table(
+        "Table I — % accuracy improvement of FedKNOW over baseline mean",
+        &columns,
+        &rows,
+    );
     let overall =
         fedknow_math::stats::mean(&out.iter().map(|i| i.mean_percent).collect::<Vec<_>>());
     println!("\noverall mean improvement: {overall:.2}%");

@@ -180,9 +180,85 @@ pub fn print_table(title: &str, columns: &[String], rows: &[(String, Vec<f64>)])
     }
 }
 
+/// Human-readable nanoseconds: picks s/ms/µs/ns.
+pub fn fmt_ns(ns: u64) -> String {
+    let ns = ns as f64;
+    if ns >= 1e9 {
+        format!("{:.2}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2}µs", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+/// Format a metric sample with the unit its name implies: `*_ns`
+/// metrics are durations, anything else (e.g. `qp.iters`) is a plain
+/// number.
+pub fn fmt_metric(name: &str, value: u64) -> String {
+    if name.ends_with("_ns") {
+        fmt_ns(value)
+    } else {
+        value.to_string()
+    }
+}
+
+/// Print a run's [`fedknow_fl::PhaseBreakdown`] as a per-phase summary
+/// table — the single reporting path the bench binaries share with
+/// `obs_report`. Phase shares are relative to the `span.run_ns` wall
+/// time; with parallel clients the phase totals can legitimately sum to
+/// more than 100%.
+pub fn print_phase_breakdown(b: &fedknow_fl::PhaseBreakdown) {
+    let wall = b.phase("span.run_ns").map(|p| p.total_ns).unwrap_or(0);
+    println!("\n== phase breakdown (wall {}) ==", fmt_ns(wall));
+    println!(
+        "{:<28}{:>10}{:>12}{:>12}{:>12}{:>12}{:>8}",
+        "phase", "count", "total", "mean", "p50", "p99", "share"
+    );
+    let mut phases: Vec<_> = b
+        .phases
+        .iter()
+        .filter(|p| !p.name.starts_with("span."))
+        .collect();
+    phases.sort_by_key(|p| std::cmp::Reverse(p.total_ns));
+    for p in phases {
+        let share = if wall > 0 && p.name.ends_with("_ns") {
+            format!("{:.1}%", 100.0 * p.total_ns as f64 / wall as f64)
+        } else {
+            "-".to_string()
+        };
+        println!(
+            "{:<28}{:>10}{:>12}{:>12}{:>12}{:>12}{:>8}",
+            p.name,
+            p.count,
+            fmt_metric(&p.name, p.total_ns),
+            fmt_metric(&p.name, p.mean_ns as u64),
+            fmt_metric(&p.name, p.p50_ns),
+            fmt_metric(&p.name, p.p99_ns),
+            share,
+        );
+    }
+    if !b.counters.is_empty() {
+        println!("{:<28}{:>10}", "counter", "total");
+        for (name, v) in &b.counters {
+            println!("{name:<28}{v:>10}");
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fmt_ns_picks_units() {
+        assert_eq!(fmt_ns(950), "950ns");
+        assert_eq!(fmt_ns(1_500), "1.50µs");
+        assert_eq!(fmt_ns(2_500_000), "2.50ms");
+        assert_eq!(fmt_ns(3_210_000_000), "3.21s");
+    }
 
     #[test]
     fn scale_parses() {

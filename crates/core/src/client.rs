@@ -44,7 +44,12 @@ impl FedKnowClient {
         image_shape: Vec<usize>,
     ) -> Self {
         let model = template.instantiate();
-        let opt = Sgd::new(cfg.local_lr, LrSchedule::LinearDecrease { decrease: cfg.lr_decrease });
+        let opt = Sgd::new(
+            cfg.local_lr,
+            LrSchedule::LinearDecrease {
+                decrease: cfg.lr_decrease,
+            },
+        );
         let global_opt = Sgd::new(cfg.global_lr, LrSchedule::Inverse);
         Self {
             trainer: LocalTrainer::new(model, opt, batch_size, image_shape),
@@ -122,14 +127,20 @@ impl FclClient for FedKnowClient {
             let restored: Vec<Vec<f32>> = self
                 .selected
                 .iter()
-                .map(|&i| self.restorer.restore(&mut self.trainer.model, &self.knowledges[i], &x))
+                .map(|&i| {
+                    self.restorer
+                        .restore(&mut self.trainer.model, &self.knowledges[i], &x)
+                })
                 .collect();
             flops += self.selected.len() as u64 * self.trainer.iteration_flops() * 4 / 3;
             self.integrator.integrate(&g, &restored)
         };
         let lr = self.trainer.opt.next_lr() as f32;
         self.trainer.model.apply_update(&update, lr);
-        IterationStats { loss: loss as f64, flops }
+        IterationStats {
+            loss: loss as f64,
+            flops,
+        }
     }
 
     fn upload(&mut self) -> Option<Vec<f32>> {
@@ -143,7 +154,10 @@ impl FclClient for FedKnowClient {
         self.trainer.model.set_flat_params(global);
         if self.trainer.num_samples() > 0 {
             let epoch = self.trainer.num_samples().div_ceil(self.trainer.batch_size);
-            let iters = self.cfg.post_agg_iters.map_or(epoch, |n| n.min(epoch.max(1)));
+            let iters = self
+                .cfg
+                .post_agg_iters
+                .map_or(epoch, |n| n.min(epoch.max(1)));
             for _ in 0..iters {
                 let (x, labels) = self.trainer.next_batch(rng);
                 // Gradient after aggregation (at the global weights).
@@ -211,7 +225,11 @@ mod tests {
         let data = generate(&spec, 3);
         let parts = partition(&data, 1, &PartitionConfig::default(), 3);
         let template = ModelTemplate::new(ModelKind::SixCnn, 3, spec.total_classes(), 1.0, 7);
-        let cfg = FedKnowConfig { k: 2, knowledge_finetune_iters: 2, ..Default::default() };
+        let cfg = FedKnowConfig {
+            k: 2,
+            knowledge_finetune_iters: 2,
+            ..Default::default()
+        };
         let client = FedKnowClient::new(&template, cfg, 8, vec![3, 8, 8]);
         (client, parts[0].tasks.clone())
     }
@@ -238,7 +256,10 @@ mod tests {
         let (mut c, tasks) = setup(2);
         let mut rng = seeded(2);
         c.start_task(&tasks[0], &mut rng);
-        assert!(c.selected().is_empty(), "no knowledge yet on the first task");
+        assert!(
+            c.selected().is_empty(),
+            "no knowledge yet on the first task"
+        );
         for _ in 0..4 {
             c.train_iteration(&mut rng);
         }
@@ -264,8 +285,12 @@ mod tests {
         // Fine-tuning moved the model off the raw global weights...
         assert_ne!(after, global);
         // ...but it stays near them (a couple of small steps).
-        let dist: f32 =
-            after.iter().zip(&global).map(|(a, b)| (a - b) * (a - b)).sum::<f32>().sqrt();
+        let dist: f32 = after
+            .iter()
+            .zip(&global)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f32>()
+            .sqrt();
         assert!(dist < 10.0, "model flew away from global: {dist}");
     }
 
@@ -290,7 +315,11 @@ mod tests {
         let template = ModelTemplate::new(ModelKind::SixCnn, 3, spec.total_classes(), 1.0, 7);
         let mut sizes = Vec::new();
         for rho in [0.05, 0.10, 0.20] {
-            let cfg = FedKnowConfig { rho, knowledge_finetune_iters: 0, ..Default::default() };
+            let cfg = FedKnowConfig {
+                rho,
+                knowledge_finetune_iters: 0,
+                ..Default::default()
+            };
             let mut c = FedKnowClient::new(&template, cfg, 8, vec![3, 8, 8]);
             let mut rng = seeded(5);
             c.start_task(&parts[0].tasks[0], &mut rng);

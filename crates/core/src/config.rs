@@ -68,7 +68,11 @@ mod tests {
 
     #[test]
     fn config_roundtrips_through_serde() {
-        let c = FedKnowConfig { rho: 0.2, k: 5, ..Default::default() };
+        let c = FedKnowConfig {
+            rho: 0.2,
+            k: 5,
+            ..Default::default()
+        };
         let json = serde_json::to_string(&c).unwrap();
         let back: FedKnowConfig = serde_json::from_str(&json).unwrap();
         assert!((back.rho - 0.2).abs() < 1e-12);

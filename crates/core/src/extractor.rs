@@ -50,13 +50,13 @@ impl KnowledgeExtractor {
     }
 
     /// New extractor with an explicit pruning strategy.
-    pub fn with_strategy(
-        rho: f64,
-        finetune_iters: usize,
-        strategy: ExtractionStrategy,
-    ) -> Self {
+    pub fn with_strategy(rho: f64, finetune_iters: usize, strategy: ExtractionStrategy) -> Self {
         assert!(rho > 0.0 && rho <= 1.0, "rho must be in (0, 1]");
-        Self { rho, finetune_iters, strategy }
+        Self {
+            rho,
+            finetune_iters,
+            strategy,
+        }
     }
 
     /// Step 2: select the top-ρ weights of the trained model
@@ -70,6 +70,7 @@ impl KnowledgeExtractor {
     /// each rank-2 weight tensor; rank-1 tensors (biases, BN affine)
     /// fall back to magnitude selection within the tensor.
     pub fn extract_structured(&self, params: &[f32], layout: &[ParamSegment]) -> SparseVec {
+        let _t = fedknow_obs::timer("extract.topk_ns");
         match self.strategy {
             ExtractionStrategy::Magnitude => self.extract(params),
             ExtractionStrategy::FilterL1 => self.extract_filters(params, layout, 1),
@@ -79,7 +80,11 @@ impl KnowledgeExtractor {
 
     fn extract_filters(&self, params: &[f32], layout: &[ParamSegment], norm: u32) -> SparseVec {
         let covered: usize = layout.iter().map(|s| s.len).sum();
-        assert_eq!(covered, params.len(), "layout does not tile the parameter vector");
+        assert_eq!(
+            covered,
+            params.len(),
+            "layout does not tile the parameter vector"
+        );
         let mut indices: Vec<u32> = Vec::new();
         for seg in layout {
             let slice = &params[seg.offset..seg.offset + seg.len];
@@ -98,10 +103,12 @@ impl KnowledgeExtractor {
                     })
                     .collect();
                 scored.sort_by(|a, b| {
-                    b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+                    b.1.partial_cmp(&a.1)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.0.cmp(&b.0))
                 });
-                let keep_rows = (((seg.len as f64) * self.rho / fan as f64).round() as usize)
-                    .clamp(1, rows);
+                let keep_rows =
+                    (((seg.len as f64) * self.rho / fan as f64).round() as usize).clamp(1, rows);
                 let mut kept: Vec<usize> =
                     scored.into_iter().take(keep_rows).map(|(r, _)| r).collect();
                 kept.sort_unstable();
@@ -140,6 +147,7 @@ impl KnowledgeExtractor {
         }
         let mask = knowledge.mask();
         let mut flops = 0u64;
+        let _t = fedknow_obs::timer("extract.finetune_ns");
         for _ in 0..self.finetune_iters {
             let (x, labels) = trainer.next_batch(rng);
             trainer.compute_grads(&x, &labels);
@@ -174,7 +182,12 @@ mod tests {
         let parts = partition(&data, 1, &PartitionConfig::default(), 3);
         let mut rng = seeded(0);
         let model = ModelKind::SixCnn.build(&mut rng, 3, spec.total_classes(), 1.0);
-        let t = LocalTrainer::new(model, Sgd::new(0.05, LrSchedule::Constant), 8, vec![3, 8, 8]);
+        let t = LocalTrainer::new(
+            model,
+            Sgd::new(0.05, LrSchedule::Constant),
+            8,
+            vec![3, 8, 8],
+        );
         (t, parts[0].tasks[0].clone())
     }
 
@@ -206,7 +219,10 @@ mod tests {
                     touched += 1;
                 }
             } else {
-                assert_eq!(before[i], after[i], "pruned weight {i} moved during fine-tune");
+                assert_eq!(
+                    before[i], after[i],
+                    "pruned weight {i} moved during fine-tune"
+                );
             }
         }
         assert!(touched > 0, "fine-tune changed nothing");

@@ -14,7 +14,12 @@ pub struct GradientIntegrator {
 impl GradientIntegrator {
     /// New integrator with the given constraint margin.
     pub fn new(margin: f64) -> Self {
-        Self { qp: QpConfig { margin, ..Default::default() } }
+        Self {
+            qp: QpConfig {
+                margin,
+                ..Default::default()
+            },
+        }
     }
 
     /// Integrate `g` against the signature gradients `constraints`:
@@ -24,9 +29,20 @@ impl GradientIntegrator {
     /// (never observed with k ≤ 20, but training must not abort on a
     /// pathological batch).
     pub fn integrate(&self, g: &[f32], constraints: &[Vec<f32>]) -> Vec<f32> {
+        let _t = fedknow_obs::timer("qp.solve_ns");
         match integrate_gradient(g, constraints, &self.qp) {
-            Ok(r) => r.gradient,
-            Err(MathError::QpNotConverged { .. }) => g.to_vec(),
+            Ok(r) => {
+                if r.already_feasible {
+                    fedknow_obs::count("qp.fast_path", 1);
+                } else {
+                    fedknow_obs::record("qp.iters", r.iterations as u64);
+                }
+                r.gradient
+            }
+            Err(MathError::QpNotConverged { .. }) => {
+                fedknow_obs::count("qp.fallback", 1);
+                g.to_vec()
+            }
             Err(e) => panic!("gradient integration failed: {e}"),
         }
     }
@@ -36,11 +52,7 @@ impl GradientIntegrator {
     /// the post-aggregation gradient `g_after`, producing the update
     /// that "incorporates global information from other clients, while
     /// avoiding decreasing model accuracy in local data".
-    pub fn integrate_across_aggregation(
-        &self,
-        g_before: &[f32],
-        g_after: &[f32],
-    ) -> Vec<f32> {
+    pub fn integrate_across_aggregation(&self, g_before: &[f32], g_after: &[f32]) -> Vec<f32> {
         self.integrate(g_before, std::slice::from_ref(&g_after.to_vec()))
     }
 }
@@ -70,13 +82,22 @@ mod tests {
         let g_before = vec![1.0, 0.0];
         let g_after = vec![-1.0, 1.0];
         let out = integ.integrate_across_aggregation(&g_before, &g_after);
-        assert!(dot(&g_after, &out) >= -1e-4, "conflict with post-aggregation gradient");
+        assert!(
+            dot(&g_after, &out) >= -1e-4,
+            "conflict with post-aggregation gradient"
+        );
         // And it stays as close to the local direction as possible:
         // closer to g_before than g_after is.
-        let d_before: f32 =
-            out.iter().zip(&g_before).map(|(a, b)| (a - b) * (a - b)).sum::<f32>();
-        let d_after: f32 =
-            out.iter().zip(&g_after).map(|(a, b)| (a - b) * (a - b)).sum::<f32>();
+        let d_before: f32 = out
+            .iter()
+            .zip(&g_before)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f32>();
+        let d_after: f32 = out
+            .iter()
+            .zip(&g_after)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f32>();
         assert!(d_before < d_after);
     }
 

@@ -26,8 +26,13 @@ impl GradientRestorer {
     /// distribution. Parameters and gradient buffers are restored on
     /// exit.
     pub fn restore(&self, model: &mut Model, knowledge: &SparseVec, x: &Tensor) -> Vec<f32> {
+        let _t = fedknow_obs::timer("restore.distill_ns");
         let current = model.flat_params();
-        assert_eq!(knowledge.dense_len(), current.len(), "knowledge/model size mismatch");
+        assert_eq!(
+            knowledge.dense_len(),
+            current.len(),
+            "knowledge/model size mismatch"
+        );
         // Pseudo-labels from the pruned snapshot (eval mode: no caches,
         // running BN statistics).
         model.set_flat_params(&knowledge.to_dense());
@@ -59,8 +64,11 @@ impl GradientRestorer {
         if knowledges.is_empty() || k == 0 {
             return Vec::new();
         }
-        let candidates: Vec<Vec<f32>> =
-            knowledges.iter().map(|w| self.restore(model, w, x)).collect();
+        let _t = fedknow_obs::timer("restore.select_ns");
+        let candidates: Vec<Vec<f32>> = knowledges
+            .iter()
+            .map(|w| self.restore(model, w, x))
+            .collect();
         most_dissimilar(metric, current_grad, &candidates, k)
     }
 }
@@ -84,8 +92,15 @@ mod tests {
         let before = model.flat_params();
         let knowledge = SparseVec::top_fraction_by_magnitude(&before, 0.1);
         let g = GradientRestorer.restore(&mut model, &knowledge, &x);
-        assert_eq!(model.flat_params(), before, "restore must not mutate parameters");
-        assert!(model.flat_grads().iter().all(|&v| v == 0.0), "grad buffers must be cleared");
+        assert_eq!(
+            model.flat_params(),
+            before,
+            "restore must not mutate parameters"
+        );
+        assert!(
+            model.flat_grads().iter().all(|&v| v == 0.0),
+            "grad buffers must be cleared"
+        );
         assert_eq!(g.len(), before.len());
     }
 
@@ -99,7 +114,10 @@ mod tests {
         let knowledge = SparseVec::top_fraction_by_magnitude(&params, 1.0);
         let g = GradientRestorer.restore(&mut model, &knowledge, &x);
         let norm: f32 = g.iter().map(|v| v * v).sum::<f32>().sqrt();
-        assert!(norm < 1e-3, "self-distillation gradient should vanish, got {norm}");
+        assert!(
+            norm < 1e-3,
+            "self-distillation gradient should vanish, got {norm}"
+        );
     }
 
     #[test]

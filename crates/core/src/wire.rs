@@ -154,7 +154,10 @@ mod tests {
         let k = sample();
         let mut blob = encode_knowledge(0, &k).to_vec();
         blob[4] = 99;
-        assert!(matches!(decode_knowledge(&blob).unwrap_err(), WireError::BadVersion(_)));
+        assert!(matches!(
+            decode_knowledge(&blob).unwrap_err(),
+            WireError::BadVersion(_)
+        ));
     }
 
     #[test]
@@ -177,7 +180,10 @@ mod tests {
         let mut blob = encode_knowledge(0, &k).to_vec();
         // Bump the delta-encoded first index past dense_len (offset 18).
         blob[18] = 200;
-        assert_eq!(decode_knowledge(&blob).unwrap_err(), WireError::CorruptIndices);
+        assert_eq!(
+            decode_knowledge(&blob).unwrap_err(),
+            WireError::CorruptIndices
+        );
     }
 
     #[test]

@@ -13,7 +13,11 @@ pub fn to_tensor(samples: &[&Sample], image_shape: &[usize]) -> (Tensor, Vec<usi
     let mut data = Vec::with_capacity(b * img_len);
     let mut labels = Vec::with_capacity(b);
     for s in samples {
-        assert_eq!(s.x.len(), img_len, "sample length does not match image shape");
+        assert_eq!(
+            s.x.len(),
+            img_len,
+            "sample length does not match image shape"
+        );
         data.extend_from_slice(&s.x);
         labels.push(s.label);
     }
@@ -37,7 +41,11 @@ impl Batcher {
         assert!(batch_size >= 1);
         let mut order: Vec<usize> = (0..n).collect();
         shuffle(rng, &mut order);
-        Self { order, cursor: 0, batch_size }
+        Self {
+            order,
+            cursor: 0,
+            batch_size,
+        }
     }
 
     /// Indices of the next minibatch, reshuffling at epoch boundaries.
@@ -69,8 +77,14 @@ mod tests {
 
     #[test]
     fn to_tensor_stacks_in_order() {
-        let s1 = Sample { x: vec![1.0, 2.0], label: 0 };
-        let s2 = Sample { x: vec![3.0, 4.0], label: 1 };
+        let s1 = Sample {
+            x: vec![1.0, 2.0],
+            label: 0,
+        };
+        let s2 = Sample {
+            x: vec![3.0, 4.0],
+            label: 1,
+        };
         let (t, labels) = to_tensor(&[&s1, &s2], &[1, 1, 2]);
         assert_eq!(t.shape(), &[2, 1, 1, 2]);
         assert_eq!(t.data(), &[1.0, 2.0, 3.0, 4.0]);

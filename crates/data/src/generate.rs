@@ -107,9 +107,17 @@ pub fn generate(spec: &DatasetSpec, seed: u64) -> ContinualDataset {
                 }
             }
         }
-        tasks.push(TaskData { task_id: t, classes, train, test });
+        tasks.push(TaskData {
+            task_id: t,
+            classes,
+            train,
+            test,
+        });
     }
-    ContinualDataset { spec: spec.clone(), tasks }
+    ContinualDataset {
+        spec: spec.clone(),
+        tasks,
+    }
 }
 
 /// A deterministic per-client feature shift: an additive smooth pattern
@@ -182,8 +190,12 @@ mod tests {
         let spec = small_spec();
         let p0 = class_prototype(&spec, 7, 0);
         let p1 = class_prototype(&spec, 7, 1);
-        let d: f32 =
-            p0.iter().zip(&p1).map(|(a, b)| (a - b) * (a - b)).sum::<f32>().sqrt();
+        let d: f32 = p0
+            .iter()
+            .zip(&p1)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f32>()
+            .sqrt();
         // Two independent N(0,1) smooth fields have RMS distance ≈ sqrt(2)
         // per element; anything above ~0.5·len is safely "far".
         assert!(d > 5.0, "prototype distance {d}");
@@ -196,10 +208,16 @@ mod tests {
         let proto = class_prototype(&spec, 3, 0);
         for s in d.tasks[0].train.iter().filter(|s| s.label == 0) {
             let dist: f32 =
-                s.x.iter().zip(&proto).map(|(a, b)| (a - b) * (a - b)).sum::<f32>()
+                s.x.iter()
+                    .zip(&proto)
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum::<f32>()
                     / s.x.len() as f32;
             // Per-element squared distance should be ≈ noise_std².
-            assert!(dist < 4.0 * spec.noise_std * spec.noise_std, "sample too far: {dist}");
+            assert!(
+                dist < 4.0 * spec.noise_std * spec.noise_std,
+                "sample too far: {dist}"
+            );
         }
     }
 

@@ -34,7 +34,13 @@ impl Default for PartitionConfig {
     /// The paper's setting: 2–5 classes, 5–10 % of samples, with feature
     /// shift on.
     fn default() -> Self {
-        Self { min_classes: 2, max_classes: 5, min_frac: 0.05, max_frac: 0.10, feature_shift: true }
+        Self {
+            min_classes: 2,
+            max_classes: 5,
+            min_frac: 0.05,
+            max_frac: 0.10,
+            feature_shift: true,
+        }
     }
 }
 
@@ -83,11 +89,10 @@ pub fn partition(
                 .iter()
                 .map(|&tid| {
                     let task = &dataset.tasks[tid];
-                    let k = rng
-                        .gen_range(cfg.min_classes..=cfg.max_classes.min(task.classes.len()));
+                    let k =
+                        rng.gen_range(cfg.min_classes..=cfg.max_classes.min(task.classes.len()));
                     let class_idx = sample_indices(&mut rng, task.classes.len(), k);
-                    let classes: Vec<usize> =
-                        class_idx.iter().map(|&i| task.classes[i]).collect();
+                    let classes: Vec<usize> = class_idx.iter().map(|&i| task.classes[i]).collect();
                     let mut train = Vec::new();
                     for &c in &classes {
                         let pool: Vec<&Sample> =
@@ -109,10 +114,18 @@ pub fn partition(
                             apply_client_shift(spec, seed, client as u64, &mut s.x);
                         }
                     }
-                    ClientTask { task_id: tid, classes, train, test }
+                    ClientTask {
+                        task_id: tid,
+                        classes,
+                        train,
+                        test,
+                    }
                 })
                 .collect();
-            ClientDataset { client_id: client, tasks }
+            ClientDataset {
+                client_id: client,
+                tasks,
+            }
         })
         .collect()
 }
@@ -151,8 +164,10 @@ mod tests {
     fn task_orders_differ_across_clients() {
         let d = dataset();
         let parts = partition(&d, 8, &PartitionConfig::default(), 1);
-        let orders: Vec<Vec<usize>> =
-            parts.iter().map(|p| p.tasks.iter().map(|t| t.task_id).collect()).collect();
+        let orders: Vec<Vec<usize>> = parts
+            .iter()
+            .map(|p| p.tasks.iter().map(|t| t.task_id).collect())
+            .collect();
         assert!(
             orders.iter().any(|o| o != &orders[0]),
             "all 8 clients got the same task order"
@@ -165,7 +180,11 @@ mod tests {
         let parts = partition(&d, 6, &PartitionConfig::default(), 2);
         for p in &parts {
             for t in &p.tasks {
-                assert!((2..=5).contains(&t.classes.len()), "{} classes", t.classes.len());
+                assert!(
+                    (2..=5).contains(&t.classes.len()),
+                    "{} classes",
+                    t.classes.len()
+                );
                 for s in &t.train {
                     assert!(t.classes.contains(&s.label));
                 }
@@ -205,13 +224,19 @@ mod tests {
                 t.iter().flat_map(|ct| ct.classes.clone()).collect()
             })
             .collect();
-        assert!(sig.iter().any(|s| s != &sig[0]), "all clients got identical classes");
+        assert!(
+            sig.iter().any(|s| s != &sig[0]),
+            "all clients got identical classes"
+        );
     }
 
     #[test]
     fn feature_shift_off_keeps_samples_verbatim() {
         let d = dataset();
-        let cfg = PartitionConfig { feature_shift: false, ..Default::default() };
+        let cfg = PartitionConfig {
+            feature_shift: false,
+            ..Default::default()
+        };
         let parts = partition(&d, 2, &cfg, 5);
         let t = &parts[0].tasks[0];
         let orig = &d.tasks[t.task_id];

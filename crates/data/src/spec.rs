@@ -124,8 +124,7 @@ impl DatasetSpec {
     pub fn scaled(mut self, samples_mult: f64, hw: usize) -> Self {
         self.train_per_class =
             ((self.train_per_class as f64 * samples_mult).round() as usize).max(1);
-        self.test_per_class =
-            ((self.test_per_class as f64 * samples_mult).round() as usize).max(1);
+        self.test_per_class = ((self.test_per_class as f64 * samples_mult).round() as usize).max(1);
         self.height = hw;
         self.width = hw;
         self
@@ -163,7 +162,10 @@ mod tests {
 
     #[test]
     fn seed_salts_are_distinct() {
-        let salts: Vec<u64> = DatasetSpec::all_benchmarks().iter().map(|s| s.seed_salt).collect();
+        let salts: Vec<u64> = DatasetSpec::all_benchmarks()
+            .iter()
+            .map(|s| s.seed_salt)
+            .collect();
         let mut dedup = salts.clone();
         dedup.sort_unstable();
         dedup.dedup();

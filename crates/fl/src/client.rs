@@ -51,7 +51,7 @@ pub struct IterationStats {
     /// Training loss at this iteration.
     pub loss: f64,
     /// FLOPs this iteration cost on the client device (forward + backward
-    /// + any method-specific extra work such as restored-gradient
+    /// plus any method-specific extra work such as restored-gradient
     /// computations).
     pub flops: u64,
 }
@@ -90,7 +90,14 @@ impl ModelTemplate {
         let mut rng = fedknow_math::rng::seeded(seed);
         let mut model = kind.build(&mut rng, in_channels, num_classes, width);
         let init = model.flat_params();
-        Self { kind, in_channels, num_classes, width, init, custom: None }
+        Self {
+            kind,
+            in_channels,
+            num_classes,
+            width,
+            init,
+            custom: None,
+        }
     }
 
     /// Create a template around a custom architecture. The builder is
@@ -119,7 +126,8 @@ impl ModelTemplate {
             Some(builder) => builder(),
             None => {
                 let mut rng = fedknow_math::rng::seeded(0);
-                self.kind.build(&mut rng, self.in_channels, self.num_classes, self.width)
+                self.kind
+                    .build(&mut rng, self.in_channels, self.num_classes, self.width)
             }
         };
         model.set_flat_params(&self.init);
@@ -179,7 +187,10 @@ pub trait FclClient: Send {
     /// (FedAvg). FedRep, for example, ships only its representation
     /// layers.
     fn base_comm(&self, full_model_bytes: u64) -> CommBytes {
-        CommBytes { up: full_model_bytes, down: full_model_bytes }
+        CommBytes {
+            up: full_model_bytes,
+            down: full_model_bytes,
+        }
     }
 
     /// Artefacts to publish through the server this round (charged as

@@ -17,12 +17,16 @@ pub struct CommModel {
 impl CommModel {
     /// The paper's default limit of 1 MB/s (§V-C).
     pub fn paper_default() -> Self {
-        Self { bandwidth_bytes_per_sec: 1_000_000.0 }
+        Self {
+            bandwidth_bytes_per_sec: 1_000_000.0,
+        }
     }
 
     /// Arbitrary bandwidth in KB/s (the unit of the Figure 6 sweep).
     pub fn kb_per_sec(kb: f64) -> Self {
-        Self { bandwidth_bytes_per_sec: kb * 1000.0 }
+        Self {
+            bandwidth_bytes_per_sec: kb * 1000.0,
+        }
     }
 
     /// The Figure 6 sweep: 50 KB/s to 10 MB/s over 8 points.
@@ -33,9 +37,16 @@ impl CommModel {
             .collect()
     }
 
-    /// Seconds to transfer `bytes` over this link.
+    /// Seconds to transfer `bytes` over this link. Each call records the
+    /// *simulated* duration into the `comm.sim_transfer_ns` histogram
+    /// (simulated link time, not wall time — the byte counters in the
+    /// round loop carry the wire-volume side).
     pub fn transfer_seconds(&self, bytes: u64) -> f64 {
-        bytes as f64 / self.bandwidth_bytes_per_sec
+        let secs = bytes as f64 / self.bandwidth_bytes_per_sec;
+        if fedknow_obs::is_enabled() {
+            fedknow_obs::record("comm.sim_transfer_ns", (secs * 1e9) as u64);
+        }
+        secs
     }
 }
 

@@ -139,8 +139,7 @@ mod tests {
     #[test]
     fn rpi_is_roughly_12x_slower_than_jetson_average() {
         let jetsons = DeviceProfile::jetson_cluster();
-        let avg: f64 =
-            jetsons.iter().map(|d| d.flops_per_sec).sum::<f64>() / jetsons.len() as f64;
+        let avg: f64 = jetsons.iter().map(|d| d.flops_per_sec).sum::<f64>() / jetsons.len() as f64;
         let ratio = avg / DeviceProfile::raspberry_pi(4).flops_per_sec;
         assert!((8.0..20.0).contains(&ratio), "ratio {ratio}");
     }
@@ -184,7 +183,10 @@ mod calibration_tests {
             if oom_task.is_none() && rpi2.would_oom(retained) {
                 oom_task = Some(task);
             }
-            assert!(!rpi8.would_oom(retained), "8 GB device must survive task {task}");
+            assert!(
+                !rpi8.would_oom(retained),
+                "8 GB device must survive task {task}"
+            );
         }
         let t = oom_task.expect("2 GB device never OOMed");
         assert!(

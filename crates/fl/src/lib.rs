@@ -33,5 +33,5 @@ pub use client::{CommBytes, FclClient, IterationStats, ModelTemplate, Payload};
 pub use comm::CommModel;
 pub use device::DeviceProfile;
 pub use metrics::AccuracyMatrix;
-pub use sim::{SimConfig, SimReport, Simulation};
+pub use sim::{PhaseBreakdown, PhaseStat, SimConfig, SimReport, Simulation};
 pub use trainer::LocalTrainer;

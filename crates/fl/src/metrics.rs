@@ -25,7 +25,11 @@ impl AccuracyMatrix {
     /// `row[k]` is the accuracy on task `k`. The row must cover exactly
     /// the tasks learned so far.
     pub fn push_row(&mut self, row: Vec<f64>) {
-        assert_eq!(row.len(), self.rows.len() + 1, "row must cover all learned tasks");
+        assert_eq!(
+            row.len(),
+            self.rows.len() + 1,
+            "row must cover all learned tasks"
+        );
         self.rows.push(row);
     }
 
@@ -71,12 +75,16 @@ impl AccuracyMatrix {
     /// The per-step average accuracies `[avg_after(0), …]` — the curve
     /// plotted in the paper's accuracy figures.
     pub fn accuracy_curve(&self) -> Vec<f64> {
-        (0..self.rows.len()).map(|m| self.avg_accuracy_after(m)).collect()
+        (0..self.rows.len())
+            .map(|m| self.avg_accuracy_after(m))
+            .collect()
     }
 
     /// The per-step average forgetting rates (Figures 7–8, right panels).
     pub fn forgetting_curve(&self) -> Vec<f64> {
-        (0..self.rows.len()).map(|m| self.avg_forgetting_after(m)).collect()
+        (0..self.rows.len())
+            .map(|m| self.avg_forgetting_after(m))
+            .collect()
     }
 }
 
@@ -176,7 +184,10 @@ impl AccuracyMatrix {
         if m == 0 {
             return 0.0;
         }
-        (0..m).map(|k| self.rows[m][k] - self.rows[k][k]).sum::<f64>() / m as f64
+        (0..m)
+            .map(|k| self.rows[m][k] - self.rows[k][k])
+            .sum::<f64>()
+            / m as f64
     }
 }
 

@@ -8,7 +8,12 @@
 ///
 /// Returns `None` when no client uploaded.
 pub fn fedavg(uploads: &[Option<Vec<f32>>], weights: &[usize]) -> Option<Vec<f32>> {
-    assert_eq!(uploads.len(), weights.len(), "uploads/weights length mismatch");
+    assert_eq!(
+        uploads.len(),
+        weights.len(),
+        "uploads/weights length mismatch"
+    );
+    let _t = fedknow_obs::timer("fedavg.aggregate_ns");
     let mut acc: Option<Vec<f64>> = None;
     let mut total = 0.0f64;
     let mut dim = 0usize;

@@ -35,7 +35,12 @@ pub struct SimConfig {
 
 impl Default for SimConfig {
     fn default() -> Self {
-        Self { rounds_per_task: 5, iters_per_round: 10, seed: 0, parallel: true }
+        Self {
+            rounds_per_task: 5,
+            iters_per_round: 10,
+            seed: 0,
+            parallel: true,
+        }
     }
 }
 
@@ -58,6 +63,78 @@ pub struct SimReport {
     pub dropouts: Vec<(usize, usize)>,
     /// Mean training loss per task step (diagnostic).
     pub task_mean_loss: Vec<f64>,
+    /// Per-phase time/bytes attribution for this run, present when the
+    /// observability layer was enabled (`FEDKNOW_OBS` or
+    /// `fedknow_obs::enable`) — see [`PhaseBreakdown`].
+    pub phase_breakdown: Option<PhaseBreakdown>,
+}
+
+/// Aggregated timing for one phase metric (a `*_ns` histogram such as
+/// `qp.solve_ns` or `restore.distill_ns`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PhaseStat {
+    /// Metric name.
+    pub name: String,
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum over all samples (nanoseconds for `*_ns` metrics).
+    pub total_ns: u64,
+    /// Mean sample.
+    pub mean_ns: f64,
+    /// Median (~2% relative error, log-bucketed).
+    pub p50_ns: u64,
+    /// 99th percentile (~2% relative error).
+    pub p99_ns: u64,
+}
+
+/// The observability attribution of one run: every histogram metric that
+/// grew during the run (phase timers and span durations) plus every
+/// counter delta (byte counters, QP fallback/fast-path events). Built by
+/// diffing registry snapshots taken at the start and end of
+/// [`Simulation::run`], so concurrent runs in other threads of the same
+/// process can pollute it — per-run JSONL files are the precise source.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PhaseBreakdown {
+    /// One entry per histogram metric, name-sorted.
+    pub phases: Vec<PhaseStat>,
+    /// Counter deltas `(name, value)`, name-sorted.
+    pub counters: Vec<(String, u64)>,
+}
+
+impl PhaseBreakdown {
+    /// Summarise a metrics snapshot (typically a [`MetricsSnapshot::since`]
+    /// diff scoping the metrics to one run or sweep).
+    ///
+    /// [`MetricsSnapshot::since`]: fedknow_obs::MetricsSnapshot::since
+    pub fn from_metrics(s: &fedknow_obs::MetricsSnapshot) -> Self {
+        let phases = s
+            .hists
+            .iter()
+            .map(|(name, h)| PhaseStat {
+                name: name.clone(),
+                count: h.count(),
+                total_ns: h.sum(),
+                mean_ns: h.mean(),
+                p50_ns: h.quantile(0.5),
+                p99_ns: h.quantile(0.99),
+            })
+            .collect();
+        let counters = s.counters.iter().map(|(k, &v)| (k.clone(), v)).collect();
+        Self { phases, counters }
+    }
+
+    /// Look up one phase by metric name.
+    pub fn phase(&self, name: &str) -> Option<&PhaseStat> {
+        self.phases.iter().find(|p| p.name == name)
+    }
+
+    /// Look up one counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
 }
 
 impl SimReport {
@@ -116,17 +193,31 @@ impl Simulation {
         assert_eq!(clients.len(), devices.len(), "one device per client");
         assert!(!clients.is_empty());
         let t0 = data[0].tasks.len();
-        assert!(data.iter().all(|d| d.tasks.len() == t0), "task counts differ across clients");
-        Self { clients, data, devices, comm, cfg, model_bytes }
+        assert!(
+            data.iter().all(|d| d.tasks.len() == t0),
+            "task counts differ across clients"
+        );
+        Self {
+            clients,
+            data,
+            devices,
+            comm,
+            cfg,
+            model_bytes,
+        }
     }
 
     /// Run the full task sequence and produce the report.
     pub fn run(&mut self) -> SimReport {
+        fedknow_obs::init_from_env();
+        let obs_before = fedknow_obs::snapshot();
+        let run_span = fedknow_obs::span("run");
         let num_tasks = self.data[0].tasks.len();
         let n = self.clients.len();
         let method = self.clients[0].method_name().to_string();
-        let mut rngs: Vec<StdRng> =
-            (0..n).map(|c| substream(self.cfg.seed, 0xF1_0000 + c as u64)).collect();
+        let mut rngs: Vec<StdRng> = (0..n)
+            .map(|c| substream(self.cfg.seed, 0xF1_0000 + c as u64))
+            .collect();
         let mut active = vec![true; n];
         let mut dropouts = Vec::new();
         let mut matrices: Vec<AccuracyMatrix> = vec![AccuracyMatrix::new(); n];
@@ -136,6 +227,7 @@ impl Simulation {
         let mut total_bytes = 0u64;
 
         for step in 0..num_tasks {
+            let _task_span = fedknow_obs::obs_span!("task.{step}");
             // Task start on every active client.
             self.for_each_active(&active, &mut rngs, |_c, client, data, rng| {
                 client.start_task(&data.tasks[step], rng);
@@ -146,15 +238,15 @@ impl Simulation {
             let mut loss_sum = 0.0f64;
             let mut loss_iters = 0usize;
 
-            for _round in 0..self.cfg.rounds_per_task {
+            for round in 0..self.cfg.rounds_per_task {
+                let _round_span = fedknow_obs::obs_span!("round.{round}");
                 // Local training, parallel across clients.
                 let outcomes = self.train_round(&active, &mut rngs);
                 // The slowest active device gates the synchronous round.
                 let mut round_compute: f64 = 0.0;
                 for (c, o) in outcomes.iter().enumerate() {
                     if let Some(o) = o {
-                        round_compute =
-                            round_compute.max(self.devices[c].compute_seconds(o.flops));
+                        round_compute = round_compute.max(self.devices[c].compute_seconds(o.flops));
                         loss_sum += o.loss_sum;
                         loss_iters += o.iters;
                     }
@@ -206,8 +298,9 @@ impl Simulation {
                     let down_bytes =
                         if global.is_some() { base.down } else { 0 } + extra.down + payload_down;
                     total_bytes += up_bytes + down_bytes;
-                    round_comm =
-                        round_comm.max(self.comm.transfer_seconds(up_bytes + down_bytes));
+                    fedknow_obs::count("comm.upload_bytes", up_bytes);
+                    fedknow_obs::count("comm.download_bytes", down_bytes);
+                    round_comm = round_comm.max(self.comm.transfer_seconds(up_bytes + down_bytes));
                 }
                 comm_secs += round_comm;
 
@@ -227,9 +320,9 @@ impl Simulation {
             self.for_each_active(&active, &mut rngs, |_c, client, _data, rng| {
                 client.finish_task(rng);
             });
-            for c in 0..n {
-                if active[c] && self.devices[c].would_oom(self.clients[c].retained_bytes()) {
-                    active[c] = false;
+            for (c, is_active) in active.iter_mut().enumerate() {
+                if *is_active && self.devices[c].would_oom(self.clients[c].retained_bytes()) {
+                    *is_active = false;
                     dropouts.push((c, step));
                 }
             }
@@ -243,8 +336,20 @@ impl Simulation {
 
             task_compute.push(compute_secs);
             task_comm.push(comm_secs);
-            task_loss.push(if loss_iters > 0 { loss_sum / loss_iters as f64 } else { 0.0 });
+            task_loss.push(if loss_iters > 0 {
+                loss_sum / loss_iters as f64
+            } else {
+                0.0
+            });
         }
+
+        // Close the run span before diffing so its duration is included,
+        // then attribute this run's metrics by snapshot difference.
+        drop(run_span);
+        let phase_breakdown = obs_before.and_then(|before| {
+            fedknow_obs::snapshot().map(|after| PhaseBreakdown::from_metrics(&after.since(&before)))
+        });
+        fedknow_obs::flush();
 
         SimReport {
             method,
@@ -254,6 +359,7 @@ impl Simulation {
             total_bytes,
             dropouts,
             task_mean_loss: task_loss,
+            phase_breakdown,
         }
     }
 
@@ -274,12 +380,20 @@ impl Simulation {
             .map(|(c, (client, rng))| (c, client, rng))
             .collect();
         if self.cfg.parallel && jobs.len() > 1 {
-            let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+            let threads = std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(4);
             let chunk = jobs.len().div_ceil(threads.max(1)).max(1);
+            // Worker threads start with empty span stacks; hand them the
+            // parent path so client spans nest under run/task/round.
+            let parent = fedknow_obs::current_path();
+            let parent = &parent;
             crossbeam::thread::scope(|s| {
                 for chunk_jobs in jobs.chunks_mut(chunk) {
                     s.spawn(|_| {
+                        let _path = fedknow_obs::inherit_path(parent);
                         for (c, client, rng) in chunk_jobs.iter_mut() {
+                            let _client_span = fedknow_obs::obs_span!("client.{c}");
                             f(*c, client.as_mut(), &data[*c], rng);
                         }
                     });
@@ -288,6 +402,7 @@ impl Simulation {
             .expect("worker thread panicked");
         } else {
             for (c, client, rng) in jobs {
+                let _client_span = fedknow_obs::obs_span!("client.{c}");
                 f(c, client.as_mut(), &data[c], rng);
             }
         }
@@ -297,8 +412,9 @@ impl Simulation {
     /// per-client outcome (`None` for inactive clients).
     fn train_round(&mut self, active: &[bool], rngs: &mut [StdRng]) -> Vec<Option<RoundOutcome>> {
         let iters = self.cfg.iters_per_round;
-        let results: Vec<parking_lot::Mutex<Option<RoundOutcome>>> =
-            (0..self.clients.len()).map(|_| parking_lot::Mutex::new(None)).collect();
+        let results: Vec<parking_lot::Mutex<Option<RoundOutcome>>> = (0..self.clients.len())
+            .map(|_| parking_lot::Mutex::new(None))
+            .collect();
         self.for_each_active(active, rngs, |c, client, _data, rng| {
             let mut flops = 0u64;
             let mut loss_sum = 0.0f64;
@@ -307,7 +423,11 @@ impl Simulation {
                 flops += stats.flops;
                 loss_sum += stats.loss;
             }
-            *results[c].lock() = Some(RoundOutcome { flops, loss_sum, iters });
+            *results[c].lock() = Some(RoundOutcome {
+                flops,
+                loss_sum,
+                iters,
+            });
         });
         results.into_iter().map(|m| m.into_inner()).collect()
     }
@@ -326,12 +446,16 @@ impl Simulation {
         let all = vec![true; self.clients.len()];
         // Evaluation draws no randomness; a scratch RNG set satisfies the
         // signature without perturbing the training streams.
-        let mut scratch: Vec<StdRng> =
-            (0..self.clients.len()).map(|c| substream(0, c as u64)).collect();
-        let results: Vec<parking_lot::Mutex<Vec<f64>>> =
-            (0..self.clients.len()).map(|_| parking_lot::Mutex::new(Vec::new())).collect();
+        let mut scratch: Vec<StdRng> = (0..self.clients.len())
+            .map(|c| substream(0, c as u64))
+            .collect();
+        let results: Vec<parking_lot::Mutex<Vec<f64>>> = (0..self.clients.len())
+            .map(|_| parking_lot::Mutex::new(Vec::new()))
+            .collect();
         self.for_each_active(&all, &mut scratch, |c, client, data, _rng| {
-            let row: Vec<f64> = (0..=step).map(|k| client.evaluate(&data.tasks[k])).collect();
+            let row: Vec<f64> = (0..=step)
+                .map(|k| client.evaluate(&data.tasks[k]))
+                .collect();
             *results[c].lock() = row;
         });
         results.into_iter().map(|m| m.into_inner()).collect()
@@ -357,7 +481,14 @@ mod tests {
 
     impl StubClient {
         fn new(acc: f64, retained: u64) -> Self {
-            Self { params: vec![0.0; 4], retained, started: 0, finished: 0, received: 0, acc }
+            Self {
+                params: vec![0.0; 4],
+                retained,
+                started: 0,
+                finished: 0,
+                received: 0,
+                acc,
+            }
         }
     }
 
@@ -369,7 +500,10 @@ mod tests {
             for p in &mut self.params {
                 *p += 1.0;
             }
-            IterationStats { loss: 1.0, flops: 1000 }
+            IterationStats {
+                loss: 1.0,
+                flops: 1000,
+            }
         }
         fn upload(&mut self) -> Option<Vec<f32>> {
             Some(self.params.clone())
@@ -402,16 +536,22 @@ mod tests {
     fn run_sim(parallel: bool, retained: u64) -> SimReport {
         let data = tiny_data(3);
         let clients: Vec<Box<dyn FclClient>> = (0..3)
-            .map(|c| Box::new(StubClient::new(0.5 + 0.1 * c as f64, retained)) as Box<dyn FclClient>)
+            .map(|c| {
+                Box::new(StubClient::new(0.5 + 0.1 * c as f64, retained)) as Box<dyn FclClient>
+            })
             .collect();
         let devices = vec![
             DeviceProfile::jetson_agx(),
             DeviceProfile::jetson_nano(),
             DeviceProfile::raspberry_pi(2),
         ];
-        let cfg = SimConfig { rounds_per_task: 2, iters_per_round: 3, seed: 5, parallel };
-        let mut sim =
-            Simulation::new(clients, data, devices, CommModel::paper_default(), cfg, 400);
+        let cfg = SimConfig {
+            rounds_per_task: 2,
+            iters_per_round: 3,
+            seed: 5,
+            parallel,
+        };
+        let mut sim = Simulation::new(clients, data, devices, CommModel::paper_default(), cfg, 400);
         sim.run()
     }
 
@@ -491,7 +631,10 @@ mod payload_tests {
     impl FclClient for PayloadClient {
         fn start_task(&mut self, _t: &ClientTask, _r: &mut rand::rngs::StdRng) {}
         fn train_iteration(&mut self, _r: &mut rand::rngs::StdRng) -> IterationStats {
-            IterationStats { loss: 0.0, flops: 1 }
+            IterationStats {
+                loss: 0.0,
+                flops: 1,
+            }
         }
         fn upload(&mut self) -> Option<Vec<f32>> {
             Some(vec![0.0; 4])
@@ -523,13 +666,30 @@ mod payload_tests {
         let d = generate(&spec, 1);
         let data = partition(&d, 3, &PartitionConfig::default(), 1);
         let clients: Vec<Box<dyn FclClient>> = (0..3)
-            .map(|i| Box::new(PayloadClient { received: 0, own_seen: false, id_hint: i }) as _)
+            .map(|i| {
+                Box::new(PayloadClient {
+                    received: 0,
+                    own_seen: false,
+                    id_hint: i,
+                }) as _
+            })
             .collect();
         let devices = vec![DeviceProfile::jetson_nx(); 3];
-        let cfg = SimConfig { rounds_per_task: 2, iters_per_round: 1, seed: 0, parallel: false };
+        let cfg = SimConfig {
+            rounds_per_task: 2,
+            iters_per_round: 1,
+            seed: 0,
+            parallel: false,
+        };
         let model_bytes = 16u64;
-        let mut sim =
-            Simulation::new(clients, data, devices, CommModel::paper_default(), cfg, model_bytes);
+        let mut sim = Simulation::new(
+            clients,
+            data,
+            devices,
+            CommModel::paper_default(),
+            cfg,
+            model_bytes,
+        );
         let report = sim.run();
         // Per round: 3 payloads of (2·8 + 16) = 32 bytes each.
         // Up: model 16 + payload 32 per client; down: model 16 + the two

@@ -25,7 +25,14 @@ pub struct LocalTrainer {
 impl LocalTrainer {
     /// New trainer; `image_shape` is `[C, H, W]`.
     pub fn new(model: Model, opt: Sgd, batch_size: usize, image_shape: Vec<usize>) -> Self {
-        Self { model, opt, batch_size, image_shape, train_data: Vec::new(), batcher: None }
+        Self {
+            model,
+            opt,
+            batch_size,
+            image_shape,
+            train_data: Vec::new(),
+            batcher: None,
+        }
     }
 
     /// Image shape `[C, H, W]` this trainer was configured with.
@@ -61,17 +68,23 @@ impl LocalTrainer {
         if labels.is_empty() {
             return 0.0;
         }
-        let logits = self.model.forward(x.clone(), true);
+        let logits = {
+            let _t = fedknow_obs::timer("conv.fwd_ns");
+            self.model.forward(x.clone(), true)
+        };
         let (loss, grad) = cross_entropy(&logits, labels);
+        let _t = fedknow_obs::timer("conv.bwd_ns");
         self.model.backward(grad);
         loss
     }
 
     /// One plain SGD iteration on the current task. Returns the loss.
     pub fn sgd_iteration(&mut self, rng: &mut StdRng) -> f32 {
+        let _batch = fedknow_obs::timer("train.batch_ns");
         let (x, labels) = self.next_batch(rng);
         let loss = self.compute_grads(&x, &labels);
         let lr = self.opt.next_lr() as f32;
+        let _t = fedknow_obs::timer("train.step_ns");
         self.model.sgd_step(lr);
         loss
     }
@@ -108,7 +121,10 @@ pub fn evaluate_model(model: &mut Model, task: &ClientTask, image_shape: &[usize
                 .copied()
                 .filter(|&cls| cls < c)
                 .max_by(|&a, &b| {
-                    logits.at2(i, a).partial_cmp(&logits.at2(i, b)).unwrap_or(std::cmp::Ordering::Equal)
+                    logits
+                        .at2(i, a)
+                        .partial_cmp(&logits.at2(i, b))
+                        .unwrap_or(std::cmp::Ordering::Equal)
                 })
                 .unwrap_or(0);
             if best == y {
@@ -203,7 +219,12 @@ mod empty_task_tests {
             8,
             vec![3, 8, 8],
         );
-        let task = ClientTask { task_id: 0, classes: vec![0], train: vec![], test: vec![] };
+        let task = ClientTask {
+            task_id: 0,
+            classes: vec![0],
+            train: vec![],
+            test: vec![],
+        };
         t.set_task(&task, &mut rng);
         let before = t.model.flat_params();
         let loss = t.sgd_iteration(&mut rng);

@@ -48,7 +48,11 @@ pub fn wasserstein_1d(a: &[f32], b: &[f32]) -> f64 {
     let mut sb: Vec<f32> = b.to_vec();
     sa.sort_unstable_by(|x, y| x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Equal));
     sb.sort_unstable_by(|x, y| x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Equal));
-    let total: f64 = sa.iter().zip(&sb).map(|(&x, &y)| ((x - y).abs()) as f64).sum();
+    let total: f64 = sa
+        .iter()
+        .zip(&sb)
+        .map(|(&x, &y)| ((x - y).abs()) as f64)
+        .sum();
     total / a.len() as f64
 }
 
@@ -72,7 +76,11 @@ pub fn cosine_distance(a: &[f32], b: &[f32]) -> f64 {
 /// Euclidean distance.
 pub fn euclidean(a: &[f32], b: &[f32]) -> f64 {
     assert_eq!(a.len(), b.len(), "euclidean requires equal lengths");
-    a.iter().zip(b).map(|(&x, &y)| ((x - y) as f64).powi(2)).sum::<f64>().sqrt()
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| ((x - y) as f64).powi(2))
+        .sum::<f64>()
+        .sqrt()
 }
 
 /// Rank `candidates` by descending distance from `reference` and return the
@@ -91,9 +99,15 @@ pub fn most_dissimilar(
         .map(|(i, c)| (i, gradient_distance(metric, reference, c)))
         .collect();
     scored.sort_by(|a, b| {
-        b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0))
     });
-    scored.into_iter().take(k.min(candidates.len())).map(|(i, _)| i).collect()
+    scored
+        .into_iter()
+        .take(k.min(candidates.len()))
+        .map(|(i, _)| i)
+        .collect()
 }
 
 #[cfg(test)]

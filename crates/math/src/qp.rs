@@ -43,7 +43,11 @@ pub struct QpConfig {
 
 impl Default for QpConfig {
     fn default() -> Self {
-        Self { max_iters: 2_000, tol: 1e-7, margin: 0.0 }
+        Self {
+            max_iters: 2_000,
+            tol: 1e-7,
+            margin: 0.0,
+        }
     }
 }
 
@@ -88,7 +92,10 @@ pub fn integrate_gradient(
     }
     for c in constraints {
         if c.len() != g.len() {
-            return Err(MathError::DimensionMismatch { expected: g.len(), got: c.len() });
+            return Err(MathError::DimensionMismatch {
+                expected: g.len(),
+                got: c.len(),
+            });
         }
     }
     let k = constraints.len();
@@ -109,7 +116,11 @@ pub fn integrate_gradient(
     let margins: Vec<f64> = constraints
         .iter()
         .map(|c| {
-            let n: f64 = c.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt();
+            let n: f64 = c
+                .iter()
+                .map(|&x| (x as f64) * (x as f64))
+                .sum::<f64>()
+                .sqrt();
             config.margin * n
         })
         .collect();
@@ -148,7 +159,12 @@ pub fn integrate_gradient(
             }
         }
     }
-    Ok(Integrated { gradient: out, dual, already_feasible: false, iterations })
+    Ok(Integrated {
+        gradient: out,
+        dual,
+        already_feasible: false,
+        iterations,
+    })
 }
 
 /// Projected gradient descent on `½vᵀQv + qᵀv − marginsᵀv, v ≥ 0`.
@@ -184,7 +200,13 @@ fn solve_nonneg_qp(
         // KKT residual for v ≥ 0: at a solution, grad_i ≥ 0 where v_i = 0
         // and grad_i = 0 where v_i > 0.
         let residual = (0..k)
-            .map(|i| if v[i] > 0.0 { grad[i].abs() } else { (-grad[i]).max(0.0) })
+            .map(|i| {
+                if v[i] > 0.0 {
+                    grad[i].abs()
+                } else {
+                    (-grad[i]).max(0.0)
+                }
+            })
             .fold(0.0f64, f64::max);
         if residual <= config.tol * (1.0 + trace) {
             return Ok((v, it));
@@ -199,7 +221,13 @@ fn solve_nonneg_qp(
         grad[i] = q[i] + row.iter().zip(&v).map(|(&a, &b)| a * b).sum::<f64>();
     }
     let residual = (0..k)
-        .map(|i| if v[i] > 0.0 { grad[i].abs() } else { (-grad[i]).max(0.0) })
+        .map(|i| {
+            if v[i] > 0.0 {
+                grad[i].abs()
+            } else {
+                (-grad[i]).max(0.0)
+            }
+        })
         .fold(0.0f64, f64::max);
     if residual <= config.tol * (1.0 + trace) * 100.0 {
         Ok((v, config.max_iters))
@@ -272,7 +300,10 @@ mod tests {
     fn margin_forces_strict_descent() {
         let g = vec![1.0, 0.0];
         let cons = vec![vec![0.0, 1.0]]; // orthogonal: feasible at margin 0
-        let cfg = QpConfig { margin: 0.1, ..Default::default() };
+        let cfg = QpConfig {
+            margin: 0.1,
+            ..Default::default()
+        };
         let r = integrate_gradient(&g, &cons, &cfg).unwrap();
         assert!(!r.already_feasible);
         let d = dotf(&cons[0], &r.gradient);
@@ -308,12 +339,17 @@ mod tests {
         // displacement is exactly the negative part of the projection.
         let g = vec![3.0, 4.0];
         let c = vec![0.0, -1.0]; // ⟨c, g⟩ = -4 < 0
-        let r = integrate_gradient(&g, &[c.clone()], &QpConfig::default()).unwrap();
+        let r = integrate_gradient(&g, std::slice::from_ref(&c), &QpConfig::default()).unwrap();
         // Projection onto {⟨c,·⟩ ≥ 0} = {y ≤ 0}: (3, 0).
         assert!((r.gradient[0] - 3.0).abs() < 1e-4);
         assert!(r.gradient[1].abs() < 1e-4);
-        let disp: f32 =
-            r.gradient.iter().zip(&g).map(|(a, b)| (a - b) * (a - b)).sum::<f32>().sqrt();
+        let disp: f32 = r
+            .gradient
+            .iter()
+            .zip(&g)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f32>()
+            .sqrt();
         assert!((disp - 4.0).abs() < 1e-3);
     }
 }

@@ -38,9 +38,16 @@ impl SparseVec {
             assert!(w[0] < w[1], "indices must be strictly increasing");
         }
         if let Some(&last) = indices.last() {
-            assert!((last as usize) < dense_len, "index {last} out of bounds {dense_len}");
+            assert!(
+                (last as usize) < dense_len,
+                "index {last} out of bounds {dense_len}"
+            );
         }
-        Self { dense_len, indices, values }
+        Self {
+            dense_len,
+            indices,
+            values,
+        }
     }
 
     /// Extract the `keep` entries of `dense` with the largest absolute value.
@@ -51,18 +58,28 @@ impl SparseVec {
     pub fn top_k_by_magnitude(dense: &[f32], keep: usize) -> Self {
         let keep = keep.min(dense.len());
         if keep == 0 {
-            return Self { dense_len: dense.len(), indices: vec![], values: vec![] };
+            return Self {
+                dense_len: dense.len(),
+                indices: vec![],
+                values: vec![],
+            };
         }
         // Select-nth on |value| descending, then sort the kept indices.
         let mut idx: Vec<u32> = (0..dense.len() as u32).collect();
         idx.select_nth_unstable_by(keep - 1, |&a, &b| {
             let (va, vb) = (dense[a as usize].abs(), dense[b as usize].abs());
-            vb.partial_cmp(&va).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+            vb.partial_cmp(&va)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
         });
         idx.truncate(keep);
         idx.sort_unstable();
         let values = idx.iter().map(|&i| dense[i as usize]).collect();
-        Self { dense_len: dense.len(), indices: idx, values }
+        Self {
+            dense_len: dense.len(),
+            indices: idx,
+            values,
+        }
     }
 
     /// Extract entries whose absolute value is at least the `1 - rho`

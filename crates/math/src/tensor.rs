@@ -28,17 +28,26 @@ impl Tensor {
             "shape {shape:?} implies {n} elements, data has {}",
             data.len()
         );
-        Self { data, shape: shape.to_vec() }
+        Self {
+            data,
+            shape: shape.to_vec(),
+        }
     }
 
     /// All-zero tensor of the given shape.
     pub fn zeros(shape: &[usize]) -> Self {
-        Self { data: vec![0.0; shape.iter().product()], shape: shape.to_vec() }
+        Self {
+            data: vec![0.0; shape.iter().product()],
+            shape: shape.to_vec(),
+        }
     }
 
     /// Tensor filled with a constant.
     pub fn full(shape: &[usize], value: f32) -> Self {
-        Self { data: vec![value; shape.iter().product()], shape: shape.to_vec() }
+        Self {
+            data: vec![value; shape.iter().product()],
+            shape: shape.to_vec(),
+        }
     }
 
     /// Shape of the tensor.
@@ -74,7 +83,11 @@ impl Tensor {
     /// Reinterpret the buffer under a new shape with the same element count.
     pub fn reshape(mut self, shape: &[usize]) -> Self {
         let n: usize = shape.iter().product();
-        assert_eq!(n, self.data.len(), "reshape to {shape:?} changes element count");
+        assert_eq!(
+            n,
+            self.data.len(),
+            "reshape to {shape:?} changes element count"
+        );
         self.shape = shape.to_vec();
         self
     }
@@ -112,7 +125,10 @@ impl Tensor {
                 }
             }
         }
-        Tensor { data: out, shape: vec![m, n] }
+        Tensor {
+            data: out,
+            shape: vec![m, n],
+        }
     }
 
     /// `selfᵀ × other`: `self [k,m]`, `other [k,n]` → `[m,n]`, without
@@ -137,7 +153,10 @@ impl Tensor {
                 }
             }
         }
-        Tensor { data: out, shape: vec![m, n] }
+        Tensor {
+            data: out,
+            shape: vec![m, n],
+        }
     }
 
     /// `self × otherᵀ`: `self [m,k]`, `other [n,k]` → `[m,n]`, without
@@ -156,7 +175,10 @@ impl Tensor {
                 out[i * n + j] = dot(a_row, b_row);
             }
         }
-        Tensor { data: out, shape: vec![m, n] }
+        Tensor {
+            data: out,
+            shape: vec![m, n],
+        }
     }
 
     /// Rank-2 transpose.
@@ -169,7 +191,10 @@ impl Tensor {
                 out[j * m + i] = self.data[i * n + j];
             }
         }
-        Tensor { data: out, shape: vec![n, m] }
+        Tensor {
+            data: out,
+            shape: vec![n, m],
+        }
     }
 
     /// Elementwise in-place addition. Panics on shape mismatch.
@@ -197,7 +222,10 @@ impl Tensor {
 
     /// Elementwise map, returning a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor { data: self.data.iter().map(|&x| f(x)).collect(), shape: self.shape.clone() }
+        Tensor {
+            data: self.data.iter().map(|&x| f(x)).collect(),
+            shape: self.shape.clone(),
+        }
     }
 
     /// Sum of all elements.
@@ -230,7 +258,10 @@ impl Tensor {
                 *dst *= inv;
             }
         }
-        Tensor { data: out, shape: self.shape.clone() }
+        Tensor {
+            data: out,
+            shape: self.shape.clone(),
+        }
     }
 
     /// Index of the maximum element per row of a rank-2 tensor.

@@ -35,7 +35,11 @@ impl Layer for ReLU {
     }
 
     fn backward(&mut self, mut grad: Tensor) -> Tensor {
-        assert_eq!(grad.len(), self.mask.len(), "ReLU backward before forward(train)");
+        assert_eq!(
+            grad.len(),
+            self.mask.len(),
+            "ReLU backward before forward(train)"
+        );
         for (g, &m) in grad.data_mut().iter_mut().zip(&self.mask) {
             if !m {
                 *g = 0.0;
@@ -61,7 +65,9 @@ pub struct Sigmoid {
 impl Sigmoid {
     /// New sigmoid layer.
     pub fn new() -> Self {
-        Self { cached_out: Vec::new() }
+        Self {
+            cached_out: Vec::new(),
+        }
     }
 }
 
@@ -83,7 +89,11 @@ impl Layer for Sigmoid {
     }
 
     fn backward(&mut self, mut grad: Tensor) -> Tensor {
-        assert_eq!(grad.len(), self.cached_out.len(), "Sigmoid backward before forward(train)");
+        assert_eq!(
+            grad.len(),
+            self.cached_out.len(),
+            "Sigmoid backward before forward(train)"
+        );
         for (g, &s) in grad.data_mut().iter_mut().zip(&self.cached_out) {
             *g *= s * (1.0 - s);
         }
@@ -91,7 +101,10 @@ impl Layer for Sigmoid {
     }
 
     fn flops(&self, in_shape: &[usize]) -> (u64, Vec<usize>) {
-        (4 * in_shape.iter().product::<usize>() as u64, in_shape.to_vec())
+        (
+            4 * in_shape.iter().product::<usize>() as u64,
+            in_shape.to_vec(),
+        )
     }
 
     fn name(&self) -> &'static str {
@@ -138,8 +151,16 @@ pub struct Dropout {
 impl Dropout {
     /// New dropout layer with drop probability `p ∈ [0, 1)`.
     pub fn new(p: f32) -> Self {
-        assert!((0.0..1.0).contains(&p), "dropout probability must be in [0,1)");
-        Self { p, mask: Vec::new(), stream: 0xD80D_0000, counter: 0 }
+        assert!(
+            (0.0..1.0).contains(&p),
+            "dropout probability must be in [0,1)"
+        );
+        Self {
+            p,
+            mask: Vec::new(),
+            stream: 0xD80D_0000,
+            counter: 0,
+        }
     }
 }
 
@@ -168,7 +189,11 @@ impl Layer for Dropout {
         if self.p == 0.0 || self.mask.is_empty() {
             return grad;
         }
-        assert_eq!(grad.len(), self.mask.len(), "Dropout backward before forward(train)");
+        assert_eq!(
+            grad.len(),
+            self.mask.len(),
+            "Dropout backward before forward(train)"
+        );
         for (g, &m) in grad.data_mut().iter_mut().zip(&self.mask) {
             *g *= m;
         }

@@ -25,7 +25,12 @@ pub struct Residual {
 impl Residual {
     /// Residual block with optional projection shortcut.
     pub fn new(main: Sequential, shortcut: Option<Sequential>, final_relu: bool) -> Self {
-        Self { main, shortcut, final_relu, relu_mask: Vec::new() }
+        Self {
+            main,
+            shortcut,
+            final_relu,
+            relu_mask: Vec::new(),
+        }
     }
 }
 
@@ -58,7 +63,11 @@ impl Layer for Residual {
 
     fn backward(&mut self, mut grad: Tensor) -> Tensor {
         if self.final_relu {
-            assert_eq!(grad.len(), self.relu_mask.len(), "backward before forward(train)");
+            assert_eq!(
+                grad.len(),
+                self.relu_mask.len(),
+                "backward before forward(train)"
+            );
             for (g, &m) in grad.data_mut().iter_mut().zip(&self.relu_mask) {
                 if !m {
                     *g = 0.0;
@@ -140,8 +149,8 @@ impl Layer for SEScale {
         // Squeeze.
         let inv = 1.0 / plane as f32;
         let mut squeezed = vec![0.0f32; b * c];
-        for bc in 0..b * c {
-            squeezed[bc] = x.data()[bc * plane..(bc + 1) * plane].iter().sum::<f32>() * inv;
+        for (bc, sq) in squeezed.iter_mut().enumerate() {
+            *sq = x.data()[bc * plane..(bc + 1) * plane].iter().sum::<f32>() * inv;
         }
         // Excite.
         let z = self.fc1.forward(Tensor::from_vec(squeezed, &[b, c]), train);
@@ -164,17 +173,20 @@ impl Layer for SEScale {
     }
 
     fn backward(&mut self, grad: Tensor) -> Tensor {
-        let x = self.cached_input.take().expect("backward before forward(train)");
+        let x = self
+            .cached_input
+            .take()
+            .expect("backward before forward(train)");
         let s = x.shape().to_vec();
         let (b, c, h, w) = (s[0], s[1], s[2], s[3]);
         let plane = h * w;
         // ∂L/∂gate[b,c] = Σ_hw gy·x ; direct path ∂L/∂x = gy·gate.
         let mut g_gate = vec![0.0f32; b * c];
         let mut gx = grad.clone();
-        for bc in 0..b * c {
+        for (bc, gg) in g_gate.iter_mut().enumerate() {
             let gslice = &grad.data()[bc * plane..(bc + 1) * plane];
             let xslice = &x.data()[bc * plane..(bc + 1) * plane];
-            g_gate[bc] = gslice.iter().zip(xslice).map(|(&g, &xv)| g * xv).sum();
+            *gg = gslice.iter().zip(xslice).map(|(&g, &xv)| g * xv).sum();
             let gt = self.cached_gate[bc];
             for v in &mut gx.data_mut()[bc * plane..(bc + 1) * plane] {
                 *v *= gt;
@@ -229,18 +241,28 @@ impl Concat {
     /// Parallel branches over a shared input.
     pub fn new(branches: Vec<Sequential>) -> Self {
         assert!(!branches.is_empty(), "Concat needs at least one branch");
-        Self { branches, cached_channels: Vec::new() }
+        Self {
+            branches,
+            cached_channels: Vec::new(),
+        }
     }
 }
 
 impl Layer for Concat {
     fn forward(&mut self, x: Tensor, train: bool) -> Tensor {
-        let outs: Vec<Tensor> =
-            self.branches.iter_mut().map(|br| br.forward(x.clone(), train)).collect();
+        let outs: Vec<Tensor> = self
+            .branches
+            .iter_mut()
+            .map(|br| br.forward(x.clone(), train))
+            .collect();
         let (b, h, w) = (outs[0].shape()[0], outs[0].shape()[2], outs[0].shape()[3]);
         for o in &outs {
             assert_eq!(o.shape()[0], b);
-            assert_eq!(&o.shape()[2..], &[h, w], "Concat branches must agree spatially");
+            assert_eq!(
+                &o.shape()[2..],
+                &[h, w],
+                "Concat branches must agree spatially"
+            );
         }
         if train {
             self.cached_channels = outs.iter().map(|o| o.shape()[1]).collect();
@@ -249,7 +271,10 @@ impl Layer for Concat {
     }
 
     fn backward(&mut self, grad: Tensor) -> Tensor {
-        assert!(!self.cached_channels.is_empty(), "backward before forward(train)");
+        assert!(
+            !self.cached_channels.is_empty(),
+            "backward before forward(train)"
+        );
         let parts = split_channels(&grad, &self.cached_channels);
         let mut gx: Option<Tensor> = None;
         for (br, part) in self.branches.iter_mut().zip(parts) {
@@ -305,7 +330,11 @@ impl SplitConcat {
     pub fn new(splits: Vec<usize>, branches: Vec<Sequential>) -> Self {
         assert_eq!(splits.len(), branches.len());
         assert!(!splits.is_empty());
-        Self { splits, branches, cached_out_channels: Vec::new() }
+        Self {
+            splits,
+            branches,
+            cached_out_channels: Vec::new(),
+        }
     }
 }
 
@@ -330,7 +359,10 @@ impl Layer for SplitConcat {
     }
 
     fn backward(&mut self, grad: Tensor) -> Tensor {
-        assert!(!self.cached_out_channels.is_empty(), "backward before forward(train)");
+        assert!(
+            !self.cached_out_channels.is_empty(),
+            "backward before forward(train)"
+        );
         let parts = split_channels(&grad, &self.cached_out_channels);
         let gins: Vec<Tensor> = self
             .branches
@@ -429,7 +461,11 @@ impl Layer for ChannelShuffle {
 
 /// Concatenate `[B,Ci,H,W]` tensors along the channel axis.
 fn concat_channels(parts: &[Tensor]) -> Tensor {
-    let (b, h, w) = (parts[0].shape()[0], parts[0].shape()[2], parts[0].shape()[3]);
+    let (b, h, w) = (
+        parts[0].shape()[0],
+        parts[0].shape()[2],
+        parts[0].shape()[3],
+    );
     let plane = h * w;
     let total_c: usize = parts.iter().map(|p| p.shape()[1]).sum();
     let mut out = vec![0.0f32; b * total_c * plane];
@@ -450,7 +486,11 @@ fn concat_channels(parts: &[Tensor]) -> Tensor {
 fn split_channels(x: &Tensor, sizes: &[usize]) -> Vec<Tensor> {
     let s = x.shape();
     let (b, c, h, w) = (s[0], s[1], s[2], s[3]);
-    assert_eq!(c, sizes.iter().sum::<usize>(), "split sizes must cover all channels");
+    assert_eq!(
+        c,
+        sizes.iter().sum::<usize>(),
+        "split sizes must cover all channels"
+    );
     let plane = h * w;
     let mut out = Vec::with_capacity(sizes.len());
     let mut c0 = 0;

@@ -91,8 +91,7 @@ pub fn restore(model: &mut Model, ckpt: &Checkpoint) -> Result<(), CheckpointErr
 /// Persist a snapshot as JSON.
 pub fn save(model: &mut Model, path: &Path) -> Result<(), CheckpointError> {
     let ckpt = snapshot(model);
-    let json =
-        serde_json::to_string(&ckpt).map_err(|e| CheckpointError::Parse(e.to_string()))?;
+    let json = serde_json::to_string(&ckpt).map_err(|e| CheckpointError::Parse(e.to_string()))?;
     std::fs::write(path, json)?;
     Ok(())
 }
@@ -159,7 +158,10 @@ mod tests {
         std::fs::write(&path, "{not json").unwrap();
         let mut rng = seeded(5);
         let mut m = ModelKind::SixCnn.build(&mut rng, 3, 10, 1.0);
-        assert!(matches!(load(&mut m, &path), Err(CheckpointError::Parse(_))));
+        assert!(matches!(
+            load(&mut m, &path),
+            Err(CheckpointError::Parse(_))
+        ));
         let _ = std::fs::remove_file(&path);
     }
 }

@@ -40,8 +40,12 @@ impl Conv2d {
         padding: usize,
         groups: usize,
     ) -> Self {
-        assert!(groups >= 1 && in_channels % groups == 0 && out_channels % groups == 0,
-            "groups {groups} must divide in {in_channels} and out {out_channels}");
+        assert!(
+            groups >= 1
+                && in_channels.is_multiple_of(groups)
+                && out_channels.is_multiple_of(groups),
+            "groups {groups} must divide in {in_channels} and out {out_channels}"
+        );
         let cg = in_channels / groups;
         let fan_in = cg * kernel * kernel;
         let weight = Tensor::from_vec(
@@ -186,9 +190,8 @@ impl Layer for Conv2d {
         // Bias per output channel.
         let bias = self.bias.data();
         for bi in 0..b {
-            for oc in 0..self.out_channels {
+            for (oc, &bv) in bias.iter().enumerate() {
                 let base = (bi * self.out_channels + oc) * ncols;
-                let bv = bias[oc];
                 for o in &mut out[base..base + ncols] {
                     *o += bv;
                 }
@@ -212,13 +215,13 @@ impl Layer for Conv2d {
             for g in 0..self.groups {
                 let col = &self.cached_cols[bi * self.groups + g];
                 let gbase = bi * self.out_channels * ncols + g * ocg * ncols;
-                let gy = Tensor::from_vec(grad.data()[gbase..gbase + ocg * ncols].to_vec(), &[
-                    ocg, ncols,
-                ]);
+                let gy = Tensor::from_vec(
+                    grad.data()[gbase..gbase + ocg * ncols].to_vec(),
+                    &[ocg, ncols],
+                );
                 // gW_g [ocg, fan] += gy [ocg, ncols] × colᵀ
                 let gw = gy.matmul_nt(col);
-                let wslice =
-                    &mut self.grad_weight.data_mut()[g * ocg * fan..(g + 1) * ocg * fan];
+                let wslice = &mut self.grad_weight.data_mut()[g * ocg * fan..(g + 1) * ocg * fan];
                 for (dst, &src) in wslice.iter_mut().zip(gw.data()) {
                     *dst += src;
                 }
@@ -228,15 +231,22 @@ impl Layer for Conv2d {
                     &[ocg, fan],
                 );
                 let gcol = wg.matmul_tn(&gy);
-                self.col2im(&gcol, &mut gx[bi * c * h * w..(bi + 1) * c * h * w], g * cg, cg, h, w);
+                self.col2im(
+                    &gcol,
+                    &mut gx[bi * c * h * w..(bi + 1) * c * h * w],
+                    g * cg,
+                    cg,
+                    h,
+                    w,
+                );
             }
         }
         // Bias gradient: sum of grad over batch and spatial dims.
         let gb = self.grad_bias.data_mut();
         for bi in 0..b {
-            for oc in 0..self.out_channels {
+            for (oc, gb_oc) in gb.iter_mut().enumerate() {
                 let base = (bi * self.out_channels + oc) * ncols;
-                gb[oc] += grad.data()[base..base + ncols].iter().sum::<f32>();
+                *gb_oc += grad.data()[base..base + ncols].iter().sum::<f32>();
             }
         }
         Tensor::from_vec(gx, &in_shape)
@@ -250,7 +260,12 @@ impl Layer for Conv2d {
             self.weight.data_mut(),
             self.grad_weight.data_mut(),
         );
-        v.visit("conv.bias", &[self.out_channels], self.bias.data_mut(), self.grad_bias.data_mut());
+        v.visit(
+            "conv.bias",
+            &[self.out_channels],
+            self.bias.data_mut(),
+            self.grad_bias.data_mut(),
+        );
     }
 
     fn zero_grad(&mut self) {
@@ -321,7 +336,10 @@ mod tests {
         conv.bias = Tensor::zeros(&[2]);
         let x = Tensor::full(&[1, 2, 3, 3], 2.0);
         let y = conv.forward(x, false);
-        assert!(y.data()[..9].iter().all(|&v| v == 0.0), "channel 0 should be zeroed");
+        assert!(
+            y.data()[..9].iter().all(|&v| v == 0.0),
+            "channel 0 should be zeroed"
+        );
         assert_eq!(y.data()[9 + 4], 2.0, "channel 1 centre passes through");
     }
 

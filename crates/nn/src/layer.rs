@@ -172,10 +172,20 @@ mod tests {
             .push(Linear::new(&mut rng, 4, 8))
             .push(Linear::new(&mut rng, 8, 3));
         let mut names = Vec::new();
-        seq.visit_params(&mut |name: &str, _: &[usize], _: &mut [f32], _: &mut [f32]| {
-            names.push(name.to_string());
-        });
-        assert_eq!(names, vec!["linear.weight", "linear.bias", "linear.weight", "linear.bias"]);
+        seq.visit_params(
+            &mut |name: &str, _: &[usize], _: &mut [f32], _: &mut [f32]| {
+                names.push(name.to_string());
+            },
+        );
+        assert_eq!(
+            names,
+            vec![
+                "linear.weight",
+                "linear.bias",
+                "linear.weight",
+                "linear.bias"
+            ]
+        );
     }
 
     #[test]

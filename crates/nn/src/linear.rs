@@ -19,11 +19,10 @@ pub struct Linear {
 impl Linear {
     /// Kaiming-initialised linear layer.
     pub fn new(rng: &mut StdRng, in_features: usize, out_features: usize) -> Self {
-        let weight =
-            Tensor::from_vec(kaiming_vec(rng, out_features * in_features, in_features), &[
-                out_features,
-                in_features,
-            ]);
+        let weight = Tensor::from_vec(
+            kaiming_vec(rng, out_features * in_features, in_features),
+            &[out_features, in_features],
+        );
         Self {
             in_features,
             out_features,
@@ -49,7 +48,11 @@ impl Linear {
 impl Layer for Linear {
     fn forward(&mut self, x: Tensor, train: bool) -> Tensor {
         assert_eq!(x.shape().len(), 2, "Linear expects [B, in]");
-        assert_eq!(x.shape()[1], self.in_features, "Linear input width mismatch");
+        assert_eq!(
+            x.shape()[1],
+            self.in_features,
+            "Linear input width mismatch"
+        );
         let mut y = x.matmul_nt(&self.weight);
         let b = self.bias.data();
         let n = self.out_features;
@@ -65,7 +68,10 @@ impl Layer for Linear {
     }
 
     fn backward(&mut self, grad: Tensor) -> Tensor {
-        let x = self.cached_input.as_ref().expect("backward before forward(train)");
+        let x = self
+            .cached_input
+            .as_ref()
+            .expect("backward before forward(train)");
         // ∂L/∂W [out,in] = gradᵀ [out,B] · x [B,in]
         let gw = grad.matmul_tn(x);
         self.grad_weight.add_assign(&gw);
@@ -88,7 +94,12 @@ impl Layer for Linear {
             self.weight.data_mut(),
             self.grad_weight.data_mut(),
         );
-        v.visit("linear.bias", &[self.out_features], self.bias.data_mut(), self.grad_bias.data_mut());
+        v.visit(
+            "linear.bias",
+            &[self.out_features],
+            self.bias.data_mut(),
+            self.grad_bias.data_mut(),
+        );
     }
 
     fn zero_grad(&mut self) {
@@ -98,8 +109,8 @@ impl Layer for Linear {
 
     fn flops(&self, in_shape: &[usize]) -> (u64, Vec<usize>) {
         let b = in_shape[0] as u64;
-        let f = b * (2 * self.in_features as u64 * self.out_features as u64
-            + self.out_features as u64);
+        let f =
+            b * (2 * self.in_features as u64 * self.out_features as u64 + self.out_features as u64);
         (f, vec![in_shape[0], self.out_features])
     }
 

@@ -28,7 +28,11 @@ pub fn cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
 /// Mean cross-entropy of `logits [B, C]` against a soft target
 /// distribution `target [B, C]` (rows must sum to 1), plus ∂L/∂logits.
 pub fn soft_cross_entropy(logits: &Tensor, target: &Tensor) -> (f32, Tensor) {
-    assert_eq!(logits.shape(), target.shape(), "logits/target shape mismatch");
+    assert_eq!(
+        logits.shape(),
+        target.shape(),
+        "logits/target shape mismatch"
+    );
     let (b, c) = (logits.shape()[0], logits.shape()[1]);
     let probs = logits.softmax_rows();
     let mut loss = 0.0f32;

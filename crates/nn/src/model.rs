@@ -36,23 +36,27 @@ impl Model {
     }
 
     /// Wrap an already-boxed root layer.
-    pub fn from_boxed(
-        mut root: Box<dyn Layer>,
-        input_shape: &[usize],
-        num_classes: usize,
-    ) -> Self {
+    pub fn from_boxed(mut root: Box<dyn Layer>, input_shape: &[usize], num_classes: usize) -> Self {
         let mut layout = Vec::new();
         let mut offset = 0usize;
-        root.visit_params(&mut |name: &str, shape: &[usize], p: &mut [f32], _: &mut [f32]| {
-            layout.push(ParamSegment {
-                name: name.to_string(),
-                offset,
-                len: p.len(),
-                shape: shape.to_vec(),
-            });
-            offset += p.len();
-        });
-        Self { root, input_shape: input_shape.to_vec(), num_classes, layout, param_count: offset }
+        root.visit_params(
+            &mut |name: &str, shape: &[usize], p: &mut [f32], _: &mut [f32]| {
+                layout.push(ParamSegment {
+                    name: name.to_string(),
+                    offset,
+                    len: p.len(),
+                    shape: shape.to_vec(),
+                });
+                offset += p.len();
+            },
+        );
+        Self {
+            root,
+            input_shape: input_shape.to_vec(),
+            num_classes,
+            layout,
+            param_count: offset,
+        }
     }
 
     /// Total number of trainable parameters.
@@ -99,41 +103,53 @@ impl Model {
     /// Copy all parameters into one flat vector (stable order).
     pub fn flat_params(&mut self) -> Vec<f32> {
         let mut out = Vec::with_capacity(self.param_count);
-        self.root.visit_params(&mut |_: &str, _: &[usize], p: &mut [f32], _: &mut [f32]| {
-            out.extend_from_slice(p);
-        });
+        self.root
+            .visit_params(&mut |_: &str, _: &[usize], p: &mut [f32], _: &mut [f32]| {
+                out.extend_from_slice(p);
+            });
         out
     }
 
     /// Copy all gradients into one flat vector (stable order).
     pub fn flat_grads(&mut self) -> Vec<f32> {
         let mut out = Vec::with_capacity(self.param_count);
-        self.root.visit_params(&mut |_: &str, _: &[usize], _: &mut [f32], g: &mut [f32]| {
-            out.extend_from_slice(g);
-        });
+        self.root
+            .visit_params(&mut |_: &str, _: &[usize], _: &mut [f32], g: &mut [f32]| {
+                out.extend_from_slice(g);
+            });
         out
     }
 
     /// Overwrite all parameters from a flat vector. Panics on length
     /// mismatch.
     pub fn set_flat_params(&mut self, flat: &[f32]) {
-        assert_eq!(flat.len(), self.param_count, "flat parameter length mismatch");
+        assert_eq!(
+            flat.len(),
+            self.param_count,
+            "flat parameter length mismatch"
+        );
         let mut off = 0usize;
-        self.root.visit_params(&mut |_: &str, _: &[usize], p: &mut [f32], _: &mut [f32]| {
-            p.copy_from_slice(&flat[off..off + p.len()]);
-            off += p.len();
-        });
+        self.root
+            .visit_params(&mut |_: &str, _: &[usize], p: &mut [f32], _: &mut [f32]| {
+                p.copy_from_slice(&flat[off..off + p.len()]);
+                off += p.len();
+            });
     }
 
     /// Overwrite all gradient buffers from a flat vector (used after
     /// gradient integration rewrites the update direction).
     pub fn set_flat_grads(&mut self, flat: &[f32]) {
-        assert_eq!(flat.len(), self.param_count, "flat gradient length mismatch");
+        assert_eq!(
+            flat.len(),
+            self.param_count,
+            "flat gradient length mismatch"
+        );
         let mut off = 0usize;
-        self.root.visit_params(&mut |_: &str, _: &[usize], _: &mut [f32], g: &mut [f32]| {
-            g.copy_from_slice(&flat[off..off + g.len()]);
-            off += g.len();
-        });
+        self.root
+            .visit_params(&mut |_: &str, _: &[usize], _: &mut [f32], g: &mut [f32]| {
+                g.copy_from_slice(&flat[off..off + g.len()]);
+                off += g.len();
+            });
     }
 
     /// `w ← w − lr · update` over the flat view, without materialising the
@@ -141,22 +157,24 @@ impl Model {
     pub fn apply_update(&mut self, update: &[f32], lr: f32) {
         assert_eq!(update.len(), self.param_count, "update length mismatch");
         let mut off = 0usize;
-        self.root.visit_params(&mut |_: &str, _: &[usize], p: &mut [f32], _: &mut [f32]| {
-            let len = p.len();
-            for (w, &u) in p.iter_mut().zip(&update[off..off + len]) {
-                *w -= lr * u;
-            }
-            off += len;
-        });
+        self.root
+            .visit_params(&mut |_: &str, _: &[usize], p: &mut [f32], _: &mut [f32]| {
+                let len = p.len();
+                for (w, &u) in p.iter_mut().zip(&update[off..off + len]) {
+                    *w -= lr * u;
+                }
+                off += len;
+            });
     }
 
     /// `w ← w − lr · grad` using each layer's own gradient buffers.
     pub fn sgd_step(&mut self, lr: f32) {
-        self.root.visit_params(&mut |_: &str, _: &[usize], p: &mut [f32], g: &mut [f32]| {
-            for (w, &gi) in p.iter_mut().zip(g.iter()) {
-                *w -= lr * gi;
-            }
-        });
+        self.root
+            .visit_params(&mut |_: &str, _: &[usize], p: &mut [f32], g: &mut [f32]| {
+                for (w, &gi) in p.iter_mut().zip(g.iter()) {
+                    *w -= lr * gi;
+                }
+            });
     }
 
     /// Forward-pass FLOPs for a given batch size.

@@ -97,7 +97,10 @@ mod tests {
         let m1 = mobilenet_v2(&mut rng, 3, 10, 1.0);
         let mut rng = seeded(0);
         let m2 = mobilenet_v2(&mut rng, 3, 10, 2.0);
-        assert!(m2.param_count() > 2 * m1.param_count() / 2, "width mult grows the model");
+        assert!(
+            m2.param_count() > 2 * m1.param_count() / 2,
+            "width mult grows the model"
+        );
         assert!(m2.param_count() > m1.param_count());
     }
 }

@@ -136,7 +136,7 @@ pub(crate) fn scaled(base: usize, mult: f64) -> usize {
 /// need divisibility by 2).
 pub(crate) fn scaled_even(base: usize, mult: f64) -> usize {
     let c = scaled(base, mult);
-    if c % 2 == 0 {
+    if c.is_multiple_of(2) {
         c
     } else {
         c + 1

@@ -105,7 +105,9 @@ fn basic_resnet(
         }
     }
     seq.push_boxed(Box::new(body));
-    let seq = seq.push(GlobalAvgPool::new()).push(Linear::new(rng, cin, num_classes));
+    let seq = seq
+        .push(GlobalAvgPool::new())
+        .push(Linear::new(rng, cin, num_classes));
     Model::new(seq, &[in_channels, 16, 16], num_classes)
 }
 
@@ -117,18 +119,27 @@ pub fn resnet18(
     width_mult: f64,
 ) -> Model {
     let w = |b| scaled(b, width_mult);
-    basic_resnet(rng, in_channels, num_classes, &[w(8), w(16), w(32), w(64)], &[2, 2, 2, 2], false)
+    basic_resnet(
+        rng,
+        in_channels,
+        num_classes,
+        &[w(8), w(16), w(32), w(64)],
+        &[2, 2, 2, 2],
+        false,
+    )
 }
 
 /// SE-ResNet-18: ResNet-18 with squeeze-excitation in every block.
-pub fn senet18(
-    rng: &mut StdRng,
-    in_channels: usize,
-    num_classes: usize,
-    width_mult: f64,
-) -> Model {
+pub fn senet18(rng: &mut StdRng, in_channels: usize, num_classes: usize, width_mult: f64) -> Model {
     let w = |b| scaled(b, width_mult);
-    basic_resnet(rng, in_channels, num_classes, &[w(8), w(16), w(32), w(64)], &[2, 2, 2, 2], true)
+    basic_resnet(
+        rng,
+        in_channels,
+        num_classes,
+        &[w(8), w(16), w(32), w(64)],
+        &[2, 2, 2, 2],
+        true,
+    )
 }
 
 /// WideResNet-50-style: basic blocks at 4× the ResNet-18 width, one block
@@ -167,7 +178,14 @@ pub fn resnet152(
     for stage in 0..4 {
         for b in 0..blocks[stage] {
             let stride = if stage > 0 && b == 0 { 2 } else { 1 };
-            body = body.push(bottleneck_block(rng, cin, mids[stage], outs[stage], stride, 1));
+            body = body.push(bottleneck_block(
+                rng,
+                cin,
+                mids[stage],
+                outs[stage],
+                stride,
+                1,
+            ));
             cin = outs[stage];
         }
     }
@@ -197,8 +215,14 @@ pub fn resnext50(
     for stage in 0..4 {
         for b in 0..blocks[stage] {
             let stride = if stage > 0 && b == 0 { 2 } else { 1 };
-            body =
-                body.push(bottleneck_block(rng, cin, mids[stage], outs[stage], stride, groups));
+            body = body.push(bottleneck_block(
+                rng,
+                cin,
+                mids[stage],
+                outs[stage],
+                stride,
+                groups,
+            ));
             cin = outs[stage];
         }
     }
@@ -220,8 +244,16 @@ mod tests {
         let m = resnet18(&mut rng, 3, 10, 1.0);
         // Stages 2..4 each start with a projection shortcut: 3 extra
         // conv1x1 weights beyond the 17 main convs + head.
-        let convs = m.layout().iter().filter(|s| s.name == "conv.weight").count();
-        assert_eq!(convs, 1 + 16 + 3, "stem + 8 blocks × 2 convs + 3 projections");
+        let convs = m
+            .layout()
+            .iter()
+            .filter(|s| s.name == "conv.weight")
+            .count();
+        assert_eq!(
+            convs,
+            1 + 16 + 3,
+            "stem + 8 blocks × 2 convs + 3 projections"
+        );
     }
 
     #[test]
@@ -250,7 +282,11 @@ mod tests {
         let mut rng = seeded(0);
         let se = senet18(&mut rng, 3, 10, 1.0);
         assert!(se.param_count() > r18.param_count());
-        let linears = se.layout().iter().filter(|s| s.name == "linear.weight").count();
+        let linears = se
+            .layout()
+            .iter()
+            .filter(|s| s.name == "linear.weight")
+            .count();
         // 8 blocks × 2 SE linears + 1 head.
         assert_eq!(linears, 17);
     }

@@ -13,12 +13,7 @@ use rand::rngs::StdRng;
 
 /// Build the 6-layer CNN. Base widths (at `width_mult = 1`) are 8/8/16/16
 /// channels and a 32-unit hidden fully-connected layer.
-pub fn six_cnn(
-    rng: &mut StdRng,
-    in_channels: usize,
-    num_classes: usize,
-    width_mult: f64,
-) -> Model {
+pub fn six_cnn(rng: &mut StdRng, in_channels: usize, num_classes: usize, width_mult: f64) -> Model {
     let c1 = scaled(8, width_mult);
     let c2 = scaled(16, width_mult);
     let hidden = scaled(32, width_mult);
@@ -51,7 +46,11 @@ mod tests {
         let mut rng = seeded(0);
         let m = six_cnn(&mut rng, 3, 10, 1.0);
         // 4 conv + 2 linear = 6 weight tensors (plus 6 biases).
-        let weights = m.layout().iter().filter(|s| s.name.ends_with("weight")).count();
+        let weights = m
+            .layout()
+            .iter()
+            .filter(|s| s.name.ends_with("weight"))
+            .count();
         assert_eq!(weights, 6);
     }
 

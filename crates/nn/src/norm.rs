@@ -69,7 +69,10 @@ impl Layer for BatchNorm2d {
                 let mut var = 0.0f32;
                 for bi in 0..b {
                     let base = (bi * c + ch) * plane;
-                    var += out[base..base + plane].iter().map(|v| (v - mean).powi(2)).sum::<f32>();
+                    var += out[base..base + plane]
+                        .iter()
+                        .map(|v| (v - mean).powi(2))
+                        .sum::<f32>();
                 }
                 var /= n;
                 let inv_std = 1.0 / (var + self.eps).sqrt();
@@ -120,9 +123,11 @@ impl Layer for BatchNorm2d {
             let (mut sum_gy, mut sum_gy_xhat) = (0.0f32, 0.0f32);
             for bi in 0..b {
                 let base = (bi * c + ch) * plane;
-                for i in base..base + plane {
-                    sum_gy += gy[i];
-                    sum_gy_xhat += gy[i] * self.cached_xhat[i];
+                let gys = &gy[base..base + plane];
+                let xhats = &self.cached_xhat[base..base + plane];
+                for (&g_i, &xh) in gys.iter().zip(xhats) {
+                    sum_gy += g_i;
+                    sum_gy_xhat += g_i * xh;
                 }
             }
             self.grad_beta.data_mut()[ch] += sum_gy;
@@ -139,8 +144,18 @@ impl Layer for BatchNorm2d {
     }
 
     fn visit_params(&mut self, v: &mut dyn ParamVisitor) {
-        v.visit("bn.gamma", &[self.channels], self.gamma.data_mut(), self.grad_gamma.data_mut());
-        v.visit("bn.beta", &[self.channels], self.beta.data_mut(), self.grad_beta.data_mut());
+        v.visit(
+            "bn.gamma",
+            &[self.channels],
+            self.gamma.data_mut(),
+            self.grad_gamma.data_mut(),
+        );
+        v.visit(
+            "bn.beta",
+            &[self.channels],
+            self.beta.data_mut(),
+            self.grad_beta.data_mut(),
+        );
     }
 
     fn zero_grad(&mut self) {
@@ -149,7 +164,10 @@ impl Layer for BatchNorm2d {
     }
 
     fn flops(&self, in_shape: &[usize]) -> (u64, Vec<usize>) {
-        (4 * in_shape.iter().product::<usize>() as u64, in_shape.to_vec())
+        (
+            4 * in_shape.iter().product::<usize>() as u64,
+            in_shape.to_vec(),
+        )
     }
 
     fn name(&self) -> &'static str {
@@ -181,7 +199,10 @@ mod tests {
             let _ = bn.forward(x, true);
         }
         let y = bn.forward(Tensor::from_vec(vec![10.0], &[1, 1, 1, 1]), false);
-        assert!(y.data()[0].abs() < 0.1, "input at running mean should map near 0");
+        assert!(
+            y.data()[0].abs() < 0.1,
+            "input at running mean should map near 0"
+        );
     }
 
     #[test]

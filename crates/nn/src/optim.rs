@@ -51,7 +51,11 @@ pub struct Sgd {
 impl Sgd {
     /// New optimiser at step 0.
     pub fn new(base_lr: f64, schedule: LrSchedule) -> Self {
-        Self { base_lr, schedule, step: 0 }
+        Self {
+            base_lr,
+            schedule,
+            step: 0,
+        }
     }
 
     /// Learning rate the *next* step will use.

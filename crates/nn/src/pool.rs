@@ -15,7 +15,11 @@ impl MaxPool2d {
     /// Non-overlapping max pooling with the given kernel/stride.
     pub fn new(kernel: usize) -> Self {
         assert!(kernel >= 1);
-        Self { kernel, argmax: Vec::new(), in_shape: Vec::new() }
+        Self {
+            kernel,
+            argmax: Vec::new(),
+            in_shape: Vec::new(),
+        }
     }
 
     fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
@@ -72,7 +76,10 @@ impl Layer for MaxPool2d {
     fn flops(&self, in_shape: &[usize]) -> (u64, Vec<usize>) {
         let (b, c, h, w) = (in_shape[0], in_shape[1], in_shape[2], in_shape[3]);
         let (oh, ow) = self.out_hw(h, w);
-        (in_shape.iter().product::<usize>() as u64, vec![b, c, oh, ow])
+        (
+            in_shape.iter().product::<usize>() as u64,
+            vec![b, c, oh, ow],
+        )
     }
 
     fn name(&self) -> &'static str {
@@ -88,7 +95,9 @@ pub struct GlobalAvgPool {
 impl GlobalAvgPool {
     /// New global-average-pool layer.
     pub fn new() -> Self {
-        Self { in_shape: Vec::new() }
+        Self {
+            in_shape: Vec::new(),
+        }
     }
 }
 
@@ -105,8 +114,8 @@ impl Layer for GlobalAvgPool {
         let (b, c, h, w) = (s[0], s[1], s[2], s[3]);
         let inv = 1.0 / (h * w) as f32;
         let mut out = vec![0.0f32; b * c];
-        for bc in 0..b * c {
-            out[bc] = x.data()[bc * h * w..(bc + 1) * h * w].iter().sum::<f32>() * inv;
+        for (bc, o) in out.iter_mut().enumerate() {
+            *o = x.data()[bc * h * w..(bc + 1) * h * w].iter().sum::<f32>() * inv;
         }
         if train {
             self.in_shape = s;
@@ -128,7 +137,10 @@ impl Layer for GlobalAvgPool {
     }
 
     fn flops(&self, in_shape: &[usize]) -> (u64, Vec<usize>) {
-        (in_shape.iter().product::<usize>() as u64, vec![in_shape[0], in_shape[1]])
+        (
+            in_shape.iter().product::<usize>() as u64,
+            vec![in_shape[0], in_shape[1]],
+        )
     }
 
     fn name(&self) -> &'static str {
@@ -144,7 +156,9 @@ pub struct Flatten {
 impl Flatten {
     /// New flatten layer.
     pub fn new() -> Self {
-        Self { in_shape: Vec::new() }
+        Self {
+            in_shape: Vec::new(),
+        }
     }
 }
 
@@ -225,7 +239,10 @@ impl AvgPool2d {
     /// Average pooling with the given kernel/stride.
     pub fn new(kernel: usize) -> Self {
         assert!(kernel >= 1);
-        Self { kernel, in_shape: Vec::new() }
+        Self {
+            kernel,
+            in_shape: Vec::new(),
+        }
     }
 }
 
@@ -261,8 +278,12 @@ impl Layer for AvgPool2d {
 
     fn backward(&mut self, grad: Tensor) -> Tensor {
         assert!(!self.in_shape.is_empty(), "backward before forward(train)");
-        let (b, c, h, w) =
-            (self.in_shape[0], self.in_shape[1], self.in_shape[2], self.in_shape[3]);
+        let (b, c, h, w) = (
+            self.in_shape[0],
+            self.in_shape[1],
+            self.in_shape[2],
+            self.in_shape[3],
+        );
         let k = self.kernel;
         let (oh, ow) = (h / k, w / k);
         let inv = 1.0 / (k * k) as f32;
@@ -285,7 +306,10 @@ impl Layer for AvgPool2d {
 
     fn flops(&self, in_shape: &[usize]) -> (u64, Vec<usize>) {
         let (b, c, h, w) = (in_shape[0], in_shape[1], in_shape[2], in_shape[3]);
-        (in_shape.iter().product::<usize>() as u64, vec![b, c, h / self.kernel, w / self.kernel])
+        (
+            in_shape.iter().product::<usize>() as u64,
+            vec![b, c, h / self.kernel, w / self.kernel],
+        )
     }
 
     fn name(&self) -> &'static str {

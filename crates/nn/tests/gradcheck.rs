@@ -10,7 +10,7 @@ use fedknow_math::Tensor;
 use fedknow_nn::activations::{ReLU, Sigmoid};
 use fedknow_nn::blocks::{ChannelShuffle, Concat, Residual, SEScale, SplitConcat};
 use fedknow_nn::conv::Conv2d;
-use fedknow_nn::layer::{Layer, Sequential};
+use fedknow_nn::layer::Sequential;
 use fedknow_nn::linear::Linear;
 use fedknow_nn::loss::cross_entropy;
 use fedknow_nn::model::Model;
@@ -77,7 +77,12 @@ fn gradcheck_linear_relu_stack() {
         .push(Linear::new(&mut rng, 6, 10))
         .push(ReLU::new())
         .push(Linear::new(&mut rng, 10, 4));
-    gradcheck(Model::new(seq, &[6], 4), input(&[3, 6], 2), &[0, 1, 3], 0.05);
+    gradcheck(
+        Model::new(seq, &[6], 4),
+        input(&[3, 6], 2),
+        &[0, 1, 3],
+        0.05,
+    );
 }
 
 #[test]
@@ -89,7 +94,12 @@ fn gradcheck_conv_stack() {
         .push(Conv2d::conv3x3(&mut rng, 4, 3, 2))
         .push(Flatten::new())
         .push(Linear::new(&mut rng, 3 * 2 * 2, 3));
-    gradcheck(Model::new(seq, &[2, 4, 4], 3), input(&[2, 2, 4, 4], 4), &[0, 2], 0.05);
+    gradcheck(
+        Model::new(seq, &[2, 4, 4], 3),
+        input(&[2, 2, 4, 4], 4),
+        &[0, 2],
+        0.05,
+    );
 }
 
 #[test]
@@ -101,7 +111,12 @@ fn gradcheck_grouped_and_depthwise_conv() {
         .push(Conv2d::depthwise3x3(&mut rng, 8, 1))
         .push(GlobalAvgPool::new())
         .push(Linear::new(&mut rng, 8, 3));
-    gradcheck(Model::new(seq, &[4, 4, 4], 3), input(&[2, 4, 4, 4], 6), &[1, 2], 0.05);
+    gradcheck(
+        Model::new(seq, &[4, 4, 4], 3),
+        input(&[2, 4, 4, 4], 6),
+        &[1, 2],
+        0.05,
+    );
 }
 
 #[test]
@@ -115,7 +130,12 @@ fn gradcheck_batchnorm() {
         .push(Linear::new(&mut rng, 4, 3));
     // BN couples every activation to the batch statistics, so kink
     // crossings are more frequent — allow a looser relative tolerance.
-    gradcheck(Model::new(seq, &[2, 3, 3], 3), input(&[4, 2, 3, 3], 8), &[0, 1, 2, 0], 0.12);
+    gradcheck(
+        Model::new(seq, &[2, 3, 3], 3),
+        input(&[4, 2, 3, 3], 8),
+        &[0, 1, 2, 0],
+        0.12,
+    );
 }
 
 #[test]
@@ -127,7 +147,12 @@ fn gradcheck_maxpool() {
         .push(MaxPool2d::new(2))
         .push(Flatten::new())
         .push(Linear::new(&mut rng, 4 * 2 * 2, 3));
-    gradcheck(Model::new(seq, &[2, 4, 4], 3), input(&[2, 2, 4, 4], 10), &[1, 2], 0.05);
+    gradcheck(
+        Model::new(seq, &[2, 4, 4], 3),
+        input(&[2, 2, 4, 4], 10),
+        &[1, 2],
+        0.05,
+    );
 }
 
 #[test]
@@ -143,7 +168,12 @@ fn gradcheck_residual_with_projection() {
         .push(Residual::new(main, Some(short), true))
         .push(GlobalAvgPool::new())
         .push(Linear::new(&mut rng, 6, 3));
-    gradcheck(Model::new(seq, &[3, 4, 4], 3), input(&[3, 3, 4, 4], 12), &[0, 1, 2], 0.08);
+    gradcheck(
+        Model::new(seq, &[3, 4, 4], 3),
+        input(&[3, 3, 4, 4], 12),
+        &[0, 1, 2],
+        0.08,
+    );
 }
 
 #[test]
@@ -154,7 +184,12 @@ fn gradcheck_se_block() {
         .push(SEScale::new(&mut rng, 4, 2))
         .push(GlobalAvgPool::new())
         .push(Linear::new(&mut rng, 4, 3));
-    gradcheck(Model::new(seq, &[2, 3, 3], 3), input(&[2, 2, 3, 3], 14), &[0, 2], 0.05);
+    gradcheck(
+        Model::new(seq, &[2, 3, 3], 3),
+        input(&[2, 2, 3, 3], 14),
+        &[0, 2],
+        0.05,
+    );
 }
 
 #[test]
@@ -164,7 +199,12 @@ fn gradcheck_sigmoid() {
         .push(Linear::new(&mut rng, 5, 8))
         .push(Sigmoid::new())
         .push(Linear::new(&mut rng, 8, 3));
-    gradcheck(Model::new(seq, &[5], 3), input(&[3, 5], 16), &[2, 1, 0], 0.05);
+    gradcheck(
+        Model::new(seq, &[5], 3),
+        input(&[3, 5], 16),
+        &[2, 1, 0],
+        0.05,
+    );
 }
 
 #[test]
@@ -177,7 +217,12 @@ fn gradcheck_concat_branches() {
         .push(ReLU::new())
         .push(GlobalAvgPool::new())
         .push(Linear::new(&mut rng, 4, 3));
-    gradcheck(Model::new(seq, &[3, 3, 3], 3), input(&[2, 3, 3, 3], 18), &[0, 1], 0.05);
+    gradcheck(
+        Model::new(seq, &[3, 3, 3], 3),
+        input(&[2, 3, 3, 3], 18),
+        &[0, 1],
+        0.05,
+    );
 }
 
 #[test]
@@ -192,7 +237,12 @@ fn gradcheck_split_concat_and_shuffle() {
         .push(ChannelShuffle::new(2))
         .push(GlobalAvgPool::new())
         .push(Linear::new(&mut rng, 4, 3));
-    gradcheck(Model::new(seq, &[4, 3, 3], 3), input(&[2, 4, 3, 3], 20), &[1, 2], 0.05);
+    gradcheck(
+        Model::new(seq, &[4, 3, 3], 3),
+        input(&[2, 4, 3, 3], 20),
+        &[1, 2],
+        0.05,
+    );
 }
 
 /// End-to-end: a tiny training loop must reduce the loss on a separable
@@ -226,7 +276,10 @@ fn training_reduces_loss() {
         model.sgd_step(0.5);
     }
     let fin = loss_of(&mut model, &x, &ys);
-    assert!(fin < initial * 0.2, "loss {initial} → {fin} did not drop enough");
+    assert!(
+        fin < initial * 0.2,
+        "loss {initial} → {fin} did not drop enough"
+    );
 }
 
 #[test]
@@ -242,5 +295,10 @@ fn gradcheck_avgpool_and_dropout_free_path() {
         .push(fedknow_nn::activations::Dropout::new(0.0))
         .push(Flatten::new())
         .push(Linear::new(&mut rng, 4 * 2 * 2, 3));
-    gradcheck(Model::new(seq, &[2, 4, 4], 3), input(&[2, 2, 4, 4], 24), &[1, 0], 0.05);
+    gradcheck(
+        Model::new(seq, &[2, 4, 4], 3),
+        input(&[2, 2, 4, 4], 24),
+        &[1, 0],
+        0.05,
+    );
 }

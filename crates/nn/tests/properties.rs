@@ -30,7 +30,9 @@ fn random_cnn(channels: Vec<u8>, use_bn: bool, use_pool: bool, classes: usize) -
         }
         cin = cout;
     }
-    let seq = seq.push(GlobalAvgPool::new()).push(Linear::new(&mut rng, cin, classes));
+    let seq = seq
+        .push(GlobalAvgPool::new())
+        .push(Linear::new(&mut rng, cin, classes));
     Model::new(seq, &[3, 8, 8], classes)
 }
 

@@ -1,0 +1,74 @@
+//! The event vocabulary written to sinks (one JSON object per JSONL
+//! line). Three event kinds cover the whole instrumentation layer:
+//! span completions, counter increments and histogram samples.
+
+use serde::{Deserialize, Serialize};
+
+/// A completed span: a named region of the run hierarchy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanEnd {
+    /// Slash-joined path from the root, e.g. `run/task.0/round.2/client.1`.
+    pub path: String,
+    /// Wall-clock duration in nanoseconds (monotonic clock).
+    pub dur_ns: u64,
+    /// Debug-formatted OS thread id, for correlating parallel clients.
+    pub thread: String,
+}
+
+/// A counter increment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CountEvent {
+    /// Metric name, e.g. `comm.upload_bytes`.
+    pub name: String,
+    /// Amount added.
+    pub delta: u64,
+}
+
+/// A histogram sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SampleEvent {
+    /// Metric name, e.g. `qp.solve_ns`.
+    pub name: String,
+    /// Observed value.
+    pub value: u64,
+}
+
+/// Any observability event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Event {
+    /// A span completed.
+    Span(SpanEnd),
+    /// A counter was incremented.
+    Count(CountEvent),
+    /// A histogram value was recorded.
+    Sample(SampleEvent),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_roundtrip_through_json() {
+        let events = vec![
+            Event::Span(SpanEnd {
+                path: "run/task.0".into(),
+                dur_ns: 1234,
+                thread: "ThreadId(1)".into(),
+            }),
+            Event::Count(CountEvent {
+                name: "comm.upload_bytes".into(),
+                delta: 99,
+            }),
+            Event::Sample(SampleEvent {
+                name: "qp.solve_ns".into(),
+                value: 777,
+            }),
+        ];
+        for e in &events {
+            let line = serde_json::to_string(e).unwrap();
+            let back: Event = serde_json::from_str(&line).unwrap();
+            assert_eq!(&back, e);
+        }
+    }
+}

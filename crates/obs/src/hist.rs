@@ -1,0 +1,278 @@
+//! Log-bucketed histogram with linear sub-buckets (HDR-style).
+//!
+//! Values are `u64` (nanoseconds, bytes, iteration counts). Buckets are
+//! powers of two split into `2^SUB_BITS` linear sub-buckets, so the
+//! representative value of any bucket is within `2^-(SUB_BITS + 1)`
+//! relative error (~1.6% at the default `SUB_BITS = 5`) of every value
+//! it holds. Recording is lock-free: all cells are relaxed atomics, so
+//! concurrent client threads can record without coordination. A
+//! snapshot taken while writers are active may tear between cells
+//! (sum/count/buckets read at slightly different instants); totals are
+//! exact once writers quiesce.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// Linear sub-bucket resolution: each power-of-two range is split into
+/// `2^SUB_BITS` equal sub-buckets.
+const SUB_BITS: u32 = 5;
+const SUB: u64 = 1 << SUB_BITS; // 32
+
+/// Bucket count covering the full u64 range: values below `SUB` get
+/// exact unit buckets, and each of the `64 - SUB_BITS` remaining
+/// exponents contributes `SUB` sub-buckets.
+const NUM_BUCKETS: usize = ((64 - SUB_BITS as usize) + 1) * SUB as usize;
+
+/// Bucket index for a value.
+fn bucket_index(v: u64) -> usize {
+    if v < SUB {
+        v as usize
+    } else {
+        let exp = 63 - v.leading_zeros(); // 2^exp <= v
+        let sub = (v >> (exp - SUB_BITS)) - SUB; // top SUB_BITS bits below the leading one
+        (exp - SUB_BITS + 1) as usize * SUB as usize + sub as usize
+    }
+}
+
+/// Inclusive lower bound of a bucket.
+fn bucket_low(i: usize) -> u64 {
+    let i = i as u64;
+    if i < 2 * SUB {
+        i
+    } else {
+        let exp = i / SUB + SUB_BITS as u64 - 1;
+        let sub = i % SUB;
+        (SUB + sub) << (exp - SUB_BITS as u64)
+    }
+}
+
+/// Representative (mid-point) value of a bucket.
+fn bucket_mid(i: usize) -> u64 {
+    let low = bucket_low(i);
+    let width = bucket_low(i + 1).saturating_sub(low).max(1);
+    low + (width - 1) / 2
+}
+
+/// A thread-safe log-bucketed histogram.
+pub struct LogHistogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one value.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Relaxed);
+        self.count.fetch_add(1, Relaxed);
+        self.sum.fetch_add(v, Relaxed);
+        self.min.fetch_min(v, Relaxed);
+        self.max.fetch_max(v, Relaxed);
+    }
+
+    /// Copy the current contents into an immutable snapshot.
+    pub fn snapshot(&self) -> HistSnapshot {
+        let buckets: Vec<(u32, u64)> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| {
+                let n = c.load(Relaxed);
+                (n > 0).then_some((i as u32, n))
+            })
+            .collect();
+        HistSnapshot {
+            count: self.count.load(Relaxed),
+            sum: self.sum.load(Relaxed),
+            min: self.min.load(Relaxed),
+            max: self.max.load(Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// An immutable copy of a [`LogHistogram`]'s state. Buckets are stored
+/// sparsely as `(index, count)` pairs in index order.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistSnapshot {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    buckets: Vec<(u32, u64)>,
+}
+
+impl HistSnapshot {
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values (wrapping at u64).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded value, or 0 if empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded values, or 0.0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Nearest-rank quantile estimate, `q` in `[0, 1]`. Returns the
+    /// representative value of the bucket containing the rank-`⌈qN⌉`
+    /// sample — within ~2% relative error of the exact order statistic.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for &(i, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                // Clamp the estimate into the observed range so the
+                // extremes report exactly.
+                return bucket_mid(i as usize).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// The histogram contents that accumulated since `earlier` was
+    /// taken (both snapshots must come from the same histogram, which
+    /// only ever grows). Min/max cannot be un-merged, so the later
+    /// snapshot's values are kept.
+    pub fn since(&self, earlier: &HistSnapshot) -> HistSnapshot {
+        let mut old: std::collections::BTreeMap<u32, u64> =
+            earlier.buckets.iter().copied().collect();
+        let buckets: Vec<(u32, u64)> = self
+            .buckets
+            .iter()
+            .filter_map(|&(i, n)| {
+                let d = n - old.remove(&i).unwrap_or(0);
+                (d > 0).then_some((i, d))
+            })
+            .collect();
+        HistSnapshot {
+            count: self.count - earlier.count,
+            sum: self.sum.wrapping_sub(earlier.sum),
+            min: self.min,
+            max: self.max,
+            buckets,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotone_and_bounded() {
+        let mut candidates: Vec<u64> = vec![u64::MAX];
+        for shift in 0..64u32 {
+            for off in [0u64, 1, 3] {
+                candidates.push((1u64 << shift).saturating_add(off << shift.saturating_sub(3)));
+            }
+        }
+        candidates.sort_unstable();
+        let mut last = 0usize;
+        for v in candidates {
+            let i = bucket_index(v);
+            assert!(i < NUM_BUCKETS, "index {i} out of range for {v}");
+            assert!(i >= last, "index not monotone at {v}");
+            last = i;
+        }
+    }
+
+    #[test]
+    fn bucket_low_inverts_index() {
+        for i in 0..NUM_BUCKETS - 1 {
+            let low = bucket_low(i);
+            assert_eq!(bucket_index(low), i, "low({i}) = {low} maps back wrong");
+            let next = bucket_low(i + 1);
+            assert!(next > low, "bucket {i} empty range");
+            assert_eq!(bucket_index(next - 1), i, "upper edge of bucket {i}");
+        }
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = LogHistogram::new();
+        for v in [0u64, 1, 5, 17, 31] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 5);
+        assert_eq!(s.sum(), 54);
+        assert_eq!(s.min(), 0);
+        assert_eq!(s.max(), 31);
+        assert_eq!(s.quantile(0.0), 0);
+        assert_eq!(s.quantile(1.0), 31);
+    }
+
+    #[test]
+    fn quantiles_approximate_large_values() {
+        let h = LogHistogram::new();
+        for i in 1..=1000u64 {
+            h.record(i * 1000); // 1k..1M
+        }
+        let s = h.snapshot();
+        let p50 = s.quantile(0.5) as f64;
+        assert!((p50 - 500_000.0).abs() / 500_000.0 < 0.05, "p50 {p50}");
+        let p99 = s.quantile(0.99) as f64;
+        assert!((p99 - 990_000.0).abs() / 990_000.0 < 0.05, "p99 {p99}");
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let h = LogHistogram::new();
+        h.record(10);
+        h.record(1000);
+        let early = h.snapshot();
+        h.record(10);
+        h.record(70);
+        let diff = h.snapshot().since(&early);
+        assert_eq!(diff.count(), 2);
+        assert_eq!(diff.sum(), 80);
+        let empty = h.snapshot().since(&h.snapshot());
+        assert_eq!(empty.count(), 0);
+        assert!(empty.buckets.is_empty());
+    }
+}

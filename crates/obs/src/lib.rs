@@ -1,0 +1,242 @@
+//! # fedknow-obs
+//!
+//! Observability for the FedKNOW simulation stack: hierarchical spans,
+//! phase timers, and a thread-safe metrics registry of counters and
+//! log-bucketed histograms, with an optional JSONL event sink.
+//!
+//! ## Cost model
+//!
+//! The layer is **off by default**. Every public recording function
+//! starts with one relaxed atomic load; when disabled it returns
+//! immediately — no clock reads, no allocation, no locks. It turns on
+//! in two ways:
+//!
+//! * `FEDKNOW_OBS=<path>` in the environment (checked by
+//!   [`init_from_env`], which the simulation calls once per run):
+//!   enables the in-memory registry **and** streams every event to
+//!   `<path>` as JSONL, one object per line.
+//! * [`enable`] from code (used by the report binaries and tests):
+//!   enables the in-memory registry; JSONL is still only attached if
+//!   the environment variable is set.
+//!
+//! Once enabled, observability stays enabled for the process.
+//!
+//! ## Vocabulary
+//!
+//! * [`span`] — hierarchical timed regions (`run → task → round →
+//!   client`); worker threads join the hierarchy via [`current_path`] +
+//!   [`inherit_path`].
+//! * [`timer`] — RAII phase timers feeding named histograms
+//!   (`qp.solve_ns`, `extract.topk_ns`, …).
+//! * [`count`] / [`record`] — plain counters (`comm.upload_bytes`,
+//!   `qp.fallback`) and histogram samples (`qp.iters`).
+//! * [`snapshot`] — copy of the registry; [`MetricsSnapshot::since`]
+//!   attributes metrics to a single run by diffing two snapshots.
+
+pub mod event;
+pub mod hist;
+pub mod registry;
+pub mod sink;
+pub mod span;
+
+pub use event::{CountEvent, Event, SampleEvent, SpanEnd};
+pub use hist::{HistSnapshot, LogHistogram};
+pub use registry::{Counter, MetricsSnapshot, Registry};
+pub use sink::{read_jsonl, Aggregate, JsonlSink, Sink, SpanStat};
+pub use span::{current_path, inherit_path, span, timer, PathGuard, SpanGuard, TimerGuard};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+/// Environment variable naming the JSONL output path.
+pub const ENV_JSONL: &str = "FEDKNOW_OBS";
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static STATE: OnceLock<State> = OnceLock::new();
+
+struct State {
+    registry: Registry,
+    jsonl: Option<JsonlSink>,
+}
+
+fn state() -> &'static State {
+    STATE.get_or_init(|| {
+        let jsonl = std::env::var(ENV_JSONL).ok().and_then(|path| {
+            JsonlSink::create(&path)
+                .map_err(|e| eprintln!("fedknow-obs: cannot open {ENV_JSONL}={path}: {e}"))
+                .ok()
+        });
+        State {
+            registry: Registry::new(),
+            jsonl,
+        }
+    })
+}
+
+/// Whether observability is on. One relaxed atomic load — this is the
+/// entire cost of every instrumentation site when disabled.
+#[inline]
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Enable observability if `FEDKNOW_OBS` is set in the environment
+/// (attaching the JSONL sink to its path). Idempotent; returns whether
+/// observability is enabled afterwards.
+pub fn init_from_env() -> bool {
+    if !is_enabled() && std::env::var_os(ENV_JSONL).is_some() {
+        state();
+        ENABLED.store(true, Ordering::Release);
+    }
+    is_enabled()
+}
+
+/// Enable the in-memory registry from code (the JSONL sink is still
+/// attached only when `FEDKNOW_OBS` is set). Idempotent.
+pub fn enable() {
+    state();
+    ENABLED.store(true, Ordering::Release);
+}
+
+/// Add `delta` to the counter `name`. No-op when disabled.
+pub fn count(name: &str, delta: u64) {
+    if !is_enabled() {
+        return;
+    }
+    let s = state();
+    s.registry.add(name, delta);
+    if s.jsonl.is_some() {
+        dispatch(&Event::Count(CountEvent {
+            name: name.to_string(),
+            delta,
+        }));
+    }
+}
+
+/// Record `value` into the histogram `name`. No-op when disabled.
+pub fn record(name: &str, value: u64) {
+    if !is_enabled() {
+        return;
+    }
+    let s = state();
+    s.registry.record(name, value);
+    if s.jsonl.is_some() {
+        dispatch(&Event::Sample(SampleEvent {
+            name: name.to_string(),
+            value,
+        }));
+    }
+}
+
+/// Record into the registry without emitting a sink event (spans emit
+/// their own richer event).
+pub(crate) fn record_in_registry(name: &str, value: u64) {
+    if is_enabled() {
+        state().registry.record(name, value);
+    }
+}
+
+/// Send an event to the JSONL sink, if attached.
+pub(crate) fn dispatch(event: &Event) {
+    if !is_enabled() {
+        return;
+    }
+    if let Some(j) = &state().jsonl {
+        j.emit(event);
+    }
+}
+
+/// Open a span with a formatted name (`obs_span!("client.{c}")`)
+/// without paying for the `format!` when observability is disabled:
+/// the arguments are only evaluated behind the enabled check.
+#[macro_export]
+macro_rules! obs_span {
+    ($($arg:tt)*) => {
+        if $crate::is_enabled() {
+            $crate::span(&format!($($arg)*))
+        } else {
+            $crate::SpanGuard::inert()
+        }
+    };
+}
+
+/// A copy of the global registry, or `None` while disabled.
+pub fn snapshot() -> Option<MetricsSnapshot> {
+    is_enabled().then(|| state().registry.snapshot())
+}
+
+/// Flush the JSONL sink (call at the end of a run; the global sink is
+/// never dropped).
+pub fn flush() {
+    if is_enabled() {
+        if let Some(j) = &state().jsonl {
+            j.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The global facade is process-wide state, so the whole sequence
+    /// lives in one test: disabled behaviour first, then enable and
+    /// exercise every entry point.
+    #[test]
+    fn facade_lifecycle() {
+        // Disabled (no FEDKNOW_OBS in the test environment, `enable`
+        // not yet called): everything is inert.
+        assert!(!is_enabled());
+        count("lifecycle.c", 5);
+        record("lifecycle.h", 5);
+        {
+            let _t = timer("lifecycle.t_ns");
+            let _s = span("lifecycle_span");
+            assert_eq!(current_path(), "");
+        }
+        assert!(snapshot().is_none());
+        assert!(!init_from_env());
+
+        enable();
+        assert!(is_enabled());
+        // The disabled-phase calls must have left no trace.
+        let s0 = snapshot().unwrap();
+        assert!(!s0.counters.contains_key("lifecycle.c"));
+        assert!(!s0.hists.contains_key("lifecycle.h"));
+
+        count("lifecycle.c", 5);
+        count("lifecycle.c", 2);
+        record("lifecycle.h", 40);
+        {
+            let _t = timer("lifecycle.t_ns");
+            let outer = span("lifecycle_outer");
+            {
+                let _inner = span("lifecycle_inner");
+                assert_eq!(current_path(), "lifecycle_outer/lifecycle_inner");
+            }
+            assert_eq!(current_path(), "lifecycle_outer");
+            drop(outer);
+            assert_eq!(current_path(), "");
+        }
+        let s = snapshot().unwrap().since(&s0);
+        assert_eq!(s.counters["lifecycle.c"], 7);
+        assert_eq!(s.hists["lifecycle.h"].count(), 1);
+        assert_eq!(s.hists["lifecycle.t_ns"].count(), 1);
+        assert_eq!(s.hists["span.lifecycle_outer_ns"].count(), 1);
+        assert_eq!(s.hists["span.lifecycle_inner_ns"].count(), 1);
+
+        // Worker-thread path inheritance.
+        let root = span("lifecycle_root");
+        let path = current_path();
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let _g = inherit_path(&path);
+                let _c = span("lifecycle_worker");
+                assert_eq!(current_path(), "lifecycle_root/lifecycle_worker");
+            });
+        });
+        assert_eq!(current_path(), "lifecycle_root");
+        drop(root);
+        flush(); // no JSONL sink attached; must be a no-op
+    }
+}

@@ -1,0 +1,173 @@
+//! The metrics registry: named counters and histograms, plus immutable
+//! snapshots that can be diffed to attribute metrics to a single run.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::hist::{HistSnapshot, LogHistogram};
+
+/// A monotonically increasing counter.
+#[derive(Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Add `delta`.
+    pub fn add(&self, delta: u64) {
+        self.0.fetch_add(delta, Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Relaxed)
+    }
+}
+
+/// A registry of named metrics. Metric handles are created on first
+/// use; the maps are only locked to look a handle up, never while
+/// recording, so concurrent recording on existing metrics is lock-free.
+#[derive(Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    hists: Mutex<BTreeMap<String, Arc<LogHistogram>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter named `name`, created if absent.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock();
+        if let Some(c) = map.get(name) {
+            return Arc::clone(c);
+        }
+        let c = Arc::new(Counter::default());
+        map.insert(name.to_string(), Arc::clone(&c));
+        c
+    }
+
+    /// The histogram named `name`, created if absent.
+    pub fn hist(&self, name: &str) -> Arc<LogHistogram> {
+        let mut map = self.hists.lock();
+        if let Some(h) = map.get(name) {
+            return Arc::clone(h);
+        }
+        let h = Arc::new(LogHistogram::new());
+        map.insert(name.to_string(), Arc::clone(&h));
+        h
+    }
+
+    /// Add `delta` to the counter named `name`.
+    pub fn add(&self, name: &str, delta: u64) {
+        self.counter(name).add(delta);
+    }
+
+    /// Record `value` into the histogram named `name`.
+    pub fn record(&self, name: &str, value: u64) {
+        self.hist(name).record(value);
+    }
+
+    /// Copy every metric into an immutable snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let hists = self
+            .hists
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect();
+        MetricsSnapshot { counters, hists }
+    }
+}
+
+/// An immutable copy of a [`Registry`]'s state at one instant.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram snapshots by name.
+    pub hists: BTreeMap<String, HistSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// The metrics that accumulated between `earlier` and `self`
+    /// (both from the same registry). Metrics absent from `earlier`
+    /// are attributed entirely to the interval.
+    pub fn since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .iter()
+            .filter_map(|(k, &v)| {
+                let d = v - earlier.counters.get(k).copied().unwrap_or(0);
+                (d > 0).then(|| (k.clone(), d))
+            })
+            .collect();
+        let empty = HistSnapshot::default();
+        let hists = self
+            .hists
+            .iter()
+            .filter_map(|(k, v)| {
+                let d = v.since(earlier.hists.get(k).unwrap_or(&empty));
+                (d.count() > 0).then(|| (k.clone(), d))
+            })
+            .collect();
+        MetricsSnapshot { counters, hists }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_hists_accumulate() {
+        let r = Registry::new();
+        r.add("bytes", 10);
+        r.add("bytes", 5);
+        r.record("lat", 100);
+        r.record("lat", 300);
+        let s = r.snapshot();
+        assert_eq!(s.counters["bytes"], 15);
+        assert_eq!(s.hists["lat"].count(), 2);
+        assert_eq!(s.hists["lat"].sum(), 400);
+    }
+
+    #[test]
+    fn handles_are_shared() {
+        let r = Registry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.add(1);
+        b.add(2);
+        assert_eq!(r.counter("x").get(), 3);
+    }
+
+    #[test]
+    fn snapshot_diff_isolates_interval() {
+        let r = Registry::new();
+        r.add("n", 7);
+        r.record("h", 50);
+        let before = r.snapshot();
+        r.add("n", 3);
+        r.add("m", 1);
+        r.record("h", 60);
+        let d = r.snapshot().since(&before);
+        assert_eq!(d.counters["n"], 3);
+        assert_eq!(d.counters["m"], 1);
+        assert_eq!(d.hists["h"].count(), 1);
+        assert_eq!(d.hists["h"].sum(), 60);
+        // Unchanged metrics drop out of the diff entirely.
+        let none = r.snapshot().since(&r.snapshot());
+        assert!(none.counters.is_empty() && none.hists.is_empty());
+    }
+}

@@ -1,0 +1,124 @@
+//! Hierarchical spans and phase timers.
+//!
+//! Spans form a per-thread stack (`run → task → round → client →
+//! phase`); each completed span emits a [`SpanEnd`](crate::event::SpanEnd)
+//! event carrying its slash-joined path and also records its duration
+//! into the `span.<name>_ns` histogram. Worker threads spawned mid-run
+//! inherit the parent's path via [`inherit_path`], which is what keeps
+//! paths correct under parallel client execution.
+//!
+//! All constructors return inert guards when observability is disabled:
+//! no clock read, no allocation.
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+use crate::event::{Event, SpanEnd};
+
+thread_local! {
+    static SPAN_PATH: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The current thread's span path, slash-joined (empty if no spans are
+/// open). Capture this before spawning workers and pass it to
+/// [`inherit_path`] inside them.
+pub fn current_path() -> String {
+    SPAN_PATH.with(|p| p.borrow().join("/"))
+}
+
+/// RAII guard for an open span. Closing (dropping) pops the span and
+/// emits its timing.
+pub struct SpanGuard {
+    start: Option<Instant>,
+}
+
+impl SpanGuard {
+    /// An inert guard that records nothing on drop. Used by
+    /// [`obs_span!`](crate::obs_span) to skip name formatting entirely
+    /// when observability is disabled.
+    pub fn inert() -> Self {
+        Self { start: None }
+    }
+}
+
+/// Open a span named `name` under the current thread's span stack.
+pub fn span(name: &str) -> SpanGuard {
+    if !crate::is_enabled() {
+        return SpanGuard { start: None };
+    }
+    SPAN_PATH.with(|p| p.borrow_mut().push(name.to_string()));
+    SpanGuard {
+        start: Some(Instant::now()),
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let dur_ns = start.elapsed().as_nanos() as u64;
+        let (path, name) = SPAN_PATH.with(|p| {
+            let mut p = p.borrow_mut();
+            let path = p.join("/");
+            let name = p.pop().unwrap_or_default();
+            (path, name)
+        });
+        // Registry only: the SpanEnd event below already carries the
+        // duration, so no separate sample event is emitted.
+        crate::record_in_registry(&format!("span.{name}_ns"), dur_ns);
+        crate::dispatch(&Event::Span(SpanEnd {
+            path,
+            dur_ns,
+            thread: format!("{:?}", std::thread::current().id()),
+        }));
+    }
+}
+
+/// RAII guard restoring a worker thread's previous (usually empty) span
+/// path on drop.
+pub struct PathGuard {
+    saved: Option<Vec<String>>,
+}
+
+/// Adopt `path` (a [`current_path`] capture from the parent thread) as
+/// this thread's span-stack root, so spans opened here nest correctly
+/// in the run hierarchy.
+pub fn inherit_path(path: &str) -> PathGuard {
+    if !crate::is_enabled() {
+        return PathGuard { saved: None };
+    }
+    let segments: Vec<String> = path
+        .split('/')
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect();
+    let saved = SPAN_PATH.with(|p| std::mem::replace(&mut *p.borrow_mut(), segments));
+    PathGuard { saved: Some(saved) }
+}
+
+impl Drop for PathGuard {
+    fn drop(&mut self) {
+        if let Some(saved) = self.saved.take() {
+            SPAN_PATH.with(|p| *p.borrow_mut() = saved);
+        }
+    }
+}
+
+/// RAII phase timer: on drop, records the elapsed nanoseconds into the
+/// named histogram (and emits a sample event to the JSONL sink).
+pub struct TimerGuard {
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+/// Start timing the phase metric `name` (e.g. `qp.solve_ns`).
+pub fn timer(name: &'static str) -> TimerGuard {
+    let start = crate::is_enabled().then(Instant::now);
+    TimerGuard { name, start }
+}
+
+impl Drop for TimerGuard {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        crate::record(self.name, start.elapsed().as_nanos() as u64);
+    }
+}

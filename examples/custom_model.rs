@@ -71,7 +71,11 @@ fn main() {
             client.train_iteration(&mut rng);
         }
         client.finish_task(&mut rng);
-        println!("task {} done, accuracy {:.1}%", i + 1, client.evaluate(task) * 100.0);
+        println!(
+            "task {} done, accuracy {:.1}%",
+            i + 1,
+            client.evaluate(task) * 100.0
+        );
     }
     println!(
         "retained {} knowledge sets, {} bytes total",

@@ -37,15 +37,13 @@ fn main() {
     for bandwidth_kb in [100.0, 1000.0] {
         println!("\n--- bandwidth {bandwidth_kb} KB/s ---");
         for method in [Method::FedKnow, Method::FedWeit] {
-            let report = spec.run_on(
-                method,
-                devices.clone(),
-                CommModel::kb_per_sec(bandwidth_kb),
-            );
+            let report = spec.run_on(method, devices.clone(), CommModel::kb_per_sec(bandwidth_kb));
             println!(
                 "{:<10} final acc {:.3}  compute {:>7.1}s  comm {:>7.2}s  dropouts {:?}",
                 report.method,
-                report.accuracy.avg_accuracy_after(report.accuracy.num_tasks() - 1),
+                report
+                    .accuracy
+                    .avg_accuracy_after(report.accuracy.num_tasks() - 1),
                 report.task_compute_seconds.iter().sum::<f64>(),
                 report.total_comm_seconds(),
                 report.dropouts

@@ -25,8 +25,16 @@ fn main() {
         let report = spec.run(method);
         let acc = report.accuracy.accuracy_curve();
         let forget = report.accuracy.forgetting_curve();
-        println!("{:<10} accuracy per task step:   {:?}", report.method, rounded(&acc));
-        println!("{:<10} forgetting per task step: {:?}", report.method, rounded(&forget));
+        println!(
+            "{:<10} accuracy per task step:   {:?}",
+            report.method,
+            rounded(&acc)
+        );
+        println!(
+            "{:<10} forgetting per task step: {:?}",
+            report.method,
+            rounded(&forget)
+        );
         println!(
             "{:<10} compute {:.1}s  comm {:.2}s  bytes {}\n",
             report.method,

@@ -35,8 +35,7 @@ fn main() {
         client.finish_task(&mut rng);
     }
     let acc_before: Vec<f64> = tasks.iter().map(|t| client.evaluate(t)).collect();
-    checkpoint::save(&mut client.trainer_mut().model, &dir.join("model.json"))
-        .expect("save model");
+    checkpoint::save(&mut client.trainer_mut().model, &dir.join("model.json")).expect("save model");
     let mut total_bytes = 0usize;
     for (i, k) in client.knowledges().iter().enumerate() {
         let blob = encode_knowledge(i as u32, k);
@@ -55,12 +54,17 @@ fn main() {
     let mut knowledges = Vec::new();
     for i in 0.. {
         let path = dir.join(format!("knowledge_{i}.bin"));
-        let Ok(blob) = std::fs::read(&path) else { break };
+        let Ok(blob) = std::fs::read(&path) else {
+            break;
+        };
         let (task_id, k) = decode_knowledge(&blob).expect("decode knowledge");
         assert_eq!(task_id as usize, i);
         knowledges.push(k);
     }
-    println!("session 2: restored model + {} knowledge sets", knowledges.len());
+    println!(
+        "session 2: restored model + {} knowledge sets",
+        knowledges.len()
+    );
 
     // The restored knowledge still drives the gradient restorer: its
     // pseudo-gradients are finite and non-trivial, so continual learning

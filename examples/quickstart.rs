@@ -47,7 +47,11 @@ fn main() {
     for (i, task) in tasks.iter().enumerate() {
         let acc = client.evaluate(task);
         println!("accuracy on task {}: {:.1}%", i + 1, acc * 100.0);
-        assert!(acc > 1.5 / task.classes.len() as f64, "task {} collapsed", i + 1);
+        assert!(
+            acc > 1.5 / task.classes.len() as f64,
+            "task {} collapsed",
+            i + 1
+        );
     }
     println!("quickstart complete — no catastrophic forgetting.");
 }

@@ -71,8 +71,17 @@ impl RunSpec {
         devices: Vec<DeviceProfile>,
         comm: CommModel,
     ) -> SimReport {
-        assert_eq!(devices.len(), self.num_clients, "device count must match clients");
-        let parts = partition(dataset, self.num_clients, &PartitionConfig::default(), self.seed);
+        assert_eq!(
+            devices.len(),
+            self.num_clients,
+            "device count must match clients"
+        );
+        let parts = partition(
+            dataset,
+            self.num_clients,
+            &PartitionConfig::default(),
+            self.seed,
+        );
         // Derive the head width from the dataset itself so pre-built
         // streams (whose class count differs from the spec) still fit.
         let num_classes = dataset
@@ -88,8 +97,11 @@ impl RunSpec {
             self.width,
             self.seed,
         );
-        let image_shape =
-            vec![dataset.spec.channels, dataset.spec.height, dataset.spec.width];
+        let image_shape = vec![
+            dataset.spec.channels,
+            dataset.spec.height,
+            dataset.spec.width,
+        ];
         let clients = (0..self.num_clients)
             .map(|_| build_client(method, &template, &self.method_cfg, image_shape.clone()))
             .collect();
@@ -99,8 +111,7 @@ impl RunSpec {
             seed: self.seed,
             parallel: true,
         };
-        let mut sim =
-            Simulation::new(clients, parts, devices, comm, cfg, template.size_bytes());
+        let mut sim = Simulation::new(clients, parts, devices, comm, cfg, template.size_bytes());
         sim.run()
     }
 }

@@ -41,11 +41,24 @@ fn drive(client: &mut dyn FclClient, tasks: &[ClientTask], dim: usize) {
         for _round in 0..2 {
             for _ in 0..3 {
                 let stats = client.train_iteration(&mut rng);
-                assert!(stats.loss.is_finite(), "{}: non-finite loss", client.method_name());
-                assert!(stats.flops > 0, "{}: zero flops reported", client.method_name());
+                assert!(
+                    stats.loss.is_finite(),
+                    "{}: non-finite loss",
+                    client.method_name()
+                );
+                assert!(
+                    stats.flops > 0,
+                    "{}: zero flops reported",
+                    client.method_name()
+                );
             }
             if let Some(up) = client.upload() {
-                assert_eq!(up.len(), dim, "{}: upload dimension drift", client.method_name());
+                assert_eq!(
+                    up.len(),
+                    dim,
+                    "{}: upload dimension drift",
+                    client.method_name()
+                );
                 assert!(
                     up.iter().all(|v| v.is_finite()),
                     "{}: non-finite upload",

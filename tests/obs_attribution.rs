@@ -1,0 +1,70 @@
+//! End-to-end observability: run FedKNOW with the JSONL sink attached
+//! and check that every phase of the paper's pipeline — extraction
+//! (§III-B), gradient restoration (Eq. 2), QP gradient integration
+//! (Eqs. 3–5), FedAvg aggregation (§III-A) and communication — receives
+//! non-zero attribution, in both the in-report breakdown and the JSONL
+//! stream.
+//!
+//! The observability facade is process-global, so this file holds a
+//! single test (its own integration-test binary = its own process).
+
+use fedknow_baselines::Method;
+use fedknow_suite::RunSpec;
+
+#[test]
+fn obs_attributes_time_to_every_paper_phase() {
+    let path = std::env::temp_dir().join(format!("fedknow_obs_e2e_{}.jsonl", std::process::id()));
+    // Must be set before the first obs call in this process: the sink is
+    // attached lazily when the simulation calls `init_from_env`.
+    std::env::set_var(fedknow_obs::ENV_JSONL, &path);
+
+    let report = RunSpec::quick(1).run(Method::FedKnow);
+
+    let b = report
+        .phase_breakdown
+        .expect("FEDKNOW_OBS set => breakdown present");
+    for phase in [
+        "extract.topk_ns",      // knowledge extraction (top-rho pruning)
+        "restore.distill_ns",   // gradient restoration (Eq. 2)
+        "qp.solve_ns",          // gradient integration (Eqs. 3-5)
+        "fedavg.aggregate_ns",  // server aggregation
+        "conv.fwd_ns",          // network forward
+        "conv.bwd_ns",          // network backward
+        "comm.sim_transfer_ns", // simulated link time
+        "span.run_ns",          // whole-run span
+    ] {
+        let p = b
+            .phase(phase)
+            .unwrap_or_else(|| panic!("phase {phase} missing"));
+        assert!(p.count > 0, "{phase}: zero samples");
+        assert!(p.total_ns > 0, "{phase}: zero time");
+        assert!(p.p50_ns <= p.p99_ns, "{phase}: quantiles out of order");
+    }
+    // The byte counters agree exactly with the report's wire total.
+    let up = b.counter("comm.upload_bytes").expect("upload counter");
+    let down = b.counter("comm.download_bytes").expect("download counter");
+    assert!(up > 0 && down > 0);
+    assert_eq!(
+        up + down,
+        report.total_bytes,
+        "counters disagree with report accounting"
+    );
+
+    // The JSONL stream reloads into the same attribution: spans nest
+    // run -> task -> round -> client even though clients train on worker
+    // threads, and counter totals match the registry.
+    let events = fedknow_obs::read_jsonl(&path).expect("JSONL parses");
+    std::fs::remove_file(&path).ok();
+    let agg = fedknow_obs::Aggregate::from_events(&events);
+    assert_eq!(agg.counters["comm.upload_bytes"], up);
+    assert_eq!(agg.counters["comm.download_bytes"], down);
+    assert!(
+        agg.spans
+            .keys()
+            .any(|k| k.starts_with("run/task.0/round.0/client.")),
+        "client spans must nest under run/task/round; got {:?}",
+        agg.spans.keys().take(8).collect::<Vec<_>>()
+    );
+    assert!(agg.spans.contains_key("run"));
+    assert!(agg.quantile("qp.solve_ns", 0.5).is_some());
+}

@@ -1,0 +1,115 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Only `crossbeam::thread::scope` is used by the workspace; since Rust
+//! 1.63 the standard library provides scoped threads, so this crate
+//! reproduces crossbeam's call shape (`scope(|s| { s.spawn(|_| …); })
+//! -> Result<R, …>`) on top of `std::thread::scope`.
+//!
+//! Unlike crossbeam, spawns are *deferred*: the scope closure first
+//! collects every job, then all jobs start together and are joined
+//! before `scope` returns. Observable behaviour is identical for the
+//! fork-join pattern the workspace uses; spawning from *inside* a
+//! running job (nested spawn through the job's scope argument) is not
+//! supported and panics.
+
+pub mod thread {
+    //! Scoped threads with crossbeam's API shape.
+
+    use std::cell::RefCell;
+
+    type Job<'env> = Box<dyn FnOnce(&Scope<'env>) + Send + 'env>;
+
+    /// Spawn collector passed to the scope closure (and, inert, to each
+    /// running job).
+    pub struct Scope<'env> {
+        jobs: Option<RefCell<Vec<Job<'env>>>>,
+    }
+
+    impl<'env> Scope<'env> {
+        /// Register a job to run on its own thread once the scope
+        /// closure returns. The job's return value is discarded (the
+        /// workspace never uses crossbeam join handles).
+        pub fn spawn<F, T>(&self, f: F)
+        where
+            F: FnOnce(&Scope<'env>) -> T + Send + 'env,
+            T: Send + 'env,
+        {
+            let jobs = self
+                .jobs
+                .as_ref()
+                .expect("vendored crossbeam stub: nested scoped spawns are unsupported");
+            jobs.borrow_mut().push(Box::new(move |s| {
+                f(s);
+            }));
+        }
+    }
+
+    /// Run `f` with a scope; every registered job runs on its own thread
+    /// and is joined before this returns. A panicking job propagates the
+    /// panic (as `std::thread::scope` does), so the `Err` arm is never
+    /// actually produced — the `Result` exists to match crossbeam's
+    /// signature.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: FnOnce(&Scope<'env>) -> R,
+    {
+        let collector = Scope {
+            jobs: Some(RefCell::new(Vec::new())),
+        };
+        let result = f(&collector);
+        let jobs = collector
+            .jobs
+            .expect("collector scope always holds jobs")
+            .into_inner();
+        std::thread::scope(|s| {
+            for job in jobs {
+                s.spawn(move || {
+                    let inert: Scope<'env> = Scope { jobs: None };
+                    job(&inert);
+                });
+            }
+        });
+        Ok(result)
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        #[test]
+        fn scope_joins_all_threads() {
+            let counter = AtomicU64::new(0);
+            super::scope(|s| {
+                for _ in 0..4 {
+                    s.spawn(|_| {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+            })
+            .unwrap();
+            assert_eq!(counter.load(Ordering::SeqCst), 4);
+        }
+
+        #[test]
+        fn scope_returns_closure_value() {
+            let r = super::scope(|_| 42).unwrap();
+            assert_eq!(r, 42);
+        }
+
+        #[test]
+        fn jobs_can_mutate_disjoint_chunks() {
+            let mut data = vec![0u32; 8];
+            super::scope(|s| {
+                for chunk in data.chunks_mut(2) {
+                    s.spawn(move |_| {
+                        for v in chunk.iter_mut() {
+                            *v += 1;
+                        }
+                    });
+                }
+            })
+            .unwrap();
+            assert_eq!(data, vec![1; 8]);
+        }
+    }
+}

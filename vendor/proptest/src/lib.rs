@@ -1,0 +1,372 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest surface the workspace's
+//! property tests use — the `proptest!` macro, `prop_assert!` /
+//! `prop_assert_eq!`, range and `any::<T>()` strategies, tuple
+//! strategies and `prop::collection::vec` — on top of the vendored
+//! `rand` crate. There is no shrinking and no failure persistence:
+//! each case is sampled from an RNG seeded deterministically from the
+//! test name, so failures reproduce across runs.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Test-runner types: configuration and the case-failure error.
+pub mod test_runner {
+    /// Per-`proptest!` block configuration (`ProptestConfig` upstream).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of random cases to run per test.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// Config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Self { cases: 256 }
+        }
+    }
+
+    /// A failed test case (carried by `prop_assert!` early returns).
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError {
+        msg: String,
+    }
+
+    impl TestCaseError {
+        /// Failure with the given message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            Self { msg: msg.into() }
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.msg)
+        }
+    }
+}
+
+/// The [`Strategy`] trait: a recipe for sampling random values.
+pub mod strategy {
+    use super::StdRng;
+
+    /// A recipe for sampling values of type `Self::Value`.
+    ///
+    /// Unlike upstream (which builds shrinkable value trees), this stub
+    /// samples directly — adequate for invariant-style properties.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+        /// Sample one value.
+        fn sample(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($n:tt $s:ident),+))+) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$n.sample(rng),)+)
+                }
+            }
+        )+};
+    }
+    tuple_strategy! {
+        (0 A, 1 B)
+        (0 A, 1 B, 2 C)
+        (0 A, 1 B, 2 C, 3 D)
+    }
+}
+
+use strategy::Strategy;
+
+macro_rules! range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// `any::<T>()` support.
+pub mod arbitrary {
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Sample from the full domain.
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    macro_rules! arb_via_gen {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut StdRng) -> Self {
+                    rng.gen()
+                }
+            }
+        )*};
+    }
+    arb_via_gen!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    /// Strategy over `T`'s full domain.
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut StdRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The strategy for any value of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+
+    /// An inclusive size band for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            Self {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            Self {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values from an element strategy.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..=self.size.hi);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// A strategy for `Vec`s whose length falls in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// The `prop::` namespace (`prop::collection::vec` etc.).
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Support code invoked from the `proptest!` expansion.
+pub mod sugar {
+    use super::test_runner::{Config, TestCaseError};
+    use super::StdRng;
+    use rand::SeedableRng;
+
+    /// Run `cfg.cases` sampled cases of `case`, panicking (to fail the
+    /// `#[test]`) on the first error. The RNG is seeded from the test
+    /// name so runs are reproducible.
+    pub fn run_cases<F>(name: &str, cfg: &Config, mut case: F)
+    where
+        F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+    {
+        // FNV-1a over the test name for a stable per-test seed.
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            seed ^= b as u64;
+            seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        for i in 0..cfg.cases {
+            if let Err(e) = case(&mut rng) {
+                panic!("proptest `{name}` failed at case {i}/{}: {e}", cfg.cases);
+            }
+        }
+    }
+}
+
+/// Everything the property tests import.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Assert inside a `proptest!` body; failure aborts the current case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        format!(
+                            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                            stringify!($left),
+                            stringify!($right),
+                            __l,
+                            __r
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Declare property tests: each `fn name(arg in strategy, ...)` becomes
+/// a `#[test]` running `cases` sampled inputs through the body.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!($crate::test_runner::Config::default(); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ($cfg:expr;) => {};
+    ($cfg:expr;
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::sugar::run_cases(stringify!($name), &($cfg), |__rng| {
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), __rng);)+
+                let __case = move || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    ::std::result::Result::Ok(())
+                };
+                __case()
+            });
+        }
+        $crate::__proptest_fns!($cfg; $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(50))]
+
+        /// Range strategies stay in range; vec sizes respect the band.
+        #[test]
+        fn strategies_respect_bounds(
+            x in 3usize..10,
+            y in -2.0f32..2.0,
+            flag in any::<bool>(),
+            xs in prop::collection::vec(0u8..=4, 2..6),
+            pair in (1u32..5, 0.0f64..1.0),
+        ) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+            prop_assert!(u8::from(flag) <= 1);
+            prop_assert!(xs.len() >= 2 && xs.len() <= 5, "len {}", xs.len());
+            prop_assert!(xs.iter().all(|&v| v <= 4));
+            prop_assert!((1..5).contains(&pair.0));
+            prop_assert!((0.0..1.0).contains(&pair.1));
+            prop_assert_eq!(x, x);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_name() {
+        use crate::strategy::Strategy;
+        use rand::SeedableRng;
+        let s = crate::collection::vec(0u64..1000, 5usize);
+        let a = s.sample(&mut rand::rngs::StdRng::seed_from_u64(9));
+        let b = s.sample(&mut rand::rngs::StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        /// Deliberately failing property, driven manually below rather
+        /// than by the harness (no `#[test]` attribute).
+        fn always_fails(x in 0u8..10) {
+            prop_assert!(x > 200, "x was {}", x);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_panics() {
+        always_fails();
+    }
+}

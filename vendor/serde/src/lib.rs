@@ -1,0 +1,316 @@
+//! Offline stand-in for `serde`.
+//!
+//! Instead of upstream's visitor-based zero-copy architecture, this stub
+//! uses a simple value-tree model: [`Serialize`] lowers a type to a
+//! [`value::Value`], [`Deserialize`] raises it back. `serde_json` (also
+//! vendored) converts between `Value` and JSON text. The observable
+//! surface — `#[derive(Serialize, Deserialize)]`,
+//! `serde_json::to_string`, `serde_json::from_str`, `serde_json::Value`
+//! — matches what the workspace uses of the real crates.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod value;
+
+use value::{Number, Value};
+
+/// Deserialisation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Error with a custom message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can lower themselves to a [`Value`].
+pub trait Serialize {
+    /// Lower to the value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be raised from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Raise from the value tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// Look up `key` in an object value and deserialise it. A missing key
+/// deserialises from `Null`, which succeeds for `Option` fields (as
+/// upstream's `#[serde(default)]`-free behaviour does for `Option`) and
+/// errors for mandatory ones.
+pub fn de_field<T: Deserialize>(v: &Value, key: &str) -> Result<T, Error> {
+    let Value::Object(entries) = v else {
+        return Err(Error::custom(format!("expected object with field `{key}`")));
+    };
+    let found = entries.iter().find(|(k, _)| k == key).map(|(_, fv)| fv);
+    T::from_value(found.unwrap_or(&Value::Null))
+        .map_err(|e| Error::custom(format!("field `{key}`: {e}")))
+}
+
+// ---- Serialize impls ----
+
+macro_rules! ser_via {
+    ($($t:ty => $variant:ident),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::$variant(*self as _))
+            }
+        }
+    )*};
+}
+ser_via!(u8 => U, u16 => U, u32 => U, u64 => U, usize => U);
+ser_via!(i8 => I, i16 => I, i32 => I, i64 => I, isize => I);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        if self.is_finite() {
+            Value::Number(Number::F(*self))
+        } else {
+            // JSON has no NaN/Inf; lower to null like a lossy best effort.
+            Value::Null
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        (*self as f64).to_value()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($n:tt $t:ident),+))+) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_value()),+])
+            }
+        }
+    )+};
+}
+ser_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+// ---- Deserialize impls ----
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = match v {
+                    Value::Number(n) => n,
+                    _ => return Err(Error::custom(format!(
+                        "expected {}, got {v:?}", stringify!($t)))),
+                };
+                let out = match *n {
+                    Number::U(u) => u as i128,
+                    Number::I(i) => i as i128,
+                    Number::F(f) if f.fract() == 0.0 => f as i128,
+                    Number::F(f) => return Err(Error::custom(format!(
+                        "expected integer, got {f}"))),
+                };
+                <$t>::try_from(out).map_err(|_| Error::custom(format!(
+                    "{out} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+de_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Number(Number::F(f)) => Ok(*f),
+            Value::Number(Number::U(u)) => Ok(*u as f64),
+            Value::Number(Number::I(i)) => Ok(*i as f64),
+            _ => Err(Error::custom(format!("expected number, got {v:?}"))),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::custom(format!("expected bool, got {v:?}"))),
+        }
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            _ => Err(Error::custom(format!("expected string, got {v:?}"))),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(Error::custom(format!("expected array, got {v:?}"))),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+macro_rules! de_tuple {
+    ($(($len:literal; $($n:tt $t:ident),+))+) => {$(
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let Value::Array(items) = v else {
+                    return Err(Error::custom(format!("expected array tuple, got {v:?}")));
+                };
+                if items.len() != $len {
+                    return Err(Error::custom(format!(
+                        "expected tuple of {}, got {} elements", $len, items.len())));
+                }
+                Ok(($($t::from_value(&items[$n])?,)+))
+            }
+        }
+    )+};
+}
+de_tuple! {
+    (1; 0 A)
+    (2; 0 A, 1 B)
+    (3; 0 A, 1 B, 2 C)
+    (4; 0 A, 1 B, 2 C, 3 D)
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u32::from_value(&42u32.to_value()).unwrap(), 42);
+        assert_eq!(f64::from_value(&(-1.5f64).to_value()).unwrap(), -1.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(String::from_value(&"hi".to_value()).unwrap(), "hi");
+    }
+
+    #[test]
+    fn collections_roundtrip() {
+        let v = vec![1u64, 2, 3];
+        assert_eq!(Vec::<u64>::from_value(&v.to_value()).unwrap(), v);
+        let t = (3usize, 4usize);
+        assert_eq!(<(usize, usize)>::from_value(&t.to_value()).unwrap(), t);
+        let o: Option<usize> = None;
+        assert_eq!(Option::<usize>::from_value(&o.to_value()).unwrap(), None);
+    }
+
+    #[test]
+    fn missing_optional_field_is_none() {
+        let obj = Value::Object(vec![("a".into(), 1u64.to_value())]);
+        let missing: Option<u64> = de_field(&obj, "b").unwrap();
+        assert_eq!(missing, None);
+        let present: Option<u64> = de_field(&obj, "a").unwrap();
+        assert_eq!(present, Some(1));
+    }
+
+    #[test]
+    fn missing_mandatory_field_errors() {
+        let obj = Value::Object(vec![]);
+        assert!(de_field::<u64>(&obj, "n").is_err());
+    }
+
+    #[test]
+    fn nan_serialises_to_null() {
+        assert_eq!(f64::NAN.to_value(), Value::Null);
+    }
+}

@@ -1,0 +1,201 @@
+//! The JSON-shaped value tree shared by the vendored `serde` and
+//! `serde_json` stubs.
+
+/// A JSON number, preserving the integer/float distinction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// Non-negative integer.
+    U(u64),
+    /// Negative integer.
+    I(i64),
+    /// Float.
+    F(f64),
+}
+
+/// A JSON-shaped value. Objects preserve insertion order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, as ordered key/value pairs (lookups are linear; the
+    /// workspace's objects are all small).
+    Object(Vec<(String, Value)>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// The value as an `f64`, if it is any kind of number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(Number::F(f)) => Some(*f),
+            Value::Number(Number::U(u)) => Some(*u as f64),
+            Value::Number(Number::I(i)) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(Number::U(u)) => Some(*u),
+            Value::Number(Number::I(i)) => u64::try_from(*i).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64`, if it is an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(Number::I(i)) => Some(*i),
+            Value::Number(Number::U(u)) => i64::try_from(*u).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Whether the value is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Object member by key, `Null` if absent or not an object
+    /// (upstream `serde_json`'s `get`-or-null indexing behaviour).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+/// Compact JSON rendering (matches upstream `serde_json`'s `Display`).
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Number(Number::U(u)) => write!(f, "{u}"),
+            Value::Number(Number::I(i)) => write!(f, "{i}"),
+            Value::Number(Number::F(x)) if x.is_finite() => {
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    write!(f, "{x:.1}")
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+            Value::Number(Number::F(_)) => f.write_str("null"),
+            Value::String(s) => write!(f, "{s:?}"),
+            Value::Array(items) => {
+                f.write_str("[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                f.write_str("]")
+            }
+            Value::Object(entries) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{k:?}:{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, i: usize) -> &Value {
+        match self {
+            Value::Array(a) => a.get(i).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexing_missing_yields_null() {
+        let v = Value::Object(vec![("a".into(), Value::Bool(true))]);
+        assert_eq!(v["a"], Value::Bool(true));
+        assert!(v["nope"].is_null());
+        assert!(v[3].is_null());
+    }
+
+    #[test]
+    fn numeric_views_convert() {
+        let u = Value::Number(Number::U(7));
+        assert_eq!(u.as_f64(), Some(7.0));
+        assert_eq!(u.as_u64(), Some(7));
+        assert_eq!(u.as_i64(), Some(7));
+        let f = Value::Number(Number::F(1.5));
+        assert_eq!(f.as_u64(), None);
+        assert_eq!(f.as_f64(), Some(1.5));
+    }
+}
