@@ -1,0 +1,133 @@
+//! Bench regression gate.
+//!
+//! ```text
+//! bench_gate                          # diff every BENCH_*.json in results/
+//!                                     # against its BENCH_*.prev.json
+//! bench_gate prev.json new.json       # diff one explicit pair
+//! ```
+//!
+//! Flags: `--results DIR` (default the repo's `results/`), `--acc-tol`,
+//! `--forget-tol` (absolute), `--wall-tol` (relative, 0.5 = +50%), and
+//! `--report-only` to print the diff without failing — the mode CI runs
+//! on every push so regressions are visible before the gate is
+//! hardened.
+//!
+//! Exit status: 0 when everything is within tolerance (or
+//! `--report-only`), 1 on a regression, 2 on usage/IO errors.
+
+use fedknow_bench::gate::{bench_record_path, compare, read_bench_record, GateReport, Tolerance};
+use std::path::PathBuf;
+
+fn main() {
+    let mut tol = Tolerance::default();
+    let mut results_dir = fedknow_bench::results_dir();
+    let mut report_only = false;
+    let mut pair: Vec<PathBuf> = Vec::new();
+    let argv: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--results" => {
+                i += 1;
+                results_dir = PathBuf::from(argv.get(i).unwrap_or_else(|| usage("--results DIR")));
+            }
+            "--acc-tol" => {
+                i += 1;
+                tol.accuracy_drop = parse_f64(&argv, i, "--acc-tol");
+            }
+            "--forget-tol" => {
+                i += 1;
+                tol.forgetting_rise = parse_f64(&argv, i, "--forget-tol");
+            }
+            "--wall-tol" => {
+                i += 1;
+                tol.wall_rise = parse_f64(&argv, i, "--wall-tol");
+            }
+            "--report-only" => report_only = true,
+            other if !other.starts_with("--") => pair.push(PathBuf::from(other)),
+            other => usage(&format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+
+    let reports = match pair.len() {
+        0 => scan_results(&results_dir, &tol),
+        2 => {
+            let prev = read_bench_record(&pair[0]).unwrap_or_else(|e| die(&e));
+            let new = read_bench_record(&pair[1]).unwrap_or_else(|e| die(&e));
+            vec![compare(&prev, &new, &tol)]
+        }
+        _ => usage("expected zero or exactly two record paths"),
+    };
+
+    if reports.is_empty() {
+        println!(
+            "bench_gate: no BENCH_*.json / BENCH_*.prev.json pairs under {} — nothing to diff",
+            results_dir.display()
+        );
+        return;
+    }
+    let mut regressed = false;
+    for r in &reports {
+        print!("{}", r.render());
+        regressed |= r.regressed();
+    }
+    if regressed {
+        if report_only {
+            println!("bench_gate: regression detected (report-only, not failing)");
+        } else {
+            eprintln!("bench_gate: FAILED — regression beyond tolerance");
+            std::process::exit(1);
+        }
+    } else {
+        println!("bench_gate: all benchmarks within tolerance");
+    }
+}
+
+/// Diff every current/previous record pair under `dir`.
+fn scan_results(dir: &std::path::Path, tol: &Tolerance) -> Vec<GateReport> {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    let mut names: Vec<String> = entries
+        .flatten()
+        .filter_map(|e| {
+            let file = e.file_name().into_string().ok()?;
+            let stem = file.strip_prefix("BENCH_")?.strip_suffix(".prev.json")?;
+            Some(stem.to_string())
+        })
+        .collect();
+    names.sort();
+    names
+        .iter()
+        .filter_map(|name| {
+            let cur = bench_record_path(dir, name);
+            if !cur.exists() {
+                return None;
+            }
+            let prev = read_bench_record(&dir.join(format!("BENCH_{name}.prev.json")))
+                .unwrap_or_else(|e| die(&e));
+            let new = read_bench_record(&cur).unwrap_or_else(|e| die(&e));
+            Some(compare(&prev, &new, tol))
+        })
+        .collect()
+}
+
+fn parse_f64(argv: &[String], i: usize, flag: &str) -> f64 {
+    argv.get(i)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| usage(&format!("{flag} expects a number")))
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!(
+        "error: {msg}\nusage: bench_gate [--results DIR] [--acc-tol X] [--forget-tol X] \
+         [--wall-tol X] [--report-only] [prev.json new.json]"
+    );
+    std::process::exit(2)
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("bench_gate: {msg}");
+    std::process::exit(2)
+}

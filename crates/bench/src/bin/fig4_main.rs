@@ -6,7 +6,10 @@
 //! the inputs for Table I as well.
 
 use fedknow_baselines::Method;
-use fedknow_bench::{parse_args, print_table, scaled_spec, write_json, MethodCurve, Scale};
+use fedknow_bench::{
+    parse_args, print_table, results_dir, scaled_spec, write_bench_record, write_json, BenchRecord,
+    MethodCurve, Scale,
+};
 use fedknow_data::DatasetSpec;
 use fedknow_fl::{CommModel, DeviceProfile};
 
@@ -42,7 +45,22 @@ fn main() {
                 }
                 d
             };
+            let started = std::time::Instant::now();
             let report = spec.run_on(method, devices, CommModel::paper_default());
+            // The FedKNOW run is the one the regression gate tracks.
+            if report.method == "fedknow" {
+                let rec = BenchRecord::from_report(
+                    &format!("fig4_{name}"),
+                    args.scale.name(),
+                    args.seed,
+                    &report,
+                    started.elapsed().as_secs_f64(),
+                );
+                match write_bench_record(&results_dir(), &rec) {
+                    Ok(path) => println!("[bench] {}", path.display()),
+                    Err(e) => eprintln!("[bench] record not written: {e}"),
+                }
+            }
             curves.push(MethodCurve::from_report(&report));
         }
         let columns: Vec<String> = (1..=curves[0].accuracy.len())

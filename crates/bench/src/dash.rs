@@ -1,0 +1,103 @@
+//! Terminal-rendering helpers for `obs_dash`: sparklines for per-round
+//! trajectories and heat strips for per-task forgetting. Pure functions
+//! so the renderings are unit-testable without a trace file.
+
+/// Eight-level sparkline (`▁▂▃▄▅▆▇█`) of `values`, scaled to their own
+/// min..max range. Constant input renders as all-minimum; empty input
+/// as an empty string. Non-finite values render as a space.
+pub fn sparkline(values: &[f64]) -> String {
+    const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    let (min, max) = finite
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+            (lo.min(v), hi.max(v))
+        });
+    let span = max - min;
+    values
+        .iter()
+        .map(|&v| {
+            if !v.is_finite() {
+                ' '
+            } else if span <= 0.0 {
+                LEVELS[0]
+            } else {
+                let t = ((v - min) / span * 7.0).round() as usize;
+                LEVELS[t.min(7)]
+            }
+        })
+        .collect()
+}
+
+/// Four-level heat strip (` ░▒▓█` with a space for "no data") of
+/// `values` on the fixed scale `0..=max` — forgetting rates use
+/// `max = 1.0` so strips are comparable across tasks and runs. `None`
+/// cells (task not yet learned) render as `·`.
+pub fn heat_strip(values: &[Option<f64>], max: f64) -> String {
+    const LEVELS: [char; 5] = [' ', '░', '▒', '▓', '█'];
+    values
+        .iter()
+        .map(|v| match v {
+            None => '·',
+            Some(v) if !v.is_finite() || max <= 0.0 => '?',
+            Some(v) => {
+                let t = (v / max).clamp(0.0, 1.0);
+                // 0 maps to blank only when exactly zero; any forgetting
+                // at all shows at least ░.
+                if t == 0.0 {
+                    LEVELS[0]
+                } else {
+                    LEVELS[(t * 4.0).ceil().clamp(1.0, 4.0) as usize]
+                }
+            }
+        })
+        .collect()
+}
+
+/// Collapse round-indexed series points to one mean value per index,
+/// returning `(index, mean)` sorted by index. Multiple clients pushing
+/// the same round fold into one plotted point.
+pub fn mean_per_index(points: &[(u64, f64)]) -> Vec<(u64, f64)> {
+    let mut acc: std::collections::BTreeMap<u64, (f64, u64)> = std::collections::BTreeMap::new();
+    for &(i, v) in points {
+        let e = acc.entry(i).or_insert((0.0, 0));
+        e.0 += v;
+        e.1 += 1;
+    }
+    acc.into_iter()
+        .map(|(i, (sum, n))| (i, sum / n as f64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_scales_to_range() {
+        assert_eq!(sparkline(&[0.0, 1.0]), "▁█");
+        assert_eq!(sparkline(&[1.0, 1.0, 1.0]), "▁▁▁");
+        assert_eq!(sparkline(&[]), "");
+        let s = sparkline(&[0.0, 0.5, 1.0]);
+        assert_eq!(s.chars().count(), 3);
+        assert!(s.starts_with('▁') && s.ends_with('█'));
+        assert_eq!(sparkline(&[0.0, f64::NAN, 1.0]).chars().nth(1), Some(' '));
+    }
+
+    #[test]
+    fn heat_strip_uses_fixed_scale() {
+        assert_eq!(heat_strip(&[Some(0.0), Some(1.0)], 1.0), " █");
+        assert_eq!(heat_strip(&[None, Some(0.1), Some(0.6)], 1.0), "·░▓");
+        // Any nonzero forgetting is visible.
+        assert_eq!(heat_strip(&[Some(0.001)], 1.0), "░");
+        // Values past the scale clamp to full.
+        assert_eq!(heat_strip(&[Some(2.0)], 1.0), "█");
+    }
+
+    #[test]
+    fn mean_per_index_folds_duplicates() {
+        let pts = vec![(1, 0.25), (0, 1.0), (1, 0.75)];
+        assert_eq!(mean_per_index(&pts), vec![(0, 1.0), (1, 0.5)]);
+        assert!(mean_per_index(&[]).is_empty());
+    }
+}

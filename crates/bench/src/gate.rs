@@ -1,0 +1,294 @@
+//! Normalized benchmark records and the regression gate.
+//!
+//! Every figure binary can distil its run into a [`BenchRecord`] and
+//! write it as `results/BENCH_<name>.json`; the previous record (if
+//! any) is rotated to `BENCH_<name>.prev.json`. The `bench_gate`
+//! binary then diffs the pair with configurable tolerances and exits
+//! non-zero on a regression — cheap CI insurance that a change didn't
+//! silently cost accuracy or wall-time.
+
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+
+/// A normalized, diffable summary of one benchmark run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchRecord {
+    /// Benchmark name (`fig4_cifar100`, …).
+    pub name: String,
+    /// Scale the run used (`smoke`/`quick`/`paper`) — records at
+    /// different scales are never comparable.
+    pub scale: String,
+    /// Experiment seed.
+    pub seed: u64,
+    /// Final average accuracy over learned tasks.
+    pub final_accuracy: f64,
+    /// Final average forgetting rate.
+    pub final_forgetting: f64,
+    /// Real wall-clock seconds of the run.
+    pub wall_seconds: f64,
+    /// Phase totals `(metric, total_ns)`, name-sorted; empty when the
+    /// observability layer was disabled.
+    pub phases: Vec<(String, u64)>,
+}
+
+impl BenchRecord {
+    /// Distil a finished simulation report.
+    pub fn from_report(
+        name: &str,
+        scale: &str,
+        seed: u64,
+        report: &fedknow_fl::SimReport,
+        wall_seconds: f64,
+    ) -> Self {
+        let curve = report.accuracy.accuracy_curve();
+        let forgetting = report.accuracy.forgetting_curve();
+        let phases = report
+            .phase_breakdown
+            .as_ref()
+            .map(|b| {
+                let mut v: Vec<(String, u64)> = b
+                    .phases
+                    .iter()
+                    .filter(|p| p.name.ends_with("_ns"))
+                    .map(|p| (p.name.clone(), p.total_ns))
+                    .collect();
+                v.sort();
+                v
+            })
+            .unwrap_or_default();
+        Self {
+            name: name.to_string(),
+            scale: scale.to_string(),
+            seed,
+            final_accuracy: curve.last().copied().unwrap_or(0.0),
+            final_forgetting: forgetting.last().copied().unwrap_or(0.0),
+            wall_seconds,
+            phases,
+        }
+    }
+}
+
+/// Where `BENCH_<name>.json` lives under a results directory.
+pub fn bench_record_path(dir: &Path, name: &str) -> PathBuf {
+    dir.join(format!("BENCH_{name}.json"))
+}
+
+/// Write `dir/BENCH_<name>.json`, first rotating any existing record to
+/// `BENCH_<name>.prev.json` so the gate has a pair to diff.
+pub fn write_bench_record(dir: &Path, rec: &BenchRecord) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = bench_record_path(dir, &rec.name);
+    if path.exists() {
+        std::fs::rename(&path, dir.join(format!("BENCH_{}.prev.json", rec.name)))?;
+    }
+    let json = serde_json::to_string_pretty(rec).expect("serialise bench record");
+    std::fs::write(&path, json)?;
+    Ok(path)
+}
+
+/// Read a record back; errors carry the path for usable CLI messages.
+pub fn read_bench_record(path: &Path) -> Result<BenchRecord, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    serde_json::from_str(&text).map_err(|e| format!("parse {}: {e}", path.display()))
+}
+
+/// Regression tolerances. Accuracy/forgetting tolerances are absolute
+/// (accuracies live in `[0, 1]`); wall-time tolerance is relative,
+/// generous by default because CI machines are noisy.
+#[derive(Debug, Clone, Copy)]
+pub struct Tolerance {
+    /// Max allowed drop in `final_accuracy`.
+    pub accuracy_drop: f64,
+    /// Max allowed rise in `final_forgetting`.
+    pub forgetting_rise: f64,
+    /// Max allowed relative rise in `wall_seconds` (0.5 = +50%).
+    pub wall_rise: f64,
+}
+
+impl Default for Tolerance {
+    fn default() -> Self {
+        Self {
+            accuracy_drop: 0.02,
+            forgetting_rise: 0.02,
+            wall_rise: 0.5,
+        }
+    }
+}
+
+/// One compared metric.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Metric name.
+    pub metric: String,
+    /// Previous value.
+    pub prev: f64,
+    /// New value.
+    pub new: f64,
+    /// Whether the change exceeds its tolerance in the bad direction.
+    pub regressed: bool,
+}
+
+/// The diff of one record pair.
+#[derive(Debug, Clone)]
+pub struct GateReport {
+    /// Benchmark name.
+    pub name: String,
+    /// Pair-level problems (scale mismatch) that make the diff moot.
+    pub incomparable: Option<String>,
+    /// Per-metric comparisons.
+    pub findings: Vec<Finding>,
+}
+
+impl GateReport {
+    /// True when any metric regressed past tolerance.
+    pub fn regressed(&self) -> bool {
+        self.findings.iter().any(|f| f.regressed)
+    }
+
+    /// Human-readable diff, one line per metric.
+    pub fn render(&self) -> String {
+        let mut out = format!("== {} ==\n", self.name);
+        if let Some(why) = &self.incomparable {
+            out.push_str(&format!("  SKIPPED: {why}\n"));
+            return out;
+        }
+        for f in &self.findings {
+            let delta = f.new - f.prev;
+            let tag = if f.regressed {
+                "REGRESSION"
+            } else if delta == 0.0 {
+                "unchanged"
+            } else {
+                "ok"
+            };
+            out.push_str(&format!(
+                "  {:<18} {:>12.4} -> {:>12.4}  ({:+.4})  {tag}\n",
+                f.metric, f.prev, f.new, delta
+            ));
+        }
+        out
+    }
+}
+
+/// Diff two records under the given tolerances.
+pub fn compare(prev: &BenchRecord, new: &BenchRecord, tol: &Tolerance) -> GateReport {
+    if prev.scale != new.scale {
+        return GateReport {
+            name: new.name.clone(),
+            incomparable: Some(format!(
+                "scale changed {} -> {}; records not comparable",
+                prev.scale, new.scale
+            )),
+            findings: Vec::new(),
+        };
+    }
+    let findings = vec![
+        Finding {
+            metric: "final_accuracy".to_string(),
+            prev: prev.final_accuracy,
+            new: new.final_accuracy,
+            regressed: prev.final_accuracy - new.final_accuracy > tol.accuracy_drop,
+        },
+        Finding {
+            metric: "final_forgetting".to_string(),
+            prev: prev.final_forgetting,
+            new: new.final_forgetting,
+            regressed: new.final_forgetting - prev.final_forgetting > tol.forgetting_rise,
+        },
+        Finding {
+            metric: "wall_seconds".to_string(),
+            prev: prev.wall_seconds,
+            new: new.wall_seconds,
+            regressed: prev.wall_seconds > 0.0
+                && (new.wall_seconds - prev.wall_seconds) / prev.wall_seconds > tol.wall_rise,
+        },
+    ];
+    GateReport {
+        name: new.name.clone(),
+        incomparable: None,
+        findings,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(acc: f64, forget: f64, wall: f64) -> BenchRecord {
+        BenchRecord {
+            name: "fig4_cifar100".to_string(),
+            scale: "smoke".to_string(),
+            seed: 42,
+            final_accuracy: acc,
+            final_forgetting: forget,
+            wall_seconds: wall,
+            phases: vec![("qp.solve_ns".to_string(), 12345)],
+        }
+    }
+
+    #[test]
+    fn improvement_and_noise_pass() {
+        let tol = Tolerance::default();
+        let up = compare(&record(0.5, 0.1, 10.0), &record(0.6, 0.05, 9.0), &tol);
+        assert!(!up.regressed(), "{}", up.render());
+        let noise = compare(&record(0.5, 0.1, 10.0), &record(0.495, 0.11, 11.0), &tol);
+        assert!(!noise.regressed(), "{}", noise.render());
+    }
+
+    #[test]
+    fn five_percent_accuracy_drop_regresses() {
+        let tol = Tolerance::default();
+        let r = compare(&record(0.60, 0.1, 10.0), &record(0.57, 0.1, 10.0), &tol);
+        assert!(r.regressed());
+        assert!(r.render().contains("REGRESSION"), "{}", r.render());
+        assert!(r.render().contains("final_accuracy"));
+    }
+
+    #[test]
+    fn forgetting_and_wall_regressions_detected() {
+        let tol = Tolerance::default();
+        let f = compare(&record(0.5, 0.10, 10.0), &record(0.5, 0.15, 10.0), &tol);
+        assert!(f.regressed());
+        let w = compare(&record(0.5, 0.1, 10.0), &record(0.5, 0.1, 16.0), &tol);
+        assert!(w.regressed());
+        // Zero previous wall time never divides.
+        let z = compare(&record(0.5, 0.1, 0.0), &record(0.5, 0.1, 100.0), &tol);
+        assert!(!z.regressed());
+    }
+
+    #[test]
+    fn scale_mismatch_is_incomparable_not_regressed() {
+        let mut newer = record(0.1, 0.9, 99.0);
+        newer.scale = "quick".to_string();
+        let r = compare(&record(0.6, 0.1, 1.0), &newer, &Tolerance::default());
+        assert!(!r.regressed());
+        assert!(r.render().contains("SKIPPED"));
+    }
+
+    #[test]
+    fn record_json_roundtrip() {
+        let r = record(0.5, 0.125, 10.5);
+        let json = serde_json::to_string_pretty(&r).unwrap();
+        let back: BenchRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.name, r.name);
+        assert_eq!(back.final_accuracy, 0.5);
+        assert_eq!(back.final_forgetting, 0.125);
+        assert_eq!(back.phases, r.phases);
+    }
+
+    #[test]
+    fn write_rotates_previous_record() {
+        let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../../target/test-scratch")
+            .join(format!("gate_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        write_bench_record(&dir, &record(0.5, 0.1, 10.0)).unwrap();
+        write_bench_record(&dir, &record(0.6, 0.1, 10.0)).unwrap();
+        let cur = read_bench_record(&bench_record_path(&dir, "fig4_cifar100")).unwrap();
+        let prev = read_bench_record(&dir.join("BENCH_fig4_cifar100.prev.json")).unwrap();
+        assert_eq!(cur.final_accuracy, 0.6);
+        assert_eq!(prev.final_accuracy, 0.5);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -17,6 +17,11 @@ use fedknow_suite::RunSpec;
 use serde::Serialize;
 use std::path::PathBuf;
 
+pub mod dash;
+pub mod gate;
+
+pub use gate::{compare, read_bench_record, write_bench_record, BenchRecord, Tolerance};
+
 /// Experiment scale.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {
@@ -29,6 +34,15 @@ pub enum Scale {
 }
 
 impl Scale {
+    /// The CLI name of this scale (inverse of [`Scale::parse`]).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scale::Smoke => "smoke",
+            Scale::Quick => "quick",
+            Scale::Paper => "paper",
+        }
+    }
+
     /// Parse from a CLI string.
     pub fn parse(s: &str) -> Option<Scale> {
         match s {

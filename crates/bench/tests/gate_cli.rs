@@ -1,0 +1,101 @@
+//! End-to-end coverage of the `bench_gate` binary over fixture record
+//! pairs: exit status and human-readable diff output for an improved
+//! run, a within-tolerance noisy run, and a genuine 5% accuracy
+//! regression (`tests/fixtures/BENCH_*.json`).
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn fixtures() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn run_gate(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_bench_gate"))
+        .args(args)
+        .output()
+        .expect("spawn bench_gate")
+}
+
+fn run_pair(name: &str, extra: &[&str]) -> Output {
+    let prev = fixtures().join(format!("BENCH_{name}.prev.json"));
+    let new = fixtures().join(format!("BENCH_{name}.json"));
+    let mut args: Vec<&str> = extra.to_vec();
+    let (prev, new) = (
+        prev.to_str().unwrap().to_string(),
+        new.to_str().unwrap().to_string(),
+    );
+    let prev_ref = prev.clone();
+    let new_ref = new.clone();
+    args.push(&prev_ref);
+    args.push(&new_ref);
+    run_gate(&args)
+}
+
+#[test]
+fn improvement_passes() {
+    let out = run_pair("improve", &[]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("within tolerance"), "{stdout}");
+    assert!(stdout.contains("final_accuracy"), "{stdout}");
+    assert!(
+        stdout.contains("+0.1250"),
+        "diff should show the gain: {stdout}"
+    );
+}
+
+#[test]
+fn noise_within_tolerance_passes() {
+    let out = run_pair("noise", &[]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(!stdout.contains("REGRESSION"), "{stdout}");
+}
+
+#[test]
+fn five_percent_accuracy_regression_fails() {
+    let out = run_pair("regress", &[]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "{stdout}");
+    assert!(stdout.contains("REGRESSION"), "{stdout}");
+    assert!(stdout.contains("final_accuracy"), "{stdout}");
+    assert!(
+        stdout.contains("0.6000") && stdout.contains("0.5700"),
+        "diff must show both values: {stdout}"
+    );
+}
+
+#[test]
+fn report_only_downgrades_regression_to_exit_zero() {
+    let out = run_pair("regress", &["--report-only"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("report-only"), "{stdout}");
+    assert!(stdout.contains("REGRESSION"), "{stdout}");
+}
+
+#[test]
+fn widened_tolerance_accepts_the_same_drop() {
+    let out = run_pair("regress", &["--acc-tol", "0.05"]);
+    assert!(out.status.success());
+}
+
+#[test]
+fn directory_scan_finds_all_fixture_pairs() {
+    let dir = fixtures();
+    let out = run_gate(&["--report-only", "--results", dir.to_str().unwrap()]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    for name in ["improve", "noise", "regress"] {
+        assert!(stdout.contains(&format!("== {name} ==")), "{stdout}");
+    }
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    let out = run_gate(&["only_one_path.json"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = run_gate(&["--acc-tol", "not_a_number"]);
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -9,7 +9,13 @@ use fedknow_data::ClientTask;
 use fedknow_fl::{FclClient, IterationStats, LocalTrainer, ModelTemplate};
 use fedknow_math::SparseVec;
 use fedknow_nn::optim::{LrSchedule, Sgd};
+use fedknow_obs::HistHandle;
 use rand::rngs::StdRng;
+
+/// Jaccard overlap (per-mille) of a freshly extracted knowledge mask
+/// against each previously retained task's mask — how much the top-ρ
+/// supports of different tasks coincide (Eq. 1 across tasks).
+static MASK_JACCARD_PM: HistHandle = HistHandle::new("extract.mask_jaccard_pm");
 
 /// A FedKNOW client.
 ///
@@ -196,6 +202,21 @@ impl FclClient for FedKnowClient {
     fn finish_task(&mut self, rng: &mut StdRng) {
         let (knowledge, flops) = self.extractor.extract_and_finetune(&mut self.trainer, rng);
         self.pending_flops += flops;
+        if fedknow_obs::is_enabled() && !self.knowledges.is_empty() {
+            let mut sum = 0.0f64;
+            for prev in &self.knowledges {
+                let j = knowledge.jaccard(prev);
+                MASK_JACCARD_PM.record((j * 1000.0).round() as u64);
+                sum += j;
+            }
+            // Indexed by the finished task, not the round: the overlap
+            // trajectory is a per-task series.
+            fedknow_obs::series_at(
+                "extract.jaccard_mean",
+                self.knowledges.len() as u64,
+                sum / self.knowledges.len() as f64,
+            );
+        }
         self.knowledges.push(knowledge);
         self.selected.clear();
     }

@@ -11,6 +11,33 @@ use fedknow_math::distance::{most_dissimilar, DistanceMetric};
 use fedknow_math::{SparseVec, Tensor};
 use fedknow_nn::loss::soft_cross_entropy;
 use fedknow_nn::Model;
+use fedknow_obs::HistHandle;
+
+/// Distillation loss per restore call, in milli-nats (Eq. 2's CE
+/// between live predictions and pseudo-labels).
+static DISTILL_LOSS_MNAT: HistHandle = HistHandle::new("restore.distill_loss_mnat");
+/// Mean pseudo-label entropy per restore call, in milli-nats — high
+/// entropy means the pruned teacher is uncertain and its restored
+/// gradient carries little signal.
+static PSEUDO_ENTROPY_MNAT: HistHandle = HistHandle::new("restore.pseudo_entropy_mnat");
+
+/// Mean Shannon entropy (nats) of the rows of a `[n, c]` distribution.
+fn mean_row_entropy(dist: &Tensor) -> f64 {
+    let rows = dist.shape().first().copied().unwrap_or(0);
+    if rows == 0 {
+        return 0.0;
+    }
+    let cols = dist.data().len() / rows;
+    let mut total = 0.0f64;
+    for row in dist.data().chunks_exact(cols) {
+        total -= row
+            .iter()
+            .filter(|&&p| p > 0.0)
+            .map(|&p| p as f64 * (p as f64).ln())
+            .sum::<f64>();
+    }
+    total / rows as f64
+}
 
 /// Restores past-task gradients from retained knowledge.
 #[derive(Debug, Clone, Default)]
@@ -42,7 +69,14 @@ impl GradientRestorer {
         model.set_flat_params(&current);
         model.zero_grad();
         let logits = model.forward(x.clone(), true);
-        let (_, grad) = soft_cross_entropy(&logits, &target);
+        let (loss, grad) = soft_cross_entropy(&logits, &target);
+        if fedknow_obs::is_enabled() {
+            DISTILL_LOSS_MNAT.record((loss.max(0.0) * 1000.0).round() as u64);
+            let entropy = mean_row_entropy(&target);
+            PSEUDO_ENTROPY_MNAT.record((entropy * 1000.0).round() as u64);
+            fedknow_obs::series("restore.distill_loss", loss as f64);
+            fedknow_obs::series("restore.pseudo_entropy", entropy);
+        }
         model.backward(grad);
         let restored = model.flat_grads();
         model.zero_grad();
@@ -84,6 +118,16 @@ mod tests {
         let model = ModelKind::SixCnn.build(&mut rng, 3, 10, 1.0);
         let x = Tensor::from_vec(normal_vec(&mut rng, 4 * 3 * 8 * 8, 0.0, 1.0), &[4, 3, 8, 8]);
         (model, x)
+    }
+
+    #[test]
+    fn row_entropy_spans_one_hot_to_uniform() {
+        let one_hot = Tensor::from_vec(vec![1.0, 0.0, 0.0, 0.0], &[1, 4]);
+        assert_eq!(mean_row_entropy(&one_hot), 0.0);
+        let uniform = Tensor::from_vec(vec![0.25; 4], &[1, 4]);
+        assert!((mean_row_entropy(&uniform) - 4.0f64.ln()).abs() < 1e-9);
+        let mixed = Tensor::from_vec(vec![1.0, 0.0, 0.5, 0.5], &[2, 2]);
+        assert!((mean_row_entropy(&mixed) - 2.0f64.ln() / 2.0).abs() < 1e-9);
     }
 
     #[test]

@@ -32,6 +32,6 @@ pub mod trainer;
 pub use client::{CommBytes, FclClient, IterationStats, ModelTemplate, Payload};
 pub use comm::CommModel;
 pub use device::DeviceProfile;
-pub use metrics::AccuracyMatrix;
+pub use metrics::{AccuracyMatrix, RowLengthMismatch};
 pub use sim::{PhaseBreakdown, PhaseStat, SimConfig, SimReport, Simulation};
 pub use trainer::LocalTrainer;

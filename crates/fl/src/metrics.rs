@@ -7,6 +7,28 @@
 
 use serde::{Deserialize, Serialize};
 
+/// A row pushed to [`AccuracyMatrix`] did not cover exactly the tasks
+/// learned so far.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RowLengthMismatch {
+    /// `learned_tasks + 1` — what the row should have contained.
+    pub expected: usize,
+    /// What the caller actually supplied.
+    pub got: usize,
+}
+
+impl std::fmt::Display for RowLengthMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "accuracy row must cover all learned tasks: expected {} entries, got {}",
+            self.expected, self.got
+        )
+    }
+}
+
+impl std::error::Error for RowLengthMismatch {}
+
 /// The lower-triangular accuracy matrix of a continual run:
 /// `acc[m][k]` = accuracy on task `k` measured after learning task `m`
 /// (`k ≤ m`). Accuracies are in `[0, 1]`.
@@ -22,15 +44,17 @@ impl AccuracyMatrix {
     }
 
     /// Record the evaluation row after learning the `rows.len()`-th task:
-    /// `row[k]` is the accuracy on task `k`. The row must cover exactly
-    /// the tasks learned so far.
-    pub fn push_row(&mut self, row: Vec<f64>) {
-        assert_eq!(
-            row.len(),
-            self.rows.len() + 1,
-            "row must cover all learned tasks"
-        );
+    /// `row[k]` is the accuracy on task `k`. Errs (leaving the matrix
+    /// unchanged) unless the row covers exactly the tasks learned so far.
+    pub fn push_row(&mut self, row: Vec<f64>) -> Result<(), RowLengthMismatch> {
+        if row.len() != self.rows.len() + 1 {
+            return Err(RowLengthMismatch {
+                expected: self.rows.len() + 1,
+                got: row.len(),
+            });
+        }
         self.rows.push(row);
+        Ok(())
     }
 
     /// Number of learned tasks recorded so far.
@@ -60,6 +84,16 @@ impl AccuracyMatrix {
             return 0.0;
         }
         ((initial - self.rows[m][k]) / initial).clamp(0.0, 1.0)
+    }
+
+    /// Non-panicking [`Self::forgetting_rate`]: `None` when `k > m` or
+    /// either index is out of range. The telemetry paths use this so a
+    /// malformed index degrades to a missing sample, not an abort.
+    pub fn forgetting_after(&self, m: usize, k: usize) -> Option<f64> {
+        if k > m || m >= self.rows.len() {
+            return None;
+        }
+        Some(self.forgetting_rate(m, k))
     }
 
     /// Mean forgetting rate over all previous tasks after learning task
@@ -98,7 +132,7 @@ pub fn mean_matrix(mats: &[AccuracyMatrix]) -> AccuracyMatrix {
         let row = (0..=m)
             .map(|k| mats.iter().map(|a| a.at(m, k)).sum::<f64>() / mats.len() as f64)
             .collect();
-        out.push_row(row);
+        out.push_row(row).expect("rows grow one task at a time");
     }
     out
 }
@@ -109,9 +143,9 @@ mod tests {
 
     fn sample() -> AccuracyMatrix {
         let mut a = AccuracyMatrix::new();
-        a.push_row(vec![0.8]);
-        a.push_row(vec![0.6, 0.7]);
-        a.push_row(vec![0.4, 0.5, 0.9]);
+        a.push_row(vec![0.8]).unwrap();
+        a.push_row(vec![0.6, 0.7]).unwrap();
+        a.push_row(vec![0.4, 0.5, 0.9]).unwrap();
         a
     }
 
@@ -134,16 +168,16 @@ mod tests {
     #[test]
     fn forgetting_clamps_negative_transfer_gains() {
         let mut a = AccuracyMatrix::new();
-        a.push_row(vec![0.5]);
-        a.push_row(vec![0.9, 0.6]); // backward transfer improved task 0
+        a.push_row(vec![0.5]).unwrap();
+        a.push_row(vec![0.9, 0.6]).unwrap(); // backward transfer improved task 0
         assert_eq!(a.forgetting_rate(1, 0), 0.0);
     }
 
     #[test]
     fn zero_initial_accuracy_is_not_divided() {
         let mut a = AccuracyMatrix::new();
-        a.push_row(vec![0.0]);
-        a.push_row(vec![0.0, 0.5]);
+        a.push_row(vec![0.0]).unwrap();
+        a.push_row(vec![0.0, 0.5]).unwrap();
         assert_eq!(a.forgetting_rate(1, 0), 0.0);
     }
 
@@ -156,18 +190,35 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "row must cover")]
-    fn wrong_row_length_panics() {
+    fn wrong_row_length_is_an_error() {
         let mut a = AccuracyMatrix::new();
-        a.push_row(vec![0.5, 0.5]);
+        let err = a.push_row(vec![0.5, 0.5]).unwrap_err();
+        assert_eq!(
+            err,
+            RowLengthMismatch {
+                expected: 1,
+                got: 2
+            }
+        );
+        assert_eq!(a.num_tasks(), 0, "failed push must not mutate");
+        a.push_row(vec![0.5]).unwrap();
+        assert_eq!(a.num_tasks(), 1);
+    }
+
+    #[test]
+    fn forgetting_after_is_total() {
+        let a = sample();
+        assert!((a.forgetting_after(2, 0).unwrap() - 0.5).abs() < 1e-12);
+        assert_eq!(a.forgetting_after(0, 2), None, "k > m");
+        assert_eq!(a.forgetting_after(9, 0), None, "m out of range");
     }
 
     #[test]
     fn mean_matrix_averages_clients() {
         let mut a = AccuracyMatrix::new();
-        a.push_row(vec![0.2]);
+        a.push_row(vec![0.2]).unwrap();
         let mut b = AccuracyMatrix::new();
-        b.push_row(vec![0.6]);
+        b.push_row(vec![0.6]).unwrap();
         let m = mean_matrix(&[a, b]);
         assert!((m.at(0, 0) - 0.4).abs() < 1e-12);
     }
@@ -198,12 +249,12 @@ mod bwt_tests {
     #[test]
     fn backward_transfer_signs() {
         let mut a = AccuracyMatrix::new();
-        a.push_row(vec![0.5]);
-        a.push_row(vec![0.7, 0.6]); // task 0 improved: positive BWT
+        a.push_row(vec![0.5]).unwrap();
+        a.push_row(vec![0.7, 0.6]).unwrap(); // task 0 improved: positive BWT
         assert!((a.backward_transfer_after(1) - 0.2).abs() < 1e-12);
         let mut b = AccuracyMatrix::new();
-        b.push_row(vec![0.8]);
-        b.push_row(vec![0.3, 0.6]); // task 0 collapsed: negative BWT
+        b.push_row(vec![0.8]).unwrap();
+        b.push_row(vec![0.3, 0.6]).unwrap(); // task 0 collapsed: negative BWT
         assert!((b.backward_transfer_after(1) + 0.5).abs() < 1e-12);
         assert_eq!(b.backward_transfer_after(0), 0.0);
     }

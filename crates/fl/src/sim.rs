@@ -178,6 +178,82 @@ struct RoundOutcome {
     iters: usize,
 }
 
+/// Mean relative L2 distance of the client uploads from the aggregate,
+/// `mean_c ‖u_c − g‖ / ‖g‖` — the dispersion the server sees *before*
+/// FedAvg collapses it. `None` when nothing was uploaded or `g` is zero.
+fn upload_divergence(uploads: &[Option<Vec<f32>>], global: &[f32]) -> Option<f64> {
+    let g_norm = global
+        .iter()
+        .map(|&v| v as f64 * v as f64)
+        .sum::<f64>()
+        .sqrt();
+    if g_norm == 0.0 {
+        return None;
+    }
+    let mut sum = 0.0f64;
+    let mut n = 0usize;
+    for u in uploads.iter().flatten() {
+        let d = u
+            .iter()
+            .zip(global)
+            .map(|(&a, &b)| (a as f64 - b as f64).powi(2))
+            .sum::<f64>()
+            .sqrt();
+        sum += d / g_norm;
+        n += 1;
+    }
+    (n > 0).then(|| sum / n as f64)
+}
+
+/// Task-boundary forgetting telemetry: after learning task `step`,
+/// per-task series `fl.forgetting.task{k}` (mean over clients, indexed
+/// by `step` — the heat-strip rows in `obs_dash`), the aggregate
+/// series `fl.avg_forgetting`, and a per-client per-task histogram
+/// `fl.client_forgetting_pm` (per-mille) exposing the distribution
+/// behind the means.
+fn record_forgetting(matrices: &[AccuracyMatrix], step: usize) {
+    for k in 0..=step {
+        let rates: Vec<f64> = matrices
+            .iter()
+            .filter_map(|m| m.forgetting_after(step, k))
+            .collect();
+        if rates.is_empty() {
+            continue;
+        }
+        for &r in &rates {
+            fedknow_obs::record("fl.client_forgetting_pm", (r * 1000.0).round() as u64);
+        }
+        let mean = rates.iter().sum::<f64>() / rates.len() as f64;
+        fedknow_obs::series_at(&format!("fl.forgetting.task{k}"), step as u64, mean);
+    }
+    let avg = matrices
+        .iter()
+        .map(|m| m.avg_forgetting_after(step))
+        .sum::<f64>()
+        / matrices.len() as f64;
+    fedknow_obs::series_at("fl.avg_forgetting", step as u64, avg);
+}
+
+/// Relative L2 movement `‖now − prev‖ / ‖prev‖` of the global model
+/// across one aggregation (`0` for a zero previous model).
+fn relative_l2(prev: &[f32], now: &[f32]) -> f64 {
+    let p_norm = prev
+        .iter()
+        .map(|&v| v as f64 * v as f64)
+        .sum::<f64>()
+        .sqrt();
+    if p_norm == 0.0 {
+        return 0.0;
+    }
+    let d = prev
+        .iter()
+        .zip(now)
+        .map(|(&a, &b)| (a as f64 - b as f64).powi(2))
+        .sum::<f64>()
+        .sqrt();
+    d / p_norm
+}
+
 impl Simulation {
     /// Assemble a simulation. `clients`, `data` and `devices` must have
     /// equal lengths; every client must have the same number of tasks.
@@ -225,6 +301,7 @@ impl Simulation {
         let mut task_comm = Vec::with_capacity(num_tasks);
         let mut task_loss = Vec::with_capacity(num_tasks);
         let mut total_bytes = 0u64;
+        let mut prev_global: Option<Vec<f32>> = None;
 
         for step in 0..num_tasks {
             let _task_span = fedknow_obs::obs_span!("task.{step}");
@@ -240,6 +317,10 @@ impl Simulation {
 
             for round in 0..self.cfg.rounds_per_task {
                 let _round_span = fedknow_obs::obs_span!("round.{round}");
+                // Global round index: the ambient tag every deep
+                // instrumentation site (integrator, restorer) stamps
+                // its series points with.
+                fedknow_obs::set_round((step * self.cfg.rounds_per_task + round) as u64);
                 // Local training, parallel across clients.
                 let outcomes = self.train_round(&active, &mut rngs);
                 // The slowest active device gates the synchronous round.
@@ -266,6 +347,18 @@ impl Simulation {
                     }
                 }
                 let global = fedavg(&uploads, &weights);
+                if fedknow_obs::is_enabled() {
+                    if let Some(g) = &global {
+                        if let Some(div) = upload_divergence(&uploads, g) {
+                            fedknow_obs::gauge("fl.update_divergence", div);
+                            fedknow_obs::series("fl.update_divergence", div);
+                        }
+                        if let Some(prev) = &prev_global {
+                            fedknow_obs::series("fl.global_drift", relative_l2(prev, g));
+                        }
+                        prev_global = Some(g.clone());
+                    }
+                }
 
                 // Method payload exchange through the server (e.g.
                 // FedWEIT adaptive weights).
@@ -331,7 +424,11 @@ impl Simulation {
             // clients keep their stale model).
             let rows = self.evaluate_all(step);
             for (m, row) in matrices.iter_mut().zip(rows) {
-                m.push_row(row);
+                m.push_row(row)
+                    .expect("evaluation covers all learned tasks");
+            }
+            if fedknow_obs::is_enabled() {
+                record_forgetting(&matrices, step);
             }
 
             task_compute.push(compute_secs);
@@ -553,6 +650,19 @@ mod tests {
         };
         let mut sim = Simulation::new(clients, data, devices, CommModel::paper_default(), cfg, 400);
         sim.run()
+    }
+
+    #[test]
+    fn divergence_helpers_match_definitions() {
+        // One upload at distance 5 from a norm-5 global: ratio 1. A
+        // second at distance 0: mean 0.5.
+        let g = vec![3.0, 4.0];
+        let uploads = vec![Some(vec![-1.0, 1.0]), Some(g.clone()), None];
+        assert!((upload_divergence(&uploads, &g).unwrap() - 0.5).abs() < 1e-9);
+        assert_eq!(upload_divergence(&[None], &g), None);
+        assert_eq!(upload_divergence(&uploads, &[0.0, 0.0]), None);
+        assert!((relative_l2(&[3.0, 0.0], &[3.0, 4.0]) - 4.0 / 3.0).abs() < 1e-9);
+        assert_eq!(relative_l2(&[0.0], &[1.0]), 0.0);
     }
 
     #[test]

@@ -5,7 +5,16 @@ use fedknow_math::Tensor;
 use fedknow_nn::loss::cross_entropy;
 use fedknow_nn::optim::Sgd;
 use fedknow_nn::Model;
+use fedknow_obs::HistHandle;
 use rand::rngs::StdRng;
+
+// These fire once per training iteration on every client — the hottest
+// instrument sites in the workspace — so they use pre-registered
+// handles instead of the name-lookup string API.
+static CONV_FWD_NS: HistHandle = HistHandle::new("conv.fwd_ns");
+static CONV_BWD_NS: HistHandle = HistHandle::new("conv.bwd_ns");
+static TRAIN_BATCH_NS: HistHandle = HistHandle::new("train.batch_ns");
+static TRAIN_STEP_NS: HistHandle = HistHandle::new("train.step_ns");
 
 /// A model plus the current task's data and an optimiser — the part of a
 /// client every method shares. Algorithm crates hold one of these and add
@@ -69,22 +78,22 @@ impl LocalTrainer {
             return 0.0;
         }
         let logits = {
-            let _t = fedknow_obs::timer("conv.fwd_ns");
+            let _t = CONV_FWD_NS.timer();
             self.model.forward(x.clone(), true)
         };
         let (loss, grad) = cross_entropy(&logits, labels);
-        let _t = fedknow_obs::timer("conv.bwd_ns");
+        let _t = CONV_BWD_NS.timer();
         self.model.backward(grad);
         loss
     }
 
     /// One plain SGD iteration on the current task. Returns the loss.
     pub fn sgd_iteration(&mut self, rng: &mut StdRng) -> f32 {
-        let _batch = fedknow_obs::timer("train.batch_ns");
+        let _batch = TRAIN_BATCH_NS.timer();
         let (x, labels) = self.next_batch(rng);
         let loss = self.compute_grads(&x, &labels);
         let lr = self.opt.next_lr() as f32;
-        let _t = fedknow_obs::timer("train.step_ns");
+        let _t = TRAIN_STEP_NS.timer();
         self.model.sgd_step(lr);
         loss
     }

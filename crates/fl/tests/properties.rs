@@ -55,9 +55,9 @@ proptest! {
     ) {
         // Build a 3-task lower-triangular matrix from 6 values.
         let mut m = AccuracyMatrix::new();
-        m.push_row(vec![rows[0]]);
-        m.push_row(vec![rows[1], rows[2]]);
-        m.push_row(vec![rows[3], rows[4], rows[5]]);
+        m.push_row(vec![rows[0]]).unwrap();
+        m.push_row(vec![rows[1], rows[2]]).unwrap();
+        m.push_row(vec![rows[3], rows[4], rows[5]]).unwrap();
         for step in 0..3 {
             prop_assert_eq!(m.forgetting_rate(step, step), 0.0);
             let avg = m.avg_accuracy_after(step);

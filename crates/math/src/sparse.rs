@@ -155,6 +155,31 @@ impl SparseVec {
         }
         m
     }
+
+    /// Jaccard similarity of the retained-index *supports*:
+    /// `|A ∩ B| / |A ∪ B|`, in `[0, 1]`. Two empty supports count as
+    /// fully overlapping (1.0). Linear two-pointer merge over the
+    /// strictly-increasing index lists.
+    pub fn jaccard(&self, other: &SparseVec) -> f64 {
+        let (a, b) = (&self.indices, &other.indices);
+        if a.is_empty() && b.is_empty() {
+            return 1.0;
+        }
+        let (mut i, mut j, mut inter) = (0usize, 0usize, 0usize);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    inter += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        let union = a.len() + b.len() - inter;
+        inter as f64 / union as f64
+    }
 }
 
 #[cfg(test)]
@@ -221,5 +246,17 @@ mod tests {
     #[should_panic(expected = "strictly increasing")]
     fn new_rejects_unsorted_indices() {
         let _ = SparseVec::new(10, vec![3, 1], vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn jaccard_measures_support_overlap() {
+        let a = SparseVec::new(10, vec![0, 1, 2, 3], vec![1.0; 4]);
+        let b = SparseVec::new(10, vec![2, 3, 4, 5], vec![1.0; 4]);
+        // |{2,3}| / |{0..=5}| = 2/6.
+        assert!((a.jaccard(&b) - 2.0 / 6.0).abs() < 1e-12);
+        assert_eq!(a.jaccard(&a), 1.0);
+        let empty = SparseVec::new(10, vec![], vec![]);
+        assert_eq!(a.jaccard(&empty), 0.0);
+        assert_eq!(empty.jaccard(&empty), 1.0);
     }
 }

@@ -1,6 +1,7 @@
 //! The event vocabulary written to sinks (one JSON object per JSONL
-//! line). Three event kinds cover the whole instrumentation layer:
-//! span completions, counter increments and histogram samples.
+//! line). Five event kinds cover the whole instrumentation layer:
+//! span completions, counter increments, histogram samples, gauge
+//! writes and series points.
 
 use serde::{Deserialize, Serialize};
 
@@ -33,6 +34,26 @@ pub struct SampleEvent {
     pub value: u64,
 }
 
+/// A gauge write.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaugeEvent {
+    /// Metric name, e.g. `fl.update_divergence`.
+    pub name: String,
+    /// The new value.
+    pub value: f64,
+}
+
+/// A round-indexed series point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PointEvent {
+    /// Series name, e.g. `integrate.rotation`.
+    pub name: String,
+    /// Round (or task) index the point belongs to.
+    pub index: u64,
+    /// Observed value.
+    pub value: f64,
+}
+
 /// Any observability event.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Event {
@@ -42,6 +63,10 @@ pub enum Event {
     Count(CountEvent),
     /// A histogram value was recorded.
     Sample(SampleEvent),
+    /// A gauge was set.
+    Gauge(GaugeEvent),
+    /// A series point was appended.
+    Point(PointEvent),
 }
 
 #[cfg(test)]
@@ -63,6 +88,15 @@ mod tests {
             Event::Sample(SampleEvent {
                 name: "qp.solve_ns".into(),
                 value: 777,
+            }),
+            Event::Gauge(GaugeEvent {
+                name: "fl.update_divergence".into(),
+                value: 0.125,
+            }),
+            Event::Point(PointEvent {
+                name: "integrate.rotation".into(),
+                index: 4,
+                value: 0.03125,
             }),
         ];
         for e in &events {

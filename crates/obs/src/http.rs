@@ -1,0 +1,72 @@
+//! A minimal stdlib-only HTTP server exposing the live registry as
+//! Prometheus text on `GET /metrics`.
+//!
+//! One background thread accepts loopback connections sequentially —
+//! a scrape is a snapshot plus a few kilobytes of formatting, so there
+//! is nothing to parallelise — and every response closes its
+//! connection. The server thread is detached and lives for the rest of
+//! the process (like the JSONL sink); binding is the only fallible
+//! step. Gated by `FEDKNOW_OBS_ADDR` via
+//! [`init_from_env`](crate::init_from_env).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+
+use crate::prom::prometheus_text;
+
+/// Handle to a running metrics endpoint.
+pub struct MetricsServer {
+    addr: SocketAddr,
+}
+
+impl MetricsServer {
+    /// Bind `addr` (e.g. `127.0.0.1:9184`; port 0 for ephemeral) and
+    /// serve `/metrics` from a detached background thread.
+    pub fn serve(addr: &str) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        std::thread::Builder::new()
+            .name("fedknow-obs-http".into())
+            .spawn(move || {
+                // A broken scraper must never take down the run.
+                for mut stream in listener.incoming().flatten() {
+                    let _ = handle(&mut stream);
+                }
+            })?;
+        Ok(Self { addr })
+    }
+
+    /// The bound address (resolves port 0 to the real port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+/// Serve one request: parse the request line, drain headers, respond.
+fn handle(stream: &mut TcpStream) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    let path = request_line.split_whitespace().nth(1).unwrap_or("");
+    // Drain headers so well-behaved clients see a clean close.
+    let mut line = String::new();
+    while reader.read_line(&mut line)? > 2 {
+        line.clear();
+    }
+    let (status, content_type, body) = if path == "/metrics" || path.starts_with("/metrics?") {
+        let body = prometheus_text(&crate::snapshot().unwrap_or_default());
+        ("200 OK", "text/plain; version=0.0.4; charset=utf-8", body)
+    } else {
+        (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "only /metrics is served here\n".to_string(),
+        )
+    };
+    write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()
+}

@@ -34,25 +34,40 @@
 //!   attributes metrics to a single run by diffing two snapshots.
 
 pub mod event;
+pub mod handle;
 pub mod hist;
+pub mod http;
+pub mod prom;
 pub mod registry;
 pub mod sink;
 pub mod span;
 
-pub use event::{CountEvent, Event, SampleEvent, SpanEnd};
+pub use event::{CountEvent, Event, GaugeEvent, PointEvent, SampleEvent, SpanEnd};
+pub use handle::{CounterHandle, HandleTimer, HistHandle};
 pub use hist::{HistSnapshot, LogHistogram};
-pub use registry::{Counter, MetricsSnapshot, Registry};
+pub use http::MetricsServer;
+pub use prom::{prometheus_text, write_prometheus};
+pub use registry::{Counter, Gauge, MetricsSnapshot, Registry, Series};
 pub use sink::{read_jsonl, Aggregate, JsonlSink, Sink, SpanStat};
 pub use span::{current_path, inherit_path, span, timer, PathGuard, SpanGuard, TimerGuard};
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::OnceLock;
 
 /// Environment variable naming the JSONL output path.
 pub const ENV_JSONL: &str = "FEDKNOW_OBS";
 
+/// Environment variable naming the `host:port` to serve live Prometheus
+/// metrics on (e.g. `FEDKNOW_OBS_ADDR=127.0.0.1:9184`). Port 0 picks an
+/// ephemeral port, printed to stderr at startup.
+pub const ENV_ADDR: &str = "FEDKNOW_OBS_ADDR";
+
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static STATE: OnceLock<State> = OnceLock::new();
+static SERVER: OnceLock<Option<MetricsServer>> = OnceLock::new();
+/// Ambient round index for series points recorded deep in the stack
+/// (integrator, restorer) that don't know the round they run in.
+static ROUND: AtomicU64 = AtomicU64::new(0);
 
 struct State {
     registry: Registry,
@@ -80,15 +95,38 @@ pub fn is_enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
 }
 
-/// Enable observability if `FEDKNOW_OBS` is set in the environment
-/// (attaching the JSONL sink to its path). Idempotent; returns whether
+/// Enable observability if `FEDKNOW_OBS` (JSONL sink) or
+/// `FEDKNOW_OBS_ADDR` (live `/metrics` endpoint) is set in the
+/// environment. When the address variable is set, a background HTTP
+/// server is started once per process, serving Prometheus text
+/// exposition from registry snapshots. Idempotent; returns whether
 /// observability is enabled afterwards.
 pub fn init_from_env() -> bool {
-    if !is_enabled() && std::env::var_os(ENV_JSONL).is_some() {
+    let jsonl = std::env::var_os(ENV_JSONL).is_some();
+    let addr = std::env::var(ENV_ADDR).ok();
+    if !is_enabled() && (jsonl || addr.is_some()) {
         state();
         ENABLED.store(true, Ordering::Release);
     }
+    if let Some(addr) = addr {
+        SERVER.get_or_init(|| match MetricsServer::serve(&addr) {
+            Ok(s) => {
+                eprintln!("fedknow-obs: serving /metrics on http://{}", s.local_addr());
+                Some(s)
+            }
+            Err(e) => {
+                eprintln!("fedknow-obs: cannot bind {ENV_ADDR}={addr}: {e}");
+                None
+            }
+        });
+    }
     is_enabled()
+}
+
+/// The address the live `/metrics` endpoint is bound to, if
+/// [`init_from_env`] started one.
+pub fn metrics_addr() -> Option<std::net::SocketAddr> {
+    SERVER.get()?.as_ref().map(|s| s.local_addr())
 }
 
 /// Enable the in-memory registry from code (the JSONL sink is still
@@ -126,6 +164,56 @@ pub fn record(name: &str, value: u64) {
             value,
         }));
     }
+}
+
+/// Set the gauge `name` to `value`. No-op when disabled.
+pub fn gauge(name: &str, value: f64) {
+    if !is_enabled() {
+        return;
+    }
+    let s = state();
+    s.registry.set_gauge(name, value);
+    if s.jsonl.is_some() {
+        dispatch(&Event::Gauge(GaugeEvent {
+            name: name.to_string(),
+            value,
+        }));
+    }
+}
+
+/// Append a point to the series `name` at the current ambient round
+/// index (see [`set_round`]). No-op when disabled.
+pub fn series(name: &str, value: f64) {
+    series_at(name, round_index(), value);
+}
+
+/// Append a point to the series `name` at an explicit index. No-op when
+/// disabled.
+pub fn series_at(name: &str, index: u64, value: f64) {
+    if !is_enabled() {
+        return;
+    }
+    let s = state();
+    s.registry.push_series(name, index, value);
+    if s.jsonl.is_some() {
+        dispatch(&Event::Point(PointEvent {
+            name: name.to_string(),
+            index,
+            value,
+        }));
+    }
+}
+
+/// Publish the current global round index (the simulation calls this at
+/// every round boundary) so instrumentation deep in the stack can tag
+/// series points with the round they belong to.
+pub fn set_round(round: u64) {
+    ROUND.store(round, Ordering::Relaxed);
+}
+
+/// The last-published global round index (0 before any round).
+pub fn round_index() -> u64 {
+    ROUND.load(Ordering::Relaxed)
 }
 
 /// Record into the registry without emitting a sink event (spans emit
@@ -179,6 +267,9 @@ pub fn flush() {
 mod tests {
     use super::*;
 
+    static LIFECYCLE_COUNTER: CounterHandle = CounterHandle::new("lifecycle.handle_c");
+    static LIFECYCLE_HIST: HistHandle = HistHandle::new("lifecycle.handle_h_ns");
+
     /// The global facade is process-wide state, so the whole sequence
     /// lives in one test: disabled behaviour first, then enable and
     /// exercise every entry point.
@@ -189,8 +280,13 @@ mod tests {
         assert!(!is_enabled());
         count("lifecycle.c", 5);
         record("lifecycle.h", 5);
+        gauge("lifecycle.g", 9.0);
+        series("lifecycle.s", 9.0);
+        LIFECYCLE_COUNTER.add(9);
+        LIFECYCLE_HIST.record(9);
         {
             let _t = timer("lifecycle.t_ns");
+            let _ht = LIFECYCLE_HIST.timer();
             let _s = span("lifecycle_span");
             assert_eq!(current_path(), "");
         }
@@ -203,10 +299,25 @@ mod tests {
         let s0 = snapshot().unwrap();
         assert!(!s0.counters.contains_key("lifecycle.c"));
         assert!(!s0.hists.contains_key("lifecycle.h"));
+        assert!(!s0.gauges.contains_key("lifecycle.g"));
+        assert!(!s0.series.contains_key("lifecycle.s"));
+        assert!(!s0.counters.contains_key("lifecycle.handle_c"));
 
         count("lifecycle.c", 5);
         count("lifecycle.c", 2);
         record("lifecycle.h", 40);
+        gauge("lifecycle.g", 1.0);
+        gauge("lifecycle.g", 2.5);
+        set_round(3);
+        assert_eq!(round_index(), 3);
+        series("lifecycle.s", 0.5); // lands at the ambient round 3
+        series_at("lifecycle.s", 7, 0.25);
+        LIFECYCLE_COUNTER.add(2);
+        LIFECYCLE_COUNTER.add(3);
+        LIFECYCLE_HIST.record(7);
+        {
+            let _ht = LIFECYCLE_HIST.timer();
+        }
         {
             let _t = timer("lifecycle.t_ns");
             let outer = span("lifecycle_outer");
@@ -224,6 +335,14 @@ mod tests {
         assert_eq!(s.hists["lifecycle.t_ns"].count(), 1);
         assert_eq!(s.hists["span.lifecycle_outer_ns"].count(), 1);
         assert_eq!(s.hists["span.lifecycle_inner_ns"].count(), 1);
+        assert_eq!(s.gauges["lifecycle.g"], 2.5);
+        assert_eq!(s.series["lifecycle.s"], vec![(3, 0.5), (7, 0.25)]);
+        // Handles feed the same registry slots as the string API.
+        assert_eq!(s.counters["lifecycle.handle_c"], 5);
+        assert_eq!(s.hists["lifecycle.handle_h_ns"].count(), 2);
+        count("lifecycle.handle_c", 1);
+        let s2 = snapshot().unwrap().since(&s0);
+        assert_eq!(s2.counters["lifecycle.handle_c"], 6);
 
         // Worker-thread path inheritance.
         let root = span("lifecycle_root");

@@ -1,0 +1,157 @@
+//! Prometheus text exposition (format version 0.0.4) of a
+//! [`MetricsSnapshot`].
+//!
+//! Mapping:
+//!
+//! * counters → `counter`
+//! * histograms → `summary` (`quantile="0.5"` / `"0.99"` samples from
+//!   the log-bucketed estimate, plus exact `_sum` and `_count`)
+//! * gauges → `gauge`
+//! * series → `gauge` with a `round="<index>"` label; points sharing an
+//!   index are averaged so every label set appears exactly once
+//!
+//! Metric names are prefixed `fedknow_` and sanitized to the
+//! `[a-zA-Z_:][a-zA-Z0-9_:]*` alphabet (dots become underscores).
+//! Output order is deterministic: metric families sorted by exposed
+//! name, one `# HELP`/`# TYPE` pair each.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+use crate::registry::MetricsSnapshot;
+
+/// Exposed metric name: `fedknow_` plus the registry name with every
+/// character outside `[a-zA-Z0-9_:]` replaced by `_`.
+pub fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 8);
+    out.push_str("fedknow_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Escape a HELP string per the exposition format: backslash and
+/// line-feed are the only escapable characters.
+fn escape_help(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// A float in Prometheus syntax (`NaN`, `+Inf`, `-Inf` spelled out).
+fn fmt_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+fn family(out: &mut String, name: &str, kind: &str, help: &str) {
+    let _ = writeln!(out, "# HELP {name} {}", escape_help(help));
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+}
+
+/// Serialise a snapshot as Prometheus text exposition.
+pub fn write_prometheus(s: &MetricsSnapshot, out: &mut String) {
+    // BTreeMap iteration gives stable registry-name order; sanitization
+    // is monotonic for our `.`-separated names, so output is sorted.
+    for (name, &v) in &s.counters {
+        let n = sanitize_name(name);
+        family(out, &n, "counter", &format!("FedKNOW counter {name}"));
+        let _ = writeln!(out, "{n} {v}");
+    }
+    for (name, &v) in &s.gauges {
+        let n = sanitize_name(name);
+        family(out, &n, "gauge", &format!("FedKNOW gauge {name}"));
+        let _ = writeln!(out, "{n} {}", fmt_f64(v));
+    }
+    for (name, h) in &s.hists {
+        let n = sanitize_name(name);
+        family(
+            out,
+            &n,
+            "summary",
+            &format!("FedKNOW histogram {name} (log-bucketed, ~2% quantile error)"),
+        );
+        let _ = writeln!(out, "{n}{{quantile=\"0.5\"}} {}", h.quantile(0.5));
+        let _ = writeln!(out, "{n}{{quantile=\"0.99\"}} {}", h.quantile(0.99));
+        let _ = writeln!(out, "{n}_sum {}", h.sum());
+        let _ = writeln!(out, "{n}_count {}", h.count());
+    }
+    for (name, points) in &s.series {
+        let n = sanitize_name(name);
+        family(
+            out,
+            &n,
+            "gauge",
+            &format!("FedKNOW per-round series {name} (mean per round)"),
+        );
+        for (round, mean) in mean_per_index(points) {
+            let _ = writeln!(out, "{n}{{round=\"{round}\"}} {}", fmt_f64(mean));
+        }
+    }
+}
+
+/// Mean value per distinct index, index-sorted.
+pub fn mean_per_index(points: &[(u64, f64)]) -> Vec<(u64, f64)> {
+    let mut acc: BTreeMap<u64, (f64, u64)> = BTreeMap::new();
+    for &(i, v) in points {
+        let e = acc.entry(i).or_insert((0.0, 0));
+        e.0 += v;
+        e.1 += 1;
+    }
+    acc.into_iter()
+        .map(|(i, (sum, n))| (i, sum / n as f64))
+        .collect()
+}
+
+/// A snapshot serialised to a fresh string.
+pub fn prometheus_text(s: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    write_prometheus(s, &mut out);
+    out
+}
+
+/// One-shot exposition of the **current** registry for offline runs:
+/// writes the live snapshot (empty output while disabled) to `path`.
+pub fn write_prometheus_file(path: impl AsRef<Path>) -> std::io::Result<()> {
+    let snap = crate::snapshot().unwrap_or_default();
+    std::fs::write(path, prometheus_text(&snap))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_sanitized_with_prefix() {
+        assert_eq!(sanitize_name("qp.solve_ns"), "fedknow_qp_solve_ns");
+        assert_eq!(sanitize_name("a-b c:d"), "fedknow_a_b_c:d");
+    }
+
+    #[test]
+    fn help_escaping() {
+        assert_eq!(escape_help("a\\b\nc"), "a\\\\b\\nc");
+    }
+
+    #[test]
+    fn floats_use_prometheus_literals() {
+        assert_eq!(fmt_f64(f64::NAN), "NaN");
+        assert_eq!(fmt_f64(f64::INFINITY), "+Inf");
+        assert_eq!(fmt_f64(f64::NEG_INFINITY), "-Inf");
+        assert_eq!(fmt_f64(0.25), "0.25");
+    }
+
+    #[test]
+    fn mean_per_index_averages_ties() {
+        let pts = vec![(1, 2.0), (0, 1.0), (1, 4.0)];
+        assert_eq!(mean_per_index(&pts), vec![(0, 1.0), (1, 3.0)]);
+    }
+}

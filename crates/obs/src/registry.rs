@@ -1,5 +1,6 @@
-//! The metrics registry: named counters and histograms, plus immutable
-//! snapshots that can be diffed to attribute metrics to a single run.
+//! The metrics registry: named counters, histograms, gauges and
+//! round-indexed time series, plus immutable snapshots that can be
+//! diffed to attribute metrics to a single run.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
@@ -25,6 +26,49 @@ impl Counter {
     }
 }
 
+/// A gauge: the last-written `f64`, bit-cast into an atomic so writers
+/// never lock.
+pub struct Gauge(AtomicU64);
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Self(AtomicU64::new(0f64.to_bits()))
+    }
+}
+
+impl Gauge {
+    /// Overwrite the value.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Relaxed))
+    }
+}
+
+/// A round-indexed time series: `(index, value)` points in push order.
+/// Indices are typically global round numbers (see
+/// [`round_index`](crate::round_index)); several points may share an
+/// index (e.g. one per client within a round).
+#[derive(Default)]
+pub struct Series(Mutex<Vec<(u64, f64)>>);
+
+impl Series {
+    /// Append one point.
+    pub fn push(&self, index: u64, value: f64) {
+        self.0.lock().push((index, value));
+    }
+
+    /// Copy of the points, sorted by index (ties keep push order).
+    pub fn points(&self) -> Vec<(u64, f64)> {
+        let mut pts = self.0.lock().clone();
+        pts.sort_by_key(|&(i, _)| i);
+        pts
+    }
+}
+
 /// A registry of named metrics. Metric handles are created on first
 /// use; the maps are only locked to look a handle up, never while
 /// recording, so concurrent recording on existing metrics is lock-free.
@@ -32,6 +76,8 @@ impl Counter {
 pub struct Registry {
     counters: Mutex<BTreeMap<String, Arc<Counter>>>,
     hists: Mutex<BTreeMap<String, Arc<LogHistogram>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    series: Mutex<BTreeMap<String, Arc<Series>>>,
 }
 
 impl Registry {
@@ -62,6 +108,28 @@ impl Registry {
         h
     }
 
+    /// The gauge named `name`, created if absent.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.gauges.lock();
+        if let Some(g) = map.get(name) {
+            return Arc::clone(g);
+        }
+        let g = Arc::new(Gauge::default());
+        map.insert(name.to_string(), Arc::clone(&g));
+        g
+    }
+
+    /// The series named `name`, created if absent.
+    pub fn series(&self, name: &str) -> Arc<Series> {
+        let mut map = self.series.lock();
+        if let Some(s) = map.get(name) {
+            return Arc::clone(s);
+        }
+        let s = Arc::new(Series::default());
+        map.insert(name.to_string(), Arc::clone(&s));
+        s
+    }
+
     /// Add `delta` to the counter named `name`.
     pub fn add(&self, name: &str, delta: u64) {
         self.counter(name).add(delta);
@@ -70,6 +138,16 @@ impl Registry {
     /// Record `value` into the histogram named `name`.
     pub fn record(&self, name: &str, value: u64) {
         self.hist(name).record(value);
+    }
+
+    /// Set the gauge named `name`.
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        self.gauge(name).set(value);
+    }
+
+    /// Append a point to the series named `name`.
+    pub fn push_series(&self, name: &str, index: u64, value: f64) {
+        self.series(name).push(index, value);
     }
 
     /// Copy every metric into an immutable snapshot.
@@ -86,7 +164,24 @@ impl Registry {
             .iter()
             .map(|(k, v)| (k.clone(), v.snapshot()))
             .collect();
-        MetricsSnapshot { counters, hists }
+        let gauges = self
+            .gauges
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let series = self
+            .series
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.points()))
+            .collect();
+        MetricsSnapshot {
+            counters,
+            hists,
+            gauges,
+            series,
+        }
     }
 }
 
@@ -97,12 +192,19 @@ pub struct MetricsSnapshot {
     pub counters: BTreeMap<String, u64>,
     /// Histogram snapshots by name.
     pub hists: BTreeMap<String, HistSnapshot>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Series points `(index, value)` by name, index-sorted.
+    pub series: BTreeMap<String, Vec<(u64, f64)>>,
 }
 
 impl MetricsSnapshot {
     /// The metrics that accumulated between `earlier` and `self`
     /// (both from the same registry). Metrics absent from `earlier`
-    /// are attributed entirely to the interval.
+    /// are attributed entirely to the interval. Gauges keep their
+    /// latest value when it changed; series keep the points appended
+    /// after `earlier` (by count — exact when the interval endpoints
+    /// are quiescent, which is how [`crate::snapshot`] diffing is used).
     pub fn since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
         let counters = self
             .counters
@@ -121,7 +223,28 @@ impl MetricsSnapshot {
                 (d.count() > 0).then(|| (k.clone(), d))
             })
             .collect();
-        MetricsSnapshot { counters, hists }
+        let gauges = self
+            .gauges
+            .iter()
+            .filter_map(|(k, &v)| {
+                let changed = earlier.gauges.get(k) != Some(&v);
+                changed.then(|| (k.clone(), v))
+            })
+            .collect();
+        let series = self
+            .series
+            .iter()
+            .filter_map(|(k, v)| {
+                let seen = earlier.series.get(k).map(|s| s.len()).unwrap_or(0);
+                (v.len() > seen).then(|| (k.clone(), v[seen..].to_vec()))
+            })
+            .collect();
+        MetricsSnapshot {
+            counters,
+            hists,
+            gauges,
+            series,
+        }
     }
 }
 
@@ -150,6 +273,37 @@ mod tests {
         a.add(1);
         b.add(2);
         assert_eq!(r.counter("x").get(), 3);
+    }
+
+    #[test]
+    fn gauges_overwrite_and_series_accumulate() {
+        let r = Registry::new();
+        r.set_gauge("temp", 1.5);
+        r.set_gauge("temp", 2.5);
+        r.push_series("acc", 3, 0.7);
+        r.push_series("acc", 1, 0.5);
+        r.push_series("acc", 1, 0.6);
+        let s = r.snapshot();
+        assert_eq!(s.gauges["temp"], 2.5);
+        // Points come back index-sorted, ties in push order.
+        assert_eq!(s.series["acc"], vec![(1, 0.5), (1, 0.6), (3, 0.7)]);
+    }
+
+    #[test]
+    fn since_diffs_gauges_and_series() {
+        let r = Registry::new();
+        r.set_gauge("a", 1.0);
+        r.set_gauge("b", 2.0);
+        r.push_series("s", 0, 0.1);
+        let before = r.snapshot();
+        r.set_gauge("a", 3.0);
+        r.push_series("s", 1, 0.2);
+        let d = r.snapshot().since(&before);
+        assert_eq!(d.gauges.get("a"), Some(&3.0));
+        assert!(!d.gauges.contains_key("b"), "unchanged gauge drops out");
+        assert_eq!(d.series["s"], vec![(1, 0.2)]);
+        let none = r.snapshot().since(&r.snapshot());
+        assert!(none.gauges.is_empty() && none.series.is_empty());
     }
 
     #[test]

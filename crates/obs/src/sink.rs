@@ -82,8 +82,9 @@ pub struct SpanStat {
 }
 
 /// An exact aggregation of an event stream: counter totals, raw
-/// histogram samples (sorted), and per-path span totals.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+/// histogram samples (sorted), per-path span totals, last-written
+/// gauges, and series points in index order.
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Aggregate {
     /// Counter totals by name.
     pub counters: BTreeMap<String, u64>,
@@ -91,6 +92,11 @@ pub struct Aggregate {
     pub samples: BTreeMap<String, Vec<u64>>,
     /// Span totals by hierarchical path.
     pub spans: BTreeMap<String, SpanStat>,
+    /// Last-written gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Series points `(index, value)` by name, index-sorted (ties in
+    /// stream order).
+    pub series: BTreeMap<String, Vec<(u64, f64)>>,
 }
 
 impl Aggregate {
@@ -106,10 +112,21 @@ impl Aggregate {
                     stat.count += 1;
                     stat.total_ns += s.dur_ns;
                 }
+                Event::Gauge(g) => {
+                    agg.gauges.insert(g.name.clone(), g.value);
+                }
+                Event::Point(p) => agg
+                    .series
+                    .entry(p.name.clone())
+                    .or_default()
+                    .push((p.index, p.value)),
             }
         }
         for v in agg.samples.values_mut() {
             v.sort_unstable();
+        }
+        for v in agg.series.values_mut() {
+            v.sort_by_key(|&(i, _)| i);
         }
         agg
     }
@@ -128,7 +145,7 @@ impl Aggregate {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::event::{CountEvent, SampleEvent, SpanEnd};
+    use crate::event::{CountEvent, GaugeEvent, PointEvent, SampleEvent, SpanEnd};
 
     fn sample(name: &str, value: u64) -> Event {
         Event::Sample(SampleEvent {
@@ -175,5 +192,32 @@ mod tests {
         assert_eq!(agg.quantile("lat", 0.5), Some(5));
         assert_eq!(agg.quantile("lat", 1.0), Some(9));
         assert_eq!(agg.quantile("missing", 0.5), None);
+    }
+
+    #[test]
+    fn gauges_keep_last_and_series_sort_by_index() {
+        let events = vec![
+            Event::Gauge(GaugeEvent {
+                name: "g".into(),
+                value: 1.0,
+            }),
+            Event::Gauge(GaugeEvent {
+                name: "g".into(),
+                value: 2.0,
+            }),
+            Event::Point(PointEvent {
+                name: "s".into(),
+                index: 5,
+                value: 0.5,
+            }),
+            Event::Point(PointEvent {
+                name: "s".into(),
+                index: 2,
+                value: 0.25,
+            }),
+        ];
+        let agg = Aggregate::from_events(&events);
+        assert_eq!(agg.gauges["g"], 2.0);
+        assert_eq!(agg.series["s"], vec![(2, 0.25), (5, 0.5)]);
     }
 }

@@ -1,0 +1,172 @@
+//! Exposition-format coverage: a golden-file test pinning the exact
+//! Prometheus text a populated registry serialises to, a structural
+//! validator over that text, and a loopback integration test of the
+//! `/metrics` HTTP endpoint.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+use fedknow_obs::{prometheus_text, MetricsServer, Registry};
+
+/// The fixture registry behind the golden file.
+fn populated_registry() -> Registry {
+    let r = Registry::new();
+    r.add("comm.upload_bytes", 1234);
+    r.add("qp.fallback", 2);
+    r.set_gauge("fl.update_divergence", 0.5);
+    r.record("qp.solve_ns", 100);
+    r.record("qp.solve_ns", 200);
+    r.push_series("integrate.rotation", 0, 0.25);
+    r.push_series("integrate.rotation", 0, 0.75);
+    r.push_series("integrate.rotation", 1, 0.5);
+    r
+}
+
+#[test]
+fn golden_exposition() {
+    let text = prometheus_text(&populated_registry().snapshot());
+    let golden = include_str!("golden/metrics.prom");
+    assert_eq!(
+        text, golden,
+        "exposition drifted from tests/golden/metrics.prom — \
+         update the golden file if the change is intentional"
+    );
+}
+
+/// Structural check of the exposition format: every line is a comment
+/// (`# HELP`/`# TYPE` with a valid metric name and known type) or a
+/// sample (`name[{labels}] value`), each family has exactly one
+/// HELP+TYPE pair, and samples belong to the family declared above.
+fn validate_exposition(text: &str) {
+    fn valid_name(n: &str) -> bool {
+        !n.is_empty()
+            && n.chars().next().unwrap().is_ascii_alphabetic()
+            && n.chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    }
+    let mut current_family: Option<String> = None;
+    let mut seen_families = std::collections::BTreeSet::new();
+    for (i, line) in text.lines().enumerate() {
+        let ln = i + 1;
+        if let Some(rest) = line.strip_prefix("# ") {
+            let mut parts = rest.splitn(3, ' ');
+            let keyword = parts.next().unwrap_or("");
+            let name = parts.next().unwrap_or("");
+            assert!(
+                keyword == "HELP" || keyword == "TYPE",
+                "line {ln}: unknown comment keyword {keyword:?}"
+            );
+            assert!(valid_name(name), "line {ln}: bad metric name {name:?}");
+            if keyword == "HELP" {
+                assert!(
+                    seen_families.insert(name.to_string()),
+                    "line {ln}: duplicate family {name}"
+                );
+                current_family = Some(name.to_string());
+            } else {
+                assert_eq!(
+                    current_family.as_deref(),
+                    Some(name),
+                    "line {ln}: TYPE must follow its HELP"
+                );
+                let ty = parts.next().unwrap_or("");
+                assert!(
+                    ["counter", "gauge", "summary", "histogram", "untyped"].contains(&ty),
+                    "line {ln}: unknown type {ty:?}"
+                );
+            }
+            continue;
+        }
+        // Sample line: name or name{labels}, then a float value.
+        let (name_part, value) = line
+            .rsplit_once(' ')
+            .unwrap_or_else(|| panic!("line {ln}: no value separator in {line:?}"));
+        let base = name_part.split('{').next().unwrap();
+        assert!(valid_name(base), "line {ln}: bad sample name {base:?}");
+        let family = current_family.as_deref().expect("sample before any family");
+        assert!(
+            base == family || base == format!("{family}_sum") || base == format!("{family}_count"),
+            "line {ln}: sample {base} outside family {family}"
+        );
+        if let Some(labels) = name_part.strip_prefix(base) {
+            if !labels.is_empty() {
+                assert!(
+                    labels.starts_with('{') && labels.ends_with('}'),
+                    "line {ln}: malformed labels {labels:?}"
+                );
+                for pair in labels[1..labels.len() - 1].split(',') {
+                    let (k, v) = pair
+                        .split_once('=')
+                        .unwrap_or_else(|| panic!("line {ln}: bad label {pair:?}"));
+                    assert!(valid_name(k), "line {ln}: bad label name {k:?}");
+                    assert!(
+                        v.starts_with('"') && v.ends_with('"'),
+                        "line {ln}: unquoted label value {v:?}"
+                    );
+                }
+            }
+        }
+        assert!(
+            value.parse::<f64>().is_ok() || ["NaN", "+Inf", "-Inf"].contains(&value),
+            "line {ln}: unparseable value {value:?}"
+        );
+    }
+    assert!(!seen_families.is_empty(), "no metric families at all");
+}
+
+#[test]
+fn golden_exposition_is_structurally_valid() {
+    validate_exposition(&prometheus_text(&populated_registry().snapshot()));
+}
+
+#[test]
+fn metrics_endpoint_serves_parseable_exposition_over_loopback() {
+    // Populate the process-global registry, then scrape it.
+    fedknow_obs::enable();
+    fedknow_obs::count("loopback.scrapes", 3);
+    fedknow_obs::record("loopback.latency_ns", 42);
+    fedknow_obs::gauge("loopback.gauge", 1.5);
+    fedknow_obs::series_at("loopback.series", 7, 0.25);
+
+    let server = MetricsServer::serve("127.0.0.1:0").expect("bind loopback");
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    write!(
+        stream,
+        "GET /metrics HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+
+    let (headers, body) = response
+        .split_once("\r\n\r\n")
+        .expect("header/body separator");
+    assert!(
+        headers.starts_with("HTTP/1.1 200 OK"),
+        "unexpected status: {headers}"
+    );
+    assert!(
+        headers.contains("Content-Type: text/plain; version=0.0.4"),
+        "missing exposition content type: {headers}"
+    );
+    assert!(body.contains("fedknow_loopback_scrapes 3"), "{body}");
+    assert!(body.contains("fedknow_loopback_gauge 1.5"), "{body}");
+    assert!(
+        body.contains("fedknow_loopback_series{round=\"7\"} 0.25"),
+        "{body}"
+    );
+    validate_exposition(body);
+
+    // Anything but /metrics is a 404, and the server survives to serve
+    // the next scrape.
+    let mut stream = TcpStream::connect(server.local_addr()).expect("reconnect");
+    write!(stream, "GET /other HTTP/1.1\r\n\r\n").unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.1 404"), "{response}");
+    let mut stream = TcpStream::connect(server.local_addr()).expect("reconnect 2");
+    write!(stream, "GET /metrics HTTP/1.1\r\n\r\n").unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+}
