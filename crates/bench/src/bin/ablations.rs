@@ -27,7 +27,7 @@ struct AblationResult {
 fn run_ablation(spec: &fedknow_suite::RunSpec, label: &str) -> MethodCurve {
     eprintln!("[ablation] {label} ...");
     let _span = fedknow_obs::obs_span!("ablation-{label}");
-    MethodCurve::from_report(&spec.run(Method::FedKnow))
+    MethodCurve::from_report(&spec.run(Method::FedKnow).expect("simulation failed"))
 }
 
 fn main() {

@@ -54,7 +54,7 @@ fn main() {
         eprintln!("[fig10] {label} ...");
         let mut spec = base.clone();
         spec.method_cfg = cfg;
-        let report = spec.run(method);
+        let report = spec.run(method).expect("simulation failed");
         let curve = MethodCurve::from_report(&report);
         acc_rows.push((label.clone(), vec![curve.final_accuracy()]));
         time_rows.push((label.clone(), vec![*curve.cumulative_time.last().unwrap()]));

@@ -45,7 +45,9 @@ fn main() {
         let mut curves = Vec::new();
         for method in methods {
             eprintln!("[fig4-hetero] {name} / {} ...", method.name());
-            let report = spec.run_on(method, devices.clone(), CommModel::paper_default());
+            let report = spec
+                .run_on(method, devices.clone(), CommModel::paper_default())
+                .expect("simulation failed");
             if !report.dropouts.is_empty() {
                 eprintln!(
                     "[fig4-hetero]   dropouts: {:?} (client, task) — memory-gated",

@@ -46,7 +46,9 @@ fn main() {
                 d
             };
             let started = std::time::Instant::now();
-            let report = spec.run_on(method, devices, CommModel::paper_default());
+            let report = spec
+                .run_on(method, devices, CommModel::paper_default())
+                .expect("simulation failed");
             // The FedKNOW run is the one the regression gate tracks.
             if report.method == "fedknow" {
                 let rec = BenchRecord::from_report(

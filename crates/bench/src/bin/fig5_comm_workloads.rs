@@ -32,7 +32,7 @@ fn main() {
         let mut pair = Vec::new();
         for method in [Method::FedKnow, Method::FedWeit] {
             eprintln!("[fig5] {name} / {} ...", method.name());
-            let report = spec.run(method);
+            let report = spec.run(method).expect("simulation failed");
             pair.push(report.total_comm_seconds());
             results.push(CommResult {
                 dataset: name.clone(),

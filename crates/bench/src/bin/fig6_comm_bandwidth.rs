@@ -36,7 +36,7 @@ fn main() {
         let model_name = spec.model.name().to_string();
         for method in [Method::FedKnow, Method::FedWeit] {
             eprintln!("[fig6] {model_name} / {} ...", method.name());
-            let report = spec.run(method);
+            let report = spec.run(method).expect("simulation failed");
             let ref_secs = report.total_comm_seconds();
             let (bws, secs): (Vec<f64>, Vec<f64>) = sweep
                 .iter()

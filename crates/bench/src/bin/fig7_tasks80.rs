@@ -37,17 +37,20 @@ fn main() {
         iters_per_round: iters,
         seed: args.seed,
         method_cfg: Default::default(),
+        faults: Default::default(),
     };
     let devices = DeviceProfile::uniform_cluster(clients);
     let mut curves = Vec::new();
     for method in [Method::Gem, Method::FedWeit, Method::FedKnow] {
         eprintln!("[fig7] {} over {num_tasks} tasks ...", method.name());
-        let report = spec.run_on_dataset(
-            method,
-            &dataset,
-            devices.clone(),
-            CommModel::paper_default(),
-        );
+        let report = spec
+            .run_on_dataset(
+                method,
+                &dataset,
+                devices.clone(),
+                CommModel::paper_default(),
+            )
+            .expect("simulation failed");
         curves.push(MethodCurve::from_report(&report));
     }
     let columns: Vec<String> = (1..=curves[0].accuracy.len())

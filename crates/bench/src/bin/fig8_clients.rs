@@ -30,7 +30,9 @@ fn main() {
         let mut curves = Vec::new();
         for method in [Method::Gem, Method::FedWeit, Method::FedKnow] {
             eprintln!("[fig8] {n} clients / {} ...", method.name());
-            let report = spec.run_on(method, devices.clone(), CommModel::paper_default());
+            let report = spec
+                .run_on(method, devices.clone(), CommModel::paper_default())
+                .expect("simulation failed");
             curves.push(MethodCurve::from_report(&report));
         }
         let columns: Vec<String> = (1..=curves[0].accuracy.len())

@@ -41,7 +41,7 @@ fn main() {
         let mut curves = Vec::new();
         for method in [Method::Gem, Method::FedWeit, Method::FedKnow] {
             eprintln!("[fig9] {label} / {} ...", method.name());
-            let report = spec.run(method);
+            let report = spec.run(method).expect("simulation failed");
             curves.push(MethodCurve::from_report(&report));
         }
         let columns: Vec<String> = (1..=curves[0].accuracy.len())

@@ -47,7 +47,7 @@ fn main() {
                     lr_decrease: dec,
                     ..Default::default()
                 };
-                let report = spec.run(method);
+                let report = spec.run(method).expect("simulation failed");
                 let acc = report
                     .accuracy
                     .avg_accuracy_after(report.accuracy.num_tasks() - 1);
@@ -74,7 +74,7 @@ fn main() {
             let mut spec = spec0.clone();
             spec.method_cfg.fedknow.rho = rho;
             spec.method_cfg.fedknow.k = k;
-            let report = spec.run(Method::FedKnow);
+            let report = spec.run(Method::FedKnow).expect("simulation failed");
             let acc = report
                 .accuracy
                 .avg_accuracy_after(report.accuracy.num_tasks() - 1);

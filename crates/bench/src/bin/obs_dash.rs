@@ -47,7 +47,47 @@ fn main() {
 
     print_forgetting(&agg);
     print_trajectories(&agg);
+    print_faults(&agg);
     print_phases(&agg, wall);
+}
+
+/// Fault-injection census and participation trace. Silent when the run
+/// was fault-free (every counter zero and full participation) — clean
+/// dashboards stay clean.
+fn print_faults(agg: &Aggregate) {
+    let counters: [(&str, &str); 6] = [
+        ("fl.crashes", "crashes"),
+        ("fl.rejoins", "rejoins"),
+        ("fl.retries", "upload retries"),
+        ("fl.uploads_lost", "uploads lost"),
+        ("fl.deadline_misses", "deadline misses"),
+        ("fl.uploads_rejected", "uploads quarantined"),
+    ];
+    let participation = agg.series.get("fl.participation");
+    let any_fault = counters.iter().any(|(name, _)| agg.counter(name) > 0)
+        || participation
+            .map(|pts| pts.iter().any(|&(_, v)| v < 1.0))
+            .unwrap_or(false);
+    if !any_fault {
+        return;
+    }
+    println!("\n== fault injection ==");
+    for (name, label) in counters {
+        let n = agg.counter(name);
+        if n > 0 {
+            println!("  {label:<20} {n}");
+        }
+    }
+    if let Some(points) = participation {
+        let vals: Vec<f64> = mean_per_index(points).into_iter().map(|(_, v)| v).collect();
+        let min = vals.iter().copied().fold(f64::INFINITY, f64::min);
+        println!(
+            "  participation        {}  min {:.0}%  rounds {}",
+            sparkline(&vals),
+            100.0 * min,
+            vals.len()
+        );
+    }
 }
 
 /// The per-task forgetting heat strip. Row `task k`, column `after m`:

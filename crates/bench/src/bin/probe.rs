@@ -74,12 +74,13 @@ fn main() {
         iters_per_round: get("--iters", "8").parse().expect("--iters"),
         seed: get("--seed", "42").parse().expect("--seed"),
         method_cfg: Default::default(),
+        faults: Default::default(),
     };
     // All timing below comes from the obs layer (phase timers + the run
     // span) rather than an ad-hoc Instant, so this binary reports
     // through the same path as obs_report and the JSONL trace.
     fedknow_obs::enable();
-    let report = spec.run(method);
+    let report = spec.run(method).expect("simulation failed");
     let curve = MethodCurve::from_report(&report);
     println!("method      {}", curve.method);
     for m in 0..report.accuracy.num_tasks() {

@@ -152,6 +152,7 @@ pub fn scaled_spec(base: DatasetSpec, scale: Scale, seed: u64) -> RunSpec {
         iters_per_round: iters,
         seed,
         method_cfg: MethodConfig::default(),
+        faults: fedknow_fl::FaultConfig::default(),
     }
 }
 

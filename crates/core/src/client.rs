@@ -229,8 +229,97 @@ impl FclClient for FedKnowClient {
         self.knowledges.iter().map(|k| k.size_bytes() as u64).sum()
     }
 
+    /// At a task boundary the FedKNOW state beyond the flat weights is
+    /// the retained knowledge set and the pending-FLOPs debit (`selected`
+    /// is cleared by `finish_task`, both optimisers reset at
+    /// `start_task`). All of it is folded into the flat stream —
+    /// integers as 16-bit limbs so every value survives an f32 (and
+    /// JSON) round trip exactly.
+    fn checkpoint_params(&mut self) -> Option<Vec<f32>> {
+        let weights = self.trainer.model.flat_params();
+        let mut buf = Vec::with_capacity(weights.len() + 8);
+        push_u32(&mut buf, weights.len() as u32);
+        buf.extend_from_slice(&weights);
+        push_u64(&mut buf, self.pending_flops);
+        push_u32(&mut buf, self.knowledges.len() as u32);
+        for k in &self.knowledges {
+            push_u32(&mut buf, k.dense_len() as u32);
+            push_u32(&mut buf, k.nnz() as u32);
+            for &i in k.indices() {
+                push_u32(&mut buf, i);
+            }
+            buf.extend_from_slice(k.values());
+        }
+        Some(buf)
+    }
+
+    fn restore_checkpoint(&mut self, params: &[f32], _rng: &mut StdRng) {
+        let mut cur = CkCursor::new(params);
+        let n = cur.u32() as usize;
+        assert_eq!(
+            n,
+            self.trainer.model.flat_params().len(),
+            "FedKNOW checkpoint was taken on a different architecture"
+        );
+        let weights = cur.slice(n).to_vec();
+        self.trainer.model.set_flat_params(&weights);
+        self.pending_flops = cur.u64();
+        let tasks = cur.u32() as usize;
+        self.knowledges.clear();
+        for _ in 0..tasks {
+            let dense_len = cur.u32() as usize;
+            let nnz = cur.u32() as usize;
+            let indices: Vec<u32> = (0..nnz).map(|_| cur.u32()).collect();
+            let values = cur.slice(nnz).to_vec();
+            self.knowledges
+                .push(SparseVec::new(dense_len, indices, values));
+        }
+        self.selected.clear();
+    }
+
     fn method_name(&self) -> &'static str {
         "fedknow"
+    }
+}
+
+/// Append a `u32` as two 16-bit limbs, each exactly representable as f32.
+fn push_u32(buf: &mut Vec<f32>, v: u32) {
+    buf.push((v & 0xFFFF) as f32);
+    buf.push((v >> 16) as f32);
+}
+
+/// Append a `u64` as four 16-bit limbs.
+fn push_u64(buf: &mut Vec<f32>, v: u64) {
+    push_u32(buf, (v & 0xFFFF_FFFF) as u32);
+    push_u32(buf, (v >> 32) as u32);
+}
+
+/// Sequential reader over the flat checkpoint stream.
+struct CkCursor<'a> {
+    data: &'a [f32],
+    pos: usize,
+}
+
+impl<'a> CkCursor<'a> {
+    fn new(data: &'a [f32]) -> Self {
+        Self { data, pos: 0 }
+    }
+
+    fn slice(&mut self, n: usize) -> &'a [f32] {
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        s
+    }
+
+    fn u32(&mut self) -> u32 {
+        let s = self.slice(2);
+        (s[0] as u32) | ((s[1] as u32) << 16)
+    }
+
+    fn u64(&mut self) -> u64 {
+        let lo = self.u32() as u64;
+        let hi = self.u32() as u64;
+        lo | (hi << 32)
     }
 }
 
@@ -326,6 +415,44 @@ mod tests {
         let acc = c.evaluate(&tasks[0]);
         let chance = 1.0 / tasks[0].classes.len() as f64;
         assert!(acc > 2.0 * chance, "accuracy {acc} vs chance {chance}");
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_restores_full_state() {
+        let (mut c, tasks) = setup(2);
+        let mut rng = seeded(6);
+        for t in &tasks {
+            c.start_task(t, &mut rng);
+            for _ in 0..4 {
+                c.train_iteration(&mut rng);
+            }
+            c.finish_task(&mut rng);
+        }
+        let saved = c.checkpoint_params().unwrap();
+
+        let (mut fresh, _) = setup(2);
+        let mut scratch = seeded(99);
+        fresh.restore_checkpoint(&saved, &mut scratch);
+        assert_eq!(fresh.knowledges(), c.knowledges());
+        assert_eq!(fresh.upload(), c.upload());
+        for t in &tasks {
+            assert_eq!(fresh.evaluate(t), c.evaluate(t));
+        }
+        // Re-checkpointing reproduces the stream bit-for-bit — the
+        // pending-FLOPs debit and every limb survive the round trip.
+        assert_eq!(fresh.checkpoint_params().unwrap(), saved);
+    }
+
+    #[test]
+    #[should_panic(expected = "different architecture")]
+    fn checkpoint_rejects_wrong_architecture() {
+        let (mut c, _) = setup(1);
+        let mut bad = Vec::new();
+        push_u32(&mut bad, 3);
+        bad.extend_from_slice(&[0.0, 0.0, 0.0]);
+        push_u64(&mut bad, 0);
+        push_u32(&mut bad, 0);
+        c.restore_checkpoint(&bad, &mut seeded(1));
     }
 
     #[test]

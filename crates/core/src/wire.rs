@@ -36,6 +36,12 @@ pub enum WireError {
     BadVersion(u16),
     /// Index stream was not strictly increasing or ran out of bounds.
     CorruptIndices,
+    /// A knowledge value decoded to NaN or infinity — in-flight
+    /// corruption that would poison any model it is restored into.
+    NonFiniteValue {
+        /// Position of the offending value in the value stream.
+        index: usize,
+    },
 }
 
 impl std::fmt::Display for WireError {
@@ -45,6 +51,9 @@ impl std::fmt::Display for WireError {
             WireError::BadMagic => write!(f, "not a FedKNOW knowledge blob"),
             WireError::BadVersion(v) => write!(f, "unsupported knowledge format version {v}"),
             WireError::CorruptIndices => write!(f, "corrupt index stream"),
+            WireError::NonFiniteValue { index } => {
+                write!(f, "non-finite knowledge value at position {index}")
+            }
         }
     }
 }
@@ -111,8 +120,12 @@ pub fn decode_knowledge(mut blob: &[u8]) -> Result<(u32, SparseVec), WireError> 
         prev = idx;
     }
     let mut values = Vec::with_capacity(nnz);
-    for _ in 0..nnz {
-        values.push(blob.get_f32_le());
+    for i in 0..nnz {
+        let v = blob.get_f32_le();
+        if !v.is_finite() {
+            return Err(WireError::NonFiniteValue { index: i });
+        }
+        values.push(v);
     }
     Ok((task_id, SparseVec::new(dense_len, indices, values)))
 }
@@ -184,6 +197,22 @@ mod tests {
             decode_knowledge(&blob).unwrap_err(),
             WireError::CorruptIndices
         );
+    }
+
+    #[test]
+    fn rejects_non_finite_values() {
+        let k = SparseVec::new(100, vec![3, 9], vec![1.0, 2.0]);
+        let mut blob = encode_knowledge(0, &k).to_vec();
+        // Overwrite the second value (header 18 + 2 indices = 26, then
+        // one value) with an f32 NaN bit pattern.
+        let value_off = 18 + 8 + 4;
+        blob[value_off..value_off + 4].copy_from_slice(&f32::NAN.to_le_bytes());
+        assert_eq!(
+            decode_knowledge(&blob).unwrap_err(),
+            WireError::NonFiniteValue { index: 1 }
+        );
+        let shown = WireError::NonFiniteValue { index: 1 }.to_string();
+        assert!(shown.contains("non-finite"), "{shown}");
     }
 
     #[test]

@@ -209,6 +209,21 @@ pub trait FclClient: Send {
         0
     }
 
+    /// Flat parameters to persist in a simulation checkpoint. Default:
+    /// the same view [`Self::upload`] exposes. Methods whose full state
+    /// is their flat parameter vector (FedAvg-style) get exact
+    /// checkpoint/resume for free; methods with richer retained state
+    /// may override this and [`Self::restore_checkpoint`] together.
+    fn checkpoint_params(&mut self) -> Option<Vec<f32>> {
+        self.upload()
+    }
+
+    /// Restore from parameters captured by [`Self::checkpoint_params`].
+    /// Default: treat them as an incoming global model.
+    fn restore_checkpoint(&mut self, params: &[f32], rng: &mut StdRng) {
+        self.receive_global(params, rng);
+    }
+
     /// Method name for reports.
     fn method_name(&self) -> &'static str;
 }

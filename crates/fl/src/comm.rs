@@ -14,6 +14,27 @@ pub struct CommModel {
     pub bandwidth_bytes_per_sec: f64,
 }
 
+/// A [`CommModel`] was built with a non-positive or non-finite
+/// bandwidth, which would make every transfer time `inf`/`NaN` and
+/// silently poison the simulated comm accounting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InvalidBandwidth {
+    /// The rejected bytes-per-second value.
+    pub bytes_per_sec: f64,
+}
+
+impl std::fmt::Display for InvalidBandwidth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "link bandwidth must be finite and positive, got {} bytes/s",
+            self.bytes_per_sec
+        )
+    }
+}
+
+impl std::error::Error for InvalidBandwidth {}
+
 impl CommModel {
     /// The paper's default limit of 1 MB/s (§V-C).
     pub fn paper_default() -> Self {
@@ -22,11 +43,28 @@ impl CommModel {
         }
     }
 
-    /// Arbitrary bandwidth in KB/s (the unit of the Figure 6 sweep).
-    pub fn kb_per_sec(kb: f64) -> Self {
-        Self {
-            bandwidth_bytes_per_sec: kb * 1000.0,
+    /// Validated constructor: rejects zero, negative, and non-finite
+    /// bandwidths instead of letting `transfer_seconds` return
+    /// `inf`/`NaN` silently.
+    pub fn bytes_per_sec(bytes: f64) -> Result<Self, InvalidBandwidth> {
+        if bytes.is_finite() && bytes > 0.0 {
+            Ok(Self {
+                bandwidth_bytes_per_sec: bytes,
+            })
+        } else {
+            Err(InvalidBandwidth {
+                bytes_per_sec: bytes,
+            })
         }
+    }
+
+    /// Arbitrary bandwidth in KB/s (the unit of the Figure 6 sweep).
+    /// Non-positive or non-finite rates panic — sweep constructors are
+    /// always called with literals; use [`Self::bytes_per_sec`] for
+    /// untrusted input.
+    pub fn kb_per_sec(kb: f64) -> Self {
+        Self::bytes_per_sec(kb * 1000.0)
+            .unwrap_or_else(|e| panic!("CommModel::kb_per_sec({kb}): {e}"))
     }
 
     /// The Figure 6 sweep: 50 KB/s to 10 MB/s over 8 points.
@@ -69,6 +107,24 @@ mod tests {
         }
         assert_eq!(sweep[0].bandwidth_bytes_per_sec, 50_000.0);
         assert_eq!(sweep[7].bandwidth_bytes_per_sec, 10_000_000.0);
+    }
+
+    #[test]
+    fn invalid_bandwidths_are_rejected() {
+        assert!(CommModel::bytes_per_sec(0.0).is_err());
+        assert!(CommModel::bytes_per_sec(-5.0).is_err());
+        assert!(CommModel::bytes_per_sec(f64::NAN).is_err());
+        assert!(CommModel::bytes_per_sec(f64::INFINITY).is_err());
+        let ok = CommModel::bytes_per_sec(1234.0).unwrap();
+        assert_eq!(ok.bandwidth_bytes_per_sec, 1234.0);
+        let shown = CommModel::bytes_per_sec(-1.0).unwrap_err().to_string();
+        assert!(shown.contains("finite and positive"), "{shown}");
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn kb_per_sec_panics_on_zero() {
+        let _ = CommModel::kb_per_sec(0.0);
     }
 
     #[test]

@@ -1,0 +1,501 @@
+//! Deterministic fault injection for the federation loop.
+//!
+//! The paper runs on a physical edge testbed where devices genuinely
+//! misbehave: the 2 GB Raspberry Pi runs out of memory mid-stream,
+//! Raspberry Pis train ~12× slower than the Jetson average, and radio
+//! links drop uploads (§V-B). The simulation substitutes that flakiness
+//! with a [`FaultPlan`]: per-client, per-round fault events drawn from
+//! seeded substreams, so every fault sequence is **bit-reproducible**
+//! across thread counts and across runs at the same seed.
+//!
+//! Determinism is structural, not incidental: a fault draw for
+//! `(client, round)` comes from a fresh [`substream`] keyed only by the
+//! plan seed and that pair, so the draw is independent of iteration
+//! order, thread scheduling, and every other client's faults. The
+//! simulation driver draws faults on the coordinator thread before
+//! dispatching client work, and logs events in client order — the fault
+//! event log of a run is a pure function of `(seed, FaultConfig)`.
+//!
+//! Fault classes (all off by default):
+//!
+//! * **Crash-for-round** — the client misses a whole round: no local
+//!   training, no upload, and it misses the broadcast. It rejoins the
+//!   next round and is re-sent the current global model first
+//!   ([`FaultKind::Rejoin`]).
+//! * **Straggler slowdown** — the client's round compute is multiplied
+//!   by [`FaultConfig::straggler_slowdown`]. When a round deadline is
+//!   configured ([`FaultConfig::deadline_factor`]) and the slowed
+//!   client overshoots it, its upload is excluded from that round's
+//!   FedAvg ([`FaultKind::DeadlineMiss`]).
+//! * **Upload loss** — each upload attempt is lost with
+//!   [`FaultConfig::loss_prob`]; the client retries up to
+//!   [`FaultConfig::max_retries`] times with exponential backoff
+//!   charged to its communication time. Losing every attempt drops the
+//!   upload from aggregation ([`FaultKind::UploadLost`]).
+//! * **Payload corruption** — the upload vector is damaged in flight:
+//!   a NaN or infinity poisons one coordinate, or one bit of one `f32`
+//!   is flipped. The server's upload validation quarantines non-finite
+//!   payloads (`fl.uploads_rejected`); a bit flip that stays finite is
+//!   deliberately *silent* corruption the aggregation must absorb.
+
+use fedknow_math::rng::{splitmix64, substream};
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Stream tag separating fault draws from every other consumer of the
+/// experiment seed (clients use `0xF1_0000 + c`).
+const FAULT_STREAM_TAG: u64 = 0xFA17_0000_0000_0000;
+
+/// Fault-injection knobs. The default is inert (all probabilities zero),
+/// so a `SimConfig::default()` run is byte-identical to the fault-free
+/// protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Per-client, per-round probability of crashing for the round.
+    pub crash_prob: f64,
+    /// Per-client, per-round probability of straggling.
+    pub straggler_prob: f64,
+    /// Compute-time multiplier applied to a straggling client (≥ 1).
+    pub straggler_slowdown: f64,
+    /// Round deadline as a multiple of the slowest *nominal* (un-slowed)
+    /// client's round time. `<= 0` disables the deadline: the server
+    /// waits for every straggler. With a deadline, a client whose slowed
+    /// compute time overshoots it is excluded from that round's FedAvg.
+    pub deadline_factor: f64,
+    /// Probability each individual upload attempt is lost in transit.
+    pub loss_prob: f64,
+    /// Retries after a lost upload attempt before giving up on the
+    /// round's upload entirely.
+    pub max_retries: u32,
+    /// Backoff before the first retry, in simulated seconds; doubles on
+    /// every further retry and is charged to the client's comm time.
+    pub backoff_base_secs: f64,
+    /// Per-client, per-round probability the upload is corrupted.
+    pub corrupt_prob: f64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        Self {
+            crash_prob: 0.0,
+            straggler_prob: 0.0,
+            straggler_slowdown: 4.0,
+            deadline_factor: 0.0,
+            loss_prob: 0.0,
+            max_retries: 2,
+            backoff_base_secs: 0.5,
+            corrupt_prob: 0.0,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// A chaos preset: crash and upload loss at the given rate each
+    /// (the sweep axis of the `resilience` bench).
+    pub fn crash_loss(rate: f64) -> Self {
+        Self {
+            crash_prob: rate,
+            loss_prob: rate,
+            ..Self::default()
+        }
+    }
+
+    /// Whether every fault class is disabled — the simulation skips the
+    /// fault machinery entirely for inert configs.
+    pub fn is_inert(&self) -> bool {
+        self.crash_prob <= 0.0
+            && self.straggler_prob <= 0.0
+            && self.loss_prob <= 0.0
+            && self.corrupt_prob <= 0.0
+    }
+
+    /// Clamp probabilities into `[0, 1]` and the slowdown to ≥ 1 so a
+    /// hand-built config cannot produce negative-probability draws.
+    pub fn sanitized(mut self) -> Self {
+        self.crash_prob = self.crash_prob.clamp(0.0, 1.0);
+        self.straggler_prob = self.straggler_prob.clamp(0.0, 1.0);
+        self.loss_prob = self.loss_prob.clamp(0.0, 1.0);
+        self.corrupt_prob = self.corrupt_prob.clamp(0.0, 1.0);
+        self.straggler_slowdown = self.straggler_slowdown.max(1.0);
+        self.backoff_base_secs = self.backoff_base_secs.max(0.0);
+        self
+    }
+}
+
+/// How an upload is damaged in flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CorruptionMode {
+    /// One coordinate becomes NaN (caught by server validation).
+    NanPoison,
+    /// One coordinate becomes +∞ (caught by server validation).
+    InfPoison,
+    /// One bit of one `f32` flips (may stay finite — silent corruption).
+    BitFlip,
+}
+
+/// A drawn corruption: mode plus the pre-drawn target position, so
+/// applying it is pure and order-independent.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Corruption {
+    /// Damage mode.
+    pub mode: CorruptionMode,
+    /// Target coordinate as a fraction of the vector length, drawn in
+    /// `[0, 1)` so it is valid for any upload dimension.
+    pub pos_fraction: f64,
+    /// Bit to flip for [`CorruptionMode::BitFlip`] (0–31).
+    pub bit: u32,
+}
+
+impl Corruption {
+    /// Damage `upload` in place. A zero-length upload is left alone.
+    pub fn apply(&self, upload: &mut [f32]) {
+        if upload.is_empty() {
+            return;
+        }
+        let i = ((self.pos_fraction * upload.len() as f64) as usize).min(upload.len() - 1);
+        upload[i] = match self.mode {
+            CorruptionMode::NanPoison => f32::NAN,
+            CorruptionMode::InfPoison => f32::INFINITY,
+            CorruptionMode::BitFlip => f32::from_bits(upload[i].to_bits() ^ (1 << self.bit)),
+        };
+    }
+}
+
+/// Everything that goes wrong for one client in one round.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoundFaults {
+    /// Client is down for the whole round.
+    pub crash: bool,
+    /// Compute-time multiplier (1.0 = nominal).
+    pub slowdown: f64,
+    /// Upload attempts lost in transit before one succeeded (each one
+    /// is retried with backoff, up to `max_retries`).
+    pub lost_attempts: u32,
+    /// All `1 + max_retries` attempts were lost: no upload this round.
+    pub upload_lost: bool,
+    /// In-flight damage to the upload, if drawn.
+    pub corruption: Option<Corruption>,
+}
+
+impl RoundFaults {
+    /// The fault-free outcome.
+    pub fn none() -> Self {
+        Self {
+            crash: false,
+            slowdown: 1.0,
+            lost_attempts: 0,
+            upload_lost: false,
+            corruption: None,
+        }
+    }
+
+    /// Total upload transmissions this round (the successful attempt
+    /// plus every lost one); zero when the client crashed.
+    pub fn upload_attempts(&self) -> u32 {
+        if self.crash {
+            0
+        } else {
+            self.lost_attempts + u32::from(!self.upload_lost)
+        }
+    }
+}
+
+/// A seeded, stateless fault plan: `draw(client, round)` is a pure
+/// function, so the full fault schedule is reproducible from the seed
+/// alone, in any order, from any thread.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    seed: u64,
+    cfg: FaultConfig,
+}
+
+impl FaultPlan {
+    /// Plan from the experiment seed and a (sanitized) config.
+    pub fn new(seed: u64, cfg: FaultConfig) -> Self {
+        Self {
+            seed,
+            cfg: cfg.sanitized(),
+        }
+    }
+
+    /// The sanitized config this plan draws from.
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    /// Draw the faults afflicting `client` in global round `round`.
+    ///
+    /// The draw order within one `(client, round)` cell is fixed
+    /// (crash, straggle, loss attempts, corruption), and each cell uses
+    /// its own substream, so no draw ever shifts another cell's stream.
+    pub fn draw(&self, client: usize, round: u64) -> RoundFaults {
+        let mut rng = self.cell_rng(client, round);
+        let mut f = RoundFaults::none();
+        if rng.gen::<f64>() < self.cfg.crash_prob {
+            f.crash = true;
+            return f;
+        }
+        if rng.gen::<f64>() < self.cfg.straggler_prob {
+            f.slowdown = self.cfg.straggler_slowdown;
+        }
+        for _ in 0..=self.cfg.max_retries {
+            if rng.gen::<f64>() < self.cfg.loss_prob {
+                f.lost_attempts += 1;
+            } else {
+                break;
+            }
+        }
+        f.upload_lost = f.lost_attempts > self.cfg.max_retries;
+        if rng.gen::<f64>() < self.cfg.corrupt_prob {
+            let mode = match rng.gen_range(0u32..3) {
+                0 => CorruptionMode::NanPoison,
+                1 => CorruptionMode::InfPoison,
+                _ => CorruptionMode::BitFlip,
+            };
+            f.corruption = Some(Corruption {
+                mode,
+                pos_fraction: rng.gen::<f64>(),
+                bit: rng.gen_range(0u32..32),
+            });
+        }
+        f
+    }
+
+    /// Simulated seconds of exponential backoff charged for
+    /// `lost_attempts` lost transmissions: `base · (2^k − 1)` summed
+    /// over the retries actually taken.
+    pub fn backoff_seconds(&self, lost_attempts: u32) -> f64 {
+        let mut total = 0.0;
+        let mut wait = self.cfg.backoff_base_secs;
+        for _ in 0..lost_attempts {
+            total += wait;
+            wait *= 2.0;
+        }
+        total
+    }
+
+    fn cell_rng(&self, client: usize, round: u64) -> StdRng {
+        let cell = splitmix64(((client as u64) << 32) ^ round);
+        substream(self.seed, FAULT_STREAM_TAG ^ cell)
+    }
+}
+
+/// One fault event in a run's log. `detail` carries the event-specific
+/// quantity: lost attempts for [`FaultKind::UploadRetry`], the slowdown
+/// in per-mille for [`FaultKind::Straggle`], the non-finite coordinate
+/// index for [`FaultKind::UploadRejected`], zero otherwise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// Global round index (task · rounds_per_task + round).
+    pub round: u64,
+    /// Afflicted client.
+    pub client: usize,
+    /// What happened.
+    pub kind: FaultKind,
+    /// Event-specific quantity (see struct docs).
+    pub detail: u64,
+}
+
+/// The kinds of fault events a run logs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Client missed the whole round.
+    Crash,
+    /// Client rejoined after a crash and was re-sent the global model.
+    Rejoin,
+    /// Client compute was slowed this round.
+    Straggle,
+    /// Slowed client overshot the round deadline; upload excluded.
+    DeadlineMiss,
+    /// Upload attempts were lost and retried (detail = lost attempts).
+    UploadRetry,
+    /// Every upload attempt was lost; nothing reached the server.
+    UploadLost,
+    /// Upload was corrupted in flight.
+    Corrupt,
+    /// Server validation quarantined the upload (non-finite values).
+    UploadRejected,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chaotic() -> FaultConfig {
+        FaultConfig {
+            crash_prob: 0.2,
+            straggler_prob: 0.3,
+            straggler_slowdown: 6.0,
+            deadline_factor: 3.0,
+            loss_prob: 0.3,
+            max_retries: 2,
+            backoff_base_secs: 0.25,
+            corrupt_prob: 0.3,
+        }
+    }
+
+    #[test]
+    fn default_is_inert_and_presets_are_not() {
+        assert!(FaultConfig::default().is_inert());
+        assert!(!FaultConfig::crash_loss(0.1).is_inert());
+        assert!(FaultConfig::crash_loss(0.0).is_inert());
+    }
+
+    #[test]
+    fn sanitize_clamps_hostile_configs() {
+        let cfg = FaultConfig {
+            crash_prob: 7.0,
+            straggler_prob: -1.0,
+            straggler_slowdown: 0.1,
+            loss_prob: 2.0,
+            backoff_base_secs: -3.0,
+            ..FaultConfig::default()
+        }
+        .sanitized();
+        assert_eq!(cfg.crash_prob, 1.0);
+        assert_eq!(cfg.straggler_prob, 0.0);
+        assert_eq!(cfg.straggler_slowdown, 1.0);
+        assert_eq!(cfg.loss_prob, 1.0);
+        assert_eq!(cfg.backoff_base_secs, 0.0);
+    }
+
+    #[test]
+    fn draws_are_pure_functions_of_the_cell() {
+        let plan = FaultPlan::new(42, chaotic());
+        // Same cell, any order, any number of times: identical.
+        let a = plan.draw(3, 17);
+        let _ = plan.draw(0, 0); // unrelated draw must not disturb anything
+        assert_eq!(plan.draw(3, 17), a);
+        // A second plan at the same seed agrees everywhere.
+        let plan2 = FaultPlan::new(42, chaotic());
+        for c in 0..8 {
+            for r in 0..16 {
+                assert_eq!(plan.draw(c, r), plan2.draw(c, r), "cell ({c}, {r})");
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_schedules() {
+        let a = FaultPlan::new(1, chaotic());
+        let b = FaultPlan::new(2, chaotic());
+        let sched = |p: &FaultPlan| -> Vec<bool> {
+            (0..64).map(|i| p.draw(i % 8, i as u64 / 8).crash).collect()
+        };
+        assert_ne!(sched(&a), sched(&b));
+    }
+
+    #[test]
+    fn fault_rates_track_configured_probabilities() {
+        let plan = FaultPlan::new(7, chaotic());
+        let n = 4000u64;
+        let mut crashes = 0u64;
+        let mut straggles = 0u64;
+        for r in 0..n {
+            let f = plan.draw(0, r);
+            crashes += u64::from(f.crash);
+            straggles += u64::from(f.slowdown > 1.0);
+        }
+        let crash_rate = crashes as f64 / n as f64;
+        assert!((crash_rate - 0.2).abs() < 0.03, "crash rate {crash_rate}");
+        // Straggles are only drawn on non-crash rounds: 0.8 × 0.3.
+        let straggle_rate = straggles as f64 / n as f64;
+        assert!(
+            (straggle_rate - 0.24).abs() < 0.03,
+            "straggle rate {straggle_rate}"
+        );
+    }
+
+    #[test]
+    fn inert_plan_never_faults() {
+        let plan = FaultPlan::new(9, FaultConfig::default());
+        for c in 0..4 {
+            for r in 0..32 {
+                assert_eq!(plan.draw(c, r), RoundFaults::none());
+            }
+        }
+    }
+
+    #[test]
+    fn retry_counts_are_bounded_and_lost_flag_consistent() {
+        let cfg = FaultConfig {
+            loss_prob: 0.9,
+            max_retries: 2,
+            ..FaultConfig::default()
+        };
+        let plan = FaultPlan::new(3, cfg);
+        let mut saw_lost = false;
+        let mut saw_retry_success = false;
+        for r in 0..200 {
+            let f = plan.draw(0, r);
+            assert!(f.lost_attempts <= 3);
+            if f.upload_lost {
+                assert_eq!(f.lost_attempts, 3);
+                assert_eq!(f.upload_attempts(), 3);
+                saw_lost = true;
+            } else if f.lost_attempts > 0 {
+                assert_eq!(f.upload_attempts(), f.lost_attempts + 1);
+                saw_retry_success = true;
+            }
+        }
+        assert!(saw_lost && saw_retry_success);
+    }
+
+    #[test]
+    fn backoff_doubles_per_retry() {
+        let plan = FaultPlan::new(0, chaotic()); // base 0.25
+        assert_eq!(plan.backoff_seconds(0), 0.0);
+        assert_eq!(plan.backoff_seconds(1), 0.25);
+        assert_eq!(plan.backoff_seconds(2), 0.75);
+        assert_eq!(plan.backoff_seconds(3), 1.75);
+    }
+
+    #[test]
+    fn corruption_damages_exactly_one_coordinate() {
+        let c = Corruption {
+            mode: CorruptionMode::NanPoison,
+            pos_fraction: 0.5,
+            bit: 0,
+        };
+        let mut v = vec![1.0f32; 8];
+        c.apply(&mut v);
+        assert_eq!(v.iter().filter(|x| x.is_nan()).count(), 1);
+        assert!(v[4].is_nan());
+
+        let inf = Corruption {
+            mode: CorruptionMode::InfPoison,
+            pos_fraction: 0.999,
+            bit: 0,
+        };
+        let mut v = vec![0.0f32; 3];
+        inf.apply(&mut v);
+        assert!(v[2].is_infinite());
+
+        let flip = Corruption {
+            mode: CorruptionMode::BitFlip,
+            pos_fraction: 0.0,
+            bit: 31,
+        };
+        let mut v = vec![2.5f32, 1.0];
+        flip.apply(&mut v);
+        assert_eq!(v[0], -2.5, "sign-bit flip negates");
+        assert_eq!(v[1], 1.0);
+
+        // Empty uploads are left alone.
+        c.apply(&mut []);
+    }
+
+    #[test]
+    fn fault_event_serialises_roundtrip() {
+        let e = FaultEvent {
+            round: 12,
+            client: 3,
+            kind: FaultKind::UploadRetry,
+            detail: 2,
+        };
+        let json = serde_json::to_string(&e).unwrap();
+        let back: FaultEvent = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, e);
+    }
+}

@@ -24,14 +24,21 @@
 pub mod client;
 pub mod comm;
 pub mod device;
+pub mod faults;
 pub mod metrics;
 pub mod server;
 pub mod sim;
 pub mod trainer;
 
 pub use client::{CommBytes, FclClient, IterationStats, ModelTemplate, Payload};
-pub use comm::CommModel;
+pub use comm::{CommModel, InvalidBandwidth};
 pub use device::DeviceProfile;
+pub use faults::{
+    Corruption, CorruptionMode, FaultConfig, FaultEvent, FaultKind, FaultPlan, RoundFaults,
+};
 pub use metrics::{AccuracyMatrix, RowLengthMismatch};
-pub use sim::{PhaseBreakdown, PhaseStat, SimConfig, SimReport, Simulation};
+pub use server::{AggregateError, Aggregation, RejectReason, RejectedUpload};
+pub use sim::{
+    PhaseBreakdown, PhaseStat, SimCheckpoint, SimConfig, SimError, SimReport, Simulation,
+};
 pub use trainer::LocalTrainer;

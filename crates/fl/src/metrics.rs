@@ -32,7 +32,7 @@ impl std::error::Error for RowLengthMismatch {}
 /// The lower-triangular accuracy matrix of a continual run:
 /// `acc[m][k]` = accuracy on task `k` measured after learning task `m`
 /// (`k ≤ m`). Accuracies are in `[0, 1]`.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct AccuracyMatrix {
     rows: Vec<Vec<f64>>,
 }

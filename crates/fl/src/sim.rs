@@ -9,14 +9,39 @@
 //! Clients train in parallel threads (they are independent between
 //! aggregations), but all randomness is drawn from per-client streams, so
 //! results are bit-identical regardless of thread count.
+//!
+//! ## Faults and resilience
+//!
+//! With a non-inert [`FaultConfig`] the round protocol exercises the
+//! failure modes of the paper's physical testbed: clients crash for a
+//! round and rejoin at the next broadcast, stragglers overshoot the
+//! round deadline and are excluded from that round's FedAvg, uploads are
+//! lost and retried with exponential backoff charged to comm time, and
+//! corrupted payloads are quarantined by the server's upload validation.
+//! Every fault is drawn on the coordinator thread from per-`(client,
+//! round)` substreams ([`FaultPlan`]), so the fault event log — and the
+//! whole [`SimReport`] — is bit-reproducible across thread counts.
+//!
+//! ## Checkpoint / resume
+//!
+//! [`Simulation::checkpoint`] runs a prefix of the task stream and
+//! captures a [`SimCheckpoint`] at the task boundary (driver
+//! bookkeeping, per-client parameters via
+//! [`FclClient::checkpoint_params`] stored as `fedknow-nn` checkpoints,
+//! and the exact RNG states). [`Simulation::resume`] restores the state
+//! into a freshly built simulation and completes the run; for methods
+//! whose state is their flat parameter vector the resumed [`SimReport`]
+//! is bit-identical to an uninterrupted run.
 
 use crate::client::{CommBytes, FclClient, Payload};
 use crate::comm::CommModel;
 use crate::device::DeviceProfile;
-use crate::metrics::{mean_matrix, AccuracyMatrix};
-use crate::server::fedavg;
+use crate::faults::{FaultConfig, FaultEvent, FaultKind, FaultPlan, RoundFaults};
+use crate::metrics::{mean_matrix, AccuracyMatrix, RowLengthMismatch};
+use crate::server::{fedavg, AggregateError, RejectReason};
 use fedknow_data::ClientDataset;
 use fedknow_math::rng::substream;
+use fedknow_nn::checkpoint::Checkpoint as ParamCheckpoint;
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 
@@ -31,6 +56,9 @@ pub struct SimConfig {
     pub seed: u64,
     /// Train clients on parallel threads.
     pub parallel: bool,
+    /// Fault injection. The default is inert: no crashes, stragglers,
+    /// losses, corruption, or round deadline.
+    pub faults: FaultConfig,
 }
 
 impl Default for SimConfig {
@@ -40,12 +68,50 @@ impl Default for SimConfig {
             iters_per_round: 10,
             seed: 0,
             parallel: true,
+            faults: FaultConfig::default(),
         }
     }
 }
 
+/// A simulation failed in a way the caller must handle (as opposed to a
+/// per-client fault, which the round protocol absorbs and logs).
+#[derive(Debug)]
+pub enum SimError {
+    /// A client's evaluation row did not cover its learned tasks.
+    Row(RowLengthMismatch),
+    /// The aggregation call itself was malformed (an internal
+    /// uploads/weights bookkeeping bug, not a bad upload).
+    Aggregate(AggregateError),
+    /// A [`SimCheckpoint`] does not fit this simulation.
+    BadCheckpoint(String),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Row(e) => write!(f, "evaluation row mismatch: {e}"),
+            SimError::Aggregate(e) => write!(f, "aggregation call malformed: {e}"),
+            SimError::BadCheckpoint(e) => write!(f, "checkpoint rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<RowLengthMismatch> for SimError {
+    fn from(e: RowLengthMismatch) -> Self {
+        SimError::Row(e)
+    }
+}
+
+impl From<AggregateError> for SimError {
+    fn from(e: AggregateError) -> Self {
+        SimError::Aggregate(e)
+    }
+}
+
 /// Everything a finished run reports.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimReport {
     /// Method under test.
     pub method: String,
@@ -67,11 +133,14 @@ pub struct SimReport {
     /// observability layer was enabled (`FEDKNOW_OBS` or
     /// `fedknow_obs::enable`) — see [`PhaseBreakdown`].
     pub phase_breakdown: Option<PhaseBreakdown>,
+    /// Every injected fault and resilience action in draw order — a pure
+    /// function of `(seed, FaultConfig)`. Empty for inert configs.
+    pub fault_log: Vec<FaultEvent>,
 }
 
 /// Aggregated timing for one phase metric (a `*_ns` histogram such as
 /// `qp.solve_ns` or `restore.distill_ns`).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PhaseStat {
     /// Metric name.
     pub name: String,
@@ -93,7 +162,7 @@ pub struct PhaseStat {
 /// diffing registry snapshots taken at the start and end of
 /// [`Simulation::run`], so concurrent runs in other threads of the same
 /// process can pollute it — per-run JSONL files are the precise source.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PhaseBreakdown {
     /// One entry per histogram metric, name-sorted.
     pub phases: Vec<PhaseStat>,
@@ -156,6 +225,66 @@ impl SimReport {
     pub fn total_comm_seconds(&self) -> f64 {
         self.task_comm_seconds.iter().sum()
     }
+
+    /// Number of logged fault events of the given kind.
+    pub fn fault_count(&self, kind: FaultKind) -> usize {
+        self.fault_log.iter().filter(|e| e.kind == kind).count()
+    }
+}
+
+/// A mid-run snapshot captured at a task boundary by
+/// [`Simulation::checkpoint`] and consumed by [`Simulation::resume`].
+/// Serialisable, so a killed process can persist it and a fresh process
+/// can finish the run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimCheckpoint {
+    /// Format version.
+    pub version: u16,
+    /// Method name, validated against the resuming simulation.
+    pub method: String,
+    /// Seed the interrupted run used — the resumed run must match or
+    /// the RNG streams (and fault schedule) would diverge.
+    pub seed: u64,
+    /// Loop shape of the interrupted run.
+    pub rounds_per_task: usize,
+    /// Loop shape of the interrupted run.
+    pub iters_per_round: usize,
+    /// Fault configuration of the interrupted run.
+    pub faults: FaultConfig,
+    /// The task step the resumed run starts from.
+    pub next_task: usize,
+    /// Which clients are still in the federation.
+    pub active: Vec<bool>,
+    /// Clients that crashed and have not yet been re-sent the global.
+    pub missed_broadcast: Vec<bool>,
+    /// OOM dropouts so far.
+    pub dropouts: Vec<(usize, usize)>,
+    /// Per-client accuracy matrices so far.
+    pub matrices: Vec<AccuracyMatrix>,
+    /// Per-task compute seconds so far.
+    pub task_compute: Vec<f64>,
+    /// Per-task comm seconds so far.
+    pub task_comm: Vec<f64>,
+    /// Per-task mean loss so far.
+    pub task_loss: Vec<f64>,
+    /// Wire bytes so far.
+    pub total_bytes: u64,
+    /// Last aggregate, for the global-drift telemetry series.
+    pub prev_global: Option<Vec<f32>>,
+    /// Last broadcast global, owed to crashed clients on rejoin.
+    pub last_global: Option<Vec<f32>>,
+    /// Fault events so far.
+    pub fault_log: Vec<FaultEvent>,
+    /// Exact per-client RNG states (4 words each; a `Vec` because the
+    /// vendored serde has no fixed-size-array support).
+    pub rng_states: Vec<Vec<u64>>,
+    /// Per-client parameters, as `fedknow-nn` model checkpoints.
+    pub client_params: Vec<Option<ParamCheckpoint>>,
+}
+
+impl SimCheckpoint {
+    /// Current format version.
+    pub const VERSION: u16 = 1;
 }
 
 /// A configured simulation: clients (one algorithm instance each), their
@@ -168,6 +297,24 @@ pub struct Simulation {
     cfg: SimConfig,
     /// Base model size on the wire (bytes).
     model_bytes: u64,
+}
+
+/// Mutable driver state threaded through the task loop — everything a
+/// [`SimCheckpoint`] must capture besides the clients themselves.
+struct RunState {
+    next_task: usize,
+    rngs: Vec<StdRng>,
+    active: Vec<bool>,
+    missed_broadcast: Vec<bool>,
+    dropouts: Vec<(usize, usize)>,
+    matrices: Vec<AccuracyMatrix>,
+    task_compute: Vec<f64>,
+    task_comm: Vec<f64>,
+    task_loss: Vec<f64>,
+    total_bytes: u64,
+    prev_global: Option<Vec<f32>>,
+    last_global: Option<Vec<f32>>,
+    fault_log: Vec<FaultEvent>,
 }
 
 /// Per-round, per-client training result gathered from the worker
@@ -284,29 +431,236 @@ impl Simulation {
     }
 
     /// Run the full task sequence and produce the report.
-    pub fn run(&mut self) -> SimReport {
+    pub fn run(&mut self) -> Result<SimReport, SimError> {
+        let st = self.fresh_state();
+        self.drive(st)
+    }
+
+    /// Run the first `tasks` tasks and capture a checkpoint at that
+    /// boundary. Feeding it to [`Self::resume`] on a freshly built,
+    /// identically configured simulation completes the run;
+    /// `tasks >= the stream length` checkpoints the completed run.
+    pub fn checkpoint(&mut self, tasks: usize) -> Result<SimCheckpoint, SimError> {
+        fedknow_obs::init_from_env();
+        let mut st = self.fresh_state();
+        let until = tasks.min(self.data[0].tasks.len());
+        self.advance(&mut st, until)?;
+        Ok(self.capture(&st))
+    }
+
+    /// Restore a checkpointed run into this (freshly built) simulation
+    /// and complete it. The configuration must match the interrupted
+    /// run's; per-client parameters are restored through
+    /// [`FclClient::restore_checkpoint`], so for methods whose state is
+    /// their flat parameter vector the final report is bit-identical to
+    /// an uninterrupted [`Self::run`].
+    pub fn resume(&mut self, ck: &SimCheckpoint) -> Result<SimReport, SimError> {
+        let st = self.restore_state(ck)?;
+        self.drive(st)
+    }
+
+    fn fresh_state(&self) -> RunState {
+        let n = self.clients.len();
+        RunState {
+            next_task: 0,
+            rngs: (0..n)
+                .map(|c| substream(self.cfg.seed, 0xF1_0000 + c as u64))
+                .collect(),
+            active: vec![true; n],
+            missed_broadcast: vec![false; n],
+            dropouts: Vec::new(),
+            matrices: vec![AccuracyMatrix::new(); n],
+            task_compute: Vec::new(),
+            task_comm: Vec::new(),
+            task_loss: Vec::new(),
+            total_bytes: 0,
+            prev_global: None,
+            last_global: None,
+            fault_log: Vec::new(),
+        }
+    }
+
+    /// Snapshot the driver state and every client's parameters.
+    fn capture(&mut self, st: &RunState) -> SimCheckpoint {
+        let client_params = self
+            .clients
+            .iter_mut()
+            .map(|c| {
+                c.checkpoint_params().map(|params| ParamCheckpoint {
+                    version: 1,
+                    param_count: params.len(),
+                    segment_lens: vec![params.len()],
+                    params,
+                })
+            })
+            .collect();
+        SimCheckpoint {
+            version: SimCheckpoint::VERSION,
+            method: self.clients[0].method_name().to_string(),
+            seed: self.cfg.seed,
+            rounds_per_task: self.cfg.rounds_per_task,
+            iters_per_round: self.cfg.iters_per_round,
+            faults: self.cfg.faults,
+            next_task: st.next_task,
+            active: st.active.clone(),
+            missed_broadcast: st.missed_broadcast.clone(),
+            dropouts: st.dropouts.clone(),
+            matrices: st.matrices.clone(),
+            task_compute: st.task_compute.clone(),
+            task_comm: st.task_comm.clone(),
+            task_loss: st.task_loss.clone(),
+            total_bytes: st.total_bytes,
+            prev_global: st.prev_global.clone(),
+            last_global: st.last_global.clone(),
+            fault_log: st.fault_log.clone(),
+            rng_states: st.rngs.iter().map(|r| r.state().to_vec()).collect(),
+            client_params,
+        }
+    }
+
+    /// Validate a checkpoint against this simulation and rebuild the
+    /// driver state, restoring client parameters and RNG streams.
+    fn restore_state(&mut self, ck: &SimCheckpoint) -> Result<RunState, SimError> {
+        let n = self.clients.len();
+        let bad = |msg: String| SimError::BadCheckpoint(msg);
+        if ck.version != SimCheckpoint::VERSION {
+            return Err(bad(format!(
+                "version {} (this build reads {})",
+                ck.version,
+                SimCheckpoint::VERSION
+            )));
+        }
+        let method = self.clients[0].method_name();
+        if ck.method != method {
+            return Err(bad(format!(
+                "checkpoint is for method '{}', simulation runs '{method}'",
+                ck.method
+            )));
+        }
+        if ck.seed != self.cfg.seed
+            || ck.rounds_per_task != self.cfg.rounds_per_task
+            || ck.iters_per_round != self.cfg.iters_per_round
+            || ck.faults != self.cfg.faults
+        {
+            return Err(bad(
+                "seed, loop shape, or fault config differs from the interrupted run".into(),
+            ));
+        }
+        if ck.active.len() != n
+            || ck.missed_broadcast.len() != n
+            || ck.matrices.len() != n
+            || ck.rng_states.len() != n
+            || ck.client_params.len() != n
+        {
+            return Err(bad(format!(
+                "checkpoint holds {} clients, simulation has {n}",
+                ck.client_params.len()
+            )));
+        }
+        if ck.next_task > self.data[0].tasks.len() {
+            return Err(bad(format!(
+                "checkpoint resumes at task {}, stream has {}",
+                ck.next_task,
+                self.data[0].tasks.len()
+            )));
+        }
+        let mut rngs = Vec::with_capacity(n);
+        for (c, words) in ck.rng_states.iter().enumerate() {
+            let state: [u64; 4] = words.as_slice().try_into().map_err(|_| {
+                bad(format!(
+                    "client {c} RNG state has {} words, need 4",
+                    words.len()
+                ))
+            })?;
+            rngs.push(StdRng::from_state(state));
+        }
+        for (c, saved) in ck.client_params.iter().enumerate() {
+            let Some(saved) = saved else { continue };
+            if saved.param_count != saved.params.len() {
+                return Err(bad(format!(
+                    "client {c} params: count field {} but {} values",
+                    saved.param_count,
+                    saved.params.len()
+                )));
+            }
+            // A fresh client's state is the floor: methods with retained
+            // state (FedKNOW's knowledge) only grow past it, so a saved
+            // stream shorter than a fresh one is a different architecture.
+            // Exact validation of grown streams is the method's own job
+            // inside `restore_checkpoint`.
+            if let Some(current) = self.clients[c].checkpoint_params() {
+                if saved.param_count < current.len() {
+                    return Err(bad(format!(
+                        "client {c} architecture mismatch: checkpoint holds {} params, a fresh model already has {}",
+                        saved.param_count,
+                        current.len()
+                    )));
+                }
+            }
+            // Restoration draws no method randomness by contract; a
+            // scratch stream satisfies the signature without touching
+            // the restored training streams.
+            let mut scratch = substream(0, 0xC0DE ^ c as u64);
+            self.clients[c].restore_checkpoint(&saved.params, &mut scratch);
+        }
+        Ok(RunState {
+            next_task: ck.next_task,
+            rngs,
+            active: ck.active.clone(),
+            missed_broadcast: ck.missed_broadcast.clone(),
+            dropouts: ck.dropouts.clone(),
+            matrices: ck.matrices.clone(),
+            task_compute: ck.task_compute.clone(),
+            task_comm: ck.task_comm.clone(),
+            task_loss: ck.task_loss.clone(),
+            total_bytes: ck.total_bytes,
+            prev_global: ck.prev_global.clone(),
+            last_global: ck.last_global.clone(),
+            fault_log: ck.fault_log.clone(),
+        })
+    }
+
+    /// Run the remaining tasks and assemble the report.
+    fn drive(&mut self, mut st: RunState) -> Result<SimReport, SimError> {
         fedknow_obs::init_from_env();
         let obs_before = fedknow_obs::snapshot();
         let run_span = fedknow_obs::span("run");
         let num_tasks = self.data[0].tasks.len();
-        let n = self.clients.len();
-        let method = self.clients[0].method_name().to_string();
-        let mut rngs: Vec<StdRng> = (0..n)
-            .map(|c| substream(self.cfg.seed, 0xF1_0000 + c as u64))
-            .collect();
-        let mut active = vec![true; n];
-        let mut dropouts = Vec::new();
-        let mut matrices: Vec<AccuracyMatrix> = vec![AccuracyMatrix::new(); n];
-        let mut task_compute = Vec::with_capacity(num_tasks);
-        let mut task_comm = Vec::with_capacity(num_tasks);
-        let mut task_loss = Vec::with_capacity(num_tasks);
-        let mut total_bytes = 0u64;
-        let mut prev_global: Option<Vec<f32>> = None;
+        self.advance(&mut st, num_tasks)?;
 
-        for step in 0..num_tasks {
+        // Close the run span before diffing so its duration is included,
+        // then attribute this run's metrics by snapshot difference.
+        drop(run_span);
+        let phase_breakdown = obs_before.and_then(|before| {
+            fedknow_obs::snapshot().map(|after| PhaseBreakdown::from_metrics(&after.since(&before)))
+        });
+        fedknow_obs::flush();
+
+        Ok(SimReport {
+            method: self.clients[0].method_name().to_string(),
+            accuracy: mean_matrix(&st.matrices),
+            task_compute_seconds: st.task_compute,
+            task_comm_seconds: st.task_comm,
+            total_bytes: st.total_bytes,
+            dropouts: st.dropouts,
+            task_mean_loss: st.task_loss,
+            phase_breakdown,
+            fault_log: st.fault_log,
+        })
+    }
+
+    /// Advance the task loop from `st.next_task` up to (not including)
+    /// `until`.
+    fn advance(&mut self, st: &mut RunState, until: usize) -> Result<(), SimError> {
+        let n = self.clients.len();
+        let plan = FaultPlan::new(self.cfg.seed, self.cfg.faults);
+        let inert = plan.config().is_inert();
+        let deadline_factor = plan.config().deadline_factor;
+
+        for step in st.next_task..until {
             let _task_span = fedknow_obs::obs_span!("task.{step}");
             // Task start on every active client.
-            self.for_each_active(&active, &mut rngs, |_c, client, data, rng| {
+            self.for_each_active(&st.active, &mut st.rngs, |_c, client, data, rng| {
                 client.start_task(&data.tasks[step], rng);
             });
 
@@ -320,43 +674,204 @@ impl Simulation {
                 // Global round index: the ambient tag every deep
                 // instrumentation site (integrator, restorer) stamps
                 // its series points with.
-                fedknow_obs::set_round((step * self.cfg.rounds_per_task + round) as u64);
+                let global_round = (step * self.cfg.rounds_per_task + round) as u64;
+                fedknow_obs::set_round(global_round);
+
+                // Fault draws happen here, on the coordinator thread and
+                // in client order, from per-(client, round) substreams —
+                // the schedule is independent of thread count.
+                let faults: Vec<RoundFaults> = (0..n)
+                    .map(|c| {
+                        if inert || !st.active[c] {
+                            RoundFaults::none()
+                        } else {
+                            plan.draw(c, global_round)
+                        }
+                    })
+                    .collect();
+
+                // Rejoin: a client that crashed earlier and is back this
+                // round is re-sent the broadcast it missed (charged as a
+                // model download) before training resumes.
+                let mut rejoin_secs = vec![0.0f64; n];
+                for c in 0..n {
+                    if !st.active[c] || faults[c].crash || !st.missed_broadcast[c] {
+                        continue;
+                    }
+                    st.missed_broadcast[c] = false;
+                    if let Some(g) = &st.last_global {
+                        self.clients[c].receive_global(g, &mut st.rngs[c]);
+                        let down = self.clients[c].base_comm(self.model_bytes).down;
+                        st.total_bytes += down;
+                        fedknow_obs::count("comm.download_bytes", down);
+                        fedknow_obs::count("fl.rejoins", 1);
+                        rejoin_secs[c] = self.comm.transfer_seconds(down);
+                        st.fault_log.push(FaultEvent {
+                            round: global_round,
+                            client: c,
+                            kind: FaultKind::Rejoin,
+                            detail: 0,
+                        });
+                    }
+                }
+
+                // Participation this round: active minus fresh crashes.
+                let mut part = st.active.clone();
+                for c in 0..n {
+                    if st.active[c] && faults[c].crash {
+                        part[c] = false;
+                        fedknow_obs::count("fl.crashes", 1);
+                        st.fault_log.push(FaultEvent {
+                            round: global_round,
+                            client: c,
+                            kind: FaultKind::Crash,
+                            detail: 0,
+                        });
+                    }
+                }
+                if !inert && fedknow_obs::is_enabled() {
+                    let frac = part.iter().filter(|&&p| p).count() as f64 / n as f64;
+                    fedknow_obs::series("fl.participation", frac);
+                }
+
                 // Local training, parallel across clients.
-                let outcomes = self.train_round(&active, &mut rngs);
-                // The slowest active device gates the synchronous round.
-                let mut round_compute: f64 = 0.0;
+                let outcomes = self.train_round(&part, &mut st.rngs);
+
+                // The slowest participant gates the synchronous round;
+                // stragglers run `slowdown ×` their nominal time, and an
+                // optional deadline (a multiple of the slowest *nominal*
+                // time) caps how long the server waits.
+                let mut nominal_max = 0.0f64;
+                let mut actual = vec![None::<f64>; n];
                 for (c, o) in outcomes.iter().enumerate() {
                     if let Some(o) = o {
-                        round_compute = round_compute.max(self.devices[c].compute_seconds(o.flops));
+                        let nominal = self.devices[c].compute_seconds(o.flops);
+                        nominal_max = nominal_max.max(nominal);
+                        actual[c] = Some(nominal * faults[c].slowdown);
+                        if faults[c].slowdown > 1.0 {
+                            st.fault_log.push(FaultEvent {
+                                round: global_round,
+                                client: c,
+                                kind: FaultKind::Straggle,
+                                detail: (faults[c].slowdown * 1000.0).round() as u64,
+                            });
+                        }
                         loss_sum += o.loss_sum;
                         loss_iters += o.iters;
                     }
                 }
-                compute_secs += round_compute;
-
-                // Aggregation.
-                let mut uploads: Vec<Option<Vec<f32>>> = Vec::with_capacity(n);
-                let mut weights: Vec<usize> = Vec::with_capacity(n);
-                for (c, client) in self.clients.iter_mut().enumerate() {
-                    if active[c] {
-                        uploads.push(client.upload());
-                        weights.push(self.data[c].tasks[step].train.len());
+                let deadline = (deadline_factor > 0.0).then_some(deadline_factor * nominal_max);
+                let mut deadline_missed = vec![false; n];
+                let mut round_compute: f64 = 0.0;
+                let mut any_miss = false;
+                for c in 0..n {
+                    let Some(a) = actual[c] else { continue };
+                    if deadline.is_some_and(|d| a > d) {
+                        deadline_missed[c] = true;
+                        any_miss = true;
+                        fedknow_obs::count("fl.deadline_misses", 1);
+                        st.fault_log.push(FaultEvent {
+                            round: global_round,
+                            client: c,
+                            kind: FaultKind::DeadlineMiss,
+                            detail: (faults[c].slowdown * 1000.0).round() as u64,
+                        });
                     } else {
-                        uploads.push(None);
-                        weights.push(0);
+                        round_compute = round_compute.max(a);
                     }
                 }
-                let global = fedavg(&uploads, &weights);
+                if any_miss {
+                    // The server waits out the full deadline window.
+                    round_compute = round_compute.max(deadline.unwrap_or(0.0));
+                }
+                compute_secs += round_compute;
+
+                // Uploads, with in-flight loss and corruption applied.
+                // `attempts` counts transmissions of the base upload
+                // (retries burn wire bytes even when they fail).
+                let mut uploads: Vec<Option<Vec<f32>>> = Vec::with_capacity(n);
+                let mut weights: Vec<usize> = Vec::with_capacity(n);
+                let mut attempts = vec![0u32; n];
+                let mut backoff = vec![0.0f64; n];
+                for c in 0..n {
+                    if !part[c] {
+                        uploads.push(None);
+                        weights.push(0);
+                        continue;
+                    }
+                    weights.push(self.data[c].tasks[step].train.len());
+                    let mut up = self.clients[c].upload();
+                    if let Some(v) = up.as_mut() {
+                        if let Some(corr) = faults[c].corruption {
+                            corr.apply(v);
+                            st.fault_log.push(FaultEvent {
+                                round: global_round,
+                                client: c,
+                                kind: FaultKind::Corrupt,
+                                detail: corr.mode as u64,
+                            });
+                        }
+                        attempts[c] = faults[c].upload_attempts();
+                        let lost = faults[c].lost_attempts;
+                        if lost > 0 {
+                            let retries = lost.min(plan.config().max_retries);
+                            fedknow_obs::count("fl.retries", retries as u64);
+                            backoff[c] = plan.backoff_seconds(retries);
+                            if faults[c].upload_lost {
+                                up = None;
+                                fedknow_obs::count("fl.uploads_lost", 1);
+                                st.fault_log.push(FaultEvent {
+                                    round: global_round,
+                                    client: c,
+                                    kind: FaultKind::UploadLost,
+                                    detail: lost as u64,
+                                });
+                            } else {
+                                st.fault_log.push(FaultEvent {
+                                    round: global_round,
+                                    client: c,
+                                    kind: FaultKind::UploadRetry,
+                                    detail: lost as u64,
+                                });
+                            }
+                        }
+                        if deadline_missed[c] {
+                            // Transmitted, but arrived after the server
+                            // closed the round: excluded from FedAvg.
+                            up = None;
+                        }
+                    }
+                    uploads.push(up);
+                }
+
+                // Aggregation; validation quarantines malformed uploads.
+                let agg = fedavg(&uploads, &weights)?;
+                for r in &agg.rejected {
+                    let detail = match r.reason {
+                        RejectReason::NonFinite { index } => index as u64,
+                        RejectReason::DimensionMismatch { got, .. } => got as u64,
+                    };
+                    fedknow_obs::count("fl.uploads_rejected", 1);
+                    st.fault_log.push(FaultEvent {
+                        round: global_round,
+                        client: r.client,
+                        kind: FaultKind::UploadRejected,
+                        detail,
+                    });
+                    // Telemetry below sees the server-accepted view.
+                    uploads[r.client] = None;
+                }
+                let global = agg.global;
                 if fedknow_obs::is_enabled() {
                     if let Some(g) = &global {
                         if let Some(div) = upload_divergence(&uploads, g) {
                             fedknow_obs::gauge("fl.update_divergence", div);
                             fedknow_obs::series("fl.update_divergence", div);
                         }
-                        if let Some(prev) = &prev_global {
+                        if let Some(prev) = &st.prev_global {
                             fedknow_obs::series("fl.global_drift", relative_l2(prev, g));
                         }
-                        prev_global = Some(g.clone());
+                        st.prev_global = Some(g.clone());
                     }
                 }
 
@@ -365,7 +880,7 @@ impl Simulation {
                 let mut payloads: Vec<Payload> = Vec::new();
                 let mut payload_up = vec![0u64; n];
                 for (c, client) in self.clients.iter_mut().enumerate() {
-                    if !active[c] {
+                    if !part[c] {
                         continue;
                     }
                     for mut p in client.payload_out() {
@@ -376,88 +891,81 @@ impl Simulation {
                 }
                 let payload_total: u64 = payloads.iter().map(|p| p.size_bytes()).sum();
 
-                // Communication accounting (per client, gated by slowest).
+                // Communication accounting (per client, gated by the
+                // slowest link; lost attempts burn bytes, retry backoff
+                // and rejoin downloads are charged as link time).
                 let mut round_comm: f64 = 0.0;
-                for (c, up) in uploads.iter().enumerate() {
-                    if !active[c] {
+                for c in 0..n {
+                    if !part[c] {
                         continue;
                     }
                     let extra: CommBytes = self.clients[c].extra_comm();
                     let base: CommBytes = self.clients[c].base_comm(self.model_bytes);
                     // Clients download every payload but their own.
                     let payload_down = payload_total - payload_up[c];
-                    let up_bytes =
-                        if up.is_some() { base.up } else { 0 } + extra.up + payload_up[c];
+                    let up_bytes = base.up * attempts[c] as u64 + extra.up + payload_up[c];
                     let down_bytes =
                         if global.is_some() { base.down } else { 0 } + extra.down + payload_down;
-                    total_bytes += up_bytes + down_bytes;
+                    st.total_bytes += up_bytes + down_bytes;
                     fedknow_obs::count("comm.upload_bytes", up_bytes);
                     fedknow_obs::count("comm.download_bytes", down_bytes);
-                    round_comm = round_comm.max(self.comm.transfer_seconds(up_bytes + down_bytes));
+                    let link = self.comm.transfer_seconds(up_bytes + down_bytes)
+                        + backoff[c]
+                        + rejoin_secs[c];
+                    round_comm = round_comm.max(link);
                 }
                 comm_secs += round_comm;
 
-                // Broadcast the aggregated model and the payload set.
+                // Broadcast the aggregated model and the payload set;
+                // crashed clients miss it and are owed a rejoin.
                 if let Some(g) = &global {
-                    self.receive_round(&active, &mut rngs, g);
+                    self.receive_round(&part, &mut st.rngs, g);
+                    for (c, &went) in part.iter().enumerate() {
+                        if st.active[c] && !went {
+                            st.missed_broadcast[c] = true;
+                        }
+                    }
+                    st.last_global = Some(g.clone());
                 }
                 if !payloads.is_empty() {
                     let payloads = &payloads;
-                    self.for_each_active(&active, &mut rngs, |_c, client, _data, rng| {
+                    self.for_each_active(&part, &mut st.rngs, |_c, client, _data, rng| {
                         client.payloads_in(payloads, rng);
                     });
                 }
             }
 
             // Task end: consolidate knowledge, then check memory budgets.
-            self.for_each_active(&active, &mut rngs, |_c, client, _data, rng| {
+            self.for_each_active(&st.active, &mut st.rngs, |_c, client, _data, rng| {
                 client.finish_task(rng);
             });
-            for (c, is_active) in active.iter_mut().enumerate() {
+            for (c, is_active) in st.active.iter_mut().enumerate() {
                 if *is_active && self.devices[c].would_oom(self.clients[c].retained_bytes()) {
                     *is_active = false;
-                    dropouts.push((c, step));
+                    st.dropouts.push((c, step));
                 }
             }
 
             // Evaluation row: every client, all learned tasks (dropped
             // clients keep their stale model).
             let rows = self.evaluate_all(step);
-            for (m, row) in matrices.iter_mut().zip(rows) {
-                m.push_row(row)
-                    .expect("evaluation covers all learned tasks");
+            for (m, row) in st.matrices.iter_mut().zip(rows) {
+                m.push_row(row)?;
             }
             if fedknow_obs::is_enabled() {
-                record_forgetting(&matrices, step);
+                record_forgetting(&st.matrices, step);
             }
 
-            task_compute.push(compute_secs);
-            task_comm.push(comm_secs);
-            task_loss.push(if loss_iters > 0 {
+            st.task_compute.push(compute_secs);
+            st.task_comm.push(comm_secs);
+            st.task_loss.push(if loss_iters > 0 {
                 loss_sum / loss_iters as f64
             } else {
                 0.0
             });
+            st.next_task = step + 1;
         }
-
-        // Close the run span before diffing so its duration is included,
-        // then attribute this run's metrics by snapshot difference.
-        drop(run_span);
-        let phase_breakdown = obs_before.and_then(|before| {
-            fedknow_obs::snapshot().map(|after| PhaseBreakdown::from_metrics(&after.since(&before)))
-        });
-        fedknow_obs::flush();
-
-        SimReport {
-            method,
-            accuracy: mean_matrix(&matrices),
-            task_compute_seconds: task_compute,
-            task_comm_seconds: task_comm,
-            total_bytes,
-            dropouts,
-            task_mean_loss: task_loss,
-            phase_breakdown,
-        }
+        Ok(())
     }
 
     /// Apply `f(index, client, data, rng)` to every active client, in
@@ -505,8 +1013,8 @@ impl Simulation {
         }
     }
 
-    /// Run `iters_per_round` iterations on every active client; returns
-    /// per-client outcome (`None` for inactive clients).
+    /// Run `iters_per_round` iterations on every participating client;
+    /// returns per-client outcome (`None` for absent clients).
     fn train_round(&mut self, active: &[bool], rngs: &mut [StdRng]) -> Vec<Option<RoundOutcome>> {
         let iters = self.cfg.iters_per_round;
         let results: Vec<parking_lot::Mutex<Option<RoundOutcome>>> = (0..self.clients.len())
@@ -529,7 +1037,7 @@ impl Simulation {
         results.into_iter().map(|m| m.into_inner()).collect()
     }
 
-    /// Broadcast the global model to active clients.
+    /// Broadcast the global model to the given clients.
     fn receive_round(&mut self, active: &[bool], rngs: &mut [StdRng], global: &[f32]) {
         self.for_each_active(active, rngs, |_c, client, _data, rng| {
             client.receive_global(global, rng);
@@ -565,14 +1073,11 @@ mod tests {
     use crate::client::{FclClient, IterationStats};
     use fedknow_data::{generate::generate, partition, ClientTask, DatasetSpec, PartitionConfig};
 
-    /// Minimal client: a parameter vector that moves toward a constant,
-    /// plus counters to observe protocol order.
+    /// Minimal client: a 4-parameter vector that drifts upward each
+    /// iteration and adopts the global verbatim.
     struct StubClient {
         params: Vec<f32>,
         retained: u64,
-        started: usize,
-        finished: usize,
-        received: usize,
         acc: f64,
     }
 
@@ -581,18 +1086,13 @@ mod tests {
             Self {
                 params: vec![0.0; 4],
                 retained,
-                started: 0,
-                finished: 0,
-                received: 0,
                 acc,
             }
         }
     }
 
     impl FclClient for StubClient {
-        fn start_task(&mut self, _t: &ClientTask, _rng: &mut rand::rngs::StdRng) {
-            self.started += 1;
-        }
+        fn start_task(&mut self, _t: &ClientTask, _rng: &mut rand::rngs::StdRng) {}
         fn train_iteration(&mut self, _rng: &mut rand::rngs::StdRng) -> IterationStats {
             for p in &mut self.params {
                 *p += 1.0;
@@ -607,10 +1107,8 @@ mod tests {
         }
         fn receive_global(&mut self, g: &[f32], _rng: &mut rand::rngs::StdRng) {
             self.params.copy_from_slice(g);
-            self.received += 1;
         }
         fn finish_task(&mut self, _rng: &mut rand::rngs::StdRng) {
-            self.finished += 1;
             self.retained += 1_000;
         }
         fn evaluate(&mut self, _t: &ClientTask) -> f64 {
@@ -630,7 +1128,7 @@ mod tests {
         partition(&d, n_clients, &PartitionConfig::default(), 1)
     }
 
-    fn run_sim(parallel: bool, retained: u64) -> SimReport {
+    fn stub_sim(parallel: bool, retained: u64, faults: FaultConfig) -> Simulation {
         let data = tiny_data(3);
         let clients: Vec<Box<dyn FclClient>> = (0..3)
             .map(|c| {
@@ -647,9 +1145,15 @@ mod tests {
             iters_per_round: 3,
             seed: 5,
             parallel,
+            faults,
         };
-        let mut sim = Simulation::new(clients, data, devices, CommModel::paper_default(), cfg, 400);
-        sim.run()
+        Simulation::new(clients, data, devices, CommModel::paper_default(), cfg, 400)
+    }
+
+    fn run_sim(parallel: bool, retained: u64) -> SimReport {
+        stub_sim(parallel, retained, FaultConfig::default())
+            .run()
+            .expect("stub sim runs")
     }
 
     #[test]
@@ -674,6 +1178,8 @@ mod tests {
         assert_eq!(r.cumulative_time().len(), 3);
         // Mean of client accuracies 0.5/0.6/0.7.
         assert!((r.accuracy.avg_accuracy_after(2) - 0.6).abs() < 1e-9);
+        // Inert fault config: nothing in the log.
+        assert!(r.fault_log.is_empty());
     }
 
     #[test]
@@ -720,6 +1226,213 @@ mod tests {
         // identical stubs they stay identical forever.
         let r = run_sim(false, 0);
         assert!(r.task_mean_loss.iter().all(|&l| (l - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn chaotic_run_completes_and_logs_faults() {
+        let r = stub_sim(false, 0, FaultConfig::crash_loss(0.3))
+            .run()
+            .expect("faulty sim still completes");
+        assert_eq!(r.accuracy.num_tasks(), 3);
+        assert!(!r.fault_log.is_empty(), "30% fault rate must log events");
+        assert!(r.fault_count(FaultKind::Crash) > 0);
+        // Stub accuracies are constant, so the matrix stays exact even
+        // under faults — and every entry must be finite.
+        for m in 0..3 {
+            for k in 0..=m {
+                assert!(r.accuracy.at(m, k).is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn fault_schedule_is_parallel_invariant() {
+        let a = stub_sim(true, 0, FaultConfig::crash_loss(0.2))
+            .run()
+            .expect("parallel faulty run");
+        let b = stub_sim(false, 0, FaultConfig::crash_loss(0.2))
+            .run()
+            .expect("serial faulty run");
+        assert_eq!(a, b, "fault injection must not depend on threading");
+        assert!(!a.fault_log.is_empty());
+    }
+
+    #[test]
+    fn lost_uploads_burn_bytes_and_backoff() {
+        let faults = FaultConfig {
+            loss_prob: 1.0,
+            max_retries: 2,
+            backoff_base_secs: 0.5,
+            ..FaultConfig::default()
+        };
+        let r = stub_sim(false, 0, faults).run().expect("runs");
+        // Every upload is lost on all 3 attempts; no global is ever
+        // aggregated, so no download happens. 3 tasks × 2 rounds × 3
+        // clients × 3 attempts × 400 bytes.
+        assert_eq!(r.fault_count(FaultKind::UploadLost), 3 * 2 * 3);
+        assert_eq!(r.total_bytes, 3 * 2 * 3 * 3 * 400);
+        // Comm time per round: the 1200-byte burst plus two backoffs
+        // (0.5 + 1.0); identical for all clients, the max is one of them.
+        let per_round = 1200.0 / 1_000_000.0 + 1.5;
+        assert!((r.task_comm_seconds[0] - 2.0 * per_round).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deadline_excludes_stragglers_and_caps_round_time() {
+        let faults = FaultConfig {
+            straggler_prob: 1.0,
+            straggler_slowdown: 10.0,
+            deadline_factor: 2.0,
+            ..FaultConfig::default()
+        };
+        let r = stub_sim(false, 0, faults).run().expect("runs");
+        // Everyone straggles 10×; the deadline is 2× the slowest nominal
+        // (the RPi). The 10×-slowed AGX still finishes ~24× faster than
+        // the RPi's nominal, so only the Nano and the RPi overshoot:
+        // 2 clients × 3 tasks × 2 rounds.
+        assert_eq!(r.fault_count(FaultKind::Straggle), 3 * 2 * 3);
+        assert_eq!(r.fault_count(FaultKind::DeadlineMiss), 3 * 2 * 2);
+        // The server waits out exactly the deadline window per round:
+        // 2 × (slowest nominal = RPi, 3 iters × 1000 flops / 2.4e10).
+        let nominal_max = 3.0 * 1000.0 / 2.4e10;
+        assert!((r.task_compute_seconds[0] - 2.0 * (2.0 * nominal_max)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn corrupted_uploads_are_quarantined() {
+        let faults = FaultConfig {
+            corrupt_prob: 1.0,
+            ..FaultConfig::default()
+        };
+        let r = stub_sim(false, 0, faults).run().expect("runs");
+        // Every upload is corrupted; the non-finite modes (two thirds in
+        // expectation) must be caught by server validation.
+        assert_eq!(r.fault_count(FaultKind::Corrupt), 3 * 2 * 3);
+        assert!(r.fault_count(FaultKind::UploadRejected) > 0);
+        assert!(
+            r.fault_count(FaultKind::UploadRejected) <= r.fault_count(FaultKind::Corrupt),
+            "only corrupted uploads can be rejected here"
+        );
+    }
+
+    /// Replays the crash/rejoin/loss protocol independently from the
+    /// fault plan (which is a pure function of the seed) and checks the
+    /// run's fault log matches the replay event for event.
+    #[test]
+    fn crash_rejoin_and_loss_follow_the_plan_exactly() {
+        let cfg = FaultConfig::crash_loss(0.3);
+        let r = stub_sim(false, 0, cfg).run().expect("runs");
+        assert!(r.fault_count(FaultKind::Crash) > 0, "need crashes at 30%");
+        assert!(r.fault_count(FaultKind::Rejoin) > 0, "crashes must heal");
+
+        // Independent replay. Stubs never OOM here, so every client stays
+        // active; a global exists whenever any participant's upload
+        // survives; a crashed client is owed a rejoin at its next
+        // non-crashed round once a global exists.
+        let plan = FaultPlan::new(5, cfg);
+        let mut expected = Vec::new();
+        let mut missed = [false; 3];
+        let mut have_global = false;
+        for round in 0..(3 * 2u64) {
+            let f: Vec<RoundFaults> = (0..3).map(|c| plan.draw(c, round)).collect();
+            for c in 0..3 {
+                if !f[c].crash && missed[c] {
+                    missed[c] = false;
+                    expected.push((round, c, FaultKind::Rejoin));
+                }
+            }
+            for (c, fc) in f.iter().enumerate() {
+                if fc.crash {
+                    expected.push((round, c, FaultKind::Crash));
+                }
+            }
+            let mut any_upload = false;
+            for (c, fc) in f.iter().enumerate() {
+                if fc.crash {
+                    continue;
+                }
+                if fc.upload_lost {
+                    expected.push((round, c, FaultKind::UploadLost));
+                } else {
+                    any_upload = true;
+                    if fc.lost_attempts > 0 {
+                        expected.push((round, c, FaultKind::UploadRetry));
+                    }
+                }
+            }
+            if any_upload {
+                have_global = true;
+            }
+            if have_global {
+                for c in 0..3 {
+                    if f[c].crash {
+                        missed[c] = true;
+                    }
+                }
+            }
+        }
+        let logged: Vec<(u64, usize, FaultKind)> = r
+            .fault_log
+            .iter()
+            .map(|e| (e.round, e.client, e.kind))
+            .collect();
+        assert_eq!(logged, expected, "fault log must match the plan replay");
+    }
+
+    #[test]
+    fn checkpoint_resume_is_bit_identical() {
+        for faults in [FaultConfig::default(), FaultConfig::crash_loss(0.2)] {
+            let full = stub_sim(false, 0, faults).run().expect("full run");
+            let ck = stub_sim(false, 0, faults)
+                .checkpoint(1)
+                .expect("prefix run");
+            assert_eq!(ck.next_task, 1);
+            assert_eq!(ck.task_compute.len(), 1);
+            let resumed = stub_sim(false, 0, faults).resume(&ck).expect("resume");
+            assert_eq!(full, resumed, "resume must reproduce the report exactly");
+        }
+    }
+
+    #[test]
+    fn checkpoint_survives_serialisation() {
+        let faults = FaultConfig::crash_loss(0.2);
+        let ck = stub_sim(false, 0, faults)
+            .checkpoint(2)
+            .expect("prefix run");
+        let json = serde_json::to_string(&ck).expect("serialise");
+        let back: SimCheckpoint = serde_json::from_str(&json).expect("roundtrip");
+        let full = stub_sim(false, 0, faults).run().expect("full run");
+        let resumed = stub_sim(false, 0, faults).resume(&back).expect("resume");
+        assert_eq!(full, resumed);
+    }
+
+    #[test]
+    fn mismatched_checkpoints_are_rejected() {
+        let ck = stub_sim(false, 0, FaultConfig::default())
+            .checkpoint(1)
+            .expect("prefix run");
+        // Wrong seed.
+        let mut other = stub_sim(false, 0, FaultConfig::default());
+        other.cfg.seed = 6;
+        assert!(matches!(other.resume(&ck), Err(SimError::BadCheckpoint(_))));
+        // Wrong fault config.
+        let mut other = stub_sim(false, 0, FaultConfig::default());
+        other.cfg.faults = FaultConfig::crash_loss(0.1);
+        assert!(matches!(other.resume(&ck), Err(SimError::BadCheckpoint(_))));
+        // Corrupted RNG state width.
+        let mut broken = ck.clone();
+        broken.rng_states[0] = vec![1, 2];
+        assert!(matches!(
+            stub_sim(false, 0, FaultConfig::default()).resume(&broken),
+            Err(SimError::BadCheckpoint(_))
+        ));
+        // Version from the future.
+        let mut broken = ck.clone();
+        broken.version = 99;
+        assert!(matches!(
+            stub_sim(false, 0, FaultConfig::default()).resume(&broken),
+            Err(SimError::BadCheckpoint(_))
+        ));
     }
 }
 
@@ -790,6 +1503,7 @@ mod payload_tests {
             iters_per_round: 1,
             seed: 0,
             parallel: false,
+            faults: FaultConfig::default(),
         };
         let model_bytes = 16u64;
         let mut sim = Simulation::new(
@@ -800,7 +1514,7 @@ mod payload_tests {
             cfg,
             model_bytes,
         );
-        let report = sim.run();
+        let report = sim.run().expect("payload sim runs");
         // Per round: 3 payloads of (2·8 + 16) = 32 bytes each.
         // Up: model 16 + payload 32 per client; down: model 16 + the two
         // foreign payloads (64) per client. 2 rounds × 3 clients.

@@ -1,8 +1,78 @@
-//! Property-based tests for aggregation and metrics.
+//! Property-based tests for aggregation, metrics, and the determinism of
+//! the fault-injected round protocol.
 
+use fedknow_data::{generate::generate, partition, ClientTask, DatasetSpec, PartitionConfig};
 use fedknow_fl::metrics::AccuracyMatrix;
 use fedknow_fl::server::fedavg;
+use fedknow_fl::{
+    CommModel, DeviceProfile, FaultConfig, FclClient, IterationStats, SimConfig, SimReport,
+    Simulation,
+};
 use proptest::prelude::*;
+
+/// Tiny drifting client for protocol-level properties.
+struct DriftClient {
+    params: Vec<f32>,
+}
+
+impl FclClient for DriftClient {
+    fn start_task(&mut self, _t: &ClientTask, _rng: &mut rand::rngs::StdRng) {}
+    fn train_iteration(&mut self, rng: &mut rand::rngs::StdRng) -> IterationStats {
+        use rand::Rng;
+        for p in &mut self.params {
+            *p += rng.gen::<f32>();
+        }
+        IterationStats {
+            loss: 1.0,
+            flops: 500,
+        }
+    }
+    fn upload(&mut self) -> Option<Vec<f32>> {
+        Some(self.params.clone())
+    }
+    fn receive_global(&mut self, g: &[f32], _rng: &mut rand::rngs::StdRng) {
+        self.params.copy_from_slice(g);
+    }
+    fn finish_task(&mut self, _rng: &mut rand::rngs::StdRng) {}
+    fn evaluate(&mut self, _t: &ClientTask) -> f64 {
+        (f64::from(self.params[0]).sin() + 1.0) / 2.0
+    }
+    fn method_name(&self) -> &'static str {
+        "drift"
+    }
+}
+
+/// A 3-client faulty simulation at 20% crash/loss.
+fn faulty_sim(seed: u64, parallel: bool) -> Simulation {
+    let spec = DatasetSpec::cifar100().scaled(0.2, 8).with_tasks(2);
+    let data = partition(&generate(&spec, 1), 3, &PartitionConfig::default(), 1);
+    let clients: Vec<Box<dyn FclClient>> = (0..3)
+        .map(|_| {
+            Box::new(DriftClient {
+                params: vec![0.0; 6],
+            }) as Box<dyn FclClient>
+        })
+        .collect();
+    let devices = vec![
+        DeviceProfile::jetson_agx(),
+        DeviceProfile::jetson_nano(),
+        DeviceProfile::raspberry_pi(4),
+    ];
+    let cfg = SimConfig {
+        rounds_per_task: 3,
+        iters_per_round: 2,
+        seed,
+        parallel,
+        faults: FaultConfig::crash_loss(0.2),
+    };
+    Simulation::new(clients, data, devices, CommModel::paper_default(), cfg, 24)
+}
+
+fn faulty_report(seed: u64, parallel: bool) -> SimReport {
+    faulty_sim(seed, parallel)
+        .run()
+        .expect("faulty sim completes")
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -20,7 +90,7 @@ proptest! {
     ) {
         let n = uploads.len();
         let opts: Vec<Option<Vec<f32>>> = uploads.iter().cloned().map(Some).collect();
-        let g = fedavg(&opts, &weights[..n]).unwrap();
+        let g = fedavg(&opts, &weights[..n]).unwrap().global.unwrap();
         for j in 0..4 {
             let lo = uploads.iter().map(|u| u[j]).fold(f32::INFINITY, f32::min);
             let hi = uploads.iter().map(|u| u[j]).fold(f32::NEG_INFINITY, f32::max);
@@ -40,8 +110,8 @@ proptest! {
         let opts: Vec<Option<Vec<f32>>> = uploads.iter().cloned().map(Some).collect();
         let w1: Vec<usize> = (0..n).map(|i| base + i).collect();
         let w2: Vec<usize> = w1.iter().map(|w| w * scale).collect();
-        let a = fedavg(&opts, &w1).unwrap();
-        let b = fedavg(&opts, &w2).unwrap();
+        let a = fedavg(&opts, &w1).unwrap().global.unwrap();
+        let b = fedavg(&opts, &w2).unwrap().global.unwrap();
         for (x, y) in a.iter().zip(&b) {
             prop_assert!((x - y).abs() < 1e-4);
         }
@@ -69,5 +139,32 @@ proptest! {
         }
         // The accuracy curve length matches the task count.
         prop_assert_eq!(m.accuracy_curve().len(), 3);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// With 20% crash/loss injection, the whole report — accuracy
+    /// matrix, fault event log, byte counts, simulated times — is
+    /// identical with `parallel` on vs off, and across two runs at the
+    /// same seed.
+    #[test]
+    fn faulty_runs_are_deterministic(seed in 0u64..1000) {
+        let serial = faulty_report(seed, false);
+        let parallel = faulty_report(seed, true);
+        prop_assert_eq!(&serial, &parallel);
+        let again = faulty_report(seed, false);
+        prop_assert_eq!(&serial, &again);
+    }
+
+    /// Fault schedules differ across seeds (the plan actually keys off
+    /// the seed), while every run still completes all tasks.
+    #[test]
+    fn faulty_runs_complete_all_tasks(seed in 0u64..1000) {
+        let r = faulty_report(seed, false);
+        prop_assert_eq!(r.accuracy.num_tasks(), 2);
+        prop_assert!(r.task_comm_seconds.iter().all(|t| t.is_finite()));
+        prop_assert!(r.task_compute_seconds.iter().all(|t| t.is_finite()));
     }
 }

@@ -131,6 +131,13 @@ impl Aggregate {
         agg
     }
 
+    /// Total of a counter, or 0 if it was never incremented — fault
+    /// counters (`fl.crashes`, `fl.retries`, ...) are absent from clean
+    /// runs, and "absent" means zero, not missing data.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
     /// Exact nearest-rank quantile over a metric's samples.
     pub fn quantile(&self, name: &str, q: f64) -> Option<u64> {
         let xs = self.samples.get(name)?;
@@ -181,6 +188,8 @@ mod tests {
         }
         let agg = Aggregate::from_events(&events);
         assert_eq!(agg.counters["bytes"], 10);
+        assert_eq!(agg.counter("bytes"), 10);
+        assert_eq!(agg.counter("never_touched"), 0);
         assert_eq!(
             agg.spans["run"],
             SpanStat {

@@ -37,7 +37,9 @@ fn main() {
     for bandwidth_kb in [100.0, 1000.0] {
         println!("\n--- bandwidth {bandwidth_kb} KB/s ---");
         for method in [Method::FedKnow, Method::FedWeit] {
-            let report = spec.run_on(method, devices.clone(), CommModel::kb_per_sec(bandwidth_kb));
+            let report = spec
+                .run_on(method, devices.clone(), CommModel::kb_per_sec(bandwidth_kb))
+                .expect("simulation failed");
             println!(
                 "{:<10} final acc {:.3}  compute {:>7.1}s  comm {:>7.2}s  dropouts {:?}",
                 report.method,

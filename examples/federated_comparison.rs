@@ -22,7 +22,7 @@ fn main() {
         spec.iters_per_round
     );
     for method in [Method::FedAvg, Method::Gem, Method::FedKnow] {
-        let report = spec.run(method);
+        let report = spec.run(method).expect("simulation failed");
         let acc = report.accuracy.accuracy_curve();
         let forget = report.accuracy.forgetting_curve();
         println!(

@@ -4,7 +4,10 @@
 use fedknow_baselines::factory::MethodConfig;
 use fedknow_baselines::{build_client, Method};
 use fedknow_data::{generate::generate, partition, DatasetSpec, PartitionConfig};
-use fedknow_fl::{CommModel, DeviceProfile, ModelTemplate, SimConfig, SimReport, Simulation};
+use fedknow_fl::{
+    CommModel, DeviceProfile, FaultConfig, ModelTemplate, SimConfig, SimError, SimReport,
+    Simulation,
+};
 use fedknow_nn::ModelKind;
 
 /// Everything needed to run one method on one benchmark.
@@ -26,6 +29,8 @@ pub struct RunSpec {
     pub seed: u64,
     /// Method hyper-parameters.
     pub method_cfg: MethodConfig,
+    /// Fault injection (inert by default — the fault-free protocol).
+    pub faults: FaultConfig,
 }
 
 impl RunSpec {
@@ -41,11 +46,18 @@ impl RunSpec {
             iters_per_round: 6,
             seed,
             method_cfg: MethodConfig::default(),
+            faults: FaultConfig::default(),
         }
     }
 
+    /// The same spec with fault injection turned on.
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = faults;
+        self
+    }
+
     /// Run a single method under this spec on a uniform device cluster.
-    pub fn run(&self, method: Method) -> SimReport {
+    pub fn run(&self, method: Method) -> Result<SimReport, SimError> {
         let devices = DeviceProfile::uniform_cluster(self.num_clients);
         self.run_on(method, devices, CommModel::paper_default())
     }
@@ -56,7 +68,7 @@ impl RunSpec {
         method: Method,
         devices: Vec<DeviceProfile>,
         comm: CommModel,
-    ) -> SimReport {
+    ) -> Result<SimReport, SimError> {
         let dataset = generate(&self.dataset, self.seed);
         self.run_on_dataset(method, &dataset, devices, comm)
     }
@@ -70,7 +82,32 @@ impl RunSpec {
         dataset: &fedknow_data::ContinualDataset,
         devices: Vec<DeviceProfile>,
         comm: CommModel,
-    ) -> SimReport {
+    ) -> Result<SimReport, SimError> {
+        let mut sim = self.build_on_dataset(method, dataset, devices, comm);
+        sim.run()
+    }
+
+    /// Build the simulation under this spec without running it — for
+    /// callers that drive it manually (checkpoint/resume, inspection).
+    /// Uses a uniform device cluster and the paper's default link.
+    pub fn build(&self, method: Method) -> Simulation {
+        let dataset = generate(&self.dataset, self.seed);
+        self.build_on_dataset(
+            method,
+            &dataset,
+            DeviceProfile::uniform_cluster(self.num_clients),
+            CommModel::paper_default(),
+        )
+    }
+
+    /// [`Self::build`] on an explicit dataset, device list and link.
+    pub fn build_on_dataset(
+        &self,
+        method: Method,
+        dataset: &fedknow_data::ContinualDataset,
+        devices: Vec<DeviceProfile>,
+        comm: CommModel,
+    ) -> Simulation {
         assert_eq!(
             devices.len(),
             self.num_clients,
@@ -110,8 +147,8 @@ impl RunSpec {
             iters_per_round: self.iters_per_round,
             seed: self.seed,
             parallel: true,
+            faults: self.faults,
         };
-        let mut sim = Simulation::new(clients, parts, devices, comm, cfg, template.size_bytes());
-        sim.run()
+        Simulation::new(clients, parts, devices, comm, cfg, template.size_bytes())
     }
 }

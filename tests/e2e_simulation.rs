@@ -3,12 +3,13 @@
 //! metrics — for FedKNOW and representative baselines.
 
 use fedknow_baselines::Method;
+use fedknow_fl::{FaultConfig, FaultKind};
 use fedknow_suite::RunSpec;
 
 #[test]
 fn fedknow_end_to_end_learns_above_chance() {
     let spec = RunSpec::quick(42);
-    let report = spec.run(Method::FedKnow);
+    let report = spec.run(Method::FedKnow).expect("simulation failed");
     assert_eq!(report.method, "fedknow");
     assert_eq!(report.accuracy.num_tasks(), 3);
     // 2–5 classes per client task → chance is at most 1/2; require the
@@ -28,8 +29,8 @@ fn fedknow_forgets_less_than_fedavg() {
     // ~0 after 3 tasks, leaving nothing to beat). Seed 15 gives both
     // methods headroom; re-pin if the vendored RNG stream changes.
     let spec = RunSpec::quick(15);
-    let fedknow = spec.run(Method::FedKnow);
-    let fedavg = spec.run(Method::FedAvg);
+    let fedknow = spec.run(Method::FedKnow).expect("simulation failed");
+    let fedavg = spec.run(Method::FedAvg).expect("simulation failed");
     let fk_forget = fedknow.accuracy.avg_forgetting_after(2);
     let fa_forget = fedavg.accuracy.avg_forgetting_after(2);
     assert!(
@@ -47,8 +48,8 @@ fn fedknow_forgets_less_than_fedavg() {
 #[test]
 fn runs_are_deterministic() {
     let spec = RunSpec::quick(11);
-    let a = spec.run(Method::FedKnow);
-    let b = spec.run(Method::FedKnow);
+    let a = spec.run(Method::FedKnow).expect("simulation failed");
+    let b = spec.run(Method::FedKnow).expect("simulation failed");
     assert_eq!(a.accuracy.accuracy_curve(), b.accuracy.accuracy_curve());
     assert_eq!(a.total_bytes, b.total_bytes);
 }
@@ -56,13 +57,59 @@ fn runs_are_deterministic() {
 #[test]
 fn fedweit_moves_more_bytes_than_fedknow() {
     let spec = RunSpec::quick(3);
-    let fedknow = spec.run(Method::FedKnow);
-    let fedweit = spec.run(Method::FedWeit);
+    let fedknow = spec.run(Method::FedKnow).expect("simulation failed");
+    let fedweit = spec.run(Method::FedWeit).expect("simulation failed");
     assert!(
         fedweit.total_bytes > fedknow.total_bytes,
         "FedWEIT {} should out-traffic FedKNOW {} (adaptive-weight exchange)",
         fedweit.total_bytes,
         fedknow.total_bytes
+    );
+}
+
+#[test]
+fn chaos_run_survives_thirty_percent_faults() {
+    // 30% of clients crash or lose their upload every round. The run
+    // must complete every task without a panic, crashed clients must be
+    // re-sent the global model when they rejoin, and accuracy must stay
+    // within 5 points of the fault-free run at the same seed.
+    let spec = RunSpec::quick(42);
+    let clean = spec.run(Method::FedKnow).expect("fault-free run");
+    let chaotic = spec
+        .clone()
+        .with_faults(FaultConfig::crash_loss(0.3))
+        .run(Method::FedKnow)
+        .expect("chaotic run completes");
+
+    assert_eq!(chaotic.accuracy.num_tasks(), 3, "all tasks completed");
+    assert!(!chaotic.fault_log.is_empty(), "faults were injected");
+    let crashes = chaotic.fault_count(FaultKind::Crash);
+    let rejoins = chaotic.fault_count(FaultKind::Rejoin);
+    assert!(crashes > 0, "30% crash rate must produce crashes");
+    assert!(rejoins > 0, "crashed clients must rejoin");
+    // Every rejoin heals an earlier crash of the same client.
+    for e in chaotic
+        .fault_log
+        .iter()
+        .filter(|e| e.kind == FaultKind::Rejoin)
+    {
+        assert!(
+            chaotic
+                .fault_log
+                .iter()
+                .any(|c| c.kind == FaultKind::Crash && c.client == e.client && c.round < e.round),
+            "client {} rejoined at round {} without a prior crash",
+            e.client,
+            e.round
+        );
+    }
+    // The clean run logs nothing; the protocols otherwise agree.
+    assert!(clean.fault_log.is_empty());
+    let clean_acc = clean.accuracy.avg_accuracy_after(2);
+    let chaos_acc = chaotic.accuracy.avg_accuracy_after(2);
+    assert!(
+        (clean_acc - chaos_acc).abs() <= 0.05,
+        "chaos accuracy {chaos_acc} strayed more than 5 points from {clean_acc}"
     );
 }
 
@@ -75,7 +122,7 @@ fn all_twelve_methods_complete_a_tiny_run() {
     spec.rounds_per_task = 2;
     spec.iters_per_round = 3;
     for method in Method::COMPARISON {
-        let report = spec.run(method);
+        let report = spec.run(method).expect("simulation failed");
         assert_eq!(
             report.accuracy.num_tasks(),
             2,

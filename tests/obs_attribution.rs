@@ -18,7 +18,9 @@ fn obs_attributes_time_to_every_paper_phase() {
     // attached lazily when the simulation calls `init_from_env`.
     std::env::set_var(fedknow_obs::ENV_JSONL, &path);
 
-    let report = RunSpec::quick(1).run(Method::FedKnow);
+    let report = RunSpec::quick(1)
+        .run(Method::FedKnow)
+        .expect("simulation failed");
 
     let b = report
         .phase_breakdown
