@@ -87,9 +87,23 @@ fn directory_scan_finds_all_fixture_pairs() {
     let out = run_gate(&["--report-only", "--results", dir.to_str().unwrap()]);
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(out.status.success(), "{stdout}");
-    for name in ["improve", "noise", "regress"] {
+    for name in ["improve", "noise", "regress", "verify"] {
         assert!(stdout.contains(&format!("== {name} ==")), "{stdout}");
     }
+}
+
+/// The differential suite feeds the gate through `BENCH_verify.json`:
+/// `final_accuracy` is the oracle pass fraction, so a 5% mismatch rate
+/// (the fixture pair) must trip the gate exactly like an accuracy
+/// regression.
+#[test]
+fn oracle_pass_rate_drop_fails_the_gate() {
+    let out = run_pair("verify", &[]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "{stdout}");
+    assert!(stdout.contains("REGRESSION"), "{stdout}");
+    assert!(stdout.contains("final_accuracy"), "{stdout}");
+    assert!(stdout.contains("final_forgetting"), "{stdout}");
 }
 
 #[test]

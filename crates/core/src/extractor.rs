@@ -62,7 +62,14 @@ impl KnowledgeExtractor {
     /// Step 2: select the top-ρ weights of the trained model
     /// (unstructured magnitude pruning).
     pub fn extract(&self, params: &[f32]) -> SparseVec {
-        SparseVec::top_fraction_by_magnitude(params, self.rho)
+        let kept = SparseVec::top_fraction_by_magnitude(params, self.rho);
+        if fedknow_verify::is_enabled() {
+            fedknow_verify::report(
+                "extractor.dominance",
+                fedknow_verify::check::top_rho_dominance(params, &kept),
+            );
+        }
+        kept
     }
 
     /// Step 2 with layout awareness: dispatches on the configured

@@ -90,25 +90,39 @@ impl GradientIntegrator {
         if fedknow_obs::is_enabled() {
             self.record_pre_qp(g, constraints);
         }
-        let out = {
+        let result = {
             // Timer scoped to the solve alone: the angle/rotation
-            // telemetry below must not inflate qp.solve_ns.
+            // telemetry and verify checks below must not inflate
+            // qp.solve_ns.
             let _t = QP_SOLVE_NS.timer();
-            match integrate_gradient(g, constraints, &self.qp) {
-                Ok(r) => {
-                    if r.already_feasible {
-                        QP_FAST_PATH.add(1);
-                    } else {
-                        QP_ITERS.record(r.iterations as u64);
-                    }
-                    r.gradient
+            integrate_gradient(g, constraints, &self.qp)
+        };
+        let out = match result {
+            Ok(r) => {
+                if r.already_feasible {
+                    QP_FAST_PATH.add(1);
+                } else {
+                    QP_ITERS.record(r.iterations as u64);
                 }
-                Err(MathError::QpNotConverged { .. }) => {
-                    QP_FALLBACK.add(1);
-                    g.to_vec()
+                if fedknow_verify::is_enabled() {
+                    fedknow_verify::report(
+                        "integrator.rotation",
+                        fedknow_verify::check::integrator_rotation(
+                            g,
+                            constraints,
+                            &r.dual,
+                            &r.gradient,
+                            self.qp.margin,
+                        ),
+                    );
                 }
-                Err(e) => panic!("gradient integration failed: {e}"),
+                r.gradient
             }
+            Err(MathError::QpNotConverged { .. }) => {
+                QP_FALLBACK.add(1);
+                g.to_vec()
+            }
+            Err(e) => panic!("gradient integration failed: {e}"),
         };
         if fedknow_obs::is_enabled() {
             self.record_post_qp(g, constraints, &out);

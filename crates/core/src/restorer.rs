@@ -70,6 +70,13 @@ impl GradientRestorer {
         model.zero_grad();
         let logits = model.forward(x.clone(), true);
         let (loss, grad) = soft_cross_entropy(&logits, &target);
+        if fedknow_verify::is_enabled() {
+            let (rows, cols) = (logits.shape()[0], logits.shape()[1]);
+            fedknow_verify::report(
+                "restorer.grad_rows",
+                fedknow_verify::check::grad_rows_sum_zero(grad.data(), rows, cols),
+            );
+        }
         if fedknow_obs::is_enabled() {
             DISTILL_LOSS_MNAT.record((loss.max(0.0) * 1000.0).round() as u64);
             let entropy = mean_row_entropy(&target);

@@ -78,7 +78,18 @@ pub fn encode_knowledge(task_id: u32, knowledge: &SparseVec) -> Bytes {
     for &v in knowledge.values() {
         buf.put_f32_le(v);
     }
-    buf.freeze()
+    let blob = buf.freeze();
+    if fedknow_verify::is_enabled() {
+        fedknow_verify::report(
+            "wire.roundtrip",
+            match decode_knowledge(&blob) {
+                Ok((t, k)) if t == task_id && &k == knowledge => Ok(()),
+                Ok(_) => Err("decoded blob differs from the encoded knowledge".to_string()),
+                Err(e) => Err(format!("encoded blob fails to decode: {e}")),
+            },
+        );
+    }
+    blob
 }
 
 /// Deserialise a knowledge blob; returns `(task_id, knowledge)`.

@@ -142,6 +142,7 @@ pub fn fedavg(
     );
 
     let mut acc: Vec<f64> = vec![0.0; dim.unwrap_or(0)];
+    let mut weighted_mass = 0.0f64;
     let mut total = 0.0f64;
     let mut accepted = 0usize;
     let mut rejected = Vec::new();
@@ -165,17 +166,28 @@ pub fn fedavg(
             continue;
         }
         let wf = w as f64;
+        let mut mass = 0.0f64;
         for (ai, &ui) in acc.iter_mut().zip(u) {
             *ai += wf * ui as f64;
+            mass += ui as f64;
         }
+        weighted_mass += wf * mass;
         total += wf;
         accepted += 1;
     }
 
-    let global = (accepted > 0).then(|| {
+    let global: Option<Vec<f32>> = (accepted > 0).then(|| {
         let inv = 1.0 / total;
         acc.into_iter().map(|v| (v * inv) as f32).collect()
     });
+    if fedknow_verify::is_enabled() {
+        if let Some(g) = &global {
+            fedknow_verify::report(
+                "fedavg.mass",
+                fedknow_verify::check::mass_conservation(g, weighted_mass, total),
+            );
+        }
+    }
     Ok(Aggregation {
         global,
         rejected,

@@ -236,7 +236,7 @@ impl SimReport {
 /// [`Simulation::checkpoint`] and consumed by [`Simulation::resume`].
 /// Serialisable, so a killed process can persist it and a fresh process
 /// can finish the run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimCheckpoint {
     /// Format version.
     pub version: u16,
@@ -442,10 +442,25 @@ impl Simulation {
     /// `tasks >= the stream length` checkpoints the completed run.
     pub fn checkpoint(&mut self, tasks: usize) -> Result<SimCheckpoint, SimError> {
         fedknow_obs::init_from_env();
+        fedknow_verify::init_from_env();
         let mut st = self.fresh_state();
         let until = tasks.min(self.data[0].tasks.len());
         self.advance(&mut st, until)?;
-        Ok(self.capture(&st))
+        let ck = self.capture(&st);
+        if fedknow_verify::is_enabled() {
+            // Capturing must be a pure read: a second capture of the same
+            // state has to be identical, or resume would replay from a
+            // snapshot that drifted from the run it claims to freeze.
+            fedknow_verify::report(
+                "sim.checkpoint_stable",
+                if self.capture(&st) == ck {
+                    Ok(())
+                } else {
+                    Err("capturing the same state twice produced different checkpoints".into())
+                },
+            );
+        }
+        Ok(ck)
     }
 
     /// Restore a checkpointed run into this (freshly built) simulation
@@ -623,6 +638,7 @@ impl Simulation {
     /// Run the remaining tasks and assemble the report.
     fn drive(&mut self, mut st: RunState) -> Result<SimReport, SimError> {
         fedknow_obs::init_from_env();
+        fedknow_verify::init_from_env();
         let obs_before = fedknow_obs::snapshot();
         let run_span = fedknow_obs::span("run");
         let num_tasks = self.data[0].tasks.len();

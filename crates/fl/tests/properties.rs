@@ -167,4 +167,18 @@ proptest! {
         prop_assert!(r.task_comm_seconds.iter().all(|t| t.is_finite()));
         prop_assert!(r.task_compute_seconds.iter().all(|t| t.is_finite()));
     }
+
+    /// Chaos determinism across a checkpoint boundary: interrupting a
+    /// fault-injected run at the task-1 boundary (crashes and pending
+    /// re-broadcasts mid-flight) and resuming in a fresh simulation must
+    /// reproduce the uninterrupted run bit-for-bit — including the fault
+    /// event log, whose second half replays from the restored RNG states.
+    #[test]
+    fn chaos_checkpoint_resume_is_bit_identical(seed in 0u64..1000) {
+        let uninterrupted = faulty_report(seed, false);
+        let ck = faulty_sim(seed, false).checkpoint(1).expect("checkpoint at task 1");
+        let resumed = faulty_sim(seed, false).resume(&ck).expect("resume completes");
+        prop_assert_eq!(&uninterrupted.fault_log, &resumed.fault_log);
+        prop_assert_eq!(&uninterrupted, &resumed);
+    }
 }

@@ -39,21 +39,34 @@ pub fn gradient_distance(metric: DistanceMetric, a: &[f32], b: &[f32]) -> f64 {
 /// 1-D Wasserstein (earth mover's) distance between the empirical
 /// distributions of the two slices: mean absolute difference of the
 /// sorted samples. Both slices must have equal length.
+///
+/// Non-finite samples have no place on the real line the transport plan
+/// lives on, so any NaN or infinity makes the distance `f64::INFINITY`
+/// ("maximally dissimilar") rather than silently mis-sorting — the old
+/// `partial_cmp(..).unwrap_or(Equal)` comparator left NaN wherever the
+/// sort happened to put it, corrupting every pairing after it.
 pub fn wasserstein_1d(a: &[f32], b: &[f32]) -> f64 {
     assert_eq!(a.len(), b.len(), "wasserstein_1d requires equal lengths");
     if a.is_empty() {
         return 0.0;
     }
+    if !all_finite(a) || !all_finite(b) {
+        return f64::INFINITY;
+    }
     let mut sa: Vec<f32> = a.to_vec();
     let mut sb: Vec<f32> = b.to_vec();
-    sa.sort_unstable_by(|x, y| x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Equal));
-    sb.sort_unstable_by(|x, y| x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Equal));
+    sa.sort_unstable_by(f32::total_cmp);
+    sb.sort_unstable_by(f32::total_cmp);
     let total: f64 = sa
         .iter()
         .zip(&sb)
         .map(|(&x, &y)| ((x - y).abs()) as f64)
         .sum();
     total / a.len() as f64
+}
+
+fn all_finite(v: &[f32]) -> bool {
+    v.iter().all(|x| x.is_finite())
 }
 
 /// `1 − cosine similarity`. Ranges over `[0, 2]`; `0` for parallel,
@@ -96,13 +109,15 @@ pub fn most_dissimilar(
     let mut scored: Vec<(usize, f64)> = candidates
         .iter()
         .enumerate()
-        .map(|(i, c)| (i, gradient_distance(metric, reference, c)))
+        // A NaN score (non-finite gradients under Cosine/Euclidean) ranks
+        // as maximally dissimilar, matching `wasserstein_1d`'s convention
+        // for non-finite inputs, instead of corrupting the sort order.
+        .map(|(i, c)| {
+            let d = gradient_distance(metric, reference, c);
+            (i, if d.is_nan() { f64::INFINITY } else { d })
+        })
         .collect();
-    scored.sort_by(|a, b| {
-        b.1.partial_cmp(&a.1)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.0.cmp(&b.0))
-    });
+    scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     scored
         .into_iter()
         .take(k.min(candidates.len()))
@@ -174,5 +189,33 @@ mod tests {
     #[test]
     fn euclidean_matches_hand_value() {
         assert!((euclidean(&[0.0, 0.0], &[3.0, 4.0]) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wasserstein_rejects_non_finite_inputs_as_infinitely_far() {
+        // Regression: the old NaN-tolerant comparator left NaN stranded
+        // mid-array, pairing finite samples against the wrong partners —
+        // W(a, b) could silently *shrink* when a NaN appeared.
+        let clean = vec![0.0f32, 1.0, 2.0];
+        for poison in [f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
+            let dirty = vec![0.0f32, poison, 2.0];
+            assert_eq!(wasserstein_1d(&dirty, &clean), f64::INFINITY);
+            assert_eq!(wasserstein_1d(&clean, &dirty), f64::INFINITY);
+            assert_eq!(wasserstein_1d(&dirty, &dirty), f64::INFINITY);
+        }
+        // Finite inputs are unaffected by the guard.
+        assert!((wasserstein_1d(&clean, &clean)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn most_dissimilar_ranks_nan_candidates_first_deterministically() {
+        let reference = vec![1.0f32, 0.0];
+        let candidates = vec![
+            vec![1.0, 0.0],      // distance 0
+            vec![f32::NAN, 0.0], // NaN score → +∞
+            vec![-1.0, 0.0],     // distance 2
+        ];
+        let order = most_dissimilar(DistanceMetric::Cosine, &reference, &candidates, 3);
+        assert_eq!(order, vec![1, 2, 0]);
     }
 }

@@ -1,6 +1,8 @@
 //! Property-based tests for the numerical core.
 
-use fedknow_math::distance::{cosine_distance, wasserstein_1d};
+use fedknow_math::distance::{
+    cosine_distance, euclidean, most_dissimilar, wasserstein_1d, DistanceMetric,
+};
 use fedknow_math::qp::{integrate_gradient, QpConfig};
 use fedknow_math::sparse::SparseVec;
 use fedknow_math::tensor::Tensor;
@@ -87,6 +89,43 @@ proptest! {
     fn cosine_bounded(a in vec_f32(16), b in vec_f32(16)) {
         let d = cosine_distance(&a, &b);
         prop_assert!((-1e-6..=2.0 + 1e-6).contains(&d));
+    }
+
+    /// Translating every sample by `c` moves the empirical distribution
+    /// by exactly `|c|` — the transport plan shifts all mass together.
+    #[test]
+    fn wasserstein_translation_is_the_shift(a in vec_f32(16), c in -5.0f32..5.0) {
+        let shifted: Vec<f32> = a.iter().map(|&x| x + c).collect();
+        let d = wasserstein_1d(&a, &shifted);
+        prop_assert!((d - (c as f64).abs()).abs() < 1e-4, "W = {d}, |c| = {}", c.abs());
+    }
+
+    /// The zero vector is orthogonal to everything by convention
+    /// (distance 1), in both argument positions.
+    #[test]
+    fn cosine_zero_vector_convention(a in vec_f32(16)) {
+        let z = vec![0.0f32; 16];
+        prop_assert_eq!(cosine_distance(&z, &a), 1.0);
+        prop_assert_eq!(cosine_distance(&a, &z), 1.0);
+    }
+
+    /// A permutation moves a gradient in Euclidean space but is invisible
+    /// to Wasserstein (same empirical distribution): W(a, π(a)) = 0 ≤
+    /// ‖a − π(a)‖, and the Wasserstein selection rule ranks a genuinely
+    /// shifted candidate above any permuted copy.
+    #[test]
+    fn permutation_separates_euclidean_from_wasserstein(a in vec_f32(16)) {
+        let mut perm = a.clone();
+        perm.reverse();
+        let w = wasserstein_1d(&a, &perm);
+        let e = euclidean(&a, &perm);
+        prop_assert!(w < 1e-9, "permutation has W = {w}");
+        prop_assert!(e >= w);
+        let shifted: Vec<f32> = a.iter().map(|&x| x + 3.0).collect();
+        let sel = most_dissimilar(
+            DistanceMetric::Wasserstein, &a, &[perm, shifted], 1,
+        );
+        prop_assert_eq!(sel, vec![1]);
     }
 
     /// The QP integrator's output always satisfies every constraint

@@ -105,15 +105,29 @@ impl Default for Sequential {
 
 impl Layer for Sequential {
     fn forward(&mut self, mut x: Tensor, train: bool) -> Tensor {
+        let verify = fedknow_verify::is_enabled();
         for l in &mut self.layers {
             x = l.forward(x, train);
+            if verify {
+                fedknow_verify::report(
+                    "nn.finite_activation",
+                    fedknow_verify::check::all_finite(l.name(), x.data()),
+                );
+            }
         }
         x
     }
 
     fn backward(&mut self, mut grad: Tensor) -> Tensor {
+        let verify = fedknow_verify::is_enabled();
         for l in self.layers.iter_mut().rev() {
             grad = l.backward(grad);
+            if verify {
+                fedknow_verify::report(
+                    "nn.finite_gradient",
+                    fedknow_verify::check::all_finite(l.name(), grad.data()),
+                );
+            }
         }
         grad
     }

@@ -10,9 +10,9 @@ use fedknow_math::Tensor;
 use fedknow_nn::activations::{ReLU, Sigmoid};
 use fedknow_nn::blocks::{ChannelShuffle, Concat, Residual, SEScale, SplitConcat};
 use fedknow_nn::conv::Conv2d;
-use fedknow_nn::layer::Sequential;
+use fedknow_nn::layer::{Layer, Sequential};
 use fedknow_nn::linear::Linear;
-use fedknow_nn::loss::cross_entropy;
+use fedknow_nn::loss::{cross_entropy, soft_cross_entropy};
 use fedknow_nn::model::Model;
 use fedknow_nn::norm::BatchNorm2d;
 use fedknow_nn::pool::{Flatten, GlobalAvgPool, MaxPool2d};
@@ -279,6 +279,104 @@ fn training_reduces_loss() {
     assert!(
         fin < initial * 0.2,
         "loss {initial} → {fin} did not drop enough"
+    );
+}
+
+/// The distillation loss (restorer, paper Eq. 2): its analytic gradient
+/// `(softmax − target)/B` must match a central finite difference of the
+/// loss over *every* logit, and each gradient row must sum to zero
+/// whenever the target rows are probability distributions.
+#[test]
+fn gradcheck_soft_cross_entropy() {
+    let (rows, cols) = (3usize, 5usize);
+    let logits = input(&[rows, cols], 30);
+    // A valid soft target: softmax of an independent random tensor.
+    let target = input(&[rows, cols], 31).softmax_rows();
+    let (_, grad) = soft_cross_entropy(&logits, &target);
+    for r in 0..rows {
+        let s: f64 = grad.data()[r * cols..(r + 1) * cols]
+            .iter()
+            .map(|&v| v as f64)
+            .sum();
+        assert!(s.abs() < 1e-5, "gradient row {r} sums to {s:e}");
+    }
+    let eps = 1e-3f32;
+    for i in 0..rows * cols {
+        let mut pl = logits.data().to_vec();
+        pl[i] += eps;
+        let (lp, _) = soft_cross_entropy(&Tensor::from_vec(pl.clone(), &[rows, cols]), &target);
+        pl[i] -= 2.0 * eps;
+        let (lm, _) = soft_cross_entropy(&Tensor::from_vec(pl, &[rows, cols]), &target);
+        let numeric = (lp as f64 - lm as f64) / (2.0 * eps as f64);
+        let a = grad.data()[i] as f64;
+        let abs_err = (a - numeric).abs();
+        let rel = abs_err / a.abs().max(numeric.abs()).max(1e-8);
+        assert!(
+            rel < 0.05 || abs_err < 6e-4,
+            "logit {i}: analytic {a:.6} vs numeric {numeric:.6}"
+        );
+    }
+}
+
+/// Pooling and reshaping layers carry no train-mode statistics: eval
+/// forward must equal train forward bit-for-bit.
+#[test]
+fn pooling_layers_are_train_eval_equivalent() {
+    use fedknow_nn::pool::AvgPool2d;
+    let x = input(&[2, 2, 4, 4], 32);
+    let mut layers: Vec<Box<dyn Layer>> = vec![
+        Box::new(MaxPool2d::new(2)),
+        Box::new(AvgPool2d::new(2)),
+        Box::new(GlobalAvgPool::new()),
+        Box::new(Flatten::new()),
+    ];
+    for l in &mut layers {
+        let yt = l.forward(x.clone(), true);
+        let ye = l.forward(x.clone(), false);
+        assert_eq!(yt.data(), ye.data(), "{} train/eval mismatch", l.name());
+        assert!(ye.data().iter().all(|v| v.is_finite()));
+    }
+}
+
+/// Eval-mode pooling keeps no backward cache: calling backward after an
+/// eval-only forward is a contract violation, not silent garbage.
+#[test]
+#[should_panic(expected = "backward before forward(train)")]
+fn maxpool_backward_requires_train_forward() {
+    let mut p = MaxPool2d::new(2);
+    let y = p.forward(input(&[1, 1, 4, 4], 33), false);
+    let _ = p.backward(y);
+}
+
+/// BatchNorm eval mode normalises with running statistics: finite from
+/// the fresh (mean 0, var 1) initialisation, and converging to the
+/// train-mode normalisation as the running estimates absorb the batch.
+#[test]
+fn batchnorm_eval_mode_tracks_running_statistics() {
+    let mut bn = BatchNorm2d::new(3);
+    let x = input(&[4, 3, 3, 3], 34);
+    let fresh = bn.forward(x.clone(), false);
+    assert!(fresh.data().iter().all(|v| v.is_finite()));
+    // Fresh running stats are (0, 1): eval is the identity up to ε.
+    for (y, &xi) in fresh.data().iter().zip(x.data()) {
+        assert!((y - xi).abs() < 1e-4, "fresh BN eval moved {xi} to {y}");
+    }
+    // Feed the same batch until the running estimates converge on it.
+    for _ in 0..100 {
+        let _ = bn.forward(x.clone(), true);
+    }
+    let train_out = bn.forward(x.clone(), true);
+    let eval_out = bn.forward(x.clone(), false);
+    assert!(eval_out.data().iter().all(|v| v.is_finite()));
+    let max_diff = train_out
+        .data()
+        .iter()
+        .zip(eval_out.data())
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f32, f32::max);
+    assert!(
+        max_diff < 0.1,
+        "eval output diverges from converged train output by {max_diff}"
     );
 }
 

@@ -1,0 +1,124 @@
+//! Mutation tests: the differential suite is only trustworthy if it
+//! *fails* on plausibly-wrong kernels. Each test injects one classic bug
+//! into a production kernel and asserts the suite catches it.
+
+use fedknow_math::qp::{integrate_gradient, QpConfig};
+use fedknow_math::{MathError, SparseVec};
+use fedknow_verify::suite::{self, DEFAULT_SEED};
+
+const CASES: usize = 60;
+
+/// Bug 1: Eq. 5 recovery with the dual sign flipped — `g' = g − Gᵀv`
+/// instead of `g + Gᵀv`. The rotation moves *into* the conflict.
+#[test]
+fn flipped_qp_dual_recovery_sign_is_detected() {
+    let r = suite::qp_with(DEFAULT_SEED, CASES, |c| {
+        let cfg = QpConfig {
+            margin: c.margin,
+            ..Default::default()
+        };
+        match integrate_gradient(&c.g, &c.constraints, &cfg) {
+            Ok(r) => {
+                let mut wrong = c.g.clone();
+                for (ci, &vi) in c.constraints.iter().zip(&r.dual) {
+                    for (w, &cij) in wrong.iter_mut().zip(ci) {
+                        *w -= (vi as f32) * cij;
+                    }
+                }
+                Some(wrong)
+            }
+            Err(MathError::QpNotConverged { .. }) => None,
+            Err(e) => panic!("unexpected QP error: {e}"),
+        }
+    });
+    assert!(
+        !r.ok(),
+        "flipped dual-recovery sign survived {} compared cases",
+        r.compared()
+    );
+}
+
+/// Bug 2: top-ρ cut off by one — `(n·ρ).round() + 1` weights kept. The
+/// exact-copy oracle comparison must flag the extra index.
+#[test]
+fn top_rho_off_by_one_is_detected() {
+    let r = suite::top_rho_with(DEFAULT_SEED, CASES, |c| {
+        let keep = ((c.dense.len() as f64 * c.rho.clamp(0.0, 1.0)).round() as usize + 1)
+            .min(c.dense.len());
+        Some(SparseVec::top_k_by_magnitude(&c.dense, keep).to_dense())
+    });
+    assert!(!r.ok(), "off-by-one top-ρ cut survived {} cases", r.cases);
+}
+
+/// Bug 3: FedAvg normalised by the accepted-client *count* instead of
+/// the total sample weight — the classic unweighted-mean regression.
+#[test]
+fn fedavg_weight_normalisation_bug_is_detected() {
+    let r = suite::fedavg(DEFAULT_SEED, CASES, |c| {
+        let live: Vec<&Vec<f32>> = c
+            .uploads
+            .iter()
+            .zip(&c.weights)
+            .filter(|&(_, &w)| w > 0)
+            .filter_map(|(u, _)| u.as_ref())
+            .collect();
+        let dim = live.first()?.len();
+        let mut acc = vec![0.0f64; dim];
+        for (u, &w) in c.uploads.iter().zip(&c.weights) {
+            let Some(u) = u else { continue };
+            if w == 0 {
+                continue;
+            }
+            for (a, &v) in acc.iter_mut().zip(u) {
+                *a += w as f64 * v as f64;
+            }
+        }
+        // The bug: divide by how many clients uploaded, not Σw.
+        let inv = 1.0 / live.len() as f64;
+        Some(acc.into_iter().map(|v| (v * inv) as f32).collect())
+    });
+    assert!(
+        !r.ok(),
+        "count-normalised FedAvg survived {} cases",
+        r.cases
+    );
+}
+
+/// Bug 4 (satellite of the invariant checker): a mutated integrator that
+/// skips the rotation entirely must fail KKT certification.
+#[test]
+fn unrotated_gradient_fails_kkt_certification() {
+    let mut failures = 0usize;
+    let mut attempts = 0usize;
+    let mut rng = fedknow_math::rng::seeded(DEFAULT_SEED);
+    for _ in 0..CASES {
+        let c = loop {
+            let c = suite::gen_qp(&mut rng);
+            // Only keep genuinely conflicted cases: the identity
+            // "rotation" is correct when g is already feasible.
+            let conflicted = c.constraints.iter().any(|ci| {
+                let dot: f64 = ci
+                    .iter()
+                    .zip(&c.g)
+                    .map(|(&a, &b)| a as f64 * b as f64)
+                    .sum();
+                let norm: f64 = ci.iter().map(|&a| (a as f64).powi(2)).sum::<f64>().sqrt();
+                dot < c.margin * norm - 1e-3
+            });
+            if conflicted {
+                break c;
+            }
+        };
+        attempts += 1;
+        let dual = vec![0.0f64; c.constraints.len()];
+        if fedknow_verify::check::integrator_rotation(&c.g, &c.constraints, &dual, &c.g, c.margin)
+            .is_err()
+        {
+            failures += 1;
+        }
+    }
+    assert_eq!(
+        failures, attempts,
+        "identity rotation passed certification on a conflicted case"
+    );
+}

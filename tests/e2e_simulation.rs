@@ -114,6 +114,28 @@ fn chaos_run_survives_thirty_percent_faults() {
 }
 
 #[test]
+fn verify_mode_runs_clean_end_to_end() {
+    // FEDKNOW_VERIFY=1 equivalent: every runtime invariant (integrator
+    // KKT, extractor dominance, restorer grad rows, FedAvg mass, wire
+    // round-trip, per-layer finiteness) is live through a full run and
+    // must never fire. Strict mode turns any violation into a panic at
+    // the offending call site; the counters double-check that the
+    // invariants actually executed rather than being skipped.
+    fedknow_obs::enable();
+    fedknow_verify::enable_strict();
+    let spec = RunSpec::quick(42);
+    let report = spec.run(Method::FedKnow).expect("verified run completes");
+    fedknow_verify::disable();
+    assert_eq!(report.accuracy.num_tasks(), 3);
+
+    let snap = fedknow_obs::snapshot().expect("obs enabled");
+    let checks = snap.counters.get("verify.checks").copied().unwrap_or(0);
+    let violations = snap.counters.get("verify.violations").copied().unwrap_or(0);
+    assert!(checks > 0, "verify mode ran but no invariant checks fired");
+    assert_eq!(violations, 0, "runtime invariants violated: {snap:?}");
+}
+
+#[test]
 fn all_twelve_methods_complete_a_tiny_run() {
     let mut spec = RunSpec::quick(5);
     // Make it as small as possible: 2 tasks, 2 clients, 2 rounds.
