@@ -1,0 +1,114 @@
+//! Chaos smoke vehicle for the black-box flight recorder.
+//!
+//! Runs a short FedKNOW simulation under heavy crash/upload-loss fault
+//! injection with the recorder armed, then either finishes cleanly and
+//! requests an explicit postmortem bundle (`dump_now("probe")`), or —
+//! under `--panic-after-tasks N` — checkpoints after `N` tasks and
+//! panics on purpose so tests can assert the panic hook flushes the
+//! JSONL sink and writes a `panic` bundle from a dying process.
+//!
+//! ```text
+//! FEDKNOW_TRACE_DIR=out/ chaos_probe [--scale smoke|quick|paper] [--seed N]
+//!                                    [--panic-after-tasks N] [--force-violation]
+//! ```
+//!
+//! `--force-violation` switches the verify layer on (counting mode) and
+//! reports one deliberate violation before the run, so the bundle tail
+//! demonstrably contains a `Violation` record. Flags are parsed by hand
+//! because `--panic-after-tasks` is not part of the shared bench CLI.
+
+use fedknow_baselines::Method;
+use fedknow_bench::{scaled_spec, Scale};
+use fedknow_data::DatasetSpec;
+use fedknow_fl::{FaultConfig, FaultKind};
+
+fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    let mut scale = Scale::Smoke;
+    let mut seed = 42u64;
+    let mut panic_after: Option<usize> = None;
+    let mut force_violation = false;
+    let mut i = 1;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = argv
+                    .get(i)
+                    .and_then(|s| Scale::parse(s))
+                    .unwrap_or_else(|| usage("--scale expects smoke|quick|paper"));
+            }
+            "--seed" => {
+                i += 1;
+                seed = argv
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--seed expects an integer"));
+            }
+            "--panic-after-tasks" => {
+                i += 1;
+                panic_after = Some(
+                    argv.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage("--panic-after-tasks expects an integer")),
+                );
+            }
+            "--force-violation" => force_violation = true,
+            other => usage(&format!("unknown argument {other}")),
+        }
+        i += 1;
+    }
+
+    // Arm the recorder before anything runs; FEDKNOW_TRACE_DIR alone is
+    // an enabling condition, so the CI smoke needs no extra env.
+    fedknow_obs::init_from_env();
+    fedknow_verify::init_from_env();
+    if force_violation {
+        // Counting (non-strict) mode: the violation lands in the ring
+        // and the counters without killing the probe.
+        fedknow_verify::enable();
+        fedknow_verify::report(
+            "probe.forced",
+            Err("deliberate violation forced by chaos_probe --force-violation".to_string()),
+        );
+    }
+
+    let spec =
+        scaled_spec(DatasetSpec::cifar100(), scale, seed).with_faults(FaultConfig::crash_loss(0.3));
+
+    if let Some(n) = panic_after {
+        let mut sim = spec.build(Method::FedKnow);
+        let ck = sim.checkpoint(n).expect("checkpoint failed");
+        eprintln!(
+            "[chaos_probe] checkpointed after {} tasks; panicking on purpose",
+            ck.next_task
+        );
+        panic!("chaos_probe: deliberate panic after {n} tasks");
+    }
+
+    let report = spec.run(Method::FedKnow).expect("simulation failed");
+    let tasks = report.accuracy.num_tasks();
+    println!(
+        "[chaos_probe] {} tasks, final accuracy {:.4}, faults: {} crashes, \
+         {} rejoins, {} lost uploads, {} quarantined",
+        tasks,
+        report.accuracy.avg_accuracy_after(tasks - 1),
+        report.fault_count(FaultKind::Crash),
+        report.fault_count(FaultKind::Rejoin),
+        report.fault_count(FaultKind::UploadLost),
+        report.fault_count(FaultKind::UploadRejected),
+    );
+    match fedknow_obs::dump_now("probe") {
+        Some(path) => println!("[chaos_probe] bundle {}", path.display()),
+        None => println!("[chaos_probe] no bundle (FEDKNOW_TRACE_DIR unset)"),
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!(
+        "error: {msg}\n\
+         usage: chaos_probe [--scale smoke|quick|paper] [--seed N] \
+         [--panic-after-tasks N] [--force-violation]"
+    );
+    std::process::exit(2)
+}

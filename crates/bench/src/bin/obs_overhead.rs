@@ -1,0 +1,100 @@
+//! Measure the flight recorder's overhead: identical fault-free runs
+//! with the observability layer (spans + metrics + ring recorder) off
+//! and then on, min-of-k each, reported as a relative overhead ratio.
+//!
+//! The ratio lands in `BENCH_obs_overhead.json` — in the
+//! `final_forgetting` slot, so the bench gate's "forgetting may not
+//! rise" tolerance doubles as an overhead-regression gate: a change
+//! that makes the recorder more expensive shows up as a rise between
+//! the rotated `.prev.json` and the fresh record. The binary itself
+//! also enforces the absolute budget (5%) and exits non-zero past it.
+
+use fedknow_baselines::Method;
+use fedknow_bench::{parse_args, results_dir, scaled_spec, write_bench_record, BenchRecord};
+use fedknow_data::DatasetSpec;
+use fedknow_fl::SimReport;
+use fedknow_suite::RunSpec;
+use std::time::Instant;
+
+/// Absolute overhead budget: recorder-on may cost at most this fraction
+/// of recorder-off wall time.
+const MAX_OVERHEAD: f64 = 0.05;
+/// Runs per condition; min-of-k suppresses scheduler noise.
+const RUNS: usize = 3;
+
+fn timed_run(spec: &RunSpec) -> (u64, SimReport) {
+    let started = Instant::now();
+    let report = spec.run(Method::FedKnow).expect("simulation failed");
+    (started.elapsed().as_nanos() as u64, report)
+}
+
+fn min_of_k(spec: &RunSpec) -> (u64, SimReport) {
+    let mut best = timed_run(spec);
+    for _ in 1..RUNS {
+        let next = timed_run(spec);
+        if next.0 < best.0 {
+            best = next;
+        }
+    }
+    best
+}
+
+fn main() {
+    let args = parse_args();
+    if fedknow_obs::is_enabled() {
+        eprintln!(
+            "[obs_overhead] warning: obs already enabled (FEDKNOW_OBS/FEDKNOW_TRACE_DIR \
+             set?) — the recorder-off baseline is contaminated"
+        );
+    }
+    let spec = scaled_spec(DatasetSpec::cifar100(), args.scale, args.seed);
+
+    // Warmup run (page cache, allocator) discarded, then the baseline
+    // with every obs gate cold: one relaxed load per call site.
+    eprintln!("[obs_overhead] warmup ...");
+    let _ = timed_run(&spec);
+    eprintln!("[obs_overhead] recorder off: {RUNS} runs ...");
+    let (off_ns, _) = min_of_k(&spec);
+
+    // One-way switch: spans, metrics and the ring recorder all on.
+    fedknow_obs::enable();
+    eprintln!("[obs_overhead] recorder on: {RUNS} runs ...");
+    let (on_ns, report) = min_of_k(&spec);
+
+    let overhead = (on_ns as f64 / off_ns.max(1) as f64 - 1.0).max(0.0);
+    let tasks = report.accuracy.num_tasks();
+    println!(
+        "[obs_overhead] off {} on {} -> overhead {:.2}% (budget {:.0}%)",
+        fedknow_bench::fmt_ns(off_ns),
+        fedknow_bench::fmt_ns(on_ns),
+        100.0 * overhead,
+        100.0 * MAX_OVERHEAD,
+    );
+
+    let rec = BenchRecord {
+        name: "obs_overhead".to_string(),
+        scale: args.scale.name().to_string(),
+        seed: args.seed,
+        final_accuracy: report.accuracy.avg_accuracy_after(tasks - 1),
+        // The overhead ratio rides the forgetting slot so the gate's
+        // rise tolerance bounds recorder-cost regressions.
+        final_forgetting: overhead,
+        wall_seconds: on_ns as f64 / 1e9,
+        phases: vec![
+            ("recorder_off_ns".to_string(), off_ns),
+            ("recorder_on_ns".to_string(), on_ns),
+        ],
+    };
+    match write_bench_record(&results_dir(), &rec) {
+        Ok(path) => println!("[bench] {}", path.display()),
+        Err(e) => eprintln!("[bench] record not written: {e}"),
+    }
+    if overhead > MAX_OVERHEAD {
+        eprintln!(
+            "[obs_overhead] FAIL: recorder overhead {:.2}% exceeds the {:.0}% budget",
+            100.0 * overhead,
+            100.0 * MAX_OVERHEAD
+        );
+        std::process::exit(1);
+    }
+}

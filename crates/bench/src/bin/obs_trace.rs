@@ -1,0 +1,148 @@
+//! Convert flight-recorder output into Chrome `trace_event` JSON that
+//! loads directly into Perfetto (ui.perfetto.dev) or `chrome://tracing`.
+//!
+//! ```text
+//! obs_trace convert  <input> [-o trace.json]   # bundle/JSONL/trace -> trace
+//! obs_trace validate <input>                   # structural checks, exit 1 on bad
+//! obs_trace summary  <input> [--top N]         # top-N slice table
+//! ```
+//!
+//! The input format is sniffed, not flagged: a JSON object with
+//! `traceEvents` is already a trace, one with `version` + `tracks` is a
+//! postmortem bundle (`FEDKNOW_TRACE_DIR`), and anything that fails to
+//! parse as a single JSON document is treated as a JSONL event stream
+//! (`FEDKNOW_OBS=trace.jsonl`). Exit codes: 0 ok, 1 invalid input or
+//! failed validation, 2 usage/IO error.
+
+use fedknow_obs::trace;
+use serde_json::Value;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    let code = run(&argv);
+    std::process::exit(code);
+}
+
+fn run(argv: &[String]) -> i32 {
+    let Some(cmd) = argv.get(1) else {
+        return usage("missing subcommand");
+    };
+    match cmd.as_str() {
+        "convert" => convert(argv),
+        "validate" => validate(argv),
+        "summary" => summary(argv),
+        other => usage(&format!("unknown subcommand {other}")),
+    }
+}
+
+fn usage(msg: &str) -> i32 {
+    eprintln!(
+        "error: {msg}\n\
+         usage: obs_trace convert  <bundle.json|trace.jsonl|trace.json> [-o out.json]\n\
+         \x20      obs_trace validate <input>\n\
+         \x20      obs_trace summary  <input> [--top N]"
+    );
+    2
+}
+
+/// Load the input file and convert it to trace JSON, sniffing the
+/// format. Returns the trace `Value` or a printable error.
+fn load_trace(path: &str) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    match serde_json::from_str::<Value>(&text) {
+        Ok(doc) if doc.get("traceEvents").is_some() => Ok(doc),
+        Ok(doc) if doc.get("version").is_some() && doc.get("tracks").is_some() => {
+            trace::bundle_to_trace(&doc).map_err(|e| format!("convert bundle {path}: {e}"))
+        }
+        Ok(_) => Err(format!(
+            "{path}: JSON document is neither a trace (traceEvents) nor a \
+             postmortem bundle (version + tracks)"
+        )),
+        // Not one JSON document — assume a JSONL event stream.
+        Err(_) => trace::jsonl_to_trace(&text).map_err(|e| format!("convert jsonl {path}: {e}")),
+    }
+}
+
+fn convert(argv: &[String]) -> i32 {
+    let Some(input) = argv.get(2) else {
+        return usage("convert expects an input file");
+    };
+    let out = argv
+        .iter()
+        .position(|a| a == "-o")
+        .and_then(|i| argv.get(i + 1));
+    let trace_doc = match load_trace(input) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    // Converting implies validating: never emit a file Perfetto rejects.
+    if let Err(e) = trace::validate(&trace_doc) {
+        eprintln!("error: converted trace failed validation: {e}");
+        return 1;
+    }
+    let json = serde_json::to_string(&trace_doc).expect("serialise trace");
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &json) {
+                eprintln!("error: write {path}: {e}");
+                return 2;
+            }
+            eprintln!("[obs_trace] wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+    0
+}
+
+fn validate(argv: &[String]) -> i32 {
+    let Some(input) = argv.get(2) else {
+        return usage("validate expects an input file");
+    };
+    match load_trace(input).and_then(|t| trace::validate(&t)) {
+        Ok(stats) => {
+            println!(
+                "[obs_trace] OK: {} events ({} slices, {} instants, {} counter samples) \
+                 across {} tracks, span {:.3}ms",
+                stats.events,
+                stats.slices,
+                stats.instants,
+                stats.counters,
+                stats.tracks,
+                stats.max_ts_us / 1_000.0
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            1
+        }
+    }
+}
+
+fn summary(argv: &[String]) -> i32 {
+    let Some(input) = argv.get(2) else {
+        return usage("summary expects an input file");
+    };
+    let top = argv
+        .iter()
+        .position(|a| a == "--top")
+        .and_then(|i| argv.get(i + 1))
+        .map(|s| s.parse::<usize>())
+        .unwrap_or(Ok(10));
+    let Ok(top) = top else {
+        return usage("--top expects an integer");
+    };
+    match load_trace(input).and_then(|t| trace::summarize(&t, top)) {
+        Ok(table) => {
+            println!("{table}");
+            0
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            1
+        }
+    }
+}

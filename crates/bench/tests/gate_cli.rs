@@ -87,7 +87,7 @@ fn directory_scan_finds_all_fixture_pairs() {
     let out = run_gate(&["--report-only", "--results", dir.to_str().unwrap()]);
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(out.status.success(), "{stdout}");
-    for name in ["improve", "noise", "regress", "verify"] {
+    for name in ["improve", "noise", "obs_overhead", "regress", "verify"] {
         assert!(stdout.contains(&format!("== {name} ==")), "{stdout}");
     }
 }
@@ -104,6 +104,23 @@ fn oracle_pass_rate_drop_fails_the_gate() {
     assert!(stdout.contains("REGRESSION"), "{stdout}");
     assert!(stdout.contains("final_accuracy"), "{stdout}");
     assert!(stdout.contains("final_forgetting"), "{stdout}");
+}
+
+/// `obs_overhead` stores the flight-recorder overhead ratio in the
+/// forgetting slot, so the gate's rise tolerance (0.02 absolute) bounds
+/// recorder-cost regressions: the fixture pair jumps 2% -> 10% overhead
+/// and must fail exactly like a forgetting regression.
+#[test]
+fn recorder_overhead_rise_fails_the_gate() {
+    let out = run_pair("obs_overhead", &[]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "{stdout}");
+    assert!(stdout.contains("REGRESSION"), "{stdout}");
+    assert!(stdout.contains("final_forgetting"), "{stdout}");
+    assert!(
+        stdout.contains("0.0200") && stdout.contains("0.1000"),
+        "diff must show both overhead ratios: {stdout}"
+    );
 }
 
 #[test]

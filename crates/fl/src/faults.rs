@@ -318,6 +318,23 @@ pub enum FaultKind {
     UploadRejected,
 }
 
+impl FaultKind {
+    /// Stable snake_case label, used for flight-recorder fault records
+    /// and dump-trigger reasons (`fault_crash`, …).
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::Crash => "crash",
+            FaultKind::Rejoin => "rejoin",
+            FaultKind::Straggle => "straggle",
+            FaultKind::DeadlineMiss => "deadline_miss",
+            FaultKind::UploadRetry => "upload_retry",
+            FaultKind::UploadLost => "upload_lost",
+            FaultKind::Corrupt => "corrupt",
+            FaultKind::UploadRejected => "upload_rejected",
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -161,6 +161,7 @@ pub fn fedavg(
             first_non_finite(u).map(|index| RejectReason::NonFinite { index })
         };
         if let Some(reason) = reason {
+            fedknow_obs::mark(&format!("fedavg.quarantine client={client} {reason}"));
             rejected.push(RejectedUpload { client, reason });
             fedknow_obs::count("fl.uploads_rejected", 1);
             continue;

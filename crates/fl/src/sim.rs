@@ -45,6 +45,30 @@ use fedknow_nn::checkpoint::Checkpoint as ParamCheckpoint;
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 
+/// Append one fault to the run's log, mirroring it into the
+/// observability flight recorder. Crash and quarantine faults — the
+/// two kinds that end a client's participation abruptly — also
+/// request a (throttled) postmortem bundle dump when
+/// `FEDKNOW_TRACE_DIR` is configured.
+fn record_fault(
+    log: &mut Vec<FaultEvent>,
+    round: u64,
+    client: usize,
+    kind: FaultKind,
+    detail: u64,
+) {
+    fedknow_obs::fault(client as u64, kind.label(), detail);
+    if matches!(kind, FaultKind::Crash | FaultKind::UploadRejected) {
+        fedknow_obs::dump_trigger(&format!("fault_{}", kind.label()));
+    }
+    log.push(FaultEvent {
+        round,
+        client,
+        kind,
+        detail,
+    });
+}
+
 /// Loop-shape parameters.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SimConfig {
@@ -430,6 +454,20 @@ impl Simulation {
         }
     }
 
+    /// Register run-identifying context with the observability layer so a
+    /// postmortem bundle records *what* was running, not just how it died.
+    /// No-op while obs is disabled.
+    fn register_obs_context(&self) {
+        if !fedknow_obs::is_enabled() {
+            return;
+        }
+        fedknow_obs::set_context("sim.method", self.clients[0].method_name());
+        fedknow_obs::set_context("sim.seed", &self.cfg.seed.to_string());
+        if let Ok(cfg) = serde_json::to_string(&self.cfg) {
+            fedknow_obs::set_context("sim.config", &cfg);
+        }
+    }
+
     /// Run the full task sequence and produce the report.
     pub fn run(&mut self) -> Result<SimReport, SimError> {
         let st = self.fresh_state();
@@ -443,9 +481,11 @@ impl Simulation {
     pub fn checkpoint(&mut self, tasks: usize) -> Result<SimCheckpoint, SimError> {
         fedknow_obs::init_from_env();
         fedknow_verify::init_from_env();
+        self.register_obs_context();
         let mut st = self.fresh_state();
         let until = tasks.min(self.data[0].tasks.len());
         self.advance(&mut st, until)?;
+        fedknow_obs::mark(&format!("checkpoint.capture tasks={until}"));
         let ck = self.capture(&st);
         if fedknow_verify::is_enabled() {
             // Capturing must be a pure read: a second capture of the same
@@ -470,6 +510,8 @@ impl Simulation {
     /// their flat parameter vector the final report is bit-identical to
     /// an uninterrupted [`Self::run`].
     pub fn resume(&mut self, ck: &SimCheckpoint) -> Result<SimReport, SimError> {
+        fedknow_obs::init_from_env();
+        fedknow_obs::mark(&format!("checkpoint.resume next_task={}", ck.next_task));
         let st = self.restore_state(ck)?;
         self.drive(st)
     }
@@ -639,6 +681,7 @@ impl Simulation {
     fn drive(&mut self, mut st: RunState) -> Result<SimReport, SimError> {
         fedknow_obs::init_from_env();
         fedknow_verify::init_from_env();
+        self.register_obs_context();
         let obs_before = fedknow_obs::snapshot();
         let run_span = fedknow_obs::span("run");
         let num_tasks = self.data[0].tasks.len();
@@ -722,12 +765,7 @@ impl Simulation {
                         fedknow_obs::count("comm.download_bytes", down);
                         fedknow_obs::count("fl.rejoins", 1);
                         rejoin_secs[c] = self.comm.transfer_seconds(down);
-                        st.fault_log.push(FaultEvent {
-                            round: global_round,
-                            client: c,
-                            kind: FaultKind::Rejoin,
-                            detail: 0,
-                        });
+                        record_fault(&mut st.fault_log, global_round, c, FaultKind::Rejoin, 0);
                     }
                 }
 
@@ -737,12 +775,7 @@ impl Simulation {
                     if st.active[c] && faults[c].crash {
                         part[c] = false;
                         fedknow_obs::count("fl.crashes", 1);
-                        st.fault_log.push(FaultEvent {
-                            round: global_round,
-                            client: c,
-                            kind: FaultKind::Crash,
-                            detail: 0,
-                        });
+                        record_fault(&mut st.fault_log, global_round, c, FaultKind::Crash, 0);
                     }
                 }
                 if !inert && fedknow_obs::is_enabled() {
@@ -765,12 +798,13 @@ impl Simulation {
                         nominal_max = nominal_max.max(nominal);
                         actual[c] = Some(nominal * faults[c].slowdown);
                         if faults[c].slowdown > 1.0 {
-                            st.fault_log.push(FaultEvent {
-                                round: global_round,
-                                client: c,
-                                kind: FaultKind::Straggle,
-                                detail: (faults[c].slowdown * 1000.0).round() as u64,
-                            });
+                            record_fault(
+                                &mut st.fault_log,
+                                global_round,
+                                c,
+                                FaultKind::Straggle,
+                                (faults[c].slowdown * 1000.0).round() as u64,
+                            );
                         }
                         loss_sum += o.loss_sum;
                         loss_iters += o.iters;
@@ -786,12 +820,13 @@ impl Simulation {
                         deadline_missed[c] = true;
                         any_miss = true;
                         fedknow_obs::count("fl.deadline_misses", 1);
-                        st.fault_log.push(FaultEvent {
-                            round: global_round,
-                            client: c,
-                            kind: FaultKind::DeadlineMiss,
-                            detail: (faults[c].slowdown * 1000.0).round() as u64,
-                        });
+                        record_fault(
+                            &mut st.fault_log,
+                            global_round,
+                            c,
+                            FaultKind::DeadlineMiss,
+                            (faults[c].slowdown * 1000.0).round() as u64,
+                        );
                     } else {
                         round_compute = round_compute.max(a);
                     }
@@ -820,12 +855,13 @@ impl Simulation {
                     if let Some(v) = up.as_mut() {
                         if let Some(corr) = faults[c].corruption {
                             corr.apply(v);
-                            st.fault_log.push(FaultEvent {
-                                round: global_round,
-                                client: c,
-                                kind: FaultKind::Corrupt,
-                                detail: corr.mode as u64,
-                            });
+                            record_fault(
+                                &mut st.fault_log,
+                                global_round,
+                                c,
+                                FaultKind::Corrupt,
+                                corr.mode as u64,
+                            );
                         }
                         attempts[c] = faults[c].upload_attempts();
                         let lost = faults[c].lost_attempts;
@@ -836,19 +872,21 @@ impl Simulation {
                             if faults[c].upload_lost {
                                 up = None;
                                 fedknow_obs::count("fl.uploads_lost", 1);
-                                st.fault_log.push(FaultEvent {
-                                    round: global_round,
-                                    client: c,
-                                    kind: FaultKind::UploadLost,
-                                    detail: lost as u64,
-                                });
+                                record_fault(
+                                    &mut st.fault_log,
+                                    global_round,
+                                    c,
+                                    FaultKind::UploadLost,
+                                    lost as u64,
+                                );
                             } else {
-                                st.fault_log.push(FaultEvent {
-                                    round: global_round,
-                                    client: c,
-                                    kind: FaultKind::UploadRetry,
-                                    detail: lost as u64,
-                                });
+                                record_fault(
+                                    &mut st.fault_log,
+                                    global_round,
+                                    c,
+                                    FaultKind::UploadRetry,
+                                    lost as u64,
+                                );
                             }
                         }
                         if deadline_missed[c] {
@@ -868,12 +906,13 @@ impl Simulation {
                         RejectReason::DimensionMismatch { got, .. } => got as u64,
                     };
                     fedknow_obs::count("fl.uploads_rejected", 1);
-                    st.fault_log.push(FaultEvent {
-                        round: global_round,
-                        client: r.client,
-                        kind: FaultKind::UploadRejected,
+                    record_fault(
+                        &mut st.fault_log,
+                        global_round,
+                        r.client,
+                        FaultKind::UploadRejected,
                         detail,
-                    });
+                    );
                     // Telemetry below sees the server-accepted view.
                     uploads[r.client] = None;
                 }

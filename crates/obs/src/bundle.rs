@@ -1,0 +1,391 @@
+//! Postmortem bundles: one-file snapshots of everything the
+//! observability layer knows at the moment something went wrong.
+//!
+//! A bundle is written by [`crate::dump_now`] (or the throttled
+//! automatic triggers: the panic hook, strict verify violations, and
+//! injected crash/quarantine faults) into the directory named by
+//! `FEDKNOW_TRACE_DIR`. It contains:
+//!
+//! * the trigger reason and ambient round index,
+//! * run context registered via [`crate::set_context`] (seed, sim
+//!   config, method name),
+//! * a dump of the metrics registry (counters, gauges, histogram
+//!   summaries, series),
+//! * every thread's drained flight-recorder ring (see [`crate::ring`]).
+//!
+//! Alongside the JSON bundle a Prometheus text snapshot
+//! (`<stem>.prom`) is written and the JSONL sink is flushed, so a
+//! crashing run never loses buffered events. Bundles convert to
+//! Chrome/Perfetto timelines with the `obs_trace` CLI (see
+//! [`crate::trace`]).
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+use serde::{Deserialize, Serialize};
+
+use crate::registry::MetricsSnapshot;
+use crate::ring::{self, RingRecord};
+
+/// Environment variable naming the directory postmortem bundles are
+/// written to. Setting it enables observability (and the recorder) on
+/// its own.
+pub const ENV_TRACE_DIR: &str = "FEDKNOW_TRACE_DIR";
+
+/// Bundle schema version.
+pub const BUNDLE_VERSION: u32 = 1;
+
+/// Cap on automatic dumps per distinct trigger reason (explicit
+/// [`crate::dump_now`] calls are not throttled). Keeps a chaos run
+/// that crashes a client every round from spraying hundreds of
+/// near-identical bundles.
+const MAX_AUTO_DUMPS_PER_REASON: u32 = 2;
+
+/// One `key = value` context entry (seed, config, method, …).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ContextEntry {
+    /// Context key.
+    pub key: String,
+    /// Context value (free-form; configs are embedded as JSON text).
+    pub value: String,
+}
+
+/// One thread's drained ring.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThreadTrack {
+    /// Thread label (`ThreadId(..)` debug form, as in JSONL events).
+    pub thread: String,
+    /// Records lost to the ring bound before this dump.
+    pub dropped: u64,
+    /// Held records, oldest first.
+    pub events: Vec<RingRecord>,
+}
+
+/// A counter's value at dump time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterDump {
+    /// Counter name.
+    pub name: String,
+    /// Total.
+    pub value: u64,
+}
+
+/// A gauge's value at dump time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaugeDump {
+    /// Gauge name.
+    pub name: String,
+    /// Last-set value.
+    pub value: f64,
+}
+
+/// A histogram summary at dump time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistDump {
+    /// Histogram name.
+    pub name: String,
+    /// Sample count.
+    pub count: u64,
+    /// Sample sum.
+    pub sum: u64,
+    /// Median estimate.
+    pub p50: u64,
+    /// 99th-percentile estimate.
+    pub p99: u64,
+    /// Largest sample.
+    pub max: u64,
+}
+
+/// A series' points at dump time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SeriesDump {
+    /// Series name.
+    pub name: String,
+    /// `(index, value)` points in append order.
+    pub points: Vec<(u64, f64)>,
+}
+
+/// A serialisable dump of the metrics registry. (The live
+/// [`MetricsSnapshot`] is map-based and stays the programmatic API;
+/// this flat form is what lands in the bundle JSON.)
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MetricsDump {
+    /// All counters.
+    pub counters: Vec<CounterDump>,
+    /// All gauges.
+    pub gauges: Vec<GaugeDump>,
+    /// All histogram summaries.
+    pub hists: Vec<HistDump>,
+    /// All series.
+    pub series: Vec<SeriesDump>,
+}
+
+impl MetricsDump {
+    /// Flatten a registry snapshot.
+    pub fn from_snapshot(s: &MetricsSnapshot) -> Self {
+        Self {
+            counters: s
+                .counters
+                .iter()
+                .map(|(name, &value)| CounterDump {
+                    name: name.clone(),
+                    value,
+                })
+                .collect(),
+            gauges: s
+                .gauges
+                .iter()
+                .map(|(name, &value)| GaugeDump {
+                    name: name.clone(),
+                    value,
+                })
+                .collect(),
+            hists: s
+                .hists
+                .iter()
+                .map(|(name, h)| HistDump {
+                    name: name.clone(),
+                    count: h.count(),
+                    sum: h.sum(),
+                    p50: h.quantile(0.5),
+                    p99: h.quantile(0.99),
+                    max: h.max(),
+                })
+                .collect(),
+            series: s
+                .series
+                .iter()
+                .map(|(name, points)| SeriesDump {
+                    name: name.clone(),
+                    points: points.clone(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// The black box's one-file output: everything known at dump time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PostmortemBundle {
+    /// Schema version ([`BUNDLE_VERSION`]).
+    pub version: u32,
+    /// Why the dump fired (`panic`, `verify_violation`,
+    /// `fault_crash`, or a caller-supplied reason).
+    pub reason: String,
+    /// Ambient global round index at dump time.
+    pub round: u64,
+    /// Registered run context (seed, config, method).
+    pub context: Vec<ContextEntry>,
+    /// Metrics registry dump.
+    pub metrics: MetricsDump,
+    /// One drained ring per recording thread.
+    pub tracks: Vec<ThreadTrack>,
+}
+
+/// Poison-tolerant lock: dumps run inside the panic hook.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+static CONTEXT: Mutex<Vec<(String, String)>> = Mutex::new(Vec::new());
+static DUMP_SEQ: AtomicU64 = AtomicU64::new(0);
+static AUTO_DUMPS: Mutex<Vec<(String, u32)>> = Mutex::new(Vec::new());
+
+/// Register (or overwrite) a run-context entry embedded in every
+/// later bundle. The simulation registers its seed, serialised config
+/// and method name here.
+pub fn set_context(key: &str, value: &str) {
+    let mut ctx = lock(&CONTEXT);
+    match ctx.iter_mut().find(|(k, _)| k == key) {
+        Some(entry) => entry.1 = value.to_string(),
+        None => ctx.push((key.to_string(), value.to_string())),
+    }
+}
+
+/// The currently registered context entries.
+pub fn context_entries() -> Vec<ContextEntry> {
+    lock(&CONTEXT)
+        .iter()
+        .map(|(k, v)| ContextEntry {
+            key: k.clone(),
+            value: v.clone(),
+        })
+        .collect()
+}
+
+/// The configured bundle directory, if `FEDKNOW_TRACE_DIR` is set.
+pub fn trace_dir() -> Option<PathBuf> {
+    std::env::var_os(ENV_TRACE_DIR).map(PathBuf::from)
+}
+
+/// Assemble a bundle from the current process state without writing
+/// it anywhere.
+pub fn collect_bundle(reason: &str) -> PostmortemBundle {
+    let metrics = crate::snapshot()
+        .as_ref()
+        .map(MetricsDump::from_snapshot)
+        .unwrap_or_default();
+    let tracks = ring::drain_all()
+        .into_iter()
+        .map(|(thread, dropped, events)| ThreadTrack {
+            thread,
+            dropped,
+            events,
+        })
+        .collect();
+    PostmortemBundle {
+        version: BUNDLE_VERSION,
+        reason: reason.to_string(),
+        round: crate::round_index(),
+        context: context_entries(),
+        metrics,
+        tracks,
+    }
+}
+
+fn sanitize_reason(reason: &str) -> String {
+    reason
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+/// Write a postmortem bundle for `reason` to `FEDKNOW_TRACE_DIR`,
+/// flushing the JSONL sink and writing a Prometheus snapshot
+/// alongside. Returns the bundle path, or `None` when no trace
+/// directory is configured. Never panics — a failing dump must not
+/// mask the failure that triggered it (I/O errors go to stderr).
+pub fn dump_now(reason: &str) -> Option<PathBuf> {
+    let dir = trace_dir()?;
+    // A crashing run must keep its streamed events too.
+    crate::flush();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!(
+            "fedknow-obs: cannot create {ENV_TRACE_DIR}={}: {e}",
+            dir.display()
+        );
+        return None;
+    }
+    let seq = DUMP_SEQ.fetch_add(1, Ordering::Relaxed);
+    let stem = format!(
+        "bundle-{}-p{}-{seq}",
+        sanitize_reason(reason),
+        std::process::id()
+    );
+    let bundle = collect_bundle(reason);
+    let path = dir.join(format!("{stem}.json"));
+    match serde_json::to_string(&bundle) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("fedknow-obs: cannot write {}: {e}", path.display());
+                return None;
+            }
+        }
+        Err(e) => {
+            eprintln!("fedknow-obs: cannot serialise bundle: {e}");
+            return None;
+        }
+    }
+    if let Err(e) = crate::prom::write_prometheus_file(dir.join(format!("{stem}.prom"))) {
+        eprintln!("fedknow-obs: cannot write Prometheus snapshot: {e}");
+    }
+    eprintln!(
+        "fedknow-obs: postmortem bundle ({reason}) -> {}",
+        path.display()
+    );
+    Some(path)
+}
+
+/// Throttled automatic dump: at most [`MAX_AUTO_DUMPS_PER_REASON`]
+/// bundles per distinct reason per process, so fault-heavy chaos runs
+/// keep the first occurrences without flooding the directory. Cheap
+/// no-op when `FEDKNOW_TRACE_DIR` is unset.
+pub fn dump_trigger(reason: &str) -> Option<PathBuf> {
+    trace_dir()?;
+    {
+        let mut counts = lock(&AUTO_DUMPS);
+        match counts.iter_mut().find(|(r, _)| r == reason) {
+            Some((_, n)) if *n >= MAX_AUTO_DUMPS_PER_REASON => return None,
+            Some((_, n)) => *n += 1,
+            None => counts.push((reason.to_string(), 1)),
+        }
+    }
+    dump_now(reason)
+}
+
+/// Install the crash-time flush hook (idempotent): on panic, a note is
+/// recorded, the JSONL sink is flushed, and — when a trace directory
+/// is configured — a `panic` bundle plus Prometheus snapshot are
+/// written before the previous hook (the default backtrace printer)
+/// runs.
+pub(crate) fn install_panic_hook() {
+    use std::sync::Once;
+    static INSTALLED: Once = Once::new();
+    INSTALLED.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            crate::mark(&format!("panic: {info}"));
+            crate::flush();
+            let _ = dump_trigger("panic");
+            prev(info);
+        }));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ring::RingData;
+
+    #[test]
+    fn context_overwrites_by_key() {
+        set_context("bundle_test.seed", "1");
+        set_context("bundle_test.seed", "2");
+        let hits: Vec<ContextEntry> = context_entries()
+            .into_iter()
+            .filter(|e| e.key == "bundle_test.seed")
+            .collect();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].value, "2");
+    }
+
+    #[test]
+    fn bundle_roundtrips_through_json() {
+        let b = PostmortemBundle {
+            version: BUNDLE_VERSION,
+            reason: "unit".to_string(),
+            round: 7,
+            context: vec![ContextEntry {
+                key: "seed".to_string(),
+                value: "42".to_string(),
+            }],
+            metrics: MetricsDump {
+                counters: vec![CounterDump {
+                    name: "fl.crashes".to_string(),
+                    value: 3,
+                }],
+                gauges: vec![],
+                hists: vec![],
+                series: vec![SeriesDump {
+                    name: "fl.participation".to_string(),
+                    points: vec![(0, 1.0), (1, 0.8)],
+                }],
+            },
+            tracks: vec![ThreadTrack {
+                thread: "ThreadId(1)".to_string(),
+                dropped: 0,
+                events: vec![RingRecord {
+                    ts_ns: 5,
+                    round: 7,
+                    data: RingData::Note {
+                        note: "hello".to_string(),
+                    },
+                }],
+            }],
+        };
+        let json = serde_json::to_string_pretty(&b).unwrap();
+        let back: PostmortemBundle = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, b);
+    }
+}

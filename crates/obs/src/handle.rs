@@ -31,6 +31,7 @@ use std::time::Instant;
 use crate::event::{CountEvent, Event, SampleEvent};
 use crate::hist::LogHistogram;
 use crate::registry::Counter;
+use crate::ring::RingData;
 
 /// A named counter whose registry slot is resolved once.
 pub struct CounterHandle {
@@ -62,6 +63,12 @@ impl CounterHandle {
         self.cell
             .get_or_init(|| s.registry.counter(self.name))
             .add(delta);
+        if crate::ring::ring_enabled() {
+            crate::ring::record(RingData::Count {
+                name: self.name.to_string(),
+                delta,
+            });
+        }
         if s.jsonl.is_some() {
             crate::dispatch(&Event::Count(CountEvent {
                 name: self.name.to_string(),
@@ -101,6 +108,12 @@ impl HistHandle {
         self.cell
             .get_or_init(|| s.registry.hist(self.name))
             .record(value);
+        if crate::ring::ring_enabled() {
+            crate::ring::record(RingData::Sample {
+                name: self.name.to_string(),
+                value,
+            });
+        }
         if s.jsonl.is_some() {
             crate::dispatch(&Event::Sample(SampleEvent {
                 name: self.name.to_string(),
@@ -121,6 +134,7 @@ impl HistHandle {
 }
 
 /// RAII guard from [`HistHandle::timer`].
+#[must_use = "dropping a HandleTimer immediately records a zero-length phase; bind it to a variable"]
 pub struct HandleTimer<'a> {
     handle: &'a HistHandle,
     start: Option<Instant>,

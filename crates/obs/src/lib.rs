@@ -32,22 +32,35 @@
 //!   `qp.fallback`) and histogram samples (`qp.iters`).
 //! * [`snapshot`] — copy of the registry; [`MetricsSnapshot::since`]
 //!   attributes metrics to a single run by diffing two snapshots.
+//! * [`ring`] — the always-on flight recorder: bounded per-thread ring
+//!   buffers mirroring every event, drained into postmortem
+//!   [`bundle`]s on panic, strict verify violations, injected faults,
+//!   or an explicit [`dump_now`]; [`trace`] renders either bundles or
+//!   JSONL as Chrome/Perfetto timelines.
 
+pub mod bundle;
 pub mod event;
 pub mod handle;
 pub mod hist;
 pub mod http;
 pub mod prom;
 pub mod registry;
+pub mod ring;
 pub mod sink;
 pub mod span;
+pub mod trace;
 
+pub use bundle::{
+    collect_bundle, dump_now, dump_trigger, set_context, ContextEntry, MetricsDump,
+    PostmortemBundle, ThreadTrack, ENV_TRACE_DIR,
+};
 pub use event::{CountEvent, Event, GaugeEvent, PointEvent, SampleEvent, SpanEnd};
 pub use handle::{CounterHandle, HandleTimer, HistHandle};
 pub use hist::{HistSnapshot, LogHistogram};
 pub use http::MetricsServer;
 pub use prom::{prometheus_text, write_prometheus};
 pub use registry::{Counter, Gauge, MetricsSnapshot, Registry, Series};
+pub use ring::{RingBuf, RingData, RingRecord, DEFAULT_TRACE_CAP, ENV_TRACE_CAP};
 pub use sink::{read_jsonl, Aggregate, JsonlSink, Sink, SpanStat};
 pub use span::{current_path, inherit_path, span, timer, PathGuard, SpanGuard, TimerGuard};
 
@@ -77,6 +90,9 @@ struct State {
 fn state() -> &'static State {
     STATE.get_or_init(|| {
         let jsonl = std::env::var(ENV_JSONL).ok().and_then(|path| {
+            if let Some(parent) = std::path::Path::new(&path).parent() {
+                let _ = std::fs::create_dir_all(parent);
+            }
             JsonlSink::create(&path)
                 .map_err(|e| eprintln!("fedknow-obs: cannot open {ENV_JSONL}={path}: {e}"))
                 .ok()
@@ -95,18 +111,26 @@ pub fn is_enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
 }
 
-/// Enable observability if `FEDKNOW_OBS` (JSONL sink) or
-/// `FEDKNOW_OBS_ADDR` (live `/metrics` endpoint) is set in the
+/// Enable observability if `FEDKNOW_OBS` (JSONL sink),
+/// `FEDKNOW_OBS_ADDR` (live `/metrics` endpoint) or
+/// `FEDKNOW_TRACE_DIR` (postmortem bundle directory) is set in the
 /// environment. When the address variable is set, a background HTTP
 /// server is started once per process, serving Prometheus text
-/// exposition from registry snapshots. Idempotent; returns whether
+/// exposition from registry snapshots. Whenever observability comes
+/// up, the flight recorder starts and the crash-flush panic hook is
+/// installed (see [`bundle`]). Idempotent; returns whether
 /// observability is enabled afterwards.
 pub fn init_from_env() -> bool {
     let jsonl = std::env::var_os(ENV_JSONL).is_some();
     let addr = std::env::var(ENV_ADDR).ok();
-    if !is_enabled() && (jsonl || addr.is_some()) {
+    let trace_dir = std::env::var_os(ENV_TRACE_DIR).is_some();
+    if !is_enabled() && (jsonl || addr.is_some() || trace_dir) {
         state();
         ENABLED.store(true, Ordering::Release);
+    }
+    if is_enabled() {
+        ring::enable_ring();
+        bundle::install_panic_hook();
     }
     if let Some(addr) = addr {
         SERVER.get_or_init(|| match MetricsServer::serve(&addr) {
@@ -129,10 +153,12 @@ pub fn metrics_addr() -> Option<std::net::SocketAddr> {
     SERVER.get()?.as_ref().map(|s| s.local_addr())
 }
 
-/// Enable the in-memory registry from code (the JSONL sink is still
-/// attached only when `FEDKNOW_OBS` is set). Idempotent.
+/// Enable the in-memory registry and the flight recorder from code
+/// (the JSONL sink is still attached only when `FEDKNOW_OBS` is set).
+/// Idempotent.
 pub fn enable() {
     state();
+    ring::enable_ring();
     ENABLED.store(true, Ordering::Release);
 }
 
@@ -143,6 +169,12 @@ pub fn count(name: &str, delta: u64) {
     }
     let s = state();
     s.registry.add(name, delta);
+    if ring::ring_enabled() {
+        ring::record(RingData::Count {
+            name: name.to_string(),
+            delta,
+        });
+    }
     if s.jsonl.is_some() {
         dispatch(&Event::Count(CountEvent {
             name: name.to_string(),
@@ -158,6 +190,12 @@ pub fn record(name: &str, value: u64) {
     }
     let s = state();
     s.registry.record(name, value);
+    if ring::ring_enabled() {
+        ring::record(RingData::Sample {
+            name: name.to_string(),
+            value,
+        });
+    }
     if s.jsonl.is_some() {
         dispatch(&Event::Sample(SampleEvent {
             name: name.to_string(),
@@ -173,6 +211,12 @@ pub fn gauge(name: &str, value: f64) {
     }
     let s = state();
     s.registry.set_gauge(name, value);
+    if ring::ring_enabled() {
+        ring::record(RingData::Gauge {
+            name: name.to_string(),
+            value,
+        });
+    }
     if s.jsonl.is_some() {
         dispatch(&Event::Gauge(GaugeEvent {
             name: name.to_string(),
@@ -195,6 +239,13 @@ pub fn series_at(name: &str, index: u64, value: f64) {
     }
     let s = state();
     s.registry.push_series(name, index, value);
+    if ring::ring_enabled() {
+        ring::record(RingData::Point {
+            name: name.to_string(),
+            index,
+            value,
+        });
+    }
     if s.jsonl.is_some() {
         dispatch(&Event::Point(PointEvent {
             name: name.to_string(),
@@ -214,6 +265,44 @@ pub fn set_round(round: u64) {
 /// The last-published global round index (0 before any round).
 pub fn round_index() -> u64 {
     ROUND.load(Ordering::Relaxed)
+}
+
+/// Record a fault injection into the flight recorder (`kind` is the
+/// fault-plan label, `detail` mirrors the fl layer's `FaultEvent`
+/// detail field). One relaxed load when the recorder is off.
+pub fn fault(client: u64, kind: &str, detail: u64) {
+    if !ring::ring_enabled() {
+        return;
+    }
+    ring::record(RingData::Fault {
+        client,
+        kind: kind.to_string(),
+        detail,
+    });
+}
+
+/// Record a runtime invariant violation into the flight recorder.
+/// One relaxed load when the recorder is off.
+pub fn violation(check: &str, detail: &str) {
+    if !ring::ring_enabled() {
+        return;
+    }
+    ring::record(RingData::Violation {
+        check: check.to_string(),
+        detail: detail.to_string(),
+    });
+}
+
+/// Record a free-form marker (checkpoint/resume boundaries, panics)
+/// into the flight recorder. One relaxed load when the recorder is
+/// off.
+pub fn mark(note: &str) {
+    if !ring::ring_enabled() {
+        return;
+    }
+    ring::record(RingData::Note {
+        note: note.to_string(),
+    });
 }
 
 /// Record into the registry without emitting a sink event (spans emit

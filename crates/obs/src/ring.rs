@@ -1,0 +1,338 @@
+//! The flight recorder: per-thread, fixed-capacity ring buffers of
+//! compact timestamped records.
+//!
+//! Every instrumentation event (span begin/end, counter delta, gauge
+//! update, series point, fault injection, verify violation, free-form
+//! note) is mirrored into the recording thread's ring. Rings are
+//! bounded — `FEDKNOW_TRACE_CAP` records per thread, default 65 536 —
+//! so a run of any length holds only the most recent window, like an
+//! aircraft black box. When a dump trigger fires (panic, strict verify
+//! violation, injected fault, explicit [`crate::dump_now`]), every
+//! ring is drained into a postmortem bundle (see [`crate::bundle`]).
+//!
+//! ## Cost model
+//!
+//! The recorder follows the facade's contract: while observability is
+//! disabled, every record call is one relaxed atomic load. When
+//! enabled, a record is a thread-local borrow, an uncontended
+//! mutex lock (contended only while a dump drains), and
+//! a slot write — bounded memory, no reallocation after the ring
+//! fills. `FEDKNOW_TRACE_CAP=0` switches recording off entirely while
+//! the rest of the observability stack stays up.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+/// Environment variable bounding each thread's ring, in records.
+/// `0` disables recording.
+pub const ENV_TRACE_CAP: &str = "FEDKNOW_TRACE_CAP";
+
+/// Default per-thread ring capacity, in records.
+pub const DEFAULT_TRACE_CAP: usize = 65_536;
+
+/// One flight-recorder record: what happened ([`RingData`]), when
+/// (nanoseconds since the process-wide recording epoch), and in which
+/// global round (the ambient [`crate::round_index`] at record time).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RingRecord {
+    /// Nanoseconds since the recording epoch (first enable).
+    pub ts_ns: u64,
+    /// Ambient global round index at record time.
+    pub round: u64,
+    /// The event payload.
+    pub data: RingData,
+}
+
+/// The payload of a flight-recorder record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RingData {
+    /// A span opened (full slash-joined path, own name included).
+    Begin {
+        /// Slash-joined span path, e.g. `run/task.0/round.2/client.1`.
+        path: String,
+    },
+    /// A span closed.
+    End {
+        /// Slash-joined span path (matches the opening `Begin`).
+        path: String,
+        /// Span duration in nanoseconds.
+        dur_ns: u64,
+    },
+    /// A counter was bumped.
+    Count {
+        /// Counter name.
+        name: String,
+        /// Increment.
+        delta: u64,
+    },
+    /// A histogram sample was recorded.
+    Sample {
+        /// Histogram name.
+        name: String,
+        /// Sampled value.
+        value: u64,
+    },
+    /// A gauge was set.
+    Gauge {
+        /// Gauge name.
+        name: String,
+        /// New value.
+        value: f64,
+    },
+    /// A series point was appended.
+    Point {
+        /// Series name.
+        name: String,
+        /// Point index (usually a round).
+        index: u64,
+        /// Point value.
+        value: f64,
+    },
+    /// A fault-plan injection hit (crash, straggle, lost upload, …).
+    Fault {
+        /// Client the fault hit.
+        client: u64,
+        /// Fault kind label (`crash`, `upload_rejected`, …).
+        kind: String,
+        /// Kind-specific detail (mirrors `FaultEvent::detail`).
+        detail: u64,
+    },
+    /// A runtime invariant check failed (`FEDKNOW_VERIFY`).
+    Violation {
+        /// Check name (e.g. `integrator.rotation`).
+        check: String,
+        /// Human-readable violation detail.
+        detail: String,
+    },
+    /// A free-form marker (checkpoint/resume boundaries, panics, …).
+    Note {
+        /// Marker text.
+        note: String,
+    },
+}
+
+/// A fixed-capacity overwrite-oldest ring of [`RingRecord`]s.
+#[derive(Debug)]
+pub struct RingBuf {
+    cap: usize,
+    records: Vec<RingRecord>,
+    /// Next overwrite position once `records` reached `cap`.
+    head: usize,
+    /// Records overwritten (lost to the window bound).
+    dropped: u64,
+}
+
+impl RingBuf {
+    /// An empty ring holding at most `cap` records.
+    pub fn new(cap: usize) -> Self {
+        Self {
+            cap,
+            records: Vec::new(),
+            head: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Append a record, overwriting the oldest once full.
+    pub fn push(&mut self, r: RingRecord) {
+        if self.cap == 0 {
+            return;
+        }
+        if self.records.len() < self.cap {
+            self.records.push(r);
+        } else {
+            self.records[self.head] = r;
+            self.head = (self.head + 1) % self.cap;
+            self.dropped += 1;
+        }
+    }
+
+    /// Number of records currently held.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the ring holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Records overwritten so far (the window that was lost).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// A copy of the held records, oldest first. The ring is left
+    /// intact, so successive dumps each capture the current window.
+    pub fn drain_ordered(&self) -> Vec<RingRecord> {
+        let mut out = Vec::with_capacity(self.records.len());
+        out.extend_from_slice(&self.records[self.head..]);
+        out.extend_from_slice(&self.records[..self.head]);
+        out
+    }
+}
+
+/// One thread's ring plus its label, as registered globally so dumps
+/// can reach rings of threads that have already exited.
+struct ThreadRing {
+    label: String,
+    buf: Arc<Mutex<RingBuf>>,
+}
+
+/// Poison-tolerant lock: the recorder must stay usable from the
+/// panic hook even if a panic unwound through a lock holder.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+static RING_ON: AtomicBool = AtomicBool::new(false);
+static RINGS: Mutex<Vec<ThreadRing>> = Mutex::new(Vec::new());
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+static CAP: OnceLock<usize> = OnceLock::new();
+
+thread_local! {
+    static LOCAL: RefCell<Option<Arc<Mutex<RingBuf>>>> = const { RefCell::new(None) };
+}
+
+/// Whether the flight recorder is recording. One relaxed atomic load.
+#[inline]
+pub fn ring_enabled() -> bool {
+    RING_ON.load(Ordering::Relaxed)
+}
+
+/// Per-thread ring capacity (`FEDKNOW_TRACE_CAP`, parsed once).
+pub fn ring_cap() -> usize {
+    *CAP.get_or_init(|| {
+        std::env::var(ENV_TRACE_CAP)
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(DEFAULT_TRACE_CAP)
+    })
+}
+
+/// Switch recording on (idempotent; stays on for the process). Called
+/// by [`crate::enable`]/[`crate::init_from_env`] — the recorder is on
+/// whenever observability is.
+pub(crate) fn enable_ring() {
+    if ring_cap() == 0 {
+        return;
+    }
+    EPOCH.get_or_init(Instant::now);
+    RING_ON.store(true, Ordering::Release);
+}
+
+/// Nanoseconds since the recording epoch.
+pub(crate) fn epoch_ns() -> u64 {
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// Record into the current thread's ring. No-op (one relaxed load)
+/// while the recorder is off.
+#[inline]
+pub(crate) fn record(data: RingData) {
+    if !ring_enabled() {
+        return;
+    }
+    record_at(epoch_ns(), data);
+}
+
+/// Record with an explicit timestamp (span opens reuse their already
+/// taken `Instant`).
+pub(crate) fn record_at(ts_ns: u64, data: RingData) {
+    if !ring_enabled() {
+        return;
+    }
+    let rec = RingRecord {
+        ts_ns,
+        round: crate::round_index(),
+        data,
+    };
+    LOCAL.with(|l| {
+        let mut l = l.borrow_mut();
+        let arc = l.get_or_insert_with(register_current_thread);
+        lock(arc).push(rec);
+    });
+}
+
+/// Create + globally register the calling thread's ring.
+fn register_current_thread() -> Arc<Mutex<RingBuf>> {
+    let buf = Arc::new(Mutex::new(RingBuf::new(ring_cap())));
+    lock(&RINGS).push(ThreadRing {
+        label: format!("{:?}", std::thread::current().id()),
+        buf: Arc::clone(&buf),
+    });
+    buf
+}
+
+/// Drain every registered ring: `(thread label, dropped, records)` per
+/// thread, oldest record first, threads in registration order. Rings
+/// are left intact.
+pub fn drain_all() -> Vec<(String, u64, Vec<RingRecord>)> {
+    lock(&RINGS)
+        .iter()
+        .map(|t| {
+            let b = lock(&t.buf);
+            (t.label.clone(), b.dropped(), b.drain_ordered())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(ts: u64, note: &str) -> RingRecord {
+        RingRecord {
+            ts_ns: ts,
+            round: 0,
+            data: RingData::Note {
+                note: note.to_string(),
+            },
+        }
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_reports_drops() {
+        let mut r = RingBuf::new(3);
+        assert!(r.is_empty());
+        for i in 0..5u64 {
+            r.push(rec(i, &format!("n{i}")));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 2);
+        let ts: Vec<u64> = r.drain_ordered().iter().map(|x| x.ts_ns).collect();
+        assert_eq!(ts, vec![2, 3, 4]);
+        // Drains are non-destructive.
+        assert_eq!(r.drain_ordered().len(), 3);
+    }
+
+    #[test]
+    fn zero_capacity_ring_records_nothing() {
+        let mut r = RingBuf::new(0);
+        r.push(rec(1, "x"));
+        assert!(r.is_empty());
+        assert!(r.drain_ordered().is_empty());
+    }
+
+    #[test]
+    fn ring_record_roundtrips_through_json() {
+        let r = RingRecord {
+            ts_ns: 42,
+            round: 3,
+            data: RingData::Fault {
+                client: 2,
+                kind: "crash".to_string(),
+                detail: 0,
+            },
+        };
+        let json = serde_json::to_string(&r).unwrap();
+        let back: RingRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v["data"]["Fault"]["kind"].as_str(), Some("crash"));
+    }
+}

@@ -14,6 +14,7 @@ use std::cell::RefCell;
 use std::time::Instant;
 
 use crate::event::{Event, SpanEnd};
+use crate::ring::RingData;
 
 thread_local! {
     static SPAN_PATH: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
@@ -28,6 +29,7 @@ pub fn current_path() -> String {
 
 /// RAII guard for an open span. Closing (dropping) pops the span and
 /// emits its timing.
+#[must_use = "dropping a SpanGuard immediately records a zero-length span; bind it to a variable"]
 pub struct SpanGuard {
     start: Option<Instant>,
 }
@@ -46,7 +48,14 @@ pub fn span(name: &str) -> SpanGuard {
     if !crate::is_enabled() {
         return SpanGuard { start: None };
     }
-    SPAN_PATH.with(|p| p.borrow_mut().push(name.to_string()));
+    let path = SPAN_PATH.with(|p| {
+        let mut p = p.borrow_mut();
+        p.push(name.to_string());
+        crate::ring::ring_enabled().then(|| p.join("/"))
+    });
+    if let Some(path) = path {
+        crate::ring::record(RingData::Begin { path });
+    }
     SpanGuard {
         start: Some(Instant::now()),
     }
@@ -65,6 +74,12 @@ impl Drop for SpanGuard {
         // Registry only: the SpanEnd event below already carries the
         // duration, so no separate sample event is emitted.
         crate::record_in_registry(&format!("span.{name}_ns"), dur_ns);
+        if crate::ring::ring_enabled() {
+            crate::ring::record(RingData::End {
+                path: path.clone(),
+                dur_ns,
+            });
+        }
         crate::dispatch(&Event::Span(SpanEnd {
             path,
             dur_ns,
@@ -75,6 +90,7 @@ impl Drop for SpanGuard {
 
 /// RAII guard restoring a worker thread's previous (usually empty) span
 /// path on drop.
+#[must_use = "dropping a PathGuard immediately reverts the inherited span path; bind it to a variable"]
 pub struct PathGuard {
     saved: Option<Vec<String>>,
 }
@@ -105,6 +121,7 @@ impl Drop for PathGuard {
 
 /// RAII phase timer: on drop, records the elapsed nanoseconds into the
 /// named histogram (and emits a sample event to the JSONL sink).
+#[must_use = "dropping a TimerGuard immediately records a zero-length phase; bind it to a variable"]
 pub struct TimerGuard {
     name: &'static str,
     start: Option<Instant>,

@@ -82,8 +82,11 @@ pub fn init_from_env() -> bool {
 
 /// Record the outcome of one invariant check. `Ok` bumps the
 /// `verify.checks` counter; `Err` bumps `verify.violations` (and a
-/// per-check `verify.violations.<name>` counter), logs the detail to
-/// stderr, and panics in strict mode.
+/// per-check `verify.violations.<name>` counter), records the
+/// violation into the observability flight recorder, logs the detail
+/// to stderr, and panics in strict mode — after requesting a
+/// postmortem bundle dump (`FEDKNOW_TRACE_DIR`), so the rounds
+/// leading up to the broken invariant are preserved.
 ///
 /// Call sites gate on [`is_enabled`] *before* evaluating the check, so
 /// the disabled path costs one atomic load and nothing else.
@@ -93,8 +96,13 @@ pub fn report(name: &str, outcome: Result<(), String>) {
         Err(detail) => {
             fedknow_obs::count("verify.violations", 1);
             fedknow_obs::count(&format!("verify.violations.{name}"), 1);
+            fedknow_obs::violation(name, &detail);
             eprintln!("[verify] VIOLATION {name}: {detail}");
             if is_strict() {
+                // The panic hook would dump too, but dumping *before*
+                // unwinding keeps the violation record as the bundle's
+                // tail even if the hook was never installed.
+                fedknow_obs::dump_trigger("verify_violation");
                 panic!("verify violation in {name}: {detail}");
             }
         }
