@@ -7,16 +7,22 @@
 //! ```
 //!
 //! Flags: `--results DIR` (default the repo's `results/`), `--acc-tol`,
-//! `--forget-tol` (absolute), `--wall-tol` (relative, 0.5 = +50%), and
-//! `--report-only` to print the diff without failing — the mode CI runs
-//! on every push so regressions are visible before the gate is
+//! `--forget-tol` (absolute), `--wall-tol`, `--gflops-tol` (relative),
+//! and `--report-only` to print the diff without failing — the mode CI
+//! runs on every push so regressions are visible before the gate is
 //! hardened.
 //!
 //! Exit status: 0 when everything is within tolerance (or
-//! `--report-only`), 1 on a regression, 2 on usage/IO errors.
+//! `--report-only`), 1 on a regression, 2 on usage/IO errors, 3 when a
+//! current record has no `.prev` baseline to diff against (downgraded
+//! to a note under `--report-only`, since a fresh checkout legitimately
+//! has unrotated records).
 
 use fedknow_bench::gate::{bench_record_path, compare, read_bench_record, GateReport, Tolerance};
 use std::path::PathBuf;
+
+/// Exit code for "record exists but its baseline doesn't".
+const EXIT_NO_BASELINE: i32 = 3;
 
 fn main() {
     let mut tol = Tolerance::default();
@@ -43,6 +49,10 @@ fn main() {
                 i += 1;
                 tol.wall_rise = parse_f64(&argv, i, "--wall-tol");
             }
+            "--gflops-tol" => {
+                i += 1;
+                tol.gflops_drop = parse_f64(&argv, i, "--gflops-tol");
+            }
             "--report-only" => report_only = true,
             other if !other.starts_with("--") => pair.push(PathBuf::from(other)),
             other => usage(&format!("unknown flag {other}")),
@@ -50,17 +60,21 @@ fn main() {
         i += 1;
     }
 
-    let reports = match pair.len() {
+    let (reports, missing) = match pair.len() {
         0 => scan_results(&results_dir, &tol),
         2 => {
+            if !pair[0].exists() {
+                missing_baseline_exit(&pair[0].display().to_string(), report_only);
+                return;
+            }
             let prev = read_bench_record(&pair[0]).unwrap_or_else(|e| die(&e));
             let new = read_bench_record(&pair[1]).unwrap_or_else(|e| die(&e));
-            vec![compare(&prev, &new, &tol)]
+            (vec![compare(&prev, &new, &tol)], Vec::new())
         }
         _ => usage("expected zero or exactly two record paths"),
     };
 
-    if reports.is_empty() {
+    if reports.is_empty() && missing.is_empty() {
         println!(
             "bench_gate: no BENCH_*.json / BENCH_*.prev.json pairs under {} — nothing to diff",
             results_dir.display()
@@ -72,6 +86,9 @@ fn main() {
         print!("{}", r.render());
         regressed |= r.regressed();
     }
+    for name in &missing {
+        println!("== {name} ==\n  NO BASELINE: BENCH_{name}.json has no BENCH_{name}.prev.json",);
+    }
     if regressed {
         if report_only {
             println!("bench_gate: regression detected (report-only, not failing)");
@@ -79,38 +96,66 @@ fn main() {
             eprintln!("bench_gate: FAILED — regression beyond tolerance");
             std::process::exit(1);
         }
+    } else if !missing.is_empty() {
+        missing_baseline_exit(&missing.join(", "), report_only);
     } else {
         println!("bench_gate: all benchmarks within tolerance");
     }
 }
 
-/// Diff every current/previous record pair under `dir`.
-fn scan_results(dir: &std::path::Path, tol: &Tolerance) -> Vec<GateReport> {
+/// Report a missing baseline: under `--report-only` it is a note and a
+/// clean exit, otherwise an actionable error with the distinct exit
+/// code so CI can tell "no baseline yet" from "regressed" and "broken".
+fn missing_baseline_exit(what: &str, report_only: bool) {
+    if report_only {
+        println!(
+            "bench_gate: no baseline for {what} (report-only, not failing) — \
+             commit the current record or re-run the benchmark to rotate one"
+        );
+        return;
+    }
+    eprintln!(
+        "bench_gate: NO BASELINE for {what}\n  a record exists but there is no \
+         .prev.json to diff it against.\n  fix: re-run the benchmark (the writer \
+         rotates the old record to .prev.json),\n  or copy the trusted record: \
+         cp BENCH_<name>.json BENCH_<name>.prev.json"
+    );
+    std::process::exit(EXIT_NO_BASELINE);
+}
+
+/// Diff every current/previous record pair under `dir`; also collect
+/// the names of current records that have no baseline at all.
+fn scan_results(dir: &std::path::Path, tol: &Tolerance) -> (Vec<GateReport>, Vec<String>) {
     let Ok(entries) = std::fs::read_dir(dir) else {
-        return Vec::new();
+        return (Vec::new(), Vec::new());
     };
     let mut names: Vec<String> = entries
         .flatten()
         .filter_map(|e| {
             let file = e.file_name().into_string().ok()?;
-            let stem = file.strip_prefix("BENCH_")?.strip_suffix(".prev.json")?;
-            Some(stem.to_string())
+            let stem = file.strip_prefix("BENCH_")?.strip_suffix(".json")?;
+            Some(stem.strip_suffix(".prev").unwrap_or(stem).to_string())
         })
         .collect();
     names.sort();
-    names
-        .iter()
-        .filter_map(|name| {
-            let cur = bench_record_path(dir, name);
-            if !cur.exists() {
-                return None;
-            }
-            let prev = read_bench_record(&dir.join(format!("BENCH_{name}.prev.json")))
-                .unwrap_or_else(|e| die(&e));
-            let new = read_bench_record(&cur).unwrap_or_else(|e| die(&e));
-            Some(compare(&prev, &new, tol))
-        })
-        .collect()
+    names.dedup();
+    let mut reports = Vec::new();
+    let mut missing = Vec::new();
+    for name in &names {
+        let cur = bench_record_path(dir, name);
+        if !cur.exists() {
+            continue; // orphan .prev — nothing current to gate
+        }
+        let prev_path = dir.join(format!("BENCH_{name}.prev.json"));
+        if !prev_path.exists() {
+            missing.push(name.clone());
+            continue;
+        }
+        let prev = read_bench_record(&prev_path).unwrap_or_else(|e| die(&e));
+        let new = read_bench_record(&cur).unwrap_or_else(|e| die(&e));
+        reports.push(compare(&prev, &new, tol));
+    }
+    (reports, missing)
 }
 
 fn parse_f64(argv: &[String], i: usize, flag: &str) -> f64 {
@@ -122,7 +167,7 @@ fn parse_f64(argv: &[String], i: usize, flag: &str) -> f64 {
 fn usage(msg: &str) -> ! {
     eprintln!(
         "error: {msg}\nusage: bench_gate [--results DIR] [--acc-tol X] [--forget-tol X] \
-         [--wall-tol X] [--report-only] [prev.json new.json]"
+         [--wall-tol X] [--gflops-tol X] [--report-only] [prev.json new.json]"
     );
     std::process::exit(2)
 }

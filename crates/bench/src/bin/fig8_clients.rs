@@ -2,17 +2,45 @@
 //! on MiniImageNet with ResNet-18; average accuracy and forgetting rate
 //! for GEM, FedWEIT and FedKNOW. More clients → fewer samples per client
 //! and stronger non-IID, so negative transfer grows.
+//!
+//! Each sweep point also records host-side scalability numbers: real
+//! wall seconds and simulated client-rounds per second for every
+//! method, plus the process peak RSS (`VmHWM`) after the sweep — the
+//! capacity planner's two questions (how fast, how much memory) for
+//! the client counts the paper scales to.
 
 use fedknow_baselines::Method;
 use fedknow_bench::{parse_args, print_table, scaled_spec, write_json, MethodCurve, Scale};
 use fedknow_data::DatasetSpec;
 use fedknow_fl::{CommModel, DeviceProfile};
 use serde::Serialize;
+use std::time::Instant;
 
 #[derive(Serialize)]
 struct ClientScaleResult {
     num_clients: usize,
     curves: Vec<MethodCurve>,
+    /// Real wall seconds per method, aligned with `curves`.
+    wall_seconds: Vec<f64>,
+    /// Simulated client-rounds processed per real second, per method.
+    clients_per_sec: Vec<f64>,
+    /// Process peak RSS (bytes) after this sweep point — a high-water
+    /// mark, so it only ever grows across points. 0 where the platform
+    /// has no `/proc/self/status`.
+    peak_rss_bytes: u64,
+}
+
+/// Peak resident set size of this process in bytes (Linux `VmHWM`).
+fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|l| l.trim().trim_end_matches("kB").trim().parse::<u64>().ok())
+        .map(|kb| kb * 1024)
+        .unwrap_or(0)
 }
 
 fn main() {
@@ -28,12 +56,22 @@ fn main() {
         spec.num_clients = n;
         let devices = DeviceProfile::uniform_cluster(n);
         let mut curves = Vec::new();
+        let mut wall_seconds = Vec::new();
+        let mut clients_per_sec = Vec::new();
         for method in [Method::Gem, Method::FedWeit, Method::FedKnow] {
             eprintln!("[fig8] {n} clients / {} ...", method.name());
+            let started = Instant::now();
             let report = spec
                 .run_on(method, devices.clone(), CommModel::paper_default())
                 .expect("simulation failed");
-            curves.push(MethodCurve::from_report(&report));
+            let wall = started.elapsed().as_secs_f64();
+            let curve = MethodCurve::from_report(&report);
+            // One "client" unit = one client participating in one
+            // aggregation round; tasks × rounds × clients of them total.
+            let client_rounds = (curve.accuracy.len() * spec.rounds_per_task * n) as f64;
+            wall_seconds.push(wall);
+            clients_per_sec.push(client_rounds / wall.max(f64::MIN_POSITIVE));
+            curves.push(curve);
         }
         let columns: Vec<String> = (1..=curves[0].accuracy.len())
             .map(|t| format!("task{t}"))
@@ -56,9 +94,21 @@ fn main() {
             &columns,
             &forget_rows,
         );
+        let rss = peak_rss_bytes();
+        println!("\n== Fig.8 — host scalability, {n} clients ==");
+        for (i, c) in curves.iter().enumerate() {
+            println!(
+                "{:<12} wall {:>8.2}s  {:>10.1} clients/sec",
+                c.method, wall_seconds[i], clients_per_sec[i]
+            );
+        }
+        println!("peak RSS     {:.1} MiB", rss as f64 / (1024.0 * 1024.0));
         results.push(ClientScaleResult {
             num_clients: n,
             curves,
+            wall_seconds,
+            clients_per_sec,
+            peak_rss_bytes: rss,
         });
     }
     write_json("fig8_clients", &results);

@@ -1,0 +1,407 @@
+//! Roofline microbenchmark of the instrumented hot kernels.
+//!
+//! ```text
+//! kernel_bench [--smoke] [--seed N] [--reps K] [--results DIR]
+//! ```
+//!
+//! For each representative kernel/shape pair (the shapes the Fig. 4 and
+//! Fig. 9 models actually run), the binary:
+//!
+//! 1. **cross-checks the FLOP model** — one instrumented invocation is
+//!    diffed against the `flops.<kernel>` / `bytes.<kernel>` registry
+//!    counters, and (for matmul / conv2d) against the verify oracle's
+//!    instrumented loop-trip counts, so the numbers below can only be
+//!    produced by a model that agrees with both the production wiring
+//!    and the reference loops;
+//! 2. **times a min-of-k sweep** (`--reps`, default 15, `--smoke` 5)
+//!    and reports achieved GFLOP/s and arithmetic intensity.
+//!
+//! The run is distilled into `results/BENCH_kernels.json` through the
+//! usual rotation machinery, so `bench_gate` diffs each kernel's
+//! throughput against the previous record (`--gflops-tol`, default a
+//! generous 50%, because CI cores vary).
+//!
+//! Exit status: 0 on success, 1 when a cross-check fails, 2 on usage
+//! errors.
+
+use fedknow_bench::gate::KernelEntry;
+use fedknow_bench::{results_dir, write_bench_record, BenchRecord};
+use fedknow_math::flops::{self, Cost};
+use fedknow_math::qp::{integrate_gradient, QpConfig};
+use fedknow_math::{distance, Tensor};
+use fedknow_nn::conv::Conv2d;
+use fedknow_nn::Layer;
+use fedknow_verify::oracle::{self, ConvSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::Instant;
+
+struct Opts {
+    smoke: bool,
+    seed: u64,
+    reps: usize,
+    results: PathBuf,
+}
+
+fn parse_opts() -> Opts {
+    let mut o = Opts {
+        smoke: false,
+        seed: 42,
+        reps: 0,
+        results: results_dir(),
+    };
+    let argv: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--smoke" => o.smoke = true,
+            "--seed" => {
+                i += 1;
+                o.seed = argv
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--seed expects an integer"));
+            }
+            "--reps" => {
+                i += 1;
+                o.reps = argv
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--reps expects an integer"));
+            }
+            "--results" => {
+                i += 1;
+                o.results = PathBuf::from(
+                    argv.get(i)
+                        .unwrap_or_else(|| usage("--results expects DIR")),
+                );
+            }
+            other => usage(&format!("unknown argument {other}")),
+        }
+        i += 1;
+    }
+    if o.reps == 0 {
+        o.reps = if o.smoke { 5 } else { 15 };
+    }
+    o
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}\nusage: kernel_bench [--smoke] [--seed N] [--reps K] [--results DIR]");
+    std::process::exit(2)
+}
+
+/// Deterministic pseudo-random values in roughly `[-0.5, 0.5)` — the
+/// kernels' timing is value-independent, this just avoids denormals and
+/// trivially-zero inputs.
+fn vals(n: usize, salt: u64) -> Vec<f32> {
+    (0..n)
+        .map(|i| {
+            let x = (i as u64).wrapping_mul(2654435761).wrapping_add(salt * 977);
+            ((x % 1000) as f32) / 1000.0 - 0.5
+        })
+        .collect()
+}
+
+/// Per-invocation `flops.<kernel>` / `bytes.<kernel>` counter delta
+/// around one call of `f` — what the production instrumentation
+/// actually charged.
+fn counted_invocation(kernel: &str, mut f: impl FnMut()) -> (u64, u64) {
+    let before = fedknow_obs::snapshot().expect("obs enabled");
+    f();
+    let delta = fedknow_obs::snapshot().expect("obs enabled").since(&before);
+    (
+        delta
+            .counters
+            .get(&format!("flops.{kernel}"))
+            .copied()
+            .unwrap_or(0),
+        delta
+            .counters
+            .get(&format!("bytes.{kernel}"))
+            .copied()
+            .unwrap_or(0),
+    )
+}
+
+/// Fastest of `warmup + reps` invocations, nanoseconds.
+fn min_of_k(reps: usize, mut f: impl FnMut()) -> u64 {
+    f();
+    f();
+    let mut best = u64::MAX;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_nanos() as u64);
+    }
+    best
+}
+
+fn entry(kernel: &str, shape: &str, model: Cost, min_ns: u64) -> KernelEntry {
+    KernelEntry {
+        kernel: kernel.to_string(),
+        shape: shape.to_string(),
+        flops: model.flops,
+        bytes: model.bytes,
+        min_ns,
+        gflops: model.flops as f64 / min_ns.max(1) as f64,
+        intensity: model.intensity().unwrap_or(0.0),
+    }
+}
+
+/// A failed cross-check makes every derived number meaningless; bail.
+fn check(what: &str, lhs: u64, rhs: u64) {
+    if lhs != rhs {
+        eprintln!("[kernel_bench] CROSS-CHECK FAILED: {what}: {lhs} != {rhs}");
+        std::process::exit(1);
+    }
+}
+
+fn bench_matmul(opts: &Opts, m: usize, k: usize, n: usize, out: &mut Vec<KernelEntry>) {
+    let shape = format!("{m}x{k}x{n}");
+    let a = Tensor::from_vec(vals(m * k, 1), &[m, k]);
+    let b = Tensor::from_vec(vals(k * n, 2), &[k, n]);
+    let model = flops::matmul(m, k, n);
+    // Oracle trips (2 FLOPs per MAC) and production counters must both
+    // reproduce the model.
+    let (_, macs) = oracle::matmul_counted(a.data(), b.data(), m, k, n);
+    check(
+        &format!("matmul {shape} model vs oracle trips"),
+        model.flops,
+        2 * macs,
+    );
+    let (cf, cb) = counted_invocation("matmul", || {
+        black_box(a.matmul(black_box(&b)));
+    });
+    check(&format!("matmul {shape} model vs counter"), model.flops, cf);
+    check(&format!("matmul {shape} bytes vs counter"), model.bytes, cb);
+    let min_ns = min_of_k(opts.reps, || {
+        black_box(a.matmul(black_box(&b)));
+    });
+    out.push(entry("matmul", &shape, model, min_ns));
+}
+
+fn bench_conv(
+    opts: &Opts,
+    b: usize,
+    cin: usize,
+    cout: usize,
+    hw: usize,
+    out: &mut Vec<KernelEntry>,
+) {
+    let shape = format!("b{b} {cin}->{cout} k3 s1 p1 {hw}x{hw}");
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let mut conv = Conv2d::conv3x3(&mut rng, cin, cout, 1);
+    let x = Tensor::from_vec(vals(b * cin * hw * hw, 3), &[b, cin, hw, hw]);
+    let s = flops::Conv2dShape {
+        batch: b,
+        in_c: cin,
+        out_c: cout,
+        kernel: 3,
+        stride: 1,
+        padding: 1,
+        groups: 1,
+        h: hw,
+        w: hw,
+    };
+    let spec = ConvSpec {
+        batch: b,
+        in_c: cin,
+        out_c: cout,
+        kernel: 3,
+        stride: 1,
+        padding: 1,
+        groups: 1,
+        h: hw,
+        w: hw,
+    };
+    let fwd = flops::conv2d_fwd(&s);
+    let bwd = flops::conv2d_bwd(&s);
+
+    // Oracle loop trips: 2 FLOPs per forward tap + 1 bias add; 4 per
+    // backward tap + 1 gb add (padding taps included on both sides).
+    let weight = vals(s.weight_len(), 4);
+    let bias = vals(cout, 5);
+    let (_, tf) = oracle::conv2d_forward_counted(&spec, x.data(), &weight, &bias);
+    check(
+        &format!("conv2d_fwd {shape} model vs oracle trips"),
+        fwd.flops,
+        2 * tf.taps + tf.outputs,
+    );
+    let gy = vals(s.output_len(), 6);
+    let (_, tb) = oracle::conv2d_backward_counted(&spec, x.data(), &weight, &gy);
+    check(
+        &format!("conv2d_bwd {shape} model vs oracle trips"),
+        bwd.flops,
+        4 * tb.taps + tb.outputs,
+    );
+
+    // Production counters.
+    let (cf, _) = counted_invocation("conv2d_fwd", || {
+        black_box(conv.forward(x.clone(), true));
+    });
+    check(
+        &format!("conv2d_fwd {shape} model vs counter"),
+        fwd.flops,
+        cf,
+    );
+    let gy_t = Tensor::from_vec(gy.clone(), &[b, cout, hw, hw]);
+    let (cbk, _) = counted_invocation("conv2d_bwd", || {
+        black_box(conv.backward(gy_t.clone()));
+    });
+    check(
+        &format!("conv2d_bwd {shape} model vs counter"),
+        bwd.flops,
+        cbk,
+    );
+
+    let fwd_ns = min_of_k(opts.reps, || {
+        black_box(conv.forward(x.clone(), true));
+    });
+    out.push(entry("conv2d_fwd", &shape, fwd, fwd_ns));
+    let bwd_ns = min_of_k(opts.reps, || {
+        black_box(conv.backward(gy_t.clone()));
+    });
+    out.push(entry("conv2d_bwd", &shape, bwd, bwd_ns));
+}
+
+fn bench_qp(opts: &Opts, k: usize, n: usize, out: &mut Vec<KernelEntry>) {
+    let shape = format!("k{k} n{n}");
+    let g = vals(n, 7);
+    // Constraints with a conflicting component along −g plus an
+    // independent random part: infeasible (the screen fails) but with a
+    // well-conditioned Gram so the projected-gradient solve converges.
+    let constraints: Vec<Vec<f32>> = (0..k)
+        .map(|i| {
+            let noise = vals(n, 8 + i as u64);
+            g.iter()
+                .zip(noise)
+                .map(|(&gv, nv)| -0.5 * gv + nv)
+                .collect()
+        })
+        .collect();
+    let cfg = QpConfig::default();
+    let r = integrate_gradient(&g, &constraints, &cfg).expect("qp solve");
+    assert!(!r.already_feasible, "bench QP must take the solve path");
+    // The QP's FLOPs depend on the iteration count the solver actually
+    // took, so the model is evaluated at that count and checked against
+    // the production counter.
+    let model = flops::qp_screen(k, n).plus(flops::qp_solve(k, n, r.iterations));
+    let (cf, _) = counted_invocation("qp", || {
+        black_box(integrate_gradient(black_box(&g), &constraints, &cfg).unwrap());
+    });
+    check(
+        &format!("qp {shape} model({} iters) vs counter", r.iterations),
+        model.flops,
+        cf,
+    );
+    let min_ns = min_of_k(opts.reps, || {
+        black_box(integrate_gradient(black_box(&g), &constraints, &cfg).unwrap());
+    });
+    out.push(entry("qp", &shape, model, min_ns));
+}
+
+fn bench_wasserstein(opts: &Opts, n: usize, out: &mut Vec<KernelEntry>) {
+    let shape = format!("n{n}");
+    let a = vals(n, 9);
+    let b = vals(n, 10);
+    let model = flops::wasserstein(n);
+    let (cf, cb) = counted_invocation("wasserstein", || {
+        black_box(distance::wasserstein_1d(black_box(&a), black_box(&b)));
+    });
+    check(
+        &format!("wasserstein {shape} model vs counter"),
+        model.flops,
+        cf,
+    );
+    check(
+        &format!("wasserstein {shape} bytes vs counter"),
+        model.bytes,
+        cb,
+    );
+    let min_ns = min_of_k(opts.reps, || {
+        black_box(distance::wasserstein_1d(black_box(&a), black_box(&b)));
+    });
+    out.push(entry("wasserstein", &shape, model, min_ns));
+}
+
+fn bench_fedavg(opts: &Opts, clients: usize, dim: usize, out: &mut Vec<KernelEntry>) {
+    let shape = format!("c{clients} d{dim}");
+    let uploads: Vec<Option<Vec<f32>>> = (0..clients)
+        .map(|i| Some(vals(dim, 11 + i as u64)))
+        .collect();
+    let weights: Vec<usize> = (1..=clients).collect();
+    let model = flops::fedavg(clients, dim);
+    let (cf, _) = counted_invocation("fedavg", || {
+        black_box(fedknow_fl::server::fedavg(black_box(&uploads), &weights).unwrap());
+    });
+    check(&format!("fedavg {shape} model vs counter"), model.flops, cf);
+    let min_ns = min_of_k(opts.reps, || {
+        black_box(fedknow_fl::server::fedavg(black_box(&uploads), &weights).unwrap());
+    });
+    out.push(entry("fedavg", &shape, model, min_ns));
+}
+
+fn main() {
+    let opts = parse_opts();
+    // The counter cross-checks need the registry live; the per-call
+    // cost (two atomic adds per kernel invocation) is noise next to the
+    // kernels themselves, so timing runs with it on too — exactly the
+    // condition a profiled training run sees.
+    fedknow_obs::enable();
+    let started = Instant::now();
+
+    let mut entries: Vec<KernelEntry> = Vec::new();
+    eprintln!("[kernel_bench] reps={} (min-of-k)", opts.reps);
+    // GEMM at a square shape and at the SixCNN stem's im2col shape
+    // (weight [32, 27] × col [27, 32·32]).
+    bench_matmul(&opts, 96, 96, 96, &mut entries);
+    bench_matmul(&opts, 32, 27, 1024, &mut entries);
+    // SixCNN stem on CIFAR-sized inputs (Fig. 4) and a ResNet-18 inner
+    // block at the reduced resolution the Fig. 9 zoo uses.
+    bench_conv(&opts, 4, 3, 32, 32, &mut entries);
+    bench_conv(&opts, 2, 64, 64, 8, &mut entries);
+    // Signature-task machinery: GEM dual QP, Wasserstein ranking, and
+    // the server's weighted average.
+    bench_qp(&opts, 8, 4096, &mut entries);
+    bench_wasserstein(&opts, 16384, &mut entries);
+    bench_fedavg(&opts, 20, 16384, &mut entries);
+
+    println!(
+        "\n{:<12}{:<26}{:>14}{:>12}{:>12}{:>10}{:>12}",
+        "kernel", "shape", "flops", "bytes", "min", "GF/s", "flops/byte"
+    );
+    for e in &entries {
+        println!(
+            "{:<12}{:<26}{:>14}{:>12}{:>12}{:>10.3}{:>12.3}",
+            e.kernel,
+            e.shape,
+            e.flops,
+            e.bytes,
+            fedknow_bench::fmt_ns(e.min_ns),
+            e.gflops,
+            e.intensity,
+        );
+    }
+    println!("[kernel_bench] all FLOP/byte models cross-checked against oracle trips and counters");
+
+    let rec = BenchRecord {
+        name: "kernels".to_string(),
+        scale: if opts.smoke { "smoke" } else { "quick" }.to_string(),
+        seed: opts.seed,
+        final_accuracy: 0.0,
+        final_forgetting: 0.0,
+        wall_seconds: started.elapsed().as_secs_f64(),
+        phases: Vec::new(),
+        kernels: Some(entries),
+    };
+    match write_bench_record(&opts.results, &rec) {
+        Ok(path) => println!("[bench] {}", path.display()),
+        Err(e) => {
+            eprintln!("[bench] record not written: {e}");
+            std::process::exit(2);
+        }
+    }
+}

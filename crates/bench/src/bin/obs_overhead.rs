@@ -1,13 +1,19 @@
 //! Measure the flight recorder's overhead: identical fault-free runs
-//! with the observability layer (spans + metrics + ring recorder) off
-//! and then on, min-of-k each, reported as a relative overhead ratio.
+//! with the observability layer (spans + metrics + ring recorder) off,
+//! then on, then on with the scoped allocation tracker
+//! (`FEDKNOW_PROF_ALLOC`) armed too — min-of-k each, reported as
+//! relative overhead ratios against the all-off baseline.
 //!
-//! The ratio lands in `BENCH_obs_overhead.json` — in the
+//! The recorder ratio lands in `BENCH_obs_overhead.json` — in the
 //! `final_forgetting` slot, so the bench gate's "forgetting may not
 //! rise" tolerance doubles as an overhead-regression gate: a change
 //! that makes the recorder more expensive shows up as a rise between
 //! the rotated `.prev.json` and the fresh record. The binary itself
-//! also enforces the absolute budget (5%) and exits non-zero past it.
+//! also enforces the absolute budget (5%) on both ratios and exits
+//! non-zero past it. Note the off baseline exercises the disabled paths
+//! of *both* facilities — one relaxed atomic load per obs call site and
+//! one per allocator call — so the budget also bounds the
+//! tracker-disarmed tax on ordinary runs.
 
 use fedknow_baselines::Method;
 use fedknow_bench::{parse_args, results_dir, scaled_spec, write_bench_record, BenchRecord};
@@ -61,13 +67,23 @@ fn main() {
     eprintln!("[obs_overhead] recorder on: {RUNS} runs ...");
     let (on_ns, report) = min_of_k(&spec);
 
+    // Recorder plus the scoped allocation tracker: every heap alloc now
+    // pays a handful of atomic adds on top of the span accounting.
+    fedknow_obs::alloc::set_tracking(true);
+    eprintln!("[obs_overhead] recorder + alloc tracker on: {RUNS} runs ...");
+    let (alloc_ns, _) = min_of_k(&spec);
+    fedknow_obs::alloc::set_tracking(false);
+
     let overhead = (on_ns as f64 / off_ns.max(1) as f64 - 1.0).max(0.0);
+    let alloc_overhead = (alloc_ns as f64 / off_ns.max(1) as f64 - 1.0).max(0.0);
     let tasks = report.accuracy.num_tasks();
     println!(
-        "[obs_overhead] off {} on {} -> overhead {:.2}% (budget {:.0}%)",
+        "[obs_overhead] off {} on {} alloc-on {} -> overhead {:.2}% / with tracker {:.2}% (budget {:.0}%)",
         fedknow_bench::fmt_ns(off_ns),
         fedknow_bench::fmt_ns(on_ns),
+        fedknow_bench::fmt_ns(alloc_ns),
         100.0 * overhead,
+        100.0 * alloc_overhead,
         100.0 * MAX_OVERHEAD,
     );
 
@@ -83,7 +99,9 @@ fn main() {
         phases: vec![
             ("recorder_off_ns".to_string(), off_ns),
             ("recorder_on_ns".to_string(), on_ns),
+            ("recorder_alloc_on_ns".to_string(), alloc_ns),
         ],
+        kernels: None,
     };
     match write_bench_record(&results_dir(), &rec) {
         Ok(path) => println!("[bench] {}", path.display()),
@@ -93,6 +111,14 @@ fn main() {
         eprintln!(
             "[obs_overhead] FAIL: recorder overhead {:.2}% exceeds the {:.0}% budget",
             100.0 * overhead,
+            100.0 * MAX_OVERHEAD
+        );
+        std::process::exit(1);
+    }
+    if alloc_overhead > MAX_OVERHEAD {
+        eprintln!(
+            "[obs_overhead] FAIL: recorder + alloc tracker overhead {:.2}% exceeds the {:.0}% budget",
+            100.0 * alloc_overhead,
             100.0 * MAX_OVERHEAD
         );
         std::process::exit(1);

@@ -11,7 +11,10 @@
 //!   …): count, total, mean, exact p50/p99, and share of wall-time
 //!   (the `run` span). With parallel clients, shares can sum past 100%.
 //! * **spans** — the run hierarchy rolled up by shape (`task.3` →
-//!   `task.*`), so all rounds/clients at the same depth aggregate.
+//!   `task.*`), so all rounds/clients at the same depth aggregate. Each
+//!   row carries the kernel FLOPs attributed to its spans (achieved
+//!   GFLOP/s per phase) and, for traces taken under
+//!   `FEDKNOW_PROF_ALLOC=1`, heap allocation counts and bytes.
 //! * **counters** — monotonic totals (`comm.upload_bytes`,
 //!   `qp.fallback`, …).
 
@@ -75,24 +78,35 @@ fn main() {
     }
 
     println!("\n== spans (rolled up: task.3 -> task.*) ==");
+    let rolled = rollup_spans(&agg.spans);
+    let any_alloc = rolled.values().any(|s| s.allocs > 0);
     println!(
-        "{:<40}{:>10}{:>12}{:>12}{:>8}",
-        "span path", "count", "total", "mean", "share"
+        "{:<40}{:>10}{:>12}{:>12}{:>8}{:>8}{:>10}{:>12}",
+        "span path", "count", "total", "mean", "share", "GF/s", "allocs", "alloc bytes"
     );
-    for (path, stat) in rollup_spans(&agg.spans) {
+    for (path, stat) in &rolled {
         let share = if wall > 0 {
             100.0 * stat.total_ns as f64 / wall as f64
         } else {
             0.0
         };
+        let gflops = stat
+            .gflops_per_sec()
+            .map(|g| format!("{g:>8.3}"))
+            .unwrap_or_else(|| format!("{:>8}", "-"));
         println!(
-            "{:<40}{:>10}{:>12}{:>12}{:>7.1}%",
+            "{:<40}{:>10}{:>12}{:>12}{:>7.1}%{gflops}{:>10}{:>12}",
             path,
             stat.count,
             fmt_ns(stat.total_ns),
             fmt_ns(stat.total_ns / stat.count.max(1)),
             share,
+            stat.allocs,
+            stat.alloc_bytes,
         );
+    }
+    if !any_alloc {
+        println!("(allocation columns are zero — trace was not taken under FEDKNOW_PROF_ALLOC=1)");
     }
 
     if !agg.counters.is_empty() {
@@ -114,6 +128,10 @@ fn rollup_spans(spans: &BTreeMap<String, SpanStat>) -> BTreeMap<String, SpanStat
         let entry = out.entry(rolled.join("/")).or_default();
         entry.count += stat.count;
         entry.total_ns += stat.total_ns;
+        entry.flops += stat.flops;
+        entry.bytes += stat.bytes;
+        entry.allocs += stat.allocs;
+        entry.alloc_bytes += stat.alloc_bytes;
     }
     out
 }

@@ -113,6 +113,7 @@ fn main() {
         final_forgetting: 1.0 - pass_fraction,
         wall_seconds: wall,
         phases,
+        kernels: None,
     };
     match write_bench_record(&results_dir(), &rec) {
         Ok(path) => println!("[bench] {}", path.display()),

@@ -10,6 +10,28 @@
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
 
+/// One microbenchmarked kernel/shape point from `kernel_bench`:
+/// modelled work (via `fedknow_math::flops`), min-of-k wall time, and
+/// the derived roofline coordinates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelEntry {
+    /// Kernel name, matching the `flops.<kernel>` counter namespace
+    /// (`matmul`, `conv2d_fwd`, `qp`, …).
+    pub kernel: String,
+    /// Human-readable shape tag (`128x128x128`, `b8 3->32 k3 s1 p1 32x32`).
+    pub shape: String,
+    /// Modelled FLOPs for one invocation.
+    pub flops: u64,
+    /// Modelled bytes moved for one invocation.
+    pub bytes: u64,
+    /// Fastest observed invocation, nanoseconds (min-of-k).
+    pub min_ns: u64,
+    /// Achieved GFLOP/s at the fastest invocation.
+    pub gflops: f64,
+    /// Arithmetic intensity, FLOPs per byte.
+    pub intensity: f64,
+}
+
 /// A normalized, diffable summary of one benchmark run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BenchRecord {
@@ -29,6 +51,10 @@ pub struct BenchRecord {
     /// Phase totals `(metric, total_ns)`, name-sorted; empty when the
     /// observability layer was disabled.
     pub phases: Vec<(String, u64)>,
+    /// Per-kernel roofline points (`kernel_bench` records only; `None`
+    /// for simulation records and anything written before the field
+    /// existed — the vendored serde maps a missing key to `None`).
+    pub kernels: Option<Vec<KernelEntry>>,
 }
 
 impl BenchRecord {
@@ -64,6 +90,7 @@ impl BenchRecord {
             final_forgetting: forgetting.last().copied().unwrap_or(0.0),
             wall_seconds,
             phases,
+            kernels: None,
         }
     }
 }
@@ -104,6 +131,10 @@ pub struct Tolerance {
     pub forgetting_rise: f64,
     /// Max allowed relative rise in `wall_seconds` (0.5 = +50%).
     pub wall_rise: f64,
+    /// Max allowed relative drop in a kernel's achieved GFLOP/s
+    /// (0.5 = the kernel may lose up to half its throughput). Generous
+    /// because CI machines vary wildly in per-core throughput.
+    pub gflops_drop: f64,
 }
 
 impl Default for Tolerance {
@@ -112,6 +143,7 @@ impl Default for Tolerance {
             accuracy_drop: 0.02,
             forgetting_rise: 0.02,
             wall_rise: 0.5,
+            gflops_drop: 0.5,
         }
     }
 }
@@ -183,7 +215,7 @@ pub fn compare(prev: &BenchRecord, new: &BenchRecord, tol: &Tolerance) -> GateRe
             findings: Vec::new(),
         };
     }
-    let findings = vec![
+    let mut findings = vec![
         Finding {
             metric: "final_accuracy".to_string(),
             prev: prev.final_accuracy,
@@ -204,6 +236,26 @@ pub fn compare(prev: &BenchRecord, new: &BenchRecord, tol: &Tolerance) -> GateRe
                 && (new.wall_seconds - prev.wall_seconds) / prev.wall_seconds > tol.wall_rise,
         },
     ];
+    // Per-kernel throughput: every (kernel, shape) point present in both
+    // records is gated on its relative GFLOP/s drop. Points only one
+    // side has (new shapes, retired shapes) are not comparable and are
+    // skipped rather than failed.
+    if let (Some(prev_k), Some(new_k)) = (&prev.kernels, &new.kernels) {
+        for pk in prev_k {
+            let Some(nk) = new_k
+                .iter()
+                .find(|nk| nk.kernel == pk.kernel && nk.shape == pk.shape)
+            else {
+                continue;
+            };
+            findings.push(Finding {
+                metric: format!("gflops {} [{}]", pk.kernel, pk.shape),
+                prev: pk.gflops,
+                new: nk.gflops,
+                regressed: pk.gflops > 0.0 && (pk.gflops - nk.gflops) / pk.gflops > tol.gflops_drop,
+            });
+        }
+    }
     GateReport {
         name: new.name.clone(),
         incomparable: None,
@@ -224,6 +276,19 @@ mod tests {
             final_forgetting: forget,
             wall_seconds: wall,
             phases: vec![("qp.solve_ns".to_string(), 12345)],
+            kernels: None,
+        }
+    }
+
+    fn kernel(kernel: &str, shape: &str, gflops: f64) -> KernelEntry {
+        KernelEntry {
+            kernel: kernel.to_string(),
+            shape: shape.to_string(),
+            flops: 1_000_000,
+            bytes: 100_000,
+            min_ns: 1_000,
+            gflops,
+            intensity: 10.0,
         }
     }
 
@@ -275,6 +340,56 @@ mod tests {
         assert_eq!(back.final_accuracy, 0.5);
         assert_eq!(back.final_forgetting, 0.125);
         assert_eq!(back.phases, r.phases);
+    }
+
+    #[test]
+    fn record_without_kernels_key_still_parses() {
+        // Records written before the `kernels` field existed have no
+        // such key; the vendored serde feeds `Null` to `Option<_>`.
+        let legacy = r#"{
+            "name": "fig4_cifar100", "scale": "smoke", "seed": 42,
+            "final_accuracy": 0.5, "final_forgetting": 0.1,
+            "wall_seconds": 10.0, "phases": []
+        }"#;
+        let r: BenchRecord = serde_json::from_str(legacy).unwrap();
+        assert!(r.kernels.is_none());
+    }
+
+    #[test]
+    fn kernel_throughput_halving_regresses() {
+        let tol = Tolerance::default();
+        let mut prev = record(0.5, 0.1, 10.0);
+        prev.kernels = Some(vec![
+            kernel("matmul", "128x128x128", 4.0),
+            kernel("conv2d_fwd", "b8 3->32", 2.0),
+        ]);
+        let mut new = prev.clone();
+        // Noise-level wobble passes...
+        new.kernels = Some(vec![
+            kernel("matmul", "128x128x128", 3.2),
+            kernel("conv2d_fwd", "b8 3->32", 2.1),
+        ]);
+        let ok = compare(&prev, &new, &tol);
+        assert!(!ok.regressed(), "{}", ok.render());
+        // ...but losing more than half the throughput fails.
+        new.kernels = Some(vec![
+            kernel("matmul", "128x128x128", 1.5),
+            kernel("conv2d_fwd", "b8 3->32", 2.0),
+        ]);
+        let bad = compare(&prev, &new, &tol);
+        assert!(bad.regressed());
+        assert!(bad.render().contains("gflops matmul"), "{}", bad.render());
+    }
+
+    #[test]
+    fn unmatched_kernel_shapes_are_skipped_not_failed() {
+        let tol = Tolerance::default();
+        let mut prev = record(0.5, 0.1, 10.0);
+        prev.kernels = Some(vec![kernel("matmul", "64x64x64", 4.0)]);
+        let mut new = record(0.5, 0.1, 10.0);
+        new.kernels = Some(vec![kernel("matmul", "128x128x128", 0.1)]);
+        let r = compare(&prev, &new, &tol);
+        assert!(!r.regressed(), "{}", r.render());
     }
 
     #[test]

@@ -90,6 +90,48 @@ fn directory_scan_finds_all_fixture_pairs() {
     for name in ["improve", "noise", "obs_overhead", "regress", "verify"] {
         assert!(stdout.contains(&format!("== {name} ==")), "{stdout}");
     }
+    // The deliberately unpaired fixture is reported, not silently skipped.
+    assert!(stdout.contains("nobaseline"), "{stdout}");
+}
+
+/// A record with no `.prev` baseline is its own failure mode: exit 3
+/// (distinct from 1 = regression and 2 = usage/IO), with an actionable
+/// message, downgraded to a note under `--report-only`.
+#[test]
+fn missing_baseline_scan_exits_three_with_actionable_error() {
+    let dir = std::env::temp_dir().join(format!("gate_nobase_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::copy(
+        fixtures().join("BENCH_nobaseline.json"),
+        dir.join("BENCH_nobaseline.json"),
+    )
+    .unwrap();
+
+    let out = run_gate(&["--results", dir.to_str().unwrap()]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(3), "{stderr}");
+    assert!(stderr.contains("NO BASELINE"), "{stderr}");
+    assert!(
+        stderr.contains(".prev.json"),
+        "error must say how to create the baseline: {stderr}"
+    );
+
+    let out = run_gate(&["--report-only", "--results", dir.to_str().unwrap()]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("no baseline"), "{stdout}");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn missing_baseline_pair_mode_exits_three() {
+    let new = fixtures().join("BENCH_nobaseline.json");
+    let out = run_gate(&["/nonexistent/BENCH_x.prev.json", new.to_str().unwrap()]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(3), "{stderr}");
+    assert!(stderr.contains("NO BASELINE"), "{stderr}");
 }
 
 /// The differential suite feeds the gate through `BENCH_verify.json`:

@@ -8,6 +8,13 @@
 //! `fl.uploads_rejected` obs counter, and reported to the caller in
 //! [`Aggregation::rejected`] so the round protocol can log fault events.
 
+use fedknow_obs::PerfCounter;
+
+/// Work accounting for the weighted average, modelled by
+/// [`fedknow_math::flops::fedavg`] (accepted uploads only; quarantine
+/// screening is not counted as kernel work).
+static PERF_FEDAVG: PerfCounter = PerfCounter::new("fedavg");
+
 /// Why an individual upload was quarantined rather than aggregated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RejectReason {
@@ -181,6 +188,10 @@ pub fn fedavg(
         let inv = 1.0 / total;
         acc.into_iter().map(|v| (v * inv) as f32).collect()
     });
+    if accepted > 0 {
+        let c = fedknow_math::flops::fedavg(accepted, dim.unwrap_or(0));
+        PERF_FEDAVG.op(c.flops, c.bytes);
+    }
     if fedknow_verify::is_enabled() {
         if let Some(g) = &global {
             fedknow_verify::report(

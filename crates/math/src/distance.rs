@@ -11,6 +11,12 @@
 //! components (the paper's choice), [`cosine_distance`] (1 − cosine, a
 //! direct angle proxy), and [`euclidean`].
 
+use fedknow_obs::PerfCounter;
+
+/// Work accounting for the sort-dominated Wasserstein kernel, modelled
+/// by [`crate::flops::wasserstein`].
+static PERF_WASSERSTEIN: PerfCounter = PerfCounter::new("wasserstein");
+
 /// Which metric to use when ranking gradient dissimilarity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum DistanceMetric {
@@ -50,6 +56,8 @@ pub fn wasserstein_1d(a: &[f32], b: &[f32]) -> f64 {
     if a.is_empty() {
         return 0.0;
     }
+    let c = crate::flops::wasserstein(a.len());
+    PERF_WASSERSTEIN.op(c.flops, c.bytes);
     if !all_finite(a) || !all_finite(b) {
         return f64::INFINITY;
     }

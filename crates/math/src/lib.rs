@@ -21,6 +21,7 @@
 //! [`MathError`].
 
 pub mod distance;
+pub mod flops;
 pub mod qp;
 pub mod rng;
 pub mod sparse;

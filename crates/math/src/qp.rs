@@ -26,6 +26,12 @@
 //! for the acute-angle guarantee to hold to float precision.
 
 use crate::MathError;
+use fedknow_obs::PerfCounter;
+
+/// Work accounting for the whole integrate path (screen + dual solve +
+/// primal recovery), modelled by [`crate::flops::qp_screen`] /
+/// [`crate::flops::qp_solve`].
+static PERF_QP: PerfCounter = PerfCounter::new("qp");
 
 /// Configuration for the non-negative QP solver.
 #[derive(Debug, Clone)]
@@ -125,6 +131,8 @@ pub fn integrate_gradient(
         })
         .collect();
     if gg.iter().zip(&margins).all(|(&d, &m)| d >= m) {
+        let c = crate::flops::qp_screen(k, g.len());
+        PERF_QP.op(c.flops, c.bytes);
         return Ok(Integrated {
             gradient: g.to_vec(),
             dual: vec![0.0; k],
@@ -159,6 +167,9 @@ pub fn integrate_gradient(
             }
         }
     }
+    let c =
+        crate::flops::qp_screen(k, g.len()).plus(crate::flops::qp_solve(k, g.len(), iterations));
+    PERF_QP.op(c.flops, c.bytes);
     Ok(Integrated {
         gradient: out,
         dual,

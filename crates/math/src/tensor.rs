@@ -5,6 +5,19 @@
 //! operations that appear in those forward/backward passes are provided.
 //! All shape violations are programmer errors and panic with a descriptive
 //! message; this mirrors the convention of mainstream array libraries.
+//!
+//! The GEMM entry points ([`Tensor::matmul`], [`Tensor::matmul_tn`],
+//! [`Tensor::matmul_nt`]) account their work to the `flops.matmul*` /
+//! `bytes.matmul*` perf counters (see [`crate::flops`]); higher-level
+//! kernels that do their own accounting (conv2d's im2col+GEMM) call the
+//! uncounted `*_raw` variants instead, so the counter namespaces stay
+//! disjoint and summable.
+
+use fedknow_obs::PerfCounter;
+
+static PERF_MATMUL: PerfCounter = PerfCounter::new("matmul");
+static PERF_MATMUL_TN: PerfCounter = PerfCounter::new("matmul_tn");
+static PERF_MATMUL_NT: PerfCounter = PerfCounter::new("matmul_nt");
 
 /// Dense row-major tensor of `f32` values.
 ///
@@ -106,6 +119,15 @@ impl Tensor {
     /// which auto-vectorises well (per the Rust Performance Book guidance
     /// on keeping hot inner loops branch-free and slice-based).
     pub fn matmul(&self, other: &Tensor) -> Tensor {
+        let out = self.matmul_raw(other);
+        let c = crate::flops::matmul(self.shape[0], self.shape[1], other.shape[1]);
+        PERF_MATMUL.op(c.flops, c.bytes);
+        out
+    }
+
+    /// [`matmul`](Self::matmul) without perf accounting, for callers
+    /// (conv2d) that attribute the work to their own kernel counters.
+    pub fn matmul_raw(&self, other: &Tensor) -> Tensor {
         assert_eq!(self.shape.len(), 2, "matmul lhs must be rank-2");
         assert_eq!(other.shape.len(), 2, "matmul rhs must be rank-2");
         let (m, k) = (self.shape[0], self.shape[1]);
@@ -134,6 +156,14 @@ impl Tensor {
     /// `selfᵀ × other`: `self [k,m]`, `other [k,n]` → `[m,n]`, without
     /// materialising the transpose.
     pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
+        let out = self.matmul_tn_raw(other);
+        let c = crate::flops::matmul(self.shape[1], self.shape[0], other.shape[1]);
+        PERF_MATMUL_TN.op(c.flops, c.bytes);
+        out
+    }
+
+    /// [`matmul_tn`](Self::matmul_tn) without perf accounting.
+    pub fn matmul_tn_raw(&self, other: &Tensor) -> Tensor {
         assert_eq!(self.shape.len(), 2);
         assert_eq!(other.shape.len(), 2);
         let (k, m) = (self.shape[0], self.shape[1]);
@@ -162,6 +192,14 @@ impl Tensor {
     /// `self × otherᵀ`: `self [m,k]`, `other [n,k]` → `[m,n]`, without
     /// materialising the transpose.
     pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
+        let out = self.matmul_nt_raw(other);
+        let c = crate::flops::matmul(self.shape[0], self.shape[1], other.shape[0]);
+        PERF_MATMUL_NT.op(c.flops, c.bytes);
+        out
+    }
+
+    /// [`matmul_nt`](Self::matmul_nt) without perf accounting.
+    pub fn matmul_nt_raw(&self, other: &Tensor) -> Tensor {
         assert_eq!(self.shape.len(), 2);
         assert_eq!(other.shape.len(), 2);
         let (m, k) = (self.shape[0], self.shape[1]);

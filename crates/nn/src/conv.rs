@@ -7,8 +7,15 @@
 
 use crate::layer::{Layer, ParamVisitor};
 use fedknow_math::rng::kaiming_vec;
-use fedknow_math::Tensor;
+use fedknow_math::{flops, Tensor};
+use fedknow_obs::PerfCounter;
 use rand::rngs::StdRng;
+
+// The inner GEMMs go through the uncounted `matmul*_raw` entry points
+// and the whole pass is accounted here instead, so `flops.conv2d_*`
+// and `flops.matmul*` never double-count the same work.
+static PERF_CONV_FWD: PerfCounter = PerfCounter::new("conv2d_fwd");
+static PERF_CONV_BWD: PerfCounter = PerfCounter::new("conv2d_bwd");
 
 /// 2-D convolution: input `[B, C, H, W]` → output `[B, OC, OH, OW]`.
 pub struct Conv2d {
@@ -87,6 +94,21 @@ impl Conv2d {
         let oh = (h + 2 * self.padding - self.kernel) / self.stride + 1;
         let ow = (w + 2 * self.padding - self.kernel) / self.stride + 1;
         (oh, ow)
+    }
+
+    /// The cost-model shape of one invocation on a `[b, C, h, w]` input.
+    fn cost_shape(&self, b: usize, h: usize, w: usize) -> flops::Conv2dShape {
+        flops::Conv2dShape {
+            batch: b,
+            in_c: self.in_channels,
+            out_c: self.out_channels,
+            kernel: self.kernel,
+            stride: self.stride,
+            padding: self.padding,
+            groups: self.groups,
+            h,
+            w,
+        }
     }
 
     /// im2col for the channel range `[c0, c0+cg)` of one sample.
@@ -179,7 +201,7 @@ impl Layer for Conv2d {
                     self.weight.data()[g * ocg * fan..(g + 1) * ocg * fan].to_vec(),
                     &[ocg, fan],
                 );
-                let y = wg.matmul(&col);
+                let y = wg.matmul_raw(&col);
                 let dst0 = bi * self.out_channels * ncols + g * ocg * ncols;
                 out[dst0..dst0 + ocg * ncols].copy_from_slice(y.data());
                 if train {
@@ -197,6 +219,8 @@ impl Layer for Conv2d {
                 }
             }
         }
+        let c = flops::conv2d_fwd(&self.cost_shape(b, h, w));
+        PERF_CONV_FWD.op(c.flops, c.bytes);
         Tensor::from_vec(out, &[b, self.out_channels, oh, ow])
     }
 
@@ -220,7 +244,7 @@ impl Layer for Conv2d {
                     &[ocg, ncols],
                 );
                 // gW_g [ocg, fan] += gy [ocg, ncols] × colᵀ
-                let gw = gy.matmul_nt(col);
+                let gw = gy.matmul_nt_raw(col);
                 let wslice = &mut self.grad_weight.data_mut()[g * ocg * fan..(g + 1) * ocg * fan];
                 for (dst, &src) in wslice.iter_mut().zip(gw.data()) {
                     *dst += src;
@@ -230,7 +254,7 @@ impl Layer for Conv2d {
                     self.weight.data()[g * ocg * fan..(g + 1) * ocg * fan].to_vec(),
                     &[ocg, fan],
                 );
-                let gcol = wg.matmul_tn(&gy);
+                let gcol = wg.matmul_tn_raw(&gy);
                 self.col2im(
                     &gcol,
                     &mut gx[bi * c * h * w..(bi + 1) * c * h * w],
@@ -249,6 +273,8 @@ impl Layer for Conv2d {
                 *gb_oc += grad.data()[base..base + ncols].iter().sum::<f32>();
             }
         }
+        let cst = flops::conv2d_bwd(&self.cost_shape(b, h, w));
+        PERF_CONV_BWD.op(cst.flops, cst.bytes);
         Tensor::from_vec(gx, &in_shape)
     }
 
@@ -275,11 +301,12 @@ impl Layer for Conv2d {
 
     fn flops(&self, in_shape: &[usize]) -> (u64, Vec<usize>) {
         let (b, h, w) = (in_shape[0], in_shape[2], in_shape[3]);
-        let (oh, ow) = self.out_hw(h, w);
-        let cg = self.in_channels / self.groups;
-        let per_out = 2 * cg as u64 * (self.kernel * self.kernel) as u64;
-        let f = b as u64 * self.out_channels as u64 * (oh * ow) as u64 * (per_out + 1);
-        (f, vec![b, self.out_channels, oh, ow])
+        let s = self.cost_shape(b, h, w);
+        let (oh, ow) = s.out_hw();
+        (
+            flops::conv2d_fwd(&s).flops,
+            vec![b, self.out_channels, oh, ow],
+        )
     }
 
     fn name(&self) -> &'static str {

@@ -14,6 +14,33 @@ pub struct SpanEnd {
     pub dur_ns: u64,
     /// Debug-formatted OS thread id, for correlating parallel clients.
     pub thread: String,
+    /// Work attributed to this span (kernel FLOPs/bytes, allocations),
+    /// present when the profiling layer observed any; `None` in older
+    /// traces and when nothing was counted.
+    pub perf: Option<SpanPerf>,
+}
+
+/// Work attributed to a span: the growth of the opening thread's
+/// kernel and allocator totals between span open and close. Inclusive
+/// of child spans on the same thread (like `dur_ns`); work done by
+/// other threads inside the span is attributed to *their* spans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SpanPerf {
+    /// Floating-point operations performed by instrumented kernels.
+    pub flops: u64,
+    /// Bytes moved by instrumented kernels (compulsory operand traffic).
+    pub bytes: u64,
+    /// Heap allocations (0 unless `FEDKNOW_PROF_ALLOC` tracking is on).
+    pub allocs: u64,
+    /// Bytes requested by those allocations.
+    pub alloc_bytes: u64,
+}
+
+impl SpanPerf {
+    /// Whether every field is zero (nothing to attribute).
+    pub fn is_zero(&self) -> bool {
+        *self == SpanPerf::default()
+    }
 }
 
 /// A counter increment.
@@ -80,6 +107,18 @@ mod tests {
                 path: "run/task.0".into(),
                 dur_ns: 1234,
                 thread: "ThreadId(1)".into(),
+                perf: None,
+            }),
+            Event::Span(SpanEnd {
+                path: "run/task.1".into(),
+                dur_ns: 99,
+                thread: "ThreadId(1)".into(),
+                perf: Some(SpanPerf {
+                    flops: 1_000_000,
+                    bytes: 4096,
+                    allocs: 3,
+                    alloc_bytes: 128,
+                }),
             }),
             Event::Count(CountEvent {
                 name: "comm.upload_bytes".into(),
@@ -104,5 +143,22 @@ mod tests {
             let back: Event = serde_json::from_str(&line).unwrap();
             assert_eq!(&back, e);
         }
+    }
+
+    /// Traces written before the profiling layer existed have no `perf`
+    /// key on span events; they must keep parsing (as `None`).
+    #[test]
+    fn span_end_without_perf_field_deserialises_as_none() {
+        let line = r#"{"Span":{"path":"run","dur_ns":5,"thread":"t"}}"#;
+        let back: Event = serde_json::from_str(line).unwrap();
+        assert_eq!(
+            back,
+            Event::Span(SpanEnd {
+                path: "run".into(),
+                dur_ns: 5,
+                thread: "t".into(),
+                perf: None,
+            })
+        );
     }
 }

@@ -38,11 +38,13 @@
 //!   or an explicit [`dump_now`]; [`trace`] renders either bundles or
 //!   JSONL as Chrome/Perfetto timelines.
 
+pub mod alloc;
 pub mod bundle;
 pub mod event;
 pub mod handle;
 pub mod hist;
 pub mod http;
+pub mod perf;
 pub mod prom;
 pub mod registry;
 pub mod ring;
@@ -50,14 +52,16 @@ pub mod sink;
 pub mod span;
 pub mod trace;
 
+pub use alloc::{AllocStats, TrackingAllocator, ENV_PROF_ALLOC};
 pub use bundle::{
     collect_bundle, dump_now, dump_trigger, set_context, ContextEntry, MetricsDump,
     PostmortemBundle, ThreadTrack, ENV_TRACE_DIR,
 };
-pub use event::{CountEvent, Event, GaugeEvent, PointEvent, SampleEvent, SpanEnd};
+pub use event::{CountEvent, Event, GaugeEvent, PointEvent, SampleEvent, SpanEnd, SpanPerf};
 pub use handle::{CounterHandle, HandleTimer, HistHandle};
 pub use hist::{HistSnapshot, LogHistogram};
 pub use http::MetricsServer;
+pub use perf::PerfCounter;
 pub use prom::{prometheus_text, write_prometheus};
 pub use registry::{Counter, Gauge, MetricsSnapshot, Registry, Series};
 pub use ring::{RingBuf, RingData, RingRecord, DEFAULT_TRACE_CAP, ENV_TRACE_CAP};
@@ -74,6 +78,12 @@ pub const ENV_JSONL: &str = "FEDKNOW_OBS";
 /// metrics on (e.g. `FEDKNOW_OBS_ADDR=127.0.0.1:9184`). Port 0 picks an
 /// ephemeral port, printed to stderr at startup.
 pub const ENV_ADDR: &str = "FEDKNOW_OBS_ADDR";
+
+/// Every binary linking this crate routes heap allocation through the
+/// tracking wrapper. Disabled it costs one relaxed load per allocator
+/// call; `FEDKNOW_PROF_ALLOC=1` turns the accounting on (see [`alloc`]).
+#[global_allocator]
+static GLOBAL_ALLOC: TrackingAllocator = TrackingAllocator;
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static STATE: OnceLock<State> = OnceLock::new();
@@ -124,9 +134,16 @@ pub fn init_from_env() -> bool {
     let jsonl = std::env::var_os(ENV_JSONL).is_some();
     let addr = std::env::var(ENV_ADDR).ok();
     let trace_dir = std::env::var_os(ENV_TRACE_DIR).is_some();
-    if !is_enabled() && (jsonl || addr.is_some() || trace_dir) {
+    let prof_alloc = std::env::var_os(ENV_PROF_ALLOC).is_some();
+    if !is_enabled() && (jsonl || addr.is_some() || trace_dir || prof_alloc) {
         state();
         ENABLED.store(true, Ordering::Release);
+    }
+    if is_enabled() {
+        // Allocation tracking needs the registry mirror, hence piggy-
+        // backs on general enablement (it still costs nothing unless
+        // FEDKNOW_PROF_ALLOC itself is set).
+        alloc::init_from_env();
     }
     if is_enabled() {
         ring::enable_ring();
@@ -342,10 +359,13 @@ pub fn snapshot() -> Option<MetricsSnapshot> {
     is_enabled().then(|| state().registry.snapshot())
 }
 
-/// Flush the JSONL sink (call at the end of a run; the global sink is
-/// never dropped).
+/// Flush observability state at the end of a run: emit the growth of
+/// the `flops.*`/`bytes.*`/`alloc.*` perf counters as JSONL `Count`
+/// events (they are registry-only on the hot path), then flush the
+/// JSONL sink (the global sink is never dropped).
 pub fn flush() {
     if is_enabled() {
+        perf::flush_deltas();
         if let Some(j) = &state().jsonl {
             j.flush();
         }
@@ -358,6 +378,7 @@ mod tests {
 
     static LIFECYCLE_COUNTER: CounterHandle = CounterHandle::new("lifecycle.handle_c");
     static LIFECYCLE_HIST: HistHandle = HistHandle::new("lifecycle.handle_h_ns");
+    static LIFECYCLE_KERNEL: PerfCounter = PerfCounter::new("lifecycle_kernel");
 
     /// The global facade is process-wide state, so the whole sequence
     /// lives in one test: disabled behaviour first, then enable and
@@ -373,6 +394,8 @@ mod tests {
         series("lifecycle.s", 9.0);
         LIFECYCLE_COUNTER.add(9);
         LIFECYCLE_HIST.record(9);
+        LIFECYCLE_KERNEL.op(100, 50);
+        assert_eq!(perf::thread_totals(), (0, 0));
         {
             let _t = timer("lifecycle.t_ns");
             let _ht = LIFECYCLE_HIST.timer();
@@ -404,6 +427,11 @@ mod tests {
         LIFECYCLE_COUNTER.add(2);
         LIFECYCLE_COUNTER.add(3);
         LIFECYCLE_HIST.record(7);
+        let (f0, b0) = perf::thread_totals();
+        LIFECYCLE_KERNEL.op(64, 32);
+        LIFECYCLE_KERNEL.op(6, 3);
+        let (f1, b1) = perf::thread_totals();
+        assert_eq!((f1 - f0, b1 - b0), (70, 35));
         {
             let _ht = LIFECYCLE_HIST.timer();
         }
@@ -429,6 +457,10 @@ mod tests {
         // Handles feed the same registry slots as the string API.
         assert_eq!(s.counters["lifecycle.handle_c"], 5);
         assert_eq!(s.hists["lifecycle.handle_h_ns"].count(), 2);
+        // Perf counters land under the flops./bytes. namespaces, and the
+        // disabled-phase op left no trace.
+        assert_eq!(s.counters["flops.lifecycle_kernel"], 70);
+        assert_eq!(s.counters["bytes.lifecycle_kernel"], 35);
         count("lifecycle.handle_c", 1);
         let s2 = snapshot().unwrap().since(&s0);
         assert_eq!(s2.counters["lifecycle.handle_c"], 6);

@@ -79,6 +79,22 @@ pub struct SpanStat {
     pub count: u64,
     /// Total nanoseconds across them.
     pub total_ns: u64,
+    /// Total kernel FLOPs attributed to spans at this path.
+    pub flops: u64,
+    /// Total kernel bytes moved attributed to spans at this path.
+    pub bytes: u64,
+    /// Total heap allocations attributed (0 without `FEDKNOW_PROF_ALLOC`).
+    pub allocs: u64,
+    /// Total bytes requested by those allocations.
+    pub alloc_bytes: u64,
+}
+
+impl SpanStat {
+    /// Achieved GFLOP/s across the spans at this path, if any kernel
+    /// work was attributed.
+    pub fn gflops_per_sec(&self) -> Option<f64> {
+        (self.flops > 0 && self.total_ns > 0).then(|| self.flops as f64 / self.total_ns as f64)
+    }
 }
 
 /// An exact aggregation of an event stream: counter totals, raw
@@ -111,6 +127,12 @@ impl Aggregate {
                     let stat = agg.spans.entry(s.path.clone()).or_default();
                     stat.count += 1;
                     stat.total_ns += s.dur_ns;
+                    if let Some(p) = &s.perf {
+                        stat.flops += p.flops;
+                        stat.bytes += p.bytes;
+                        stat.allocs += p.allocs;
+                        stat.alloc_bytes += p.alloc_bytes;
+                    }
                 }
                 Event::Gauge(g) => {
                     agg.gauges.insert(g.name.clone(), g.value);
@@ -176,11 +198,18 @@ mod tests {
                 path: "run".into(),
                 dur_ns: 50,
                 thread: "t".into(),
+                perf: None,
             }),
             Event::Span(SpanEnd {
                 path: "run".into(),
                 dur_ns: 70,
                 thread: "t".into(),
+                perf: Some(crate::event::SpanPerf {
+                    flops: 140,
+                    bytes: 64,
+                    allocs: 2,
+                    alloc_bytes: 256,
+                }),
             }),
         ];
         for v in [5u64, 1, 9, 3, 7] {
@@ -194,9 +223,16 @@ mod tests {
             agg.spans["run"],
             SpanStat {
                 count: 2,
-                total_ns: 120
+                total_ns: 120,
+                flops: 140,
+                bytes: 64,
+                allocs: 2,
+                alloc_bytes: 256,
             }
         );
+        // 140 FLOPs over 120 ns: achieved GFLOP/s is FLOPs/ns.
+        let g = agg.spans["run"].gflops_per_sec().unwrap();
+        assert!((g - 140.0 / 120.0).abs() < 1e-12);
         assert_eq!(agg.samples["lat"], vec![1, 3, 5, 7, 9]);
         assert_eq!(agg.quantile("lat", 0.5), Some(5));
         assert_eq!(agg.quantile("lat", 1.0), Some(9));

@@ -13,7 +13,7 @@
 use std::cell::RefCell;
 use std::time::Instant;
 
-use crate::event::{Event, SpanEnd};
+use crate::event::{Event, SpanEnd, SpanPerf};
 use crate::ring::RingData;
 
 thread_local! {
@@ -27,11 +27,21 @@ pub fn current_path() -> String {
     SPAN_PATH.with(|p| p.borrow().join("/"))
 }
 
+/// Thread-local totals captured when a span opens; diffed on close to
+/// attribute kernel work and allocations to the span.
+struct SpanStart {
+    t: Instant,
+    flops: u64,
+    bytes: u64,
+    allocs: u64,
+    alloc_bytes: u64,
+}
+
 /// RAII guard for an open span. Closing (dropping) pops the span and
 /// emits its timing.
 #[must_use = "dropping a SpanGuard immediately records a zero-length span; bind it to a variable"]
 pub struct SpanGuard {
-    start: Option<Instant>,
+    start: Option<SpanStart>,
 }
 
 impl SpanGuard {
@@ -56,15 +66,33 @@ pub fn span(name: &str) -> SpanGuard {
     if let Some(path) = path {
         crate::ring::record(RingData::Begin { path });
     }
+    let (flops, bytes) = crate::perf::thread_totals();
+    let (allocs, alloc_bytes) = crate::alloc::thread_totals();
     SpanGuard {
-        start: Some(Instant::now()),
+        start: Some(SpanStart {
+            t: Instant::now(),
+            flops,
+            bytes,
+            allocs,
+            alloc_bytes,
+        }),
     }
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
-        let Some(start) = self.start else { return };
-        let dur_ns = start.elapsed().as_nanos() as u64;
+        let Some(start) = self.start.take() else {
+            return;
+        };
+        let dur_ns = start.t.elapsed().as_nanos() as u64;
+        let (flops, bytes) = crate::perf::thread_totals();
+        let (allocs, alloc_bytes) = crate::alloc::thread_totals();
+        let perf = SpanPerf {
+            flops: flops.wrapping_sub(start.flops),
+            bytes: bytes.wrapping_sub(start.bytes),
+            allocs: allocs.wrapping_sub(start.allocs),
+            alloc_bytes: alloc_bytes.wrapping_sub(start.alloc_bytes),
+        };
         let (path, name) = SPAN_PATH.with(|p| {
             let mut p = p.borrow_mut();
             let path = p.join("/");
@@ -84,6 +112,7 @@ impl Drop for SpanGuard {
             path,
             dur_ns,
             thread: format!("{:?}", std::thread::current().id()),
+            perf: (!perf.is_zero()).then_some(perf),
         }));
     }
 }

@@ -149,11 +149,18 @@ fn jsonl_roundtrips_into_aggregate() {
             path: "run".into(),
             dur_ns: 500,
             thread: "ThreadId(1)".into(),
+            perf: None,
         }),
         Event::Span(SpanEnd {
             path: "run/task.0".into(),
             dur_ns: 200,
             thread: "ThreadId(1)".into(),
+            perf: Some(fedknow_obs::SpanPerf {
+                flops: 4000,
+                bytes: 2000,
+                allocs: 1,
+                alloc_bytes: 64,
+            }),
         }),
         Event::Count(CountEvent {
             name: "comm.upload_bytes".into(),
@@ -193,6 +200,8 @@ fn jsonl_roundtrips_into_aggregate() {
     assert_eq!(agg.counters["comm.upload_bytes"], 5120);
     assert_eq!(agg.samples["qp.solve_ns"], vec![42, 58]);
     assert_eq!(agg.spans["run"].total_ns, 500);
+    assert_eq!(agg.spans["run/task.0"].flops, 4000);
+    assert_eq!(agg.spans["run/task.0"].allocs, 1);
     assert_eq!(agg.quantile("qp.iters", 0.5), Some(17));
 }
 

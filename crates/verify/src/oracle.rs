@@ -8,19 +8,32 @@
 
 /// Naive `[m,k] × [k,n]` matrix product, triple loop in `f64`.
 pub fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f64> {
+    matmul_counted(a, b, m, k, n).0
+}
+
+/// [`matmul`] plus an instrumented count of inner-loop trips (MACs).
+///
+/// The counted variant *is* the oracle — [`matmul`] delegates here — so
+/// the trip count can never drift from the reference arithmetic. Each
+/// trip is one multiply-accumulate; the FLOP model
+/// `fedknow_math::flops::matmul` claims `2·m·k·n` FLOPs, i.e. exactly
+/// two per trip, and the cross-check tests assert that equality.
+pub fn matmul_counted(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> (Vec<f64>, u64) {
     assert_eq!(a.len(), m * k, "lhs length");
     assert_eq!(b.len(), k * n, "rhs length");
     let mut out = vec![0.0f64; m * n];
+    let mut macs = 0u64;
     for i in 0..m {
         for j in 0..n {
             let mut acc = 0.0f64;
             for p in 0..k {
+                macs += 1;
                 acc += a[i * k + p] as f64 * b[p * n + j] as f64;
             }
             out[i * n + j] = acc;
         }
     }
-    out
+    (out, macs)
 }
 
 /// Shape of one conv2d problem (mirrors `fedknow_nn::Conv2d`: square
@@ -82,25 +95,60 @@ impl ConvSpec {
     }
 }
 
+/// Instrumented loop-trip counts from a counted conv2d oracle run.
+///
+/// `taps` counts every `(output element, kernel tap)` pair the oracle
+/// loops visit — *including* taps the bounds check skips because they
+/// fall in the zero padding. That matches the FLOP-model convention in
+/// `fedknow_math::flops`: the production im2col+GEMM path really
+/// multiplies those zeros, so the model charges them, and the counted
+/// oracle must count the same universe for the cross-check to mean
+/// anything. `outputs` counts output elements (one bias add forward, one
+/// `gb` add backward).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ConvTrips {
+    /// `(output, tap)` loop entries, padding taps included.
+    pub taps: u64,
+    /// Output elements touched (bias / `gb` adds).
+    pub outputs: u64,
+}
+
 /// Direct-loop conv2d forward: for every output element, walk the
 /// receptive field and accumulate `w·x` in `f64`, then add the bias.
 pub fn conv2d_forward(spec: &ConvSpec, input: &[f32], weight: &[f32], bias: &[f32]) -> Vec<f64> {
+    conv2d_forward_counted(spec, input, weight, bias).0
+}
+
+/// [`conv2d_forward`] plus instrumented [`ConvTrips`]. The plain oracle
+/// delegates here, so the counts are of the reference loops themselves.
+pub fn conv2d_forward_counted(
+    spec: &ConvSpec,
+    input: &[f32],
+    weight: &[f32],
+    bias: &[f32],
+) -> (Vec<f64>, ConvTrips) {
     assert_eq!(input.len(), spec.input_len(), "input length");
     assert_eq!(weight.len(), spec.weight_len(), "weight length");
     assert_eq!(bias.len(), spec.out_c, "bias length");
     let (oh, ow) = spec.out_hw();
     let (cg, k) = (spec.cg(), spec.kernel);
     let mut out = vec![0.0f64; spec.output_len()];
+    let mut trips = ConvTrips::default();
     for b in 0..spec.batch {
         for oc in 0..spec.out_c {
             let g = oc / spec.ocg();
             for oy in 0..oh {
                 for ox in 0..ow {
                     let mut acc = bias[oc] as f64;
+                    trips.outputs += 1;
                     for c in 0..cg {
                         let ic = g * cg + c;
                         for ky in 0..k {
                             for kx in 0..k {
+                                // Count before the padding skip: the tap
+                                // is charged whether or not it lands in
+                                // bounds (see [`ConvTrips`]).
+                                trips.taps += 1;
                                 let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
                                 let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
                                 if iy < 0
@@ -122,7 +170,7 @@ pub fn conv2d_forward(spec: &ConvSpec, input: &[f32], weight: &[f32], bias: &[f3
             }
         }
     }
-    out
+    (out, trips)
 }
 
 /// Gradients from the direct-loop conv2d backward pass.
@@ -139,6 +187,19 @@ pub struct ConvGrads {
 /// Direct-loop conv2d backward: re-walk every (output, tap) pair and
 /// scatter the product rule into `gx`/`gw`/`gb`.
 pub fn conv2d_backward(spec: &ConvSpec, input: &[f32], weight: &[f32], gy: &[f32]) -> ConvGrads {
+    conv2d_backward_counted(spec, input, weight, gy).0
+}
+
+/// [`conv2d_backward`] plus instrumented [`ConvTrips`]. Each tap trip
+/// covers one MAC into `gw` and one into `gx` (4 FLOPs under the
+/// MAC = 2 convention), each output trip one `gb` add — the shape of
+/// `fedknow_math::flops::conv2d_bwd`'s `out·(4·taps + 1)`.
+pub fn conv2d_backward_counted(
+    spec: &ConvSpec,
+    input: &[f32],
+    weight: &[f32],
+    gy: &[f32],
+) -> (ConvGrads, ConvTrips) {
     assert_eq!(input.len(), spec.input_len(), "input length");
     assert_eq!(weight.len(), spec.weight_len(), "weight length");
     assert_eq!(gy.len(), spec.output_len(), "output-gradient length");
@@ -147,6 +208,7 @@ pub fn conv2d_backward(spec: &ConvSpec, input: &[f32], weight: &[f32], gy: &[f32
     let mut gx = vec![0.0f64; spec.input_len()];
     let mut gw = vec![0.0f64; spec.weight_len()];
     let mut gb = vec![0.0f64; spec.out_c];
+    let mut trips = ConvTrips::default();
     for b in 0..spec.batch {
         for oc in 0..spec.out_c {
             let g = oc / spec.ocg();
@@ -154,10 +216,14 @@ pub fn conv2d_backward(spec: &ConvSpec, input: &[f32], weight: &[f32], gy: &[f32
                 for ox in 0..ow {
                     let gy_v = gy[((b * spec.out_c + oc) * oh + oy) * ow + ox] as f64;
                     gb[oc] += gy_v;
+                    trips.outputs += 1;
                     for c in 0..cg {
                         let ic = g * cg + c;
                         for ky in 0..k {
                             for kx in 0..k {
+                                // Charged before the padding skip, same
+                                // convention as the forward oracle.
+                                trips.taps += 1;
                                 let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
                                 let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
                                 if iy < 0
@@ -179,7 +245,7 @@ pub fn conv2d_backward(spec: &ConvSpec, input: &[f32], weight: &[f32], gy: &[f32
             }
         }
     }
-    ConvGrads { gx, gw, gb }
+    (ConvGrads { gx, gw, gb }, trips)
 }
 
 /// Explicit-CDF 1-D Wasserstein distance between two equal-size
