@@ -7,10 +7,10 @@
 //! ```
 //!
 //! Flags: `--results DIR` (default the repo's `results/`), `--acc-tol`,
-//! `--forget-tol` (absolute), `--wall-tol`, `--gflops-tol` (relative),
-//! and `--report-only` to print the diff without failing — the mode CI
-//! runs on every push so regressions are visible before the gate is
-//! hardened.
+//! `--forget-tol` (absolute), `--wall-tol`, `--gflops-tol`, `--rss-tol`,
+//! `--bytes-tol`, `--throughput-tol` (relative), and `--report-only` to
+//! print the diff without failing — the mode CI runs on every push so
+//! regressions are visible before the gate is hardened.
 //!
 //! Exit status: 0 when everything is within tolerance (or
 //! `--report-only`), 1 on a regression, 2 on usage/IO errors, 3 when a
@@ -52,6 +52,18 @@ fn main() {
             "--gflops-tol" => {
                 i += 1;
                 tol.gflops_drop = parse_f64(&argv, i, "--gflops-tol");
+            }
+            "--rss-tol" => {
+                i += 1;
+                tol.rss_rise = parse_f64(&argv, i, "--rss-tol");
+            }
+            "--bytes-tol" => {
+                i += 1;
+                tol.telemetry_bytes_rise = parse_f64(&argv, i, "--bytes-tol");
+            }
+            "--throughput-tol" => {
+                i += 1;
+                tol.throughput_drop = parse_f64(&argv, i, "--throughput-tol");
             }
             "--report-only" => report_only = true,
             other if !other.starts_with("--") => pair.push(PathBuf::from(other)),
@@ -167,7 +179,8 @@ fn parse_f64(argv: &[String], i: usize, flag: &str) -> f64 {
 fn usage(msg: &str) -> ! {
     eprintln!(
         "error: {msg}\nusage: bench_gate [--results DIR] [--acc-tol X] [--forget-tol X] \
-         [--wall-tol X] [--gflops-tol X] [--report-only] [prev.json new.json]"
+         [--wall-tol X] [--gflops-tol X] [--rss-tol X] [--bytes-tol X] [--throughput-tol X] \
+         [--report-only] [prev.json new.json]"
     );
     std::process::exit(2)
 }

@@ -396,6 +396,7 @@ fn main() {
         wall_seconds: started.elapsed().as_secs_f64(),
         phases: Vec::new(),
         kernels: Some(entries),
+        scale_stats: None,
     };
     match write_bench_record(&opts.results, &rec) {
         Ok(path) => println!("[bench] {}", path.display()),

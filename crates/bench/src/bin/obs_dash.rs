@@ -47,8 +47,73 @@ fn main() {
 
     print_forgetting(&agg);
     print_trajectories(&agg);
+    print_sketches(&agg);
     print_faults(&agg);
+    print_health(&agg);
     print_phases(&agg, wall);
+}
+
+/// Per-round sketch quantile sparklines (`sketch.<name>.p50`/`.p99`
+/// series folded out of the round sketches). Silent when the run
+/// recorded no sketches.
+fn print_sketches(agg: &Aggregate) {
+    let rows: Vec<(&String, &Vec<(u64, f64)>)> = agg
+        .series
+        .iter()
+        .filter(|(name, _)| name.starts_with("sketch."))
+        .collect();
+    if rows.is_empty() {
+        return;
+    }
+    println!("\n== sketch quantiles per round ==");
+    for (name, points) in rows {
+        let vals: Vec<f64> = mean_per_index(points).into_iter().map(|(_, v)| v).collect();
+        let last = vals.last().copied().unwrap_or(0.0);
+        println!(
+            "  {:<28} {}  last {last:.4}  rounds {}",
+            name.trim_start_matches("sketch."),
+            sparkline(&vals),
+            vals.len()
+        );
+    }
+}
+
+/// Streaming health-engine verdict: per-SLO state and value from the
+/// `health.*` gauges the engine publishes each round. Silent when the
+/// trace holds no health gauges (obs disabled or no rounds observed).
+fn print_health(agg: &Aggregate) {
+    let rounds = agg.gauges.get("health.rounds").copied().unwrap_or(0.0);
+    if rounds <= 0.0 {
+        return;
+    }
+    let glyph = |state: f64| match state as u64 {
+        0 => "ok",
+        1 => "WARN",
+        _ => "CRITICAL",
+    };
+    let worst = agg.gauges.get("health.worst").copied().unwrap_or(0.0);
+    println!(
+        "\n== health ({} rounds observed, worst: {}) ==",
+        rounds as u64,
+        glyph(worst)
+    );
+    if let (Some(p50), Some(p99)) = (
+        agg.gauges.get("health.round_p50_seconds"),
+        agg.gauges.get("health.round_p99_seconds"),
+    ) {
+        println!("  round time           p50 {p50:.3}s  p99 {p99:.3}s");
+    }
+    for (name, state) in &agg.gauges {
+        let Some(slo) = name.strip_prefix("health.slo.") else {
+            continue;
+        };
+        let value = agg
+            .gauges
+            .get(&format!("health.{slo}"))
+            .copied()
+            .unwrap_or(0.0);
+        println!("  {slo:<20} {:<8} {value:.4}", glyph(*state));
+    }
 }
 
 /// Fault-injection census and participation trace. Silent when the run

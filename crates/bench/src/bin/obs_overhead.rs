@@ -102,6 +102,7 @@ fn main() {
             ("recorder_alloc_on_ns".to_string(), alloc_ns),
         ],
         kernels: None,
+        scale_stats: None,
     };
     match write_bench_record(&results_dir(), &rec) {
         Ok(path) => println!("[bench] {}", path.display()),

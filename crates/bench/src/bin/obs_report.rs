@@ -109,6 +109,21 @@ fn main() {
         println!("(allocation columns are zero — trace was not taken under FEDKNOW_PROF_ALLOC=1)");
     }
 
+    let health: Vec<(&String, &f64)> = agg
+        .gauges
+        .iter()
+        .filter(|(n, _)| n.starts_with("health."))
+        .collect();
+    if !health.is_empty() {
+        println!(
+            "\n== health gauges (last written; health.slo.* is 0 ok / 1 warn / 2 critical) =="
+        );
+        println!("{:<28}{:>14}", "gauge", "value");
+        for (name, v) in health {
+            println!("{name:<28}{v:>14.4}");
+        }
+    }
+
     if !agg.counters.is_empty() {
         println!("\n== counters ==");
         println!("{:<28}{:>14}", "counter", "total");

@@ -114,6 +114,7 @@ fn main() {
         wall_seconds: wall,
         phases,
         kernels: None,
+        scale_stats: None,
     };
     match write_bench_record(&results_dir(), &rec) {
         Ok(path) => println!("[bench] {}", path.display()),

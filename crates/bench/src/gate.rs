@@ -32,6 +32,24 @@ pub struct KernelEntry {
     pub intensity: f64,
 }
 
+/// Telemetry-at-scale stats from the `scale_probe` driver: how much
+/// memory and telemetry a synthetic round sweep at high client counts
+/// cost. Gated to catch the bounded-memory guarantees silently
+/// regressing back to O(clients).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScaleStats {
+    /// Synthetic clients per round.
+    pub clients: u64,
+    /// Rounds driven.
+    pub rounds: u64,
+    /// Client-rounds processed per wall second.
+    pub clients_per_sec: f64,
+    /// Peak resident set (`VmHWM`), bytes.
+    pub peak_rss_bytes: u64,
+    /// Serialized telemetry footprint divided by client count.
+    pub telemetry_bytes_per_client: f64,
+}
+
 /// A normalized, diffable summary of one benchmark run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BenchRecord {
@@ -55,6 +73,9 @@ pub struct BenchRecord {
     /// for simulation records and anything written before the field
     /// existed — the vendored serde maps a missing key to `None`).
     pub kernels: Option<Vec<KernelEntry>>,
+    /// Telemetry-at-scale stats (`scale_probe` records only; `None`
+    /// elsewhere, same missing-key convention as `kernels`).
+    pub scale_stats: Option<ScaleStats>,
 }
 
 impl BenchRecord {
@@ -91,6 +112,7 @@ impl BenchRecord {
             wall_seconds,
             phases,
             kernels: None,
+            scale_stats: None,
         }
     }
 }
@@ -135,6 +157,16 @@ pub struct Tolerance {
     /// (0.5 = the kernel may lose up to half its throughput). Generous
     /// because CI machines vary wildly in per-core throughput.
     pub gflops_drop: f64,
+    /// Max allowed relative rise in `scale_probe` peak RSS (0.5 =
+    /// +50%). Generous: RSS includes allocator noise.
+    pub rss_rise: f64,
+    /// Max allowed relative rise in telemetry bytes per client —
+    /// tighter than the others because bytes/client is deterministic
+    /// for a fixed cohort/name configuration.
+    pub telemetry_bytes_rise: f64,
+    /// Max allowed relative drop in `scale_probe` client-rounds/sec
+    /// throughput (0.6 = may lose up to 60% before failing).
+    pub throughput_drop: f64,
 }
 
 impl Default for Tolerance {
@@ -144,6 +176,9 @@ impl Default for Tolerance {
             forgetting_rise: 0.02,
             wall_rise: 0.5,
             gflops_drop: 0.5,
+            rss_rise: 0.5,
+            telemetry_bytes_rise: 0.25,
+            throughput_drop: 0.6,
         }
     }
 }
@@ -256,6 +291,39 @@ pub fn compare(prev: &BenchRecord, new: &BenchRecord, tol: &Tolerance) -> GateRe
             });
         }
     }
+    // Telemetry-at-scale stats: comparable only when both runs probed
+    // the same client/round shape (a shape change is a different
+    // experiment, not a regression).
+    if let (Some(ps), Some(ns)) = (&prev.scale_stats, &new.scale_stats) {
+        if ps.clients == ns.clients && ps.rounds == ns.rounds {
+            findings.push(Finding {
+                metric: "peak_rss_bytes".to_string(),
+                prev: ps.peak_rss_bytes as f64,
+                new: ns.peak_rss_bytes as f64,
+                regressed: ps.peak_rss_bytes > 0
+                    && (ns.peak_rss_bytes as f64 - ps.peak_rss_bytes as f64)
+                        / ps.peak_rss_bytes as f64
+                        > tol.rss_rise,
+            });
+            findings.push(Finding {
+                metric: "telemetry_b_per_client".to_string(),
+                prev: ps.telemetry_bytes_per_client,
+                new: ns.telemetry_bytes_per_client,
+                regressed: ps.telemetry_bytes_per_client > 0.0
+                    && (ns.telemetry_bytes_per_client - ps.telemetry_bytes_per_client)
+                        / ps.telemetry_bytes_per_client
+                        > tol.telemetry_bytes_rise,
+            });
+            findings.push(Finding {
+                metric: "clients_per_sec".to_string(),
+                prev: ps.clients_per_sec,
+                new: ns.clients_per_sec,
+                regressed: ps.clients_per_sec > 0.0
+                    && (ps.clients_per_sec - ns.clients_per_sec) / ps.clients_per_sec
+                        > tol.throughput_drop,
+            });
+        }
+    }
     GateReport {
         name: new.name.clone(),
         incomparable: None,
@@ -277,6 +345,17 @@ mod tests {
             wall_seconds: wall,
             phases: vec![("qp.solve_ns".to_string(), 12345)],
             kernels: None,
+            scale_stats: None,
+        }
+    }
+
+    fn scale_stats(rss: u64, bytes_per_client: f64, rate: f64) -> ScaleStats {
+        ScaleStats {
+            clients: 100_000,
+            rounds: 5,
+            clients_per_sec: rate,
+            peak_rss_bytes: rss,
+            telemetry_bytes_per_client: bytes_per_client,
         }
     }
 
@@ -390,6 +469,48 @@ mod tests {
         new.kernels = Some(vec![kernel("matmul", "128x128x128", 0.1)]);
         let r = compare(&prev, &new, &tol);
         assert!(!r.regressed(), "{}", r.render());
+    }
+
+    #[test]
+    fn scale_stat_regressions_detected() {
+        let tol = Tolerance::default();
+        let mut prev = record(0.5, 0.1, 10.0);
+        prev.scale_stats = Some(scale_stats(100 << 20, 2.0, 1_000_000.0));
+        // Noise passes.
+        let mut new = record(0.5, 0.1, 10.0);
+        new.scale_stats = Some(scale_stats(110 << 20, 2.2, 900_000.0));
+        let ok = compare(&prev, &new, &tol);
+        assert!(!ok.regressed(), "{}", ok.render());
+        // Telemetry bytes per client blowing up fails…
+        new.scale_stats = Some(scale_stats(100 << 20, 4.0, 1_000_000.0));
+        let bytes = compare(&prev, &new, &tol);
+        assert!(bytes.regressed());
+        assert!(
+            bytes.render().contains("telemetry_b_per_client"),
+            "{}",
+            bytes.render()
+        );
+        // …as do doubled RSS and a collapsed throughput.
+        new.scale_stats = Some(scale_stats(200 << 20, 2.0, 1_000_000.0));
+        assert!(compare(&prev, &new, &tol).regressed());
+        new.scale_stats = Some(scale_stats(100 << 20, 2.0, 100_000.0));
+        assert!(compare(&prev, &new, &tol).regressed());
+        // A different probe shape is skipped, not failed.
+        let mut reshaped = scale_stats(300 << 20, 9.0, 1.0);
+        reshaped.clients = 7;
+        new.scale_stats = Some(reshaped);
+        assert!(!compare(&prev, &new, &tol).regressed());
+    }
+
+    #[test]
+    fn record_without_scale_stats_key_still_parses() {
+        let legacy = r#"{
+            "name": "scale_probe", "scale": "smoke", "seed": 42,
+            "final_accuracy": 0.0, "final_forgetting": 0.0,
+            "wall_seconds": 10.0, "phases": []
+        }"#;
+        let r: BenchRecord = serde_json::from_str(legacy).unwrap();
+        assert!(r.scale_stats.is_none());
     }
 
     #[test]

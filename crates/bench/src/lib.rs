@@ -20,7 +20,9 @@ use std::path::PathBuf;
 pub mod dash;
 pub mod gate;
 
-pub use gate::{compare, read_bench_record, write_bench_record, BenchRecord, Tolerance};
+pub use gate::{
+    compare, read_bench_record, write_bench_record, BenchRecord, ScaleStats, Tolerance,
+};
 
 /// Experiment scale.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -403,6 +403,9 @@ fn record_forgetting(matrices: &[AccuracyMatrix], step: usize) {
         .sum::<f64>()
         / matrices.len() as f64;
     fedknow_obs::series_at("fl.avg_forgetting", step as u64, avg);
+    // The health engine's drift SLO watches task-over-task rises in
+    // this average.
+    fedknow_obs::observe_forgetting(avg);
 }
 
 /// Relative L2 movement `‖now − prev‖ / ‖prev‖` of the global model
@@ -681,6 +684,12 @@ impl Simulation {
     fn drive(&mut self, mut st: RunState) -> Result<SimReport, SimError> {
         fedknow_obs::init_from_env();
         fedknow_verify::init_from_env();
+        // At high client counts, head-sample client spans (anomalous
+        // clients still record) unless the user pinned a rate.
+        let n = self.clients.len();
+        if n > 256 && std::env::var_os(fedknow_obs::ENV_SPAN_SAMPLE).is_none() {
+            fedknow_obs::set_span_sample((n / 256) as u64);
+        }
         self.register_obs_context();
         let obs_before = fedknow_obs::snapshot();
         let run_span = fedknow_obs::span("run");
@@ -971,6 +980,44 @@ impl Simulation {
                 }
                 comm_secs += round_comm;
 
+                // Per-round telemetry fold: cohorted client compute
+                // times, slowest-decile anomaly marking (those clients'
+                // spans bypass head sampling), and the streaming health
+                // engine's SLO update.
+                if fedknow_obs::is_enabled() {
+                    let mut times: Vec<f64> = Vec::with_capacity(n);
+                    for (c, a) in actual.iter().enumerate() {
+                        if let Some(a) = *a {
+                            fedknow_obs::client_value("client.compute_s", c as u64, a);
+                            times.push(a);
+                        }
+                    }
+                    if times.len() >= 10 {
+                        times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                        let median = times[times.len() / 2];
+                        let decile = times[times.len() - times.len() / 10];
+                        for (c, a) in actual.iter().enumerate() {
+                            if let Some(a) = *a {
+                                if a >= decile && a > 1.5 * median {
+                                    fedknow_obs::mark_anomalous(c as u64);
+                                }
+                            }
+                        }
+                    }
+                    fedknow_obs::observe_round(&fedknow_obs::RoundObservation {
+                        round: global_round,
+                        expected: st.active.iter().filter(|&&a| a).count() as u64,
+                        completed: uploads.iter().filter(|u| u.is_some()).count() as u64,
+                        stragglers: (0..n)
+                            .filter(|&c| part[c] && faults[c].slowdown > 1.0)
+                            .count() as u64,
+                        quarantined: agg.rejected.len() as u64,
+                        uploads_lost: (0..n).filter(|&c| part[c] && faults[c].upload_lost).count()
+                            as u64,
+                        round_seconds: round_compute + round_comm,
+                    });
+                }
+
                 // Broadcast the aggregated model and the payload set;
                 // crashed clients miss it and are owed a rejoin.
                 if let Some(g) = &global {
@@ -1053,7 +1100,7 @@ impl Simulation {
                     s.spawn(|_| {
                         let _path = fedknow_obs::inherit_path(parent);
                         for (c, client, rng) in chunk_jobs.iter_mut() {
-                            let _client_span = fedknow_obs::obs_span!("client.{c}");
+                            let _client_span = fedknow_obs::client_span(*c as u64);
                             f(*c, client.as_mut(), &data[*c], rng);
                         }
                     });
@@ -1062,7 +1109,7 @@ impl Simulation {
             .expect("worker thread panicked");
         } else {
             for (c, client, rng) in jobs {
-                let _client_span = fedknow_obs::obs_span!("client.{c}");
+                let _client_span = fedknow_obs::client_span(c as u64);
                 f(c, client.as_mut(), &data[c], rng);
             }
         }

@@ -106,6 +106,32 @@ pub struct SeriesDump {
     pub points: Vec<(u64, f64)>,
 }
 
+/// A quantile-sketch summary at dump time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SketchDump {
+    /// Sketch name.
+    pub name: String,
+    /// Values folded in.
+    pub count: u64,
+    /// Their sum.
+    pub sum: f64,
+    /// Median estimate.
+    pub p50: f64,
+    /// 99th-percentile estimate.
+    pub p99: f64,
+    /// Largest value.
+    pub max: f64,
+}
+
+/// One cohorted client metric at dump time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CohortDump {
+    /// Metric name.
+    pub name: String,
+    /// Per-cohort stats (with exemplars), index-sorted.
+    pub cohorts: crate::cohort::CohortSnapshot,
+}
+
 /// A serialisable dump of the metrics registry. (The live
 /// [`MetricsSnapshot`] is map-based and stays the programmatic API;
 /// this flat form is what lands in the bundle JSON.)
@@ -119,6 +145,10 @@ pub struct MetricsDump {
     pub hists: Vec<HistDump>,
     /// All series.
     pub series: Vec<SeriesDump>,
+    /// All quantile-sketch summaries (absent in pre-sketch bundles).
+    pub sketches: Option<Vec<SketchDump>>,
+    /// All cohorted client metrics (absent in pre-sketch bundles).
+    pub cohorts: Option<Vec<CohortDump>>,
 }
 
 impl MetricsDump {
@@ -161,6 +191,28 @@ impl MetricsDump {
                     points: points.clone(),
                 })
                 .collect(),
+            sketches: Some(
+                s.sketches
+                    .iter()
+                    .map(|(name, sk)| SketchDump {
+                        name: name.clone(),
+                        count: sk.count,
+                        sum: sk.sum,
+                        p50: sk.quantile(0.5),
+                        p99: sk.quantile(0.99),
+                        max: sk.max,
+                    })
+                    .collect(),
+            ),
+            cohorts: Some(
+                s.cohorts
+                    .iter()
+                    .map(|(name, cs)| CohortDump {
+                        name: name.clone(),
+                        cohorts: cs.clone(),
+                    })
+                    .collect(),
+            ),
         }
     }
 }
@@ -179,6 +231,9 @@ pub struct PostmortemBundle {
     pub context: Vec<ContextEntry>,
     /// Metrics registry dump.
     pub metrics: MetricsDump,
+    /// Streaming health engine state at dump time (absent in
+    /// pre-health bundles, or when no rounds were observed).
+    pub health: Option<crate::health::HealthSnapshot>,
     /// One drained ring per recording thread.
     pub tracks: Vec<ThreadTrack>,
 }
@@ -240,6 +295,7 @@ pub fn collect_bundle(reason: &str) -> PostmortemBundle {
         round: crate::round_index(),
         context: context_entries(),
         metrics,
+        health: crate::health_snapshot().filter(|h| h.rounds > 0),
         tracks,
     }
 }
@@ -371,6 +427,38 @@ mod tests {
                     name: "fl.participation".to_string(),
                     points: vec![(0, 1.0), (1, 0.8)],
                 }],
+                sketches: Some(vec![SketchDump {
+                    name: "client.compute_s".to_string(),
+                    count: 10,
+                    sum: 15.0,
+                    p50: 1.5,
+                    p99: 3.0,
+                    max: 3.0,
+                }]),
+                cohorts: Some(vec![CohortDump {
+                    name: "client.compute_s".to_string(),
+                    cohorts: crate::cohort::CohortSnapshot {
+                        cohorts: vec![crate::cohort::CohortStat {
+                            cohort: 0,
+                            count: 2,
+                            sum: 3.0,
+                            min: 1.0,
+                            max: 2.0,
+                            exemplars: vec![(0, 1.0), (64, 2.0)],
+                        }],
+                    },
+                }]),
+            },
+            health: {
+                let mut e = crate::health::HealthEngine::new();
+                e.observe_round(&crate::health::RoundObservation {
+                    round: 7,
+                    expected: 10,
+                    completed: 10,
+                    round_seconds: 1.0,
+                    ..Default::default()
+                });
+                Some(e.snapshot())
             },
             tracks: vec![ThreadTrack {
                 thread: "ThreadId(1)".to_string(),
@@ -387,5 +475,19 @@ mod tests {
         let json = serde_json::to_string_pretty(&b).unwrap();
         let back: PostmortemBundle = serde_json::from_str(&json).unwrap();
         assert_eq!(back, b);
+    }
+
+    #[test]
+    fn pre_sketch_bundles_still_parse() {
+        // Schema-v1 bundles written before sketches/cohorts/health
+        // existed must keep loading (obs_trace reads old dumps).
+        let json = r#"{"version":1,"reason":"old","round":3,"context":[],
+            "metrics":{"counters":[],"gauges":[],"hists":[],"series":[]},
+            "tracks":[]}"#;
+        let b: PostmortemBundle = serde_json::from_str(json).unwrap();
+        assert_eq!(b.round, 3);
+        assert!(b.metrics.sketches.is_none());
+        assert!(b.metrics.cohorts.is_none());
+        assert!(b.health.is_none());
     }
 }

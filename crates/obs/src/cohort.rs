@@ -1,0 +1,285 @@
+//! The cardinality governor: client-keyed telemetry folded into a
+//! fixed number of cohorts.
+//!
+//! Per-client metric names (`span.client.7_ns`, one series point per
+//! client per round, …) make telemetry memory O(clients) — exactly what
+//! the million-client roadmap forbids. Instead, client-keyed values are
+//! hashed into `K` **cohorts** (`FEDKNOW_OBS_COHORTS`, default
+//! [`DEFAULT_COHORTS`]): each cohort keeps constant-size aggregates
+//! (count/sum/min/max) plus a small reservoir of **exemplars** — real
+//! `(client id, value)` pairs sampled uniformly from the cohort's
+//! stream — so a hot cohort can still be traced back to concrete
+//! clients.
+//!
+//! Client ids in the simulator are dense integers, so the cohort of
+//! client `c` is simply `c % K`: for fleets of up to `K` clients the
+//! mapping is the identity (telemetry is exactly as before), and beyond
+//! that it is a uniform fold. [`cohort_of`] is the single mapping
+//! point, used both for value cohorting here and for span naming in
+//! the facade.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
+
+/// Environment variable setting the cohort count `K`.
+pub const ENV_COHORTS: &str = "FEDKNOW_OBS_COHORTS";
+
+/// Default cohort count.
+pub const DEFAULT_COHORTS: u32 = 64;
+
+/// Exemplars retained per cohort (reservoir size).
+pub const EXEMPLARS_PER_COHORT: usize = 4;
+
+/// The configured cohort count: `FEDKNOW_OBS_COHORTS` clamped to
+/// `[1, 4096]`, read once per process.
+pub fn cohort_count() -> u32 {
+    static K: OnceLock<u32> = OnceLock::new();
+    *K.get_or_init(|| {
+        std::env::var(ENV_COHORTS)
+            .ok()
+            .and_then(|v| v.parse::<u32>().ok())
+            .map(|k| k.clamp(1, 4096))
+            .unwrap_or(DEFAULT_COHORTS)
+    })
+}
+
+/// The cohort a client id folds into.
+pub fn cohort_of(client: u64) -> u32 {
+    (client % cohort_count() as u64) as u32
+}
+
+/// splitmix64 — the deterministic hash driving reservoir replacement.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Constant-size per-cohort aggregate plus its exemplar reservoir.
+#[derive(Debug, Default)]
+struct SlotInner {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    exemplars: Vec<(u64, f64)>,
+}
+
+/// One metric family's cohort aggregates: `K` slots, each O(1) memory.
+pub struct CohortSet {
+    slots: Vec<Mutex<SlotInner>>,
+}
+
+impl Default for CohortSet {
+    fn default() -> Self {
+        Self::new(cohort_count())
+    }
+}
+
+impl CohortSet {
+    /// A set with `k` cohort slots.
+    pub fn new(k: u32) -> Self {
+        Self {
+            slots: (0..k.max(1))
+                .map(|_| Mutex::new(SlotInner::default()))
+                .collect(),
+        }
+    }
+
+    /// Record `value` for `client`, folding into its cohort and giving
+    /// the pair a uniform chance at the cohort's exemplar reservoir
+    /// (algorithm R, driven by a deterministic hash of the stream
+    /// position and the client id — no RNG state to carry).
+    pub fn record(&self, client: u64, value: f64) {
+        let slot = (client % self.slots.len() as u64) as usize;
+        let mut g = self.slots[slot].lock();
+        if g.count == 0 {
+            g.min = value;
+            g.max = value;
+        } else {
+            g.min = g.min.min(value);
+            g.max = g.max.max(value);
+        }
+        g.count += 1;
+        g.sum += value;
+        if g.exemplars.len() < EXEMPLARS_PER_COHORT {
+            g.exemplars.push((client, value));
+        } else {
+            let j = (splitmix64(g.count ^ client.rotate_left(32)) % g.count) as usize;
+            if j < EXEMPLARS_PER_COHORT {
+                g.exemplars[j] = (client, value);
+            }
+        }
+    }
+
+    /// Immutable copy of every non-empty cohort.
+    pub fn snapshot(&self) -> CohortSnapshot {
+        CohortSnapshot {
+            cohorts: self
+                .slots
+                .iter()
+                .enumerate()
+                .filter_map(|(i, s)| {
+                    let g = s.lock();
+                    (g.count > 0).then(|| CohortStat {
+                        cohort: i as u32,
+                        count: g.count,
+                        sum: g.sum,
+                        min: g.min,
+                        max: g.max,
+                        exemplars: g.exemplars.clone(),
+                    })
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One cohort's aggregate at snapshot time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CohortStat {
+    /// Cohort index in `[0, K)`.
+    pub cohort: u32,
+    /// Values folded into this cohort.
+    pub count: u64,
+    /// Their sum.
+    pub sum: f64,
+    /// Smallest value seen.
+    pub min: f64,
+    /// Largest value seen.
+    pub max: f64,
+    /// Reservoir-sampled `(client id, value)` pairs.
+    pub exemplars: Vec<(u64, f64)>,
+}
+
+impl CohortStat {
+    /// Mean value in this cohort.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// Immutable copy of a [`CohortSet`]: non-empty cohorts, index-sorted.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct CohortSnapshot {
+    /// Per-cohort stats (empty cohorts omitted).
+    pub cohorts: Vec<CohortStat>,
+}
+
+impl CohortSnapshot {
+    /// Total count across cohorts.
+    pub fn total_count(&self) -> u64 {
+        self.cohorts.iter().map(|c| c.count).sum()
+    }
+
+    /// The stats that accumulated since `earlier` (same grow-only set).
+    /// Exemplars and min/max keep the later snapshot's view.
+    pub fn since(&self, earlier: &CohortSnapshot) -> CohortSnapshot {
+        CohortSnapshot {
+            cohorts: self
+                .cohorts
+                .iter()
+                .filter_map(|c| {
+                    let old = earlier.cohorts.iter().find(|o| o.cohort == c.cohort);
+                    let (oc, os) = old.map(|o| (o.count, o.sum)).unwrap_or((0, 0.0));
+                    let d = c.count.saturating_sub(oc);
+                    (d > 0).then(|| CohortStat {
+                        cohort: c.cohort,
+                        count: d,
+                        sum: c.sum - os,
+                        min: c.min,
+                        max: c.max,
+                        exemplars: c.exemplars.clone(),
+                    })
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_fold_into_bounded_slots() {
+        let set = CohortSet::new(8);
+        for client in 0..10_000u64 {
+            set.record(client, client as f64);
+        }
+        let snap = set.snapshot();
+        assert_eq!(snap.cohorts.len(), 8);
+        assert_eq!(snap.total_count(), 10_000);
+        for c in &snap.cohorts {
+            assert_eq!(c.count, 1250);
+            assert!(c.exemplars.len() <= EXEMPLARS_PER_COHORT);
+            // Every exemplar really belongs to this cohort and carries
+            // its own recorded value.
+            for &(client, v) in &c.exemplars {
+                assert_eq!(client % 8, c.cohort as u64);
+                assert_eq!(v, client as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn stats_are_exact_per_cohort() {
+        let set = CohortSet::new(4);
+        set.record(1, 10.0);
+        set.record(5, 30.0); // same cohort as 1
+        set.record(2, 7.0);
+        let snap = set.snapshot();
+        let c1 = snap.cohorts.iter().find(|c| c.cohort == 1).unwrap();
+        assert_eq!(c1.count, 2);
+        assert_eq!(c1.sum, 40.0);
+        assert_eq!(c1.min, 10.0);
+        assert_eq!(c1.max, 30.0);
+        assert_eq!(c1.mean(), 20.0);
+        let c2 = snap.cohorts.iter().find(|c| c.cohort == 2).unwrap();
+        assert_eq!(c2.count, 1);
+    }
+
+    #[test]
+    fn reservoir_is_deterministic() {
+        let a = CohortSet::new(2);
+        let b = CohortSet::new(2);
+        for client in 0..1000u64 {
+            a.record(client, 1.0);
+            b.record(client, 1.0);
+        }
+        assert_eq!(a.snapshot(), b.snapshot());
+    }
+
+    #[test]
+    fn since_diffs_counts_and_sums() {
+        let set = CohortSet::new(2);
+        set.record(0, 5.0);
+        let early = set.snapshot();
+        set.record(0, 7.0);
+        set.record(1, 1.0);
+        let d = set.snapshot().since(&early);
+        let c0 = d.cohorts.iter().find(|c| c.cohort == 0).unwrap();
+        assert_eq!(c0.count, 1);
+        assert_eq!(c0.sum, 7.0);
+        assert!(d.cohorts.iter().any(|c| c.cohort == 1));
+        let none = set.snapshot().since(&set.snapshot());
+        assert!(none.cohorts.is_empty());
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_json() {
+        let set = CohortSet::new(3);
+        set.record(4, 2.5);
+        set.record(2, 1.5);
+        let snap = set.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: CohortSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+}

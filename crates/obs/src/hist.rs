@@ -260,6 +260,41 @@ mod tests {
         assert!((p99 - 990_000.0).abs() / 990_000.0 < 0.05, "p99 {p99}");
     }
 
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(256))]
+
+        /// `bucket_index`/`bucket_low` round-trip at power-of-two edges:
+        /// for any value straddling `1 << shift` the bucket's low bound
+        /// never exceeds the value, the next bucket starts strictly
+        /// above it, and feeding a bucket's own low bound back through
+        /// `bucket_index` lands in the same bucket.
+        #[test]
+        fn bucket_round_trip_at_pow2_edges(
+            shift in 0u32..64,
+            off in 0u64..4,
+            sign in proptest::prelude::any::<bool>(),
+        ) {
+            let edge = 1u64 << shift;
+            let v = if sign { edge.saturating_add(off) } else { edge.saturating_sub(off) };
+            let i = bucket_index(v);
+            proptest::prop_assert!(i < NUM_BUCKETS, "index {} out of range for {}", i, v);
+            let low = bucket_low(i);
+            proptest::prop_assert!(low <= v, "bucket_low({}) = {} exceeds value {}", i, low, v);
+            proptest::prop_assert_eq!(bucket_index(low), i);
+            if i + 1 < NUM_BUCKETS {
+                proptest::prop_assert!(
+                    bucket_low(i + 1) > v,
+                    "value {} reaches past its bucket {}", v, i
+                );
+            }
+            // Crossing the edge itself never decreases the index.
+            proptest::prop_assert!(
+                bucket_index(edge) >= bucket_index(edge.saturating_sub(1)),
+                "index drops across edge 1<<{}", shift
+            );
+        }
+    }
+
     #[test]
     fn since_subtracts() {
         let h = LogHistogram::new();

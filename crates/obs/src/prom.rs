@@ -6,6 +6,11 @@
 //! * counters → `counter`
 //! * histograms → `summary` (`quantile="0.5"` / `"0.99"` samples from
 //!   the log-bucketed estimate, plus exact `_sum` and `_count`)
+//! * quantile sketches → `summary` (`quantile="0.5"` / `"0.9"` /
+//!   `"0.99"` from the relative-error sketch, plus exact `_sum` and
+//!   `_count`)
+//! * cohorts → `gauge` with a `cohort="<index>"` label (mean value per
+//!   cohort), plus exact `_count` per cohort
 //! * gauges → `gauge`
 //! * series → `gauge` with a `round="<index>"` label; points sharing an
 //!   index are averaged so every label set appears exactly once
@@ -84,6 +89,45 @@ pub fn write_prometheus(s: &MetricsSnapshot, out: &mut String) {
         let _ = writeln!(out, "{n}{{quantile=\"0.99\"}} {}", h.quantile(0.99));
         let _ = writeln!(out, "{n}_sum {}", h.sum());
         let _ = writeln!(out, "{n}_count {}", h.count());
+    }
+    for (name, sk) in &s.sketches {
+        let n = sanitize_name(name);
+        family(
+            out,
+            &n,
+            "summary",
+            &format!(
+                "FedKNOW quantile sketch {name} (relative error {})",
+                sk.alpha
+            ),
+        );
+        for q in [0.5, 0.9, 0.99] {
+            let _ = writeln!(out, "{n}{{quantile=\"{q}\"}} {}", fmt_f64(sk.quantile(q)));
+        }
+        let _ = writeln!(out, "{n}_sum {}", fmt_f64(sk.sum));
+        let _ = writeln!(out, "{n}_count {}", sk.count);
+    }
+    for (name, cs) in &s.cohorts {
+        let n = format!("{}_cohort", sanitize_name(name));
+        family(
+            out,
+            &n,
+            "gauge",
+            &format!("FedKNOW cohorted client metric {name} (mean per cohort)"),
+        );
+        for c in &cs.cohorts {
+            let _ = writeln!(out, "{n}{{cohort=\"{}\"}} {}", c.cohort, fmt_f64(c.mean()));
+        }
+        let nc = format!("{n}_count");
+        family(
+            out,
+            &nc,
+            "gauge",
+            &format!("FedKNOW cohorted client metric {name} (count per cohort)"),
+        );
+        for c in &cs.cohorts {
+            let _ = writeln!(out, "{nc}{{cohort=\"{}\"}} {}", c.cohort, c.count);
+        }
     }
     for (name, points) in &s.series {
         let n = sanitize_name(name);

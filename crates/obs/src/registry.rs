@@ -1,6 +1,24 @@
-//! The metrics registry: named counters, histograms, gauges and
-//! round-indexed time series, plus immutable snapshots that can be
-//! diffed to attribute metrics to a single run.
+//! The metrics registry: named counters, histograms, gauges,
+//! round-indexed time series, quantile sketches and cohort sets, plus
+//! immutable snapshots that can be diffed to attribute metrics to a
+//! single run.
+//!
+//! ## Bounded cardinality
+//!
+//! Dynamic metric names are the classic telemetry memory leak: one
+//! name per client and the registry grows O(clients). Two governors
+//! keep it O(1):
+//!
+//! * **Name cap** — each instrument kind holds at most
+//!   [`Registry::max_names`] distinct names (`FEDKNOW_OBS_MAX_NAMES`,
+//!   default [`DEFAULT_MAX_NAMES`]). Creation attempts past the cap
+//!   are routed to a shared per-kind `obs.overflow` instrument and
+//!   counted in the `obs.name_overflow` counter — loud, not silent.
+//! * **Series point cap** — every [`Series`] keeps at most
+//!   [`SERIES_POINT_CAP`] points; later pushes are dropped and counted
+//!   in `obs.series_dropped`. Simulation series are O(rounds) and
+//!   never get close; the cap is the backstop that makes worst-case
+//!   memory a constant.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
@@ -8,7 +26,23 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use crate::cohort::{CohortSet, CohortSnapshot};
 use crate::hist::{HistSnapshot, LogHistogram};
+use crate::sketch::{Sketch, SketchSnapshot};
+
+/// Environment variable capping distinct dynamic metric names per
+/// instrument kind.
+pub const ENV_MAX_NAMES: &str = "FEDKNOW_OBS_MAX_NAMES";
+
+/// Default per-kind name cap.
+pub const DEFAULT_MAX_NAMES: usize = 512;
+
+/// Hard cap on points retained per series (~1 MiB per series worst
+/// case). Simulations produce O(rounds) points and stay far below.
+pub const SERIES_POINT_CAP: usize = 65_536;
+
+/// The shared name every over-cap write folds into.
+pub const OVERFLOW_NAME: &str = "obs.overflow";
 
 /// A monotonically increasing counter.
 #[derive(Default)]
@@ -51,83 +85,177 @@ impl Gauge {
 /// A round-indexed time series: `(index, value)` points in push order.
 /// Indices are typically global round numbers (see
 /// [`round_index`](crate::round_index)); several points may share an
-/// index (e.g. one per client within a round).
-#[derive(Default)]
-pub struct Series(Mutex<Vec<(u64, f64)>>);
+/// index (e.g. one per client within a round). Holds at most
+/// [`SERIES_POINT_CAP`] points; overflow pushes are dropped and
+/// counted.
+pub struct Series {
+    points: Mutex<Vec<(u64, f64)>>,
+    dropped: AtomicU64,
+}
+
+impl Default for Series {
+    fn default() -> Self {
+        Self {
+            points: Mutex::new(Vec::new()),
+            dropped: AtomicU64::new(0),
+        }
+    }
+}
 
 impl Series {
-    /// Append one point.
+    /// Append one point (dropped and counted once the point cap is
+    /// reached).
     pub fn push(&self, index: u64, value: f64) {
-        self.0.lock().push((index, value));
+        let mut pts = self.points.lock();
+        if pts.len() >= SERIES_POINT_CAP {
+            self.dropped.fetch_add(1, Relaxed);
+            return;
+        }
+        pts.push((index, value));
     }
 
     /// Copy of the points, sorted by index (ties keep push order).
     pub fn points(&self) -> Vec<(u64, f64)> {
-        let mut pts = self.0.lock().clone();
+        let mut pts = self.points.lock().clone();
         pts.sort_by_key(|&(i, _)| i);
         pts
+    }
+
+    /// Points dropped by the cap.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Relaxed)
     }
 }
 
 /// A registry of named metrics. Metric handles are created on first
 /// use; the maps are only locked to look a handle up, never while
 /// recording, so concurrent recording on existing metrics is lock-free.
-#[derive(Default)]
 pub struct Registry {
     counters: Mutex<BTreeMap<String, Arc<Counter>>>,
     hists: Mutex<BTreeMap<String, Arc<LogHistogram>>>,
     gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
     series: Mutex<BTreeMap<String, Arc<Series>>>,
+    sketches: Mutex<BTreeMap<String, Arc<Sketch>>>,
+    cohorts: Mutex<BTreeMap<String, Arc<CohortSet>>>,
+    /// Per-kind cap on distinct names.
+    max_names: usize,
+    /// Writes routed to an overflow instrument because of the cap.
+    overflow: AtomicU64,
+    /// Shared per-kind sinks for over-cap names.
+    overflow_counter: Arc<Counter>,
+    overflow_hist: Arc<LogHistogram>,
+    overflow_gauge: Arc<Gauge>,
+    overflow_series: Arc<Series>,
+    overflow_sketch: Arc<Sketch>,
+    overflow_cohort: Arc<CohortSet>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        let max = std::env::var(ENV_MAX_NAMES)
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .map(|n| n.max(8))
+            .unwrap_or(DEFAULT_MAX_NAMES);
+        Self::with_max_names(max)
+    }
 }
 
 impl Registry {
-    /// An empty registry.
+    /// An empty registry with the environment-configured name cap.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// An empty registry with an explicit per-kind name cap.
+    pub fn with_max_names(max_names: usize) -> Self {
+        Self {
+            counters: Mutex::new(BTreeMap::new()),
+            hists: Mutex::new(BTreeMap::new()),
+            gauges: Mutex::new(BTreeMap::new()),
+            series: Mutex::new(BTreeMap::new()),
+            sketches: Mutex::new(BTreeMap::new()),
+            cohorts: Mutex::new(BTreeMap::new()),
+            max_names: max_names.max(1),
+            overflow: AtomicU64::new(0),
+            overflow_counter: Arc::new(Counter::default()),
+            overflow_hist: Arc::new(LogHistogram::new()),
+            overflow_gauge: Arc::new(Gauge::default()),
+            overflow_series: Arc::new(Series::default()),
+            overflow_sketch: Arc::new(Sketch::default()),
+            overflow_cohort: Arc::new(CohortSet::default()),
+        }
+    }
+
+    /// The per-kind cap on distinct metric names.
+    pub fn max_names(&self) -> usize {
+        self.max_names
+    }
+
+    /// Writes that hit the name cap so far.
+    pub fn name_overflow(&self) -> u64 {
+        self.overflow.load(Relaxed)
+    }
+
+    /// Look up or create a named slot, honouring the name cap.
+    fn slot<T>(
+        &self,
+        map: &Mutex<BTreeMap<String, Arc<T>>>,
+        name: &str,
+        make: impl FnOnce() -> T,
+        overflow: &Arc<T>,
+    ) -> Arc<T> {
+        let mut map = map.lock();
+        if let Some(v) = map.get(name) {
+            return Arc::clone(v);
+        }
+        if map.len() >= self.max_names {
+            self.overflow.fetch_add(1, Relaxed);
+            return Arc::clone(overflow);
+        }
+        let v = Arc::new(make());
+        map.insert(name.to_string(), Arc::clone(&v));
+        v
+    }
+
     /// The counter named `name`, created if absent.
     pub fn counter(&self, name: &str) -> Arc<Counter> {
-        let mut map = self.counters.lock();
-        if let Some(c) = map.get(name) {
-            return Arc::clone(c);
-        }
-        let c = Arc::new(Counter::default());
-        map.insert(name.to_string(), Arc::clone(&c));
-        c
+        self.slot(
+            &self.counters,
+            name,
+            Counter::default,
+            &self.overflow_counter,
+        )
     }
 
     /// The histogram named `name`, created if absent.
     pub fn hist(&self, name: &str) -> Arc<LogHistogram> {
-        let mut map = self.hists.lock();
-        if let Some(h) = map.get(name) {
-            return Arc::clone(h);
-        }
-        let h = Arc::new(LogHistogram::new());
-        map.insert(name.to_string(), Arc::clone(&h));
-        h
+        self.slot(&self.hists, name, LogHistogram::new, &self.overflow_hist)
     }
 
     /// The gauge named `name`, created if absent.
     pub fn gauge(&self, name: &str) -> Arc<Gauge> {
-        let mut map = self.gauges.lock();
-        if let Some(g) = map.get(name) {
-            return Arc::clone(g);
-        }
-        let g = Arc::new(Gauge::default());
-        map.insert(name.to_string(), Arc::clone(&g));
-        g
+        self.slot(&self.gauges, name, Gauge::default, &self.overflow_gauge)
     }
 
     /// The series named `name`, created if absent.
     pub fn series(&self, name: &str) -> Arc<Series> {
-        let mut map = self.series.lock();
-        if let Some(s) = map.get(name) {
-            return Arc::clone(s);
-        }
-        let s = Arc::new(Series::default());
-        map.insert(name.to_string(), Arc::clone(&s));
-        s
+        self.slot(&self.series, name, Series::default, &self.overflow_series)
+    }
+
+    /// The quantile sketch named `name`, created if absent.
+    pub fn sketch(&self, name: &str) -> Arc<Sketch> {
+        self.slot(&self.sketches, name, Sketch::default, &self.overflow_sketch)
+    }
+
+    /// The cohort set named `name`, created if absent.
+    pub fn cohort(&self, name: &str) -> Arc<CohortSet> {
+        self.slot(
+            &self.cohorts,
+            name,
+            CohortSet::default,
+            &self.overflow_cohort,
+        )
     }
 
     /// Add `delta` to the counter named `name`.
@@ -150,15 +278,46 @@ impl Registry {
         self.series(name).push(index, value);
     }
 
+    /// Record `value` into the sketch named `name`.
+    pub fn record_sketch(&self, name: &str, value: f64) {
+        self.sketch(name).record(value);
+    }
+
+    /// Record a client-keyed value into the cohort set named `name`
+    /// (and into the same-named sketch, so the global distribution is
+    /// queryable alongside the per-cohort fold).
+    pub fn record_client(&self, name: &str, client: u64, value: f64) {
+        self.cohort(name).record(client, value);
+        self.sketch(name).record(value);
+    }
+
+    /// Fold every sketch's current round into its cumulative sketch;
+    /// returns the per-name folded-round snapshots (non-empty only).
+    pub fn fold_sketches(&self) -> Vec<(String, SketchSnapshot)> {
+        let handles: Vec<(String, Arc<Sketch>)> = self
+            .sketches
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), Arc::clone(v)))
+            .collect();
+        handles
+            .into_iter()
+            .filter_map(|(name, s)| {
+                let snap = s.fold_round();
+                (snap.count > 0).then_some((name, snap))
+            })
+            .collect()
+    }
+
     /// Copy every metric into an immutable snapshot.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let counters = self
+        let mut counters: BTreeMap<String, u64> = self
             .counters
             .lock()
             .iter()
             .map(|(k, v)| (k.clone(), v.get()))
             .collect();
-        let hists = self
+        let mut hists: BTreeMap<String, HistSnapshot> = self
             .hists
             .lock()
             .iter()
@@ -170,17 +329,52 @@ impl Registry {
             .iter()
             .map(|(k, v)| (k.clone(), v.get()))
             .collect();
-        let series = self
-            .series
-            .lock()
+        let series_map = self.series.lock();
+        let mut dropped: u64 = series_map.values().map(|s| s.dropped()).sum();
+        dropped += self.overflow_series.dropped();
+        let series = series_map
             .iter()
             .map(|(k, v)| (k.clone(), v.points()))
             .collect();
+        drop(series_map);
+        let mut sketches: BTreeMap<String, SketchSnapshot> = self
+            .sketches
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect();
+        let cohorts = self
+            .cohorts
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect();
+        // Governor visibility: over-cap writes and their shared sinks.
+        let overflow = self.overflow.load(Relaxed);
+        if overflow > 0 {
+            counters.insert("obs.name_overflow".to_string(), overflow);
+            if self.overflow_counter.get() > 0 {
+                counters.insert(OVERFLOW_NAME.to_string(), self.overflow_counter.get());
+            }
+            let oh = self.overflow_hist.snapshot();
+            if oh.count() > 0 {
+                hists.insert(OVERFLOW_NAME.to_string(), oh);
+            }
+            let os = self.overflow_sketch.snapshot();
+            if os.count > 0 {
+                sketches.insert(OVERFLOW_NAME.to_string(), os);
+            }
+        }
+        if dropped > 0 {
+            counters.insert("obs.series_dropped".to_string(), dropped);
+        }
         MetricsSnapshot {
             counters,
             hists,
             gauges,
             series,
+            sketches,
+            cohorts,
         }
     }
 }
@@ -196,6 +390,10 @@ pub struct MetricsSnapshot {
     pub gauges: BTreeMap<String, f64>,
     /// Series points `(index, value)` by name, index-sorted.
     pub series: BTreeMap<String, Vec<(u64, f64)>>,
+    /// Quantile-sketch snapshots by name.
+    pub sketches: BTreeMap<String, SketchSnapshot>,
+    /// Cohort-set snapshots by name.
+    pub cohorts: BTreeMap<String, CohortSnapshot>,
 }
 
 impl MetricsSnapshot {
@@ -239,11 +437,31 @@ impl MetricsSnapshot {
                 (v.len() > seen).then(|| (k.clone(), v[seen..].to_vec()))
             })
             .collect();
+        let empty_sketch = SketchSnapshot::default();
+        let sketches = self
+            .sketches
+            .iter()
+            .filter_map(|(k, v)| {
+                let d = v.since(earlier.sketches.get(k).unwrap_or(&empty_sketch));
+                (d.count > 0).then(|| (k.clone(), d))
+            })
+            .collect();
+        let empty_cohort = CohortSnapshot::default();
+        let cohorts = self
+            .cohorts
+            .iter()
+            .filter_map(|(k, v)| {
+                let d = v.since(earlier.cohorts.get(k).unwrap_or(&empty_cohort));
+                (!d.cohorts.is_empty()).then(|| (k.clone(), d))
+            })
+            .collect();
         MetricsSnapshot {
             counters,
             hists,
             gauges,
             series,
+            sketches,
+            cohorts,
         }
     }
 }
@@ -323,5 +541,73 @@ mod tests {
         // Unchanged metrics drop out of the diff entirely.
         let none = r.snapshot().since(&r.snapshot());
         assert!(none.counters.is_empty() && none.hists.is_empty());
+    }
+
+    #[test]
+    fn sketches_snapshot_and_diff() {
+        let r = Registry::new();
+        r.record_sketch("lat", 10.0);
+        r.record_sketch("lat", 20.0);
+        let before = r.snapshot();
+        assert_eq!(before.sketches["lat"].count, 2);
+        r.record_sketch("lat", 30.0);
+        let d = r.snapshot().since(&before);
+        assert_eq!(d.sketches["lat"].count, 1);
+    }
+
+    #[test]
+    fn client_values_land_in_cohorts_and_sketch() {
+        let r = Registry::new();
+        for c in 0..100u64 {
+            r.record_client("train_ns", c, c as f64);
+        }
+        let s = r.snapshot();
+        assert_eq!(s.sketches["train_ns"].count, 100);
+        assert_eq!(s.cohorts["train_ns"].total_count(), 100);
+        assert!(s.cohorts["train_ns"].cohorts.len() <= 100);
+    }
+
+    #[test]
+    fn fold_sketches_resets_rounds() {
+        let r = Registry::new();
+        r.record_sketch("lat", 5.0);
+        let folded = r.fold_sketches();
+        assert_eq!(folded.len(), 1);
+        assert_eq!(folded[0].0, "lat");
+        assert_eq!(folded[0].1.count, 1);
+        // Nothing new this round: fold reports nothing, cumulative holds.
+        assert!(r.fold_sketches().is_empty());
+        assert_eq!(r.snapshot().sketches["lat"].count, 1);
+    }
+
+    #[test]
+    fn name_cap_overflows_loudly() {
+        let r = Registry::with_max_names(4);
+        for i in 0..10 {
+            r.add(&format!("dyn.{i}"), 1);
+        }
+        let s = r.snapshot();
+        // Four real names were admitted; six writes overflowed.
+        assert_eq!(s.counters["obs.name_overflow"], 6);
+        assert_eq!(s.counters[OVERFLOW_NAME], 6);
+        let named: usize = (0..10)
+            .filter(|i| s.counters.contains_key(&format!("dyn.{i}")))
+            .count();
+        assert_eq!(named, 4);
+        // Existing names keep working at the cap.
+        r.add("dyn.0", 5);
+        assert_eq!(r.counter("dyn.0").get(), 6);
+    }
+
+    #[test]
+    fn series_point_cap_drops_and_counts() {
+        let r = Registry::new();
+        let s = r.series("cap_test");
+        for i in 0..(SERIES_POINT_CAP as u64 + 10) {
+            s.push(i, 1.0);
+        }
+        assert_eq!(s.dropped(), 10);
+        assert_eq!(s.points().len(), SERIES_POINT_CAP);
+        assert_eq!(r.snapshot().counters["obs.series_dropped"], 10);
     }
 }

@@ -1,0 +1,543 @@
+//! Mergeable quantile sketch (DDSketch-style) with bounded memory.
+//!
+//! A [`QuantileSketch`] answers quantile queries over a stream of
+//! non-negative values with a *relative* accuracy guarantee: for any
+//! rank, the reported value is within `alpha` (default
+//! [`DEFAULT_ALPHA`], 1%) of the exact order statistic at that rank.
+//! Values are mapped to logarithmic buckets with base
+//! `gamma = (1 + alpha) / (1 - alpha)`; a value `v > 0` lands in bucket
+//! `ceil(log_gamma v)`, whose representative `2·gamma^k / (gamma + 1)`
+//! is within `alpha` of every value the bucket can hold.
+//!
+//! Properties the telemetry plane relies on:
+//!
+//! * **Mergeable** — [`QuantileSketch::merge`] adds bucket counts, so
+//!   merge is commutative and associative (proven by property tests).
+//!   Per-client or per-shard sketches fold into one without losing the
+//!   error bound.
+//! * **Bounded** — at most [`MAX_BUCKETS`] distinct buckets are kept;
+//!   beyond that the lowest buckets collapse together. High quantiles
+//!   (the ones SLOs watch) keep their guarantee; only the extreme low
+//!   tail degrades, and [`QuantileSketch::collapsed`] reports when.
+//! * **Round fold** — the registry-level [`Sketch`] instrument keeps a
+//!   *current-round* sketch and a *cumulative* sketch;
+//!   [`Sketch::fold_round`] merges the round into the total and resets
+//!   the round, which is what feeds the streaming health engine.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Default relative accuracy: quantile estimates within 1%.
+pub const DEFAULT_ALPHA: f64 = 0.01;
+
+/// Hard cap on distinct buckets per sketch. At `alpha = 0.01` the span
+/// from 1 ns to ~30 minutes needs ~1050 buckets, so 2048 never
+/// collapses in practice while bounding worst-case memory to ~32 KiB.
+pub const MAX_BUCKETS: usize = 2048;
+
+/// Values at or below this magnitude land in the dedicated zero bucket
+/// (log buckets cannot represent 0).
+const MIN_POSITIVE: f64 = 1e-9;
+
+/// A mergeable, relative-error-bounded quantile sketch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantileSketch {
+    alpha: f64,
+    /// Cached `1 / ln(gamma)`.
+    inv_ln_gamma: f64,
+    /// Sparse log-bucket counts keyed by `ceil(log_gamma v)`.
+    buckets: BTreeMap<i32, u64>,
+    /// Count of values `<= MIN_POSITIVE` (including all non-positives).
+    zero: u64,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    /// Values folded into a surviving bucket by the [`MAX_BUCKETS`]
+    /// bound; non-zero means low quantiles lost their guarantee.
+    collapsed: u64,
+}
+
+impl Default for QuantileSketch {
+    fn default() -> Self {
+        Self::new(DEFAULT_ALPHA)
+    }
+}
+
+impl QuantileSketch {
+    /// An empty sketch with relative accuracy `alpha` (clamped to a
+    /// sane `[0.001, 0.25]` band).
+    pub fn new(alpha: f64) -> Self {
+        let alpha = alpha.clamp(0.001, 0.25);
+        let gamma = (1.0 + alpha) / (1.0 - alpha);
+        Self {
+            alpha,
+            inv_ln_gamma: 1.0 / gamma.ln(),
+            buckets: BTreeMap::new(),
+            zero: 0,
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            collapsed: 0,
+        }
+    }
+
+    /// The configured relative accuracy.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Number of inserted values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of inserted values.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Smallest inserted value, or 0.0 when empty.
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest inserted value, or 0.0 when empty.
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Mean of inserted values, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Values lost to low-bucket collapsing (0 in healthy operation).
+    pub fn collapsed(&self) -> u64 {
+        self.collapsed
+    }
+
+    /// Number of distinct live buckets (bounded by [`MAX_BUCKETS`]).
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Log-bucket key for a positive value.
+    fn key_of(&self, v: f64) -> i32 {
+        (v.ln() * self.inv_ln_gamma).ceil() as i32
+    }
+
+    /// Representative value of bucket `k`: the relative midpoint of
+    /// `(gamma^(k-1), gamma^k]`, within `alpha` of everything in it.
+    fn value_of(&self, k: i32) -> f64 {
+        let gamma = (1.0 + self.alpha) / (1.0 - self.alpha);
+        2.0 * gamma.powi(k) / (gamma + 1.0)
+    }
+
+    /// Insert one value. Non-finite values are ignored; values at or
+    /// below [`MIN_POSITIVE`] (durations of zero, empty byte counts)
+    /// land in the exact zero bucket.
+    pub fn insert(&mut self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        if v <= MIN_POSITIVE {
+            self.zero += 1;
+            return;
+        }
+        *self.buckets.entry(self.key_of(v)).or_insert(0) += 1;
+        if self.buckets.len() > MAX_BUCKETS {
+            self.collapse_lowest();
+        }
+    }
+
+    /// Fold the lowest bucket into its successor, preserving total
+    /// count while shedding one key.
+    fn collapse_lowest(&mut self) {
+        let Some((&lo, _)) = self.buckets.iter().next() else {
+            return;
+        };
+        let n = self.buckets.remove(&lo).unwrap_or(0);
+        if let Some((_, next)) = self.buckets.iter_mut().next() {
+            *next += n;
+        } else {
+            self.zero += n;
+        }
+        self.collapsed += n;
+    }
+
+    /// Merge `other` into `self` by adding bucket counts. Commutative
+    /// and associative (up to the bucket bound, which only engages past
+    /// [`MAX_BUCKETS`] distinct keys). Both sketches must share the
+    /// same `alpha`, otherwise the keys don't line up; mismatches are
+    /// reconciled by re-inserting representatives, keeping the merge
+    /// total-count-exact at a small accuracy cost.
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 && self.alpha != other.alpha {
+            // Adopt the other side's geometry wholesale.
+            *self = other.clone();
+            return;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.zero += other.zero;
+        self.collapsed += other.collapsed;
+        if self.alpha == other.alpha {
+            for (&k, &n) in &other.buckets {
+                *self.buckets.entry(k).or_insert(0) += n;
+            }
+        } else {
+            for (&k, &n) in &other.buckets {
+                let key = self.key_of(other.value_of(k));
+                *self.buckets.entry(key).or_insert(0) += n;
+            }
+        }
+        while self.buckets.len() > MAX_BUCKETS {
+            self.collapse_lowest();
+        }
+    }
+
+    /// Nearest-rank quantile estimate, `q` in `[0, 1]`. Within `alpha`
+    /// relative error of the exact rank-`⌈qN⌉` order statistic (clamped
+    /// into the observed `[min, max]` so the extremes report exactly).
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        if rank <= self.zero {
+            return 0f64.clamp(self.min, self.max);
+        }
+        let mut seen = self.zero;
+        for (&k, &n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return self.value_of(k).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Reset to empty, keeping the configured accuracy.
+    pub fn clear(&mut self) {
+        *self = Self::new(self.alpha);
+    }
+
+    /// Immutable, serialisable copy of the current state.
+    pub fn snapshot(&self) -> SketchSnapshot {
+        SketchSnapshot {
+            alpha: self.alpha,
+            count: self.count,
+            sum: self.sum,
+            min: self.min(),
+            max: self.max(),
+            zero: self.zero,
+            collapsed: self.collapsed,
+            buckets: self.buckets.iter().map(|(&k, &n)| (k, n)).collect(),
+        }
+    }
+}
+
+/// An immutable copy of a [`QuantileSketch`], with sparse buckets in
+/// key order. Serialisable (buckets as `(key, count)` pairs) so it can
+/// ride in snapshots and postmortem bundles.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SketchSnapshot {
+    /// Relative accuracy the sketch was built with.
+    pub alpha: f64,
+    /// Number of inserted values.
+    pub count: u64,
+    /// Sum of inserted values.
+    pub sum: f64,
+    /// Smallest inserted value (0.0 when empty).
+    pub min: f64,
+    /// Largest inserted value (0.0 when empty).
+    pub max: f64,
+    /// Count of values in the exact zero bucket.
+    pub zero: u64,
+    /// Values folded by the bucket bound.
+    pub collapsed: u64,
+    /// Sparse `(log-bucket key, count)` pairs, key-sorted.
+    pub buckets: Vec<(i32, u64)>,
+}
+
+impl SketchSnapshot {
+    /// Nearest-rank quantile estimate — same semantics as
+    /// [`QuantileSketch::quantile`].
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let alpha = if self.alpha > 0.0 {
+            self.alpha
+        } else {
+            DEFAULT_ALPHA
+        };
+        let gamma = (1.0 + alpha) / (1.0 - alpha);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        if rank <= self.zero {
+            return 0f64.clamp(self.min, self.max);
+        }
+        let mut seen = self.zero;
+        for &(k, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                let v = 2.0 * gamma.powi(k) / (gamma + 1.0);
+                return v.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Mean of inserted values, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// The contents that accumulated since `earlier` was taken (both
+    /// snapshots from the same, grow-only sketch). Min/max cannot be
+    /// un-merged, so the later values are kept.
+    pub fn since(&self, earlier: &SketchSnapshot) -> SketchSnapshot {
+        let old: BTreeMap<i32, u64> = earlier.buckets.iter().copied().collect();
+        let buckets: Vec<(i32, u64)> = self
+            .buckets
+            .iter()
+            .filter_map(|&(k, n)| {
+                let d = n.saturating_sub(old.get(&k).copied().unwrap_or(0));
+                (d > 0).then_some((k, d))
+            })
+            .collect();
+        SketchSnapshot {
+            alpha: self.alpha,
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum - earlier.sum,
+            min: self.min,
+            max: self.max,
+            zero: self.zero.saturating_sub(earlier.zero),
+            collapsed: self.collapsed.saturating_sub(earlier.collapsed),
+            buckets,
+        }
+    }
+}
+
+/// The registry-level sketch instrument: a current-round sketch and a
+/// cumulative one behind a single lock. Recording is low-frequency
+/// (per client per round, never per iteration), so a mutex is cheap
+/// relative to the work between records.
+pub struct Sketch {
+    inner: Mutex<SketchPair>,
+}
+
+struct SketchPair {
+    round: QuantileSketch,
+    total: QuantileSketch,
+}
+
+impl Default for Sketch {
+    fn default() -> Self {
+        Self::new(DEFAULT_ALPHA)
+    }
+}
+
+impl Sketch {
+    /// An empty instrument with relative accuracy `alpha`.
+    pub fn new(alpha: f64) -> Self {
+        Self {
+            inner: Mutex::new(SketchPair {
+                round: QuantileSketch::new(alpha),
+                total: QuantileSketch::new(alpha),
+            }),
+        }
+    }
+
+    /// Record one value into the current round.
+    pub fn record(&self, v: f64) {
+        self.inner.lock().round.insert(v);
+    }
+
+    /// Fold the current round into the cumulative sketch, reset the
+    /// round, and return the folded round's snapshot (what the health
+    /// engine consumes at round boundaries).
+    pub fn fold_round(&self) -> SketchSnapshot {
+        let mut g = self.inner.lock();
+        let snap = g.round.snapshot();
+        let alpha = g.total.alpha();
+        let round = std::mem::replace(&mut g.round, QuantileSketch::new(alpha));
+        g.total.merge(&round);
+        snap
+    }
+
+    /// Snapshot of everything recorded so far: the cumulative sketch
+    /// merged with the (not yet folded) current round.
+    pub fn snapshot(&self) -> SketchSnapshot {
+        let g = self.inner.lock();
+        let mut all = g.total.clone();
+        all.merge(&g.round);
+        all.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    #[test]
+    fn empty_sketch_reports_zero() {
+        let s = QuantileSketch::default();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.quantile(0.5), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn quantiles_within_relative_error() {
+        let mut s = QuantileSketch::new(0.01);
+        let mut vals: Vec<f64> = (1..=10_000).map(|i| (i as f64) * 17.3).collect();
+        for &v in &vals {
+            s.insert(v);
+        }
+        vals.sort_by(f64::total_cmp);
+        for q in [0.01, 0.1, 0.5, 0.9, 0.99, 0.999] {
+            let exact = exact_quantile(&vals, q);
+            let est = s.quantile(q);
+            assert!(
+                (est - exact).abs() <= 0.01 * exact + 1e-9,
+                "q={q}: est {est} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_and_negative_values_hit_zero_bucket() {
+        let mut s = QuantileSketch::default();
+        for v in [0.0, -5.0, 0.0, 1000.0] {
+            s.insert(v);
+        }
+        assert_eq!(s.count(), 4);
+        // Three of four values are non-positive: p50 is the zero bucket.
+        assert!(s.quantile(0.5) <= 0.0);
+        assert!((s.quantile(1.0) - 1000.0).abs() / 1000.0 < 0.011);
+        assert_eq!(s.min(), -5.0);
+    }
+
+    #[test]
+    fn merge_equals_union() {
+        let mut a = QuantileSketch::new(0.02);
+        let mut b = QuantileSketch::new(0.02);
+        let mut all = QuantileSketch::new(0.02);
+        for i in 0..500u64 {
+            let v = (i as f64 + 1.0) * 3.0;
+            if i % 2 == 0 {
+                a.insert(v);
+            } else {
+                b.insert(v);
+            }
+            all.insert(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.snapshot().buckets, all.snapshot().buckets);
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(a.quantile(q), all.quantile(q));
+        }
+    }
+
+    #[test]
+    fn bucket_bound_collapses_low_tail_only() {
+        let mut s = QuantileSketch::new(0.001); // tiny alpha -> many buckets
+                                                // Span ~17 orders of magnitude to overflow the bucket cap.
+        let mut i = 0u64;
+        while s.collapsed() == 0 && i < 3_000_000 {
+            let v = 1e-6 * 1.02f64.powi((i % 2200) as i32);
+            s.insert(v);
+            i += 1;
+        }
+        assert!(s.collapsed() > 0, "cap never engaged");
+        assert!(s.bucket_count() <= MAX_BUCKETS);
+        // The high quantiles stay ordered and within the observed range.
+        let p99 = s.quantile(0.99);
+        assert!(p99 <= s.max() && p99 >= s.quantile(0.5));
+    }
+
+    #[test]
+    fn snapshot_since_isolates_interval() {
+        let mut s = QuantileSketch::default();
+        s.insert(10.0);
+        s.insert(20.0);
+        let early = s.snapshot();
+        s.insert(30.0);
+        let diff = s.snapshot().since(&early);
+        assert_eq!(diff.count, 1);
+        assert!((diff.sum - 30.0).abs() < 1e-9);
+        let none = s.snapshot().since(&s.snapshot());
+        assert_eq!(none.count, 0);
+        assert!(none.buckets.is_empty());
+    }
+
+    #[test]
+    fn snapshot_roundtrips_and_answers_quantiles() {
+        let mut s = QuantileSketch::default();
+        for i in 1..=1000 {
+            s.insert(i as f64);
+        }
+        let snap = s.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: SketchSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+        for q in [0.25, 0.5, 0.9] {
+            assert_eq!(back.quantile(q), s.quantile(q));
+        }
+    }
+
+    #[test]
+    fn instrument_folds_rounds_into_total() {
+        let s = Sketch::default();
+        s.record(10.0);
+        s.record(20.0);
+        let r0 = s.fold_round();
+        assert_eq!(r0.count, 2);
+        s.record(30.0);
+        let r1 = s.fold_round();
+        assert_eq!(r1.count, 1);
+        let all = s.snapshot();
+        assert_eq!(all.count, 3);
+        assert!((all.sum - 60.0).abs() < 1e-9);
+        // An empty fold is harmless.
+        assert_eq!(s.fold_round().count, 0);
+        assert_eq!(s.snapshot().count, 3);
+    }
+}

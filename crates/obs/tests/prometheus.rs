@@ -33,6 +33,42 @@ fn golden_exposition() {
     );
 }
 
+/// Fixture behind the sketch/cohort golden file: a quantile sketch
+/// over a known distribution plus a client-keyed cohorted metric
+/// (8 clients, so with the default 64 cohorts the mapping is the
+/// identity and the output is environment-independent).
+fn sketched_registry() -> Registry {
+    let r = Registry::new();
+    for i in 1..=100 {
+        r.record_sketch("round.time_s", i as f64 / 100.0);
+    }
+    for client in 0..8u64 {
+        r.record_client("client.compute_s", client, (client + 1) as f64);
+        r.record_client("client.compute_s", client, (client + 1) as f64 * 3.0);
+    }
+    r
+}
+
+#[test]
+fn golden_sketch_exposition() {
+    let text = prometheus_text(&sketched_registry().snapshot());
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/sketch.prom");
+        std::fs::write(path, &text).expect("rewrite golden");
+    }
+    let golden = include_str!("golden/sketch.prom");
+    assert_eq!(
+        text, golden,
+        "sketch exposition drifted from tests/golden/sketch.prom — \
+         rerun with UPDATE_GOLDEN=1 if the change is intentional"
+    );
+}
+
+#[test]
+fn sketch_exposition_is_structurally_valid() {
+    validate_exposition(&prometheus_text(&sketched_registry().snapshot()));
+}
+
 /// Structural check of the exposition format: every line is a comment
 /// (`# HELP`/`# TYPE` with a valid metric name and known type) or a
 /// sample (`name[{labels}] value`), each family has exactly one

@@ -1,0 +1,145 @@
+//! Property tests for the mergeable quantile sketch: merge order must
+//! not matter (commutative + associative up to the bucket maps), and
+//! quantile estimates must stay within the sketch's relative
+//! rank-error guarantee against an exact sorted-vector oracle on
+//! constant, bimodal, and heavy-tailed inputs.
+
+use fedknow_obs::{QuantileSketch, DEFAULT_ALPHA};
+use proptest::prelude::*;
+
+/// Exact nearest-rank quantile over raw samples.
+fn oracle_quantile(sorted: &[f64], q: f64) -> f64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn sketch_of(values: &[f64]) -> QuantileSketch {
+    let mut s = QuantileSketch::new(DEFAULT_ALPHA);
+    for &v in values {
+        s.insert(v);
+    }
+    s
+}
+
+/// Assert the estimate is within the sketch's relative-error bound of
+/// the exact order statistic. DDSketch guarantees relative error alpha
+/// per bucket; the nearest-rank oracle can sit anywhere inside the
+/// matched bucket, so allow 2·alpha plus slack for the bucket the rank
+/// lands next to.
+fn assert_within_rank_error(est: f64, exact: f64, what: &str) -> Result<(), TestCaseError> {
+    let tol = 3.0 * DEFAULT_ALPHA * exact.abs() + 1e-9;
+    prop_assert!(
+        (est - exact).abs() <= tol,
+        "{what}: estimate {est} vs exact {exact} (tol {tol})"
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Merging A into B and B into A produce identical sketches:
+    /// same count, sum, and quantiles at every probed q.
+    #[test]
+    fn merge_is_commutative(
+        a in prop::collection::vec(1e-3f64..1e6, 0..200),
+        b in prop::collection::vec(1e-3f64..1e6, 0..200),
+    ) {
+        let (sa, sb) = (sketch_of(&a), sketch_of(&b));
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        prop_assert_eq!(ab.count(), ba.count());
+        prop_assert!((ab.sum() - ba.sum()).abs() <= 1e-6 * ab.sum().abs().max(1.0));
+        for q in [0.01, 0.25, 0.5, 0.9, 0.99] {
+            prop_assert_eq!(ab.quantile(q).to_bits(), ba.quantile(q).to_bits());
+        }
+    }
+
+    /// (A ∪ B) ∪ C equals A ∪ (B ∪ C): the fold order across shards
+    /// never changes what the combined sketch reports.
+    #[test]
+    fn merge_is_associative(
+        a in prop::collection::vec(1e-3f64..1e6, 0..120),
+        b in prop::collection::vec(1e-3f64..1e6, 0..120),
+        c in prop::collection::vec(1e-3f64..1e6, 0..120),
+    ) {
+        let (sa, sb, sc) = (sketch_of(&a), sketch_of(&b), sketch_of(&c));
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left.count(), right.count());
+        for q in [0.01, 0.5, 0.99] {
+            prop_assert_eq!(left.quantile(q).to_bits(), right.quantile(q).to_bits());
+        }
+    }
+
+    /// Merging shards of one stream matches sketching the whole
+    /// stream: the split point is invisible in every quantile.
+    #[test]
+    fn sharded_merge_matches_single_sketch(
+        values in prop::collection::vec(1e-3f64..1e6, 1..300),
+        split in 0usize..300,
+    ) {
+        let cut = split.min(values.len());
+        let mut merged = sketch_of(&values[..cut]);
+        merged.merge(&sketch_of(&values[cut..]));
+        let whole = sketch_of(&values);
+        prop_assert_eq!(merged.count(), whole.count());
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            prop_assert_eq!(merged.quantile(q).to_bits(), whole.quantile(q).to_bits());
+        }
+    }
+
+    /// Constant streams: every quantile is the constant itself, within
+    /// relative error.
+    #[test]
+    fn constant_distribution_quantiles(
+        v in 1e-3f64..1e9,
+        n in 1usize..500,
+        q in 0.01f64..1.0,
+    ) {
+        let s = sketch_of(&vec![v; n]);
+        assert_within_rank_error(s.quantile(q), v, "constant")?;
+    }
+
+    /// Bimodal streams (two well-separated modes): quantiles on either
+    /// side of the mass split land on the right mode.
+    #[test]
+    fn bimodal_distribution_quantiles(
+        lo in 1f64..10.0,
+        hi_mult in 100f64..10_000.0,
+        n_lo in 10usize..200,
+        n_hi in 10usize..200,
+        q in 0.01f64..1.0,
+    ) {
+        let hi = lo * hi_mult;
+        let mut values: Vec<f64> = Vec::with_capacity(n_lo + n_hi);
+        values.extend(std::iter::repeat(lo).take(n_lo));
+        values.extend(std::iter::repeat(hi).take(n_hi));
+        let s = sketch_of(&values);
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let exact = oracle_quantile(&values, q);
+        assert_within_rank_error(s.quantile(q), exact, "bimodal")?;
+    }
+
+    /// Heavy-tailed streams (values spanning ~9 decades, generated as
+    /// exp-distributed exponents): relative error holds even where
+    /// adjacent ranks differ by orders of magnitude.
+    #[test]
+    fn heavy_tailed_distribution_quantiles(
+        exponents in prop::collection::vec(0f64..9.0, 2..300),
+        q in 0.01f64..1.0,
+    ) {
+        let mut values: Vec<f64> = exponents.iter().map(|e| 10f64.powf(*e)).collect();
+        let s = sketch_of(&values);
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let exact = oracle_quantile(&values, q);
+        assert_within_rank_error(s.quantile(q), exact, "heavy-tailed")?;
+    }
+}
