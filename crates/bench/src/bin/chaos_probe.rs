@@ -10,6 +10,7 @@
 //! ```text
 //! FEDKNOW_TRACE_DIR=out/ chaos_probe [--scale smoke|quick|paper] [--seed N]
 //!                                    [--panic-after-tasks N] [--force-violation]
+//!                                    [--transport channel|tcp|unix]
 //! ```
 //!
 //! `--force-violation` switches the verify layer on (counting mode) and
@@ -20,7 +21,7 @@
 use fedknow_baselines::Method;
 use fedknow_bench::{scaled_spec, Scale};
 use fedknow_data::DatasetSpec;
-use fedknow_fl::{FaultConfig, FaultKind};
+use fedknow_fl::{FaultConfig, FaultKind, TransportKind};
 
 fn main() {
     let argv: Vec<String> = std::env::args().collect();
@@ -28,6 +29,7 @@ fn main() {
     let mut seed = 42u64;
     let mut panic_after: Option<usize> = None;
     let mut force_violation = false;
+    let mut transport: Option<TransportKind> = None;
     let mut i = 1;
     while i < argv.len() {
         match argv[i].as_str() {
@@ -54,6 +56,14 @@ fn main() {
                 );
             }
             "--force-violation" => force_violation = true,
+            "--transport" => {
+                i += 1;
+                transport = Some(
+                    argv.get(i)
+                        .and_then(|s| TransportKind::parse(s))
+                        .unwrap_or_else(|| usage("--transport expects channel|tcp|unix")),
+                );
+            }
             other => usage(&format!("unknown argument {other}")),
         }
         i += 1;
@@ -86,7 +96,28 @@ fn main() {
         panic!("chaos_probe: deliberate panic after {n} tasks");
     }
 
-    let report = spec.run(Method::FedKnow).expect("simulation failed");
+    // With `--transport` the faults are realized on a real wire: lost
+    // uploads are dropped frames, crashes are closed connections, and
+    // the quarantine/degradation paths the recorder watches are the
+    // live transport ones, not modeled stand-ins.
+    let report = match transport {
+        Some(kind) => {
+            let (report, stats) = spec
+                .run_over(Method::FedKnow, kind)
+                .expect("transport run failed");
+            println!(
+                "[chaos_probe] {kind}: {} frames ({} dropped), {} data bytes, \
+                 {} overhead, {} malformed quarantined",
+                stats.frames,
+                stats.frames_dropped,
+                stats.payload,
+                stats.overhead,
+                stats.malformed_frames
+            );
+            report
+        }
+        None => spec.run(Method::FedKnow).expect("simulation failed"),
+    };
     let tasks = report.accuracy.num_tasks();
     println!(
         "[chaos_probe] {} tasks, final accuracy {:.4}, faults: {} crashes, \
@@ -108,7 +139,7 @@ fn usage(msg: &str) -> ! {
     eprintln!(
         "error: {msg}\n\
          usage: chaos_probe [--scale smoke|quick|paper] [--seed N] \
-         [--panic-after-tasks N] [--force-violation]"
+         [--panic-after-tasks N] [--force-violation] [--transport channel|tcp|unix]"
     );
     std::process::exit(2)
 }

@@ -90,9 +90,26 @@ fn main() {
             );
             let spec = base.clone().with_faults(FaultConfig::crash_loss(rate));
             let started = std::time::Instant::now();
-            let report = spec
-                .run_on(method, devices.clone(), CommModel::paper_default())
-                .expect("simulation failed");
+            // `--transport` swaps the in-process simulator for the
+            // actor runtime: same report bit-for-bit (the parity the
+            // e2e tests pin down), but the faults are realized at the
+            // wire seam and the bytes actually cross a socket.
+            let report = match args.transport {
+                Some(kind) => {
+                    let (report, stats) = spec
+                        .run_over_on(method, devices.clone(), CommModel::paper_default(), kind)
+                        .expect("transport run failed");
+                    eprintln!(
+                        "[resilience] {kind}: {} frames, {} data bytes, \
+                         {} dropped, {} overhead",
+                        stats.frames, stats.payload, stats.frames_dropped, stats.overhead
+                    );
+                    report
+                }
+                None => spec
+                    .run_on(method, devices.clone(), CommModel::paper_default())
+                    .expect("simulation failed"),
+            };
             // The fault-free FedKNOW run is what the regression gate
             // tracks: a resilience-protocol change that costs clean-run
             // accuracy or wall time shows up here.

@@ -66,14 +66,19 @@ pub struct Args {
     /// Optional comma-separated filter (dataset/model names) — binaries
     /// that iterate over a set honour it.
     pub only: Option<Vec<String>>,
+    /// Optional transport backend: run over the actor runtime instead
+    /// of the in-process simulator. Binaries that support it honour it.
+    pub transport: Option<fedknow_fl::TransportKind>,
 }
 
-/// Parse `--scale` and `--seed` from `std::env::args`, with defaults.
-/// Exits with a usage message on malformed input.
+/// Parse `--scale`, `--seed`, `--only` and `--transport` from
+/// `std::env::args`, with defaults. Exits with a usage message on
+/// malformed input.
 pub fn parse_args() -> Args {
     let mut scale = Scale::Quick;
     let mut seed = 42u64;
     let mut only: Option<Vec<String>> = None;
+    let mut transport: Option<fedknow_fl::TransportKind> = None;
     let argv: Vec<String> = std::env::args().collect();
     let mut i = 1;
     while i < argv.len() {
@@ -102,15 +107,31 @@ pub fn parse_args() -> Args {
                         .collect(),
                 );
             }
+            "--transport" => {
+                i += 1;
+                transport = Some(
+                    argv.get(i)
+                        .and_then(|s| fedknow_fl::TransportKind::parse(s))
+                        .unwrap_or_else(|| usage("--transport expects channel|tcp|unix")),
+                );
+            }
             other => usage(&format!("unknown argument {other}")),
         }
         i += 1;
     }
-    Args { scale, seed, only }
+    Args {
+        scale,
+        seed,
+        only,
+        transport,
+    }
 }
 
 fn usage(msg: &str) -> ! {
-    eprintln!("error: {msg}\nusage: <bin> [--scale smoke|quick|paper] [--seed N] [--only a,b,c]");
+    eprintln!(
+        "error: {msg}\nusage: <bin> [--scale smoke|quick|paper] [--seed N] [--only a,b,c] \
+         [--transport channel|tcp|unix]"
+    );
     std::process::exit(2)
 }
 

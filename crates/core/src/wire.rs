@@ -18,7 +18,9 @@
 //! ```
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use fedknow_fl::FrameError;
 use fedknow_math::SparseVec;
+use std::io::{Read, Write};
 
 /// Format magic.
 const MAGIC: &[u8; 4] = b"FKNW";
@@ -141,9 +143,72 @@ pub fn decode_knowledge(mut blob: &[u8]) -> Result<(u32, SparseVec), WireError> 
     Ok((task_id, SparseVec::new(dense_len, indices, values)))
 }
 
+/// Errors moving framed knowledge over a stream: either the frame
+/// layer (torn read, hostile length) or the blob itself is bad.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FramedError {
+    /// The length-prefixed frame failed (truncated, oversize, I/O).
+    Frame(FrameError),
+    /// The frame arrived intact but its payload is not a valid
+    /// knowledge blob.
+    Blob(WireError),
+}
+
+impl std::fmt::Display for FramedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FramedError::Frame(e) => write!(f, "knowledge frame: {e}"),
+            FramedError::Blob(e) => write!(f, "knowledge payload: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FramedError {}
+
+impl From<FrameError> for FramedError {
+    fn from(e: FrameError) -> Self {
+        FramedError::Frame(e)
+    }
+}
+
+impl From<WireError> for FramedError {
+    fn from(e: WireError) -> Self {
+        FramedError::Blob(e)
+    }
+}
+
+/// Encode a task's knowledge as one transport frame — the same
+/// length-prefixed layout the federation transport uses, so persisted
+/// or migrated knowledge and live traffic share one wire discipline
+/// (including the [`fedknow_fl::MAX_FRAME_BYTES`] cap against hostile
+/// lengths).
+pub fn encode_framed_knowledge(task_id: u32, knowledge: &SparseVec) -> Result<Vec<u8>, FrameError> {
+    fedknow_fl::framing::encode_frame(&encode_knowledge(task_id, knowledge))
+}
+
+/// Write one framed knowledge blob to a stream.
+pub fn write_knowledge<W: Write>(
+    w: &mut W,
+    task_id: u32,
+    knowledge: &SparseVec,
+) -> Result<(), FrameError> {
+    fedknow_fl::framing::write_frame(w, &encode_knowledge(task_id, knowledge))
+}
+
+/// Read one framed knowledge blob from a stream. `Ok(None)` is a clean
+/// close on a frame boundary; a torn frame or corrupt payload is a
+/// typed [`FramedError`], never a panic or an unbounded allocation.
+pub fn read_knowledge<R: Read>(r: &mut R) -> Result<Option<(u32, SparseVec)>, FramedError> {
+    match fedknow_fl::framing::read_frame(r)? {
+        None => Ok(None),
+        Some(payload) => Ok(Some(decode_knowledge(&payload)?)),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fedknow_fl::MAX_FRAME_BYTES;
 
     fn sample() -> SparseVec {
         SparseVec::new(100, vec![0, 7, 42, 99], vec![1.5, -2.25, 0.0, 3.75])
@@ -243,5 +308,59 @@ mod tests {
         let blob = encode_knowledge(1, &k);
         let (_, back) = decode_knowledge(&blob).unwrap();
         assert_eq!(back.indices(), k.indices());
+    }
+
+    #[test]
+    fn framed_knowledge_roundtrips_via_stream() {
+        let k = sample();
+        let mut wire = Vec::new();
+        write_knowledge(&mut wire, 9, &k).unwrap();
+        write_knowledge(&mut wire, 10, &k).unwrap();
+        assert_eq!(wire, {
+            let mut both = encode_framed_knowledge(9, &k).unwrap();
+            both.extend(encode_framed_knowledge(10, &k).unwrap());
+            both
+        });
+        let mut r = wire.as_slice();
+        assert_eq!(read_knowledge(&mut r).unwrap(), Some((9, k.clone())));
+        assert_eq!(read_knowledge(&mut r).unwrap(), Some((10, k)));
+        assert_eq!(read_knowledge(&mut r).unwrap(), None, "clean close");
+    }
+
+    #[test]
+    fn framed_hostile_length_errors_before_allocation() {
+        // A frame header claiming far more than the cap must be
+        // rejected as a frame error, not attempted as an allocation.
+        let wire = ((MAX_FRAME_BYTES as u32) + 1).to_le_bytes().to_vec();
+        let mut r = wire.as_slice();
+        assert!(matches!(
+            read_knowledge(&mut r).unwrap_err(),
+            FramedError::Frame(FrameError::Oversize { .. })
+        ));
+    }
+
+    #[test]
+    fn framed_corrupt_payload_is_a_blob_error() {
+        let k = sample();
+        let mut wire = encode_framed_knowledge(2, &k).unwrap();
+        wire[4] = b'X'; // first payload byte: breaks the magic
+        let mut r = wire.as_slice();
+        let err = read_knowledge(&mut r).unwrap_err();
+        assert_eq!(err, FramedError::Blob(WireError::BadMagic));
+        assert!(err.to_string().contains("knowledge payload"), "{err}");
+    }
+
+    #[test]
+    fn framed_torn_stream_is_a_frame_error() {
+        let k = sample();
+        let wire = encode_framed_knowledge(2, &k).unwrap();
+        for cut in 1..wire.len() {
+            let mut r = &wire[..cut];
+            assert_eq!(
+                read_knowledge(&mut r).unwrap_err(),
+                FramedError::Frame(FrameError::Truncated),
+                "cut at {cut}"
+            );
+        }
     }
 }

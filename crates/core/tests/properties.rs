@@ -1,7 +1,8 @@
 //! Property-based tests for the FedKNOW components.
 
-use fedknow::wire::{decode_knowledge, encode_knowledge};
+use fedknow::wire::{decode_knowledge, encode_framed_knowledge, encode_knowledge};
 use fedknow::{ExtractionStrategy, GradientIntegrator, GradientRestorer, KnowledgeExtractor};
+use fedknow_fl::framing::{read_frame, write_frame, FrameDecoder, FrameError, MAX_FRAME_BYTES};
 use fedknow_math::rng::seeded;
 use fedknow_math::{SparseVec, Tensor};
 use fedknow_nn::ModelKind;
@@ -104,5 +105,114 @@ proptest! {
         prop_assert_eq!(g.len(), params.len());
         prop_assert_eq!(model.flat_params(), params);
         prop_assert!(g.iter().all(|v| v.is_finite()));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The transport frame layer round-trips arbitrary payloads exactly,
+    /// both through a stream and through the incremental decoder.
+    #[test]
+    fn frames_roundtrip(payloads in prop::collection::vec(
+        prop::collection::vec(any::<u8>(), 0..300), 1..6
+    )) {
+        let mut wire = Vec::new();
+        for p in &payloads {
+            write_frame(&mut wire, p).unwrap();
+        }
+        let mut r = wire.as_slice();
+        for p in &payloads {
+            prop_assert_eq!(read_frame(&mut r).unwrap().as_ref(), Some(p));
+        }
+        prop_assert_eq!(read_frame(&mut r).unwrap(), None);
+    }
+
+    /// Truncating a framed stream at *every* byte offset inside the
+    /// last frame is a typed `Truncated` error — never a panic, never
+    /// a silent partial message.
+    #[test]
+    fn frame_truncation_at_every_offset_errors(
+        payload in prop::collection::vec(any::<u8>(), 1..200)
+    ) {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload).unwrap();
+        for cut in 1..wire.len() {
+            let mut r = &wire[..cut];
+            let err = read_frame(&mut r).unwrap_err();
+            prop_assert!(err == FrameError::Truncated, "cut at {cut}: {err:?}");
+        }
+    }
+
+    /// The incremental decoder reassembles frames from arbitrary
+    /// fragmentation — interleaved partial reads of any chunk size
+    /// yield exactly the frames that were sent.
+    #[test]
+    fn frame_decoder_survives_arbitrary_fragmentation(
+        payloads in prop::collection::vec(
+            prop::collection::vec(any::<u8>(), 0..200), 1..5
+        ),
+        chunk in 1usize..64,
+    ) {
+        let mut wire = Vec::new();
+        for p in &payloads {
+            write_frame(&mut wire, p).unwrap();
+        }
+        let mut d = FrameDecoder::new();
+        let mut out = Vec::new();
+        for piece in wire.chunks(chunk) {
+            d.feed(piece);
+            while let Some(f) = d.next_frame().unwrap() {
+                out.push(f);
+            }
+        }
+        prop_assert_eq!(out, payloads);
+        prop_assert!(d.is_empty());
+    }
+
+    /// Any length header beyond the cap is rejected before allocation,
+    /// on both the stream reader and the incremental decoder.
+    #[test]
+    fn oversize_headers_always_rejected(extra in 1u64..u32::MAX as u64 - MAX_FRAME_BYTES as u64) {
+        let claimed = MAX_FRAME_BYTES as u64 + extra;
+        let wire = (claimed as u32).to_le_bytes().to_vec();
+        let mut r = wire.as_slice();
+        prop_assert_eq!(
+            read_frame(&mut r).unwrap_err(),
+            FrameError::Oversize { len: claimed }
+        );
+        let mut d = FrameDecoder::new();
+        d.feed(&wire);
+        prop_assert_eq!(
+            d.next_frame().unwrap_err(),
+            FrameError::Oversize { len: claimed }
+        );
+    }
+
+    /// Framed knowledge blobs survive the full stack: knowledge →
+    /// blob → frame → fragmented transport → frame → blob → knowledge.
+    #[test]
+    fn framed_knowledge_roundtrips_fragmented(
+        task_id in 0u32..1000,
+        dense_len in 1usize..300,
+        n in 0usize..20,
+        chunk in 1usize..32,
+    ) {
+        let idx: Vec<u32> = (0..n.min(dense_len)).map(|i| i as u32).collect();
+        let values: Vec<f32> = idx.iter().map(|&i| i as f32 * 0.5 - 1.0).collect();
+        let k = SparseVec::new(dense_len, idx, values);
+        let framed = encode_framed_knowledge(task_id, &k).unwrap();
+        let mut d = FrameDecoder::new();
+        let mut got = None;
+        for piece in framed.chunks(chunk) {
+            d.feed(piece);
+            if let Some(f) = d.next_frame().unwrap() {
+                got = Some(f);
+            }
+        }
+        let payload = got.expect("one complete frame");
+        let (t, back) = decode_knowledge(&payload).unwrap();
+        prop_assert_eq!(t, task_id);
+        prop_assert_eq!(back, k);
     }
 }

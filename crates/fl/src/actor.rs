@@ -1,0 +1,1113 @@
+//! Message-passing federation: server and clients as actor threads.
+//!
+//! [`FederationRuntime`] runs the same synchronous FedAvg protocol as
+//! [`Simulation`], but instead of calling clients as functions, the
+//! server and every client run as independent threads exchanging
+//! [`WireMsg`] frames over a [`Transport`]. Faults are realized at the
+//! wire seam: a crash is a genuinely closed connection followed by a
+//! `Rejoin` redial, a lost upload is a frame dropped in flight (with the
+//! bookkeeping arriving over the reliable `UploadFailed` control
+//! message), corruption damages the parameter bytes inside the frame,
+//! and stragglers delay delivery.
+//!
+//! The run's *ledger* — fault event log, byte accounting, simulated
+//! deadline math — is the shared [`protocol`] code, driven by the same
+//! pure [`FaultPlan`] both sides draw from. That is what makes a seeded
+//! run produce the identical fault log and bit-identical final model on
+//! every backend, while the faults themselves are still physically real
+//! on the wire. Liveness comes from physical signals (uploads, control
+//! messages, connection closes); a generous wall-clock deadline per
+//! collect phase is only a safety net — when it fires, the server
+//! degrades gracefully (proceeds without the missing client and counts
+//! `transport.round_timeouts`) instead of hanging.
+//!
+//! Malformed frames — bytes that fail frame or message decoding —
+//! quarantine the connection: the reader stops, the event is counted
+//! (`transport.malformed_frames`) and marked in the flight recorder,
+//! and the peer is treated as disconnected. No [`FaultKind`] is logged
+//! for them: the fault ledger stays a pure function of the seed.
+//!
+//! [`Simulation`]: crate::sim::Simulation
+//! [`Transport`]: crate::transport::Transport
+//! [`FaultPlan`]: crate::faults::FaultPlan
+//! [`FaultKind`]: crate::faults::FaultKind
+
+use crate::client::{CommBytes, FclClient, Payload};
+use crate::comm::CommModel;
+use crate::device::DeviceProfile;
+use crate::faults::{FaultEvent, FaultPlan, RoundFaults};
+use crate::metrics::{mean_matrix, AccuracyMatrix};
+use crate::proto::{UploadMeta, WireMsg};
+use crate::protocol;
+use crate::server::fedavg;
+use crate::sim::{PhaseBreakdown, SimConfig, SimError, SimReport};
+use crate::transport::{
+    bind, send_upload_faulty, MsgRx, MsgTx, Transport, TransportError, TransportKind, WireStats,
+    WireStatsSnapshot,
+};
+use fedknow_data::ClientDataset;
+use fedknow_math::rng::substream;
+use rand::rngs::StdRng;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Wall-clock knobs of the actor runtime. None of them affect the
+/// simulated ledger — they only bound how long the real threads wait.
+#[derive(Debug, Clone, Copy)]
+pub struct ActorConfig {
+    /// Safety-net deadline per collect phase (uploads, task-done rows,
+    /// eval rows). When it fires the server proceeds without the
+    /// missing clients instead of hanging.
+    pub round_deadline: Duration,
+    /// Real delay per unit of drawn straggler slowdown applied before a
+    /// straggler's upload leaves the client.
+    pub straggle_delay: Duration,
+    /// Retries (with backoff) for server-side sends.
+    pub send_retries: u32,
+}
+
+impl Default for ActorConfig {
+    fn default() -> Self {
+        Self {
+            round_deadline: Duration::from_secs(30),
+            straggle_delay: Duration::from_millis(1),
+            send_retries: 3,
+        }
+    }
+}
+
+/// What a connection's reader thread forwards into the server inbox.
+/// `epoch` identifies the connection (monotonically increasing per
+/// accept), so a stale close racing a crash-redial cannot clobber the
+/// fresh connection's registration.
+enum NetEvent {
+    Connected {
+        client: u32,
+        epoch: u64,
+        rejoin: bool,
+        base_down: u64,
+        tx: Box<MsgTx>,
+    },
+    Msg {
+        client: u32,
+        msg: WireMsg,
+    },
+    Closed {
+        client: u32,
+        epoch: u64,
+    },
+    Malformed {
+        client: u32,
+        epoch: u64,
+    },
+}
+
+/// The transport-backed federation driver. Construction mirrors
+/// [`Simulation::new`]; [`Self::run`] produces a [`SimReport`] that is
+/// bit-identical (fault log included) to the in-process driver's for
+/// the same seed and configuration.
+///
+/// [`Simulation::new`]: crate::sim::Simulation::new
+pub struct FederationRuntime {
+    clients: Vec<Box<dyn FclClient>>,
+    data: Vec<ClientDataset>,
+    devices: Vec<DeviceProfile>,
+    comm: CommModel,
+    cfg: SimConfig,
+    model_bytes: u64,
+    kind: TransportKind,
+    actor_cfg: ActorConfig,
+}
+
+impl FederationRuntime {
+    /// Assemble a runtime. Same invariants as [`Simulation::new`].
+    ///
+    /// [`Simulation::new`]: crate::sim::Simulation::new
+    pub fn new(
+        clients: Vec<Box<dyn FclClient>>,
+        data: Vec<ClientDataset>,
+        devices: Vec<DeviceProfile>,
+        comm: CommModel,
+        cfg: SimConfig,
+        model_bytes: u64,
+        kind: TransportKind,
+    ) -> Self {
+        assert_eq!(clients.len(), data.len(), "one dataset per client");
+        assert_eq!(clients.len(), devices.len(), "one device per client");
+        assert!(!clients.is_empty());
+        let t0 = data[0].tasks.len();
+        assert!(
+            data.iter().all(|d| d.tasks.len() == t0),
+            "task counts differ across clients"
+        );
+        Self {
+            clients,
+            data,
+            devices,
+            comm,
+            cfg,
+            model_bytes,
+            kind,
+            actor_cfg: ActorConfig::default(),
+        }
+    }
+
+    /// Override the wall-clock knobs.
+    pub fn with_actor_config(mut self, actor_cfg: ActorConfig) -> Self {
+        self.actor_cfg = actor_cfg;
+        self
+    }
+
+    /// Run the federation over the transport and report, exactly as
+    /// [`Simulation::run`] would.
+    ///
+    /// [`Simulation::run`]: crate::sim::Simulation::run
+    pub fn run(self) -> Result<SimReport, SimError> {
+        self.run_with_stats().map(|(report, _)| report)
+    }
+
+    /// Run and also return the wire-seam byte ledger — the actual
+    /// data-plane/overhead bytes this run put on the transport.
+    pub fn run_with_stats(self) -> Result<(SimReport, WireStatsSnapshot), SimError> {
+        fedknow_obs::init_from_env();
+        fedknow_verify::init_from_env();
+        if fedknow_obs::is_enabled() {
+            fedknow_obs::set_context("sim.transport", self.kind.label());
+        }
+        let obs_before = fedknow_obs::snapshot();
+        let run_span = fedknow_obs::span("run");
+
+        let stats = Arc::new(WireStats::new());
+        let (transport, listener) =
+            bind(self.kind, stats.clone()).map_err(|e| SimError::BadCheckpoint(e.to_string()))?;
+
+        let n = self.clients.len();
+        let method = self.clients[0].method_name().to_string();
+        let plan = FaultPlan::new(self.cfg.seed, self.cfg.faults);
+        let inert = plan.config().is_inert();
+
+        // Reader threads register here so teardown can join them.
+        let readers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
+            Arc::new(Mutex::new(Vec::new()));
+        let stop = Arc::new(AtomicBool::new(false));
+        let (inbox_tx, inbox_rx) = mpsc::channel();
+        let pump = {
+            let (inbox, readers, stop, stats) =
+                (inbox_tx, readers.clone(), stop.clone(), stats.clone());
+            std::thread::spawn(move || accept_pump(listener, inbox, readers, stop, stats))
+        };
+
+        // Spawn one actor thread per client; each owns its algorithm
+        // instance, dataset, and seeded RNG substream.
+        let num_tasks = self.data[0].tasks.len();
+        let mut client_threads = Vec::with_capacity(n);
+        let mut data_iter = self.data.into_iter();
+        for (c, client) in self.clients.into_iter().enumerate() {
+            let actor = ClientActor {
+                id: c as u32,
+                client,
+                data: data_iter.next().expect("dataset per client"),
+                rng: substream(self.cfg.seed, 0xF1_0000 + c as u64),
+                plan: plan.clone(),
+                inert,
+                model_bytes: self.model_bytes,
+                iters_per_round: self.cfg.iters_per_round,
+                transport: transport.clone(),
+                straggle_delay: self.actor_cfg.straggle_delay,
+            };
+            client_threads.push(std::thread::spawn(move || actor.run()));
+        }
+
+        let mut server = ServerActor {
+            n,
+            num_tasks,
+            devices: self.devices,
+            comm: self.comm,
+            cfg: self.cfg,
+            plan,
+            inert,
+            actor_cfg: self.actor_cfg,
+            inbox: inbox_rx,
+            txs: (0..n).map(|_| None).collect(),
+            epoch_of: vec![0; n],
+            rejoin_base_down: vec![0; n],
+            stash: VecDeque::new(),
+        };
+        let result = server.drive(method);
+
+        // Teardown: clients exit on Shutdown (or on their dead
+        // connections), which unblocks their readers; the pump stops on
+        // the flag.
+        stop.store(true, Ordering::Relaxed);
+        drop(server);
+        for t in client_threads {
+            let _ = t.join();
+        }
+        let _ = pump.join();
+        for r in readers.lock().expect("reader registry").drain(..) {
+            let _ = r.join();
+        }
+
+        let mut report = result?;
+        drop(run_span);
+        report.phase_breakdown = obs_before.and_then(|before| {
+            fedknow_obs::snapshot().map(|after| PhaseBreakdown::from_metrics(&after.since(&before)))
+        });
+        fedknow_obs::flush();
+        Ok((report, stats.snapshot()))
+    }
+}
+
+/// Accept connections for the whole run, spawning a reader thread per
+/// connection. Each accept gets a fresh epoch.
+fn accept_pump(
+    mut listener: Box<dyn crate::transport::TransportListener>,
+    inbox: mpsc::Sender<NetEvent>,
+    readers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+    stop: Arc<AtomicBool>,
+    stats: Arc<WireStats>,
+) {
+    let mut epoch = 0u64;
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept(Duration::from_millis(25)) {
+            Ok(conn) => {
+                epoch += 1;
+                let (inbox, stats) = (inbox.clone(), stats.clone());
+                let handle =
+                    std::thread::spawn(move || reader(conn.rx, conn.tx, epoch, inbox, stats));
+                readers.lock().expect("reader registry").push(handle);
+            }
+            Err(TransportError::AcceptTimeout) => continue,
+            Err(_) => return,
+        }
+    }
+}
+
+/// Drain one connection into the server inbox. The first message must
+/// identify the peer (`Hello` or `Rejoin`); anything else quarantines
+/// the connection on the spot. A clean close forwards `Closed`; a torn
+/// frame or undecodable message forwards `Malformed` and stops reading
+/// — the connection is quarantined.
+fn reader(
+    mut rx: MsgRx,
+    tx: MsgTx,
+    epoch: u64,
+    inbox: mpsc::Sender<NetEvent>,
+    stats: Arc<WireStats>,
+) {
+    let client = match rx.recv() {
+        Ok(Some(WireMsg::Hello { client })) => {
+            let _ = inbox.send(NetEvent::Connected {
+                client,
+                epoch,
+                rejoin: false,
+                base_down: 0,
+                tx: Box::new(tx),
+            });
+            client
+        }
+        Ok(Some(WireMsg::Rejoin { client, base_down })) => {
+            let _ = inbox.send(NetEvent::Connected {
+                client,
+                epoch,
+                rejoin: true,
+                base_down,
+                tx: Box::new(tx),
+            });
+            client
+        }
+        Ok(Some(_)) | Err(_) => {
+            // Unidentified or hostile peer: quarantine silently.
+            stats.on_malformed();
+            fedknow_obs::mark("transport.quarantine unidentified peer");
+            fedknow_obs::dump_trigger("transport_malformed");
+            return;
+        }
+        Ok(None) => return,
+    };
+    loop {
+        match rx.recv() {
+            Ok(Some(msg)) => {
+                if inbox.send(NetEvent::Msg { client, msg }).is_err() {
+                    return;
+                }
+            }
+            Ok(None) => {
+                let _ = inbox.send(NetEvent::Closed { client, epoch });
+                return;
+            }
+            Err(e) => {
+                stats.on_malformed();
+                fedknow_obs::mark(&format!(
+                    "transport.quarantine client {client} epoch {epoch}: {e}"
+                ));
+                fedknow_obs::dump_trigger("transport_malformed");
+                let _ = inbox.send(NetEvent::Malformed { client, epoch });
+                return;
+            }
+        }
+    }
+}
+
+/// One client as an actor: connects, identifies itself, then reacts to
+/// server messages until `Shutdown`. Crashes drawn from the plan are
+/// realized by slamming the connection shut and redialing with
+/// `Rejoin`.
+struct ClientActor {
+    id: u32,
+    client: Box<dyn FclClient>,
+    data: ClientDataset,
+    rng: StdRng,
+    plan: FaultPlan,
+    inert: bool,
+    model_bytes: u64,
+    iters_per_round: usize,
+    transport: Arc<dyn Transport>,
+    straggle_delay: Duration,
+}
+
+impl ClientActor {
+    fn run(mut self) {
+        let Ok(mut conn) = self.transport.connect() else {
+            return;
+        };
+        if conn.tx.send(&WireMsg::Hello { client: self.id }).is_err() {
+            return;
+        }
+        let mut step = 0usize;
+        loop {
+            let msg = match conn.rx.recv() {
+                Ok(Some(m)) => m,
+                // Server gone or stream damaged: nothing left to do.
+                // Server gone or stream damaged: nothing left to do.
+                _ => return,
+            };
+            match msg {
+                WireMsg::StartTask { task } => {
+                    step = task as usize;
+                    self.client
+                        .start_task(&self.data.tasks[step], &mut self.rng);
+                }
+                WireMsg::Resync { global, .. } => {
+                    self.client.receive_global(&global, &mut self.rng);
+                }
+                WireMsg::RoundStart { round } => {
+                    let f = if self.inert {
+                        RoundFaults::none()
+                    } else {
+                        self.plan.draw(self.id as usize, round)
+                    };
+                    if f.crash {
+                        // Crash for the round: close the connection for
+                        // real, then redial as a rejoiner. No training,
+                        // no RNG draws — exactly the in-process skip.
+                        drop(conn);
+                        conn = match self.transport.connect() {
+                            Ok(c) => c,
+                            Err(_) => return,
+                        };
+                        let base_down = self.client.base_comm(self.model_bytes).down;
+                        let rejoin = WireMsg::Rejoin {
+                            client: self.id,
+                            base_down,
+                        };
+                        if conn.tx.send(&rejoin).is_err() {
+                            return;
+                        }
+                        continue;
+                    }
+                    if self.round(round, step, &f, &mut conn.tx).is_err() {
+                        return;
+                    }
+                }
+                WireMsg::Ack { .. } => {}
+                WireMsg::Broadcast {
+                    global, payloads, ..
+                } => {
+                    if let Some(g) = global {
+                        self.client.receive_global(&g, &mut self.rng);
+                    }
+                    if !payloads.is_empty() {
+                        self.client.payloads_in(&payloads, &mut self.rng);
+                    }
+                }
+                WireMsg::FinishTask => {
+                    self.client.finish_task(&mut self.rng);
+                    let done = WireMsg::TaskDone {
+                        client: self.id,
+                        retained: self.client.retained_bytes(),
+                    };
+                    if conn.tx.send(&done).is_err() {
+                        return;
+                    }
+                }
+                WireMsg::Eval { upto } => {
+                    let row: Vec<f64> = (0..=upto as usize)
+                        .map(|k| self.client.evaluate(&self.data.tasks[k]))
+                        .collect();
+                    let msg = WireMsg::EvalRow {
+                        client: self.id,
+                        row,
+                    };
+                    if conn.tx.send(&msg).is_err() {
+                        return;
+                    }
+                }
+                WireMsg::Shutdown => return,
+                // The server never sends anything else.
+                _ => {}
+            }
+        }
+    }
+
+    /// Train the round and ship the upload through the wire fault
+    /// injector. A fully lost upload is reported over the reliable
+    /// `UploadFailed` control message — the bookkeeping (and the method
+    /// payloads, which the protocol exchanges regardless of upload
+    /// loss) must still reach the server.
+    fn round(
+        &mut self,
+        round: u64,
+        step: usize,
+        f: &RoundFaults,
+        tx: &mut MsgTx,
+    ) -> Result<(), TransportError> {
+        let mut flops = 0u64;
+        let mut loss_sum = 0.0f64;
+        for _ in 0..self.iters_per_round {
+            let s = self.client.train_iteration(&mut self.rng);
+            flops += s.flops;
+            loss_sum += s.loss;
+        }
+        let params = self.client.upload();
+        let had_params = params.is_some();
+        let mut payloads = self.client.payload_out();
+        for p in &mut payloads {
+            p.from_client = self.id as usize;
+        }
+        let extra = self.client.extra_comm();
+        let base = self.client.base_comm(self.model_bytes);
+        let meta = UploadMeta {
+            weight: self.data.tasks[step].train.len() as u64,
+            flops,
+            loss_sum,
+            iters: self.iters_per_round as u64,
+            base_up: base.up,
+            base_down: base.down,
+            extra_up: extra.up,
+            extra_down: extra.down,
+            had_params,
+        };
+        if !had_params {
+            // Nothing to lose on the wire: the bookkeeping travels the
+            // control plane untouched by upload faults.
+            return tx.send(&WireMsg::Upload {
+                round,
+                client: self.id,
+                meta,
+                params: None,
+                payloads,
+            });
+        }
+        let msg = WireMsg::Upload {
+            round,
+            client: self.id,
+            meta,
+            params,
+            payloads: payloads.clone(),
+        };
+        let delivered = send_upload_faulty(tx, &msg, f, self.straggle_delay)?;
+        if !delivered {
+            tx.send(&WireMsg::UploadFailed {
+                round,
+                client: self.id,
+                meta,
+                payloads,
+            })?;
+        }
+        Ok(())
+    }
+}
+
+/// What the server holds of one client's round contribution.
+struct RoundContribution {
+    meta: UploadMeta,
+    params: Option<Vec<f32>>,
+    payloads: Vec<Payload>,
+}
+
+struct ServerActor {
+    n: usize,
+    num_tasks: usize,
+    devices: Vec<DeviceProfile>,
+    comm: CommModel,
+    cfg: SimConfig,
+    plan: FaultPlan,
+    inert: bool,
+    actor_cfg: ActorConfig,
+    inbox: mpsc::Receiver<NetEvent>,
+    txs: Vec<Option<Box<MsgTx>>>,
+    epoch_of: Vec<u64>,
+    rejoin_base_down: Vec<u64>,
+    /// Solicited client messages that arrived while a bookkeeping wait
+    /// (e.g. [`Self::ensure_conn`] blocking on a crash redial) was
+    /// draining the inbox. Collect loops consume this before the inbox
+    /// so one client's prompt reply is never discarded while the server
+    /// waits on another client's reconnection.
+    stash: VecDeque<NetEvent>,
+}
+
+impl ServerActor {
+    /// Bookkeeping events every phase handles identically. `Msg` events
+    /// do not come through here — collect loops match them directly;
+    /// anything unexpected is counted and dropped.
+    fn handle(&mut self, ev: NetEvent) {
+        match ev {
+            NetEvent::Connected {
+                client,
+                epoch,
+                rejoin,
+                base_down,
+                tx,
+            } => {
+                let c = client as usize;
+                if c >= self.n {
+                    fedknow_obs::count("transport.unknown_peer", 1);
+                    return;
+                }
+                self.txs[c] = Some(tx);
+                self.epoch_of[c] = epoch;
+                if rejoin {
+                    self.rejoin_base_down[c] = base_down;
+                }
+            }
+            NetEvent::Closed { client, epoch } | NetEvent::Malformed { client, epoch } => {
+                let c = client as usize;
+                if c < self.n && self.epoch_of[c] == epoch {
+                    self.txs[c] = None;
+                }
+            }
+            NetEvent::Msg { .. } => {
+                fedknow_obs::count("transport.unexpected_msgs", 1);
+            }
+        }
+    }
+
+    /// Wait until `deadline` for the next inbox event.
+    fn recv_until(&mut self, deadline: Instant) -> Option<NetEvent> {
+        let now = Instant::now();
+        if now >= deadline {
+            return None;
+        }
+        self.inbox.recv_timeout(deadline - now).ok()
+    }
+
+    /// Drain events already queued, without blocking.
+    fn drain_pending(&mut self) {
+        while let Ok(ev) = self.inbox.try_recv() {
+            self.handle(ev);
+        }
+    }
+
+    /// Pop the next event for a collect loop: stashed messages first
+    /// (replies that arrived during a bookkeeping wait), then the inbox.
+    fn next_event(&mut self, deadline: Instant) -> Option<NetEvent> {
+        if let Some(ev) = self.stash.pop_front() {
+            return Some(ev);
+        }
+        self.recv_until(deadline)
+    }
+
+    /// Block (bounded) until client `c` has a live connection — e.g. a
+    /// crashed client's `Rejoin` redial that has not been accepted yet.
+    /// Client messages arriving meanwhile are stashed, not dropped:
+    /// they are replies another collect loop is still owed.
+    fn ensure_conn(&mut self, c: usize) -> bool {
+        let deadline = Instant::now() + self.actor_cfg.round_deadline;
+        while self.txs[c].is_none() {
+            let Some(ev) = self.recv_until(deadline) else {
+                fedknow_obs::count("transport.round_timeouts", 1);
+                fedknow_obs::mark(&format!("transport.timeout waiting for client {c}"));
+                fedknow_obs::dump_trigger("transport_timeout");
+                return false;
+            };
+            if matches!(ev, NetEvent::Msg { .. }) {
+                self.stash.push_back(ev);
+            } else {
+                self.handle(ev);
+            }
+        }
+        true
+    }
+
+    /// Send to client `c` with retry/backoff; on terminal failure the
+    /// connection is marked dead and the degradation counted.
+    fn send(&mut self, c: usize, msg: &WireMsg) -> bool {
+        let Some(tx) = self.txs[c].as_mut() else {
+            return false;
+        };
+        if tx.send_with_retry(msg, self.actor_cfg.send_retries).is_ok() {
+            return true;
+        }
+        fedknow_obs::mark(&format!("transport.send_failed client {c}"));
+        fedknow_obs::dump_trigger("transport_send_failed");
+        self.txs[c] = None;
+        false
+    }
+
+    /// The task/round loop — the server-side mirror of
+    /// [`Simulation::advance`], with every ledger step delegated to the
+    /// shared [`protocol`] functions in the identical order.
+    ///
+    /// [`Simulation::advance`]: crate::sim::Simulation
+    fn drive(&mut self, method: String) -> Result<SimReport, SimError> {
+        let n = self.n;
+        // Wait for every client's Hello before the first task.
+        for c in 0..n {
+            if !self.ensure_conn(c) {
+                return Err(SimError::BadCheckpoint(format!(
+                    "client {c} never connected"
+                )));
+            }
+        }
+
+        let mut active = vec![true; n];
+        let mut missed_broadcast = vec![false; n];
+        let mut dropouts: Vec<(usize, usize)> = Vec::new();
+        let mut matrices = vec![AccuracyMatrix::new(); n];
+        let mut task_compute: Vec<f64> = Vec::new();
+        let mut task_comm: Vec<f64> = Vec::new();
+        let mut task_loss: Vec<f64> = Vec::new();
+        let mut total_bytes = 0u64;
+        let mut prev_global: Option<Vec<f32>> = None;
+        let mut last_global: Option<Vec<f32>> = None;
+        let mut fault_log: Vec<FaultEvent> = Vec::new();
+
+        let num_tasks = self.num_tasks;
+        let deadline_factor = self.plan.config().deadline_factor;
+        for step in 0..num_tasks {
+            let _task_span = fedknow_obs::obs_span!("task.{step}");
+            self.drain_pending();
+            for c in (0..n).filter(|&c| active[c]) {
+                if self.ensure_conn(c) {
+                    self.send(c, &WireMsg::StartTask { task: step as u32 });
+                }
+            }
+
+            let mut compute_secs = 0.0f64;
+            let mut comm_secs = 0.0f64;
+            let mut loss_sum = 0.0f64;
+            let mut loss_iters = 0usize;
+
+            for round in 0..self.cfg.rounds_per_task {
+                let _round_span = fedknow_obs::obs_span!("round.{round}");
+                let global_round = (step * self.cfg.rounds_per_task + round) as u64;
+                fedknow_obs::set_round(global_round);
+
+                let faults =
+                    protocol::draw_round_faults(&self.plan, self.inert, &active, global_round);
+
+                // Rejoin resyncs: re-send the missed broadcast before
+                // the round, charged exactly as the in-process ledger
+                // charges it.
+                self.drain_pending();
+                let mut rejoin_secs = vec![0.0f64; n];
+                for c in 0..n {
+                    if !active[c] || faults[c].crash || !missed_broadcast[c] {
+                        continue;
+                    }
+                    missed_broadcast[c] = false;
+                    if let Some(g) = last_global.clone() {
+                        if self.ensure_conn(c) {
+                            self.send(
+                                c,
+                                &WireMsg::Resync {
+                                    round: global_round,
+                                    global: g,
+                                },
+                            );
+                        }
+                        rejoin_secs[c] = protocol::charge_rejoin(
+                            self.rejoin_base_down[c],
+                            &self.comm,
+                            global_round,
+                            c,
+                            &mut total_bytes,
+                            &mut fault_log,
+                        );
+                    }
+                }
+
+                let part = protocol::mark_crashes(
+                    &active,
+                    &faults,
+                    self.inert,
+                    global_round,
+                    &mut fault_log,
+                );
+
+                // The round begins for every active client — the ones
+                // drawn to crash realize it by closing their connection
+                // on receipt. The server knows the plan too: a crashed
+                // client's connection is doomed, so stop using it now
+                // rather than racing its close (a frame sent after the
+                // client slams the socket is silently gone). The next
+                // send to that client goes through `ensure_conn`, which
+                // synchronizes on the rejoin redial.
+                for c in 0..n {
+                    if active[c] && self.ensure_conn(c) {
+                        self.send(
+                            c,
+                            &WireMsg::RoundStart {
+                                round: global_round,
+                            },
+                        );
+                        if faults[c].crash {
+                            self.txs[c] = None;
+                        }
+                    }
+                }
+
+                // Collect: physical liveness. Every participant owes
+                // either an Upload or an UploadFailed control message;
+                // crashed clients owe nothing (their close is the
+                // signal). The wall deadline only degrades, never
+                // ledgers.
+                let contributions = self.collect_round(global_round, &part);
+
+                // From here on the ledger replays the in-process round
+                // body, in its exact order, over the received data.
+                for rc in contributions.iter().flatten() {
+                    loss_sum += rc.meta.loss_sum;
+                    loss_iters += rc.meta.iters as usize;
+                }
+                let flops: Vec<Option<u64>> = contributions
+                    .iter()
+                    .map(|rc| rc.as_ref().map(|rc| rc.meta.flops))
+                    .collect();
+                let assess = protocol::assess_compute(
+                    &flops,
+                    &self.devices,
+                    &faults,
+                    deadline_factor,
+                    global_round,
+                    &mut fault_log,
+                );
+                compute_secs += assess.round_compute;
+
+                let mut uploads: Vec<Option<Vec<f32>>> = Vec::with_capacity(n);
+                let mut weights: Vec<usize> = Vec::with_capacity(n);
+                let mut attempts = vec![0u32; n];
+                let mut backoff = vec![0.0f64; n];
+                for c in 0..n {
+                    let Some(rc) = &contributions[c] else {
+                        uploads.push(None);
+                        weights.push(0);
+                        continue;
+                    };
+                    weights.push(rc.meta.weight as usize);
+                    let mut up = rc.params.clone();
+                    // Damage was already applied in flight; only the
+                    // ledger entry happens here.
+                    let staged = protocol::stage_upload(
+                        &mut up,
+                        rc.meta.had_params,
+                        &faults[c],
+                        &self.plan,
+                        assess.deadline_missed[c],
+                        false,
+                        global_round,
+                        c,
+                        &mut fault_log,
+                    );
+                    attempts[c] = staged.attempts;
+                    backoff[c] = staged.backoff;
+                    uploads.push(up);
+                }
+
+                let agg = fedavg(&uploads, &weights)?;
+                protocol::quarantine_rejected(
+                    &agg.rejected,
+                    &mut uploads,
+                    global_round,
+                    &mut fault_log,
+                );
+                let global = agg.global;
+                protocol::fold_aggregate_telemetry(&uploads, &global, &mut prev_global);
+
+                let mut payloads: Vec<Payload> = Vec::new();
+                let mut payload_up = vec![0u64; n];
+                for (c, rc) in contributions.iter().enumerate() {
+                    let Some(rc) = rc else { continue };
+                    for p in &rc.payloads {
+                        payload_up[c] += p.size_bytes();
+                        payloads.push(p.clone());
+                    }
+                }
+                let payload_total: u64 = payloads.iter().map(|p| p.size_bytes()).sum();
+
+                let mut base = vec![CommBytes::default(); n];
+                let mut extra = vec![CommBytes::default(); n];
+                for (c, rc) in contributions.iter().enumerate() {
+                    if let Some(rc) = rc {
+                        base[c] = CommBytes {
+                            up: rc.meta.base_up,
+                            down: rc.meta.base_down,
+                        };
+                        extra[c] = CommBytes {
+                            up: rc.meta.extra_up,
+                            down: rc.meta.extra_down,
+                        };
+                    }
+                }
+                let round_comm = protocol::account_comm(
+                    &protocol::RoundCommInputs {
+                        part: &part,
+                        base: &base,
+                        extra: &extra,
+                        payload_up: &payload_up,
+                        payload_total,
+                        attempts: &attempts,
+                        backoff: &backoff,
+                        rejoin_secs: &rejoin_secs,
+                        have_global: global.is_some(),
+                    },
+                    &self.comm,
+                    &mut total_bytes,
+                );
+                comm_secs += round_comm;
+
+                protocol::fold_round_telemetry(
+                    global_round,
+                    &active,
+                    &part,
+                    &faults,
+                    &assess.actual,
+                    uploads.iter().filter(|u| u.is_some()).count() as u64,
+                    agg.rejected.len() as u64,
+                    assess.round_compute + round_comm,
+                );
+
+                // Broadcast to every participant. The message always
+                // goes out (the client waits on it), but the modeled
+                // download is only charged when a global exists — which
+                // account_comm already handled.
+                let bcast = WireMsg::Broadcast {
+                    round: global_round,
+                    global: global.clone(),
+                    payloads,
+                };
+                for c in (0..n).filter(|&c| part[c]) {
+                    self.send(c, &bcast);
+                }
+                if let Some(g) = &global {
+                    for c in 0..n {
+                        if active[c] && !part[c] {
+                            missed_broadcast[c] = true;
+                        }
+                    }
+                    last_global = Some(g.clone());
+                }
+            }
+
+            // Task boundary: consolidate, then the OOM check over the
+            // reported retained bytes.
+            self.drain_pending();
+            for c in (0..n).filter(|&c| active[c]) {
+                if self.ensure_conn(c) {
+                    self.send(c, &WireMsg::FinishTask);
+                }
+            }
+            let retained = self.collect_task_done(&active);
+            for c in 0..n {
+                if active[c] && self.devices[c].would_oom(retained[c]) {
+                    active[c] = false;
+                    dropouts.push((c, step));
+                }
+            }
+
+            // Evaluation: every client, dropped ones included (they
+            // keep their stale model).
+            self.drain_pending();
+            for c in 0..n {
+                if self.ensure_conn(c) {
+                    self.send(c, &WireMsg::Eval { upto: step as u32 });
+                }
+            }
+            let rows = self.collect_eval_rows(step);
+            for (m, row) in matrices.iter_mut().zip(rows) {
+                m.push_row(row)?;
+            }
+            if fedknow_obs::is_enabled() {
+                protocol::record_forgetting(&matrices, step);
+            }
+
+            task_compute.push(compute_secs);
+            task_comm.push(comm_secs);
+            task_loss.push(if loss_iters > 0 {
+                loss_sum / loss_iters as f64
+            } else {
+                0.0
+            });
+        }
+
+        for c in 0..n {
+            self.send(c, &WireMsg::Shutdown);
+        }
+        self.txs.iter_mut().for_each(|t| *t = None);
+
+        Ok(SimReport {
+            method,
+            accuracy: mean_matrix(&matrices),
+            task_compute_seconds: task_compute,
+            task_comm_seconds: task_comm,
+            total_bytes,
+            dropouts,
+            task_mean_loss: task_loss,
+            phase_breakdown: None,
+            fault_log,
+        })
+    }
+
+    /// Collect this round's contributions from every participant. Each
+    /// owes exactly one Upload or UploadFailed; an Ack goes back for
+    /// whichever arrives. Crash closes and rejoin redials are absorbed
+    /// as bookkeeping. The wall deadline degrades gracefully: missing
+    /// clients are dropped from the round and counted, never ledgered.
+    fn collect_round(&mut self, round: u64, part: &[bool]) -> Vec<Option<RoundContribution>> {
+        let n = self.n;
+        let mut out: Vec<Option<RoundContribution>> = (0..n).map(|_| None).collect();
+        let mut pending: Vec<bool> = part.to_vec();
+        let mut missing = pending.iter().filter(|&&p| p).count();
+        let deadline = Instant::now() + self.actor_cfg.round_deadline;
+        while missing > 0 {
+            let Some(ev) = self.next_event(deadline) else {
+                for (c, p) in pending.iter().enumerate() {
+                    if *p {
+                        fedknow_obs::count("transport.round_timeouts", 1);
+                        fedknow_obs::mark(&format!(
+                            "transport.degraded round {round}: no upload from client {c}"
+                        ));
+                    }
+                }
+                fedknow_obs::dump_trigger("transport_timeout");
+                break;
+            };
+            match ev {
+                NetEvent::Msg {
+                    client,
+                    msg:
+                        WireMsg::Upload {
+                            round: r,
+                            meta,
+                            params,
+                            payloads,
+                            ..
+                        },
+                    ..
+                } if r == round && (client as usize) < n && pending[client as usize] => {
+                    let c = client as usize;
+                    out[c] = Some(RoundContribution {
+                        meta,
+                        params,
+                        payloads,
+                    });
+                    pending[c] = false;
+                    missing -= 1;
+                    self.send(c, &WireMsg::Ack { round, client });
+                }
+                NetEvent::Msg {
+                    client,
+                    msg:
+                        WireMsg::UploadFailed {
+                            round: r,
+                            meta,
+                            payloads,
+                            ..
+                        },
+                    ..
+                } if r == round && (client as usize) < n && pending[client as usize] => {
+                    let c = client as usize;
+                    out[c] = Some(RoundContribution {
+                        meta,
+                        params: None,
+                        payloads,
+                    });
+                    pending[c] = false;
+                    missing -= 1;
+                    self.send(c, &WireMsg::Ack { round, client });
+                }
+                other => self.handle(other),
+            }
+        }
+        out
+    }
+
+    /// Collect `TaskDone` from every active client; a missing one
+    /// reports its previous retained size of zero (degradation path).
+    fn collect_task_done(&mut self, active: &[bool]) -> Vec<u64> {
+        let n = self.n;
+        let mut retained = vec![0u64; n];
+        let mut pending: Vec<bool> = active.to_vec();
+        let mut missing = pending.iter().filter(|&&p| p).count();
+        let deadline = Instant::now() + self.actor_cfg.round_deadline;
+        while missing > 0 {
+            let Some(ev) = self.next_event(deadline) else {
+                fedknow_obs::count("transport.round_timeouts", 1);
+                fedknow_obs::mark("transport.degraded: missing TaskDone rows");
+                fedknow_obs::dump_trigger("transport_timeout");
+                break;
+            };
+            match ev {
+                NetEvent::Msg {
+                    client,
+                    msg: WireMsg::TaskDone { retained: r, .. },
+                    ..
+                } if (client as usize) < n && pending[client as usize] => {
+                    retained[client as usize] = r;
+                    pending[client as usize] = false;
+                    missing -= 1;
+                }
+                other => self.handle(other),
+            }
+        }
+        retained
+    }
+
+    /// Collect one evaluation row from every client. A missing row (a
+    /// degraded client) evaluates to zeros so the matrix stays
+    /// rectangular.
+    fn collect_eval_rows(&mut self, step: usize) -> Vec<Vec<f64>> {
+        let n = self.n;
+        let mut rows: Vec<Option<Vec<f64>>> = (0..n).map(|_| None).collect();
+        let mut missing = n;
+        let deadline = Instant::now() + self.actor_cfg.round_deadline;
+        while missing > 0 {
+            let Some(ev) = self.next_event(deadline) else {
+                fedknow_obs::count("transport.round_timeouts", 1);
+                fedknow_obs::mark("transport.degraded: missing eval rows");
+                fedknow_obs::dump_trigger("transport_timeout");
+                break;
+            };
+            match ev {
+                NetEvent::Msg {
+                    client,
+                    msg: WireMsg::EvalRow { row, .. },
+                    ..
+                } if (client as usize) < n
+                    && rows[client as usize].is_none()
+                    && row.len() == step + 1 =>
+                {
+                    rows[client as usize] = Some(row);
+                    missing -= 1;
+                }
+                other => self.handle(other),
+            }
+        }
+        rows.into_iter()
+            .map(|r| r.unwrap_or_else(|| vec![0.0; step + 1]))
+            .collect()
+    }
+}

@@ -9,7 +9,7 @@ use rand::rngs::StdRng;
 /// FedWEIT's task-adaptive weights). The simulator collects every active
 /// client's payloads each round, broadcasts the full set, and charges the
 /// wire cost in both directions.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Payload {
     /// Sender (filled in by the simulator).
     pub from_client: usize,

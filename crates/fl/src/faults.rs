@@ -160,6 +160,30 @@ impl Corruption {
             CorruptionMode::BitFlip => f32::from_bits(upload[i].to_bits() ^ (1 << self.bit)),
         };
     }
+
+    /// The wire-seam realization of [`Self::apply`]: damage the
+    /// little-endian `f32` encoding of the upload *in the frame bytes*,
+    /// so a transport corrupts data genuinely in flight yet the decoded
+    /// vector is bit-identical to what `apply` produces in process.
+    /// Trailing bytes that are not part of a full `f32` word are left
+    /// alone.
+    pub fn apply_bytes(&self, encoded: &mut [u8]) {
+        let len = encoded.len() / 4;
+        if len == 0 {
+            return;
+        }
+        let i = ((self.pos_fraction * len as f64) as usize).min(len - 1);
+        let word = &mut encoded[4 * i..4 * i + 4];
+        let replaced = match self.mode {
+            CorruptionMode::NanPoison => f32::NAN,
+            CorruptionMode::InfPoison => f32::INFINITY,
+            CorruptionMode::BitFlip => {
+                let v = f32::from_le_bytes(word.try_into().unwrap());
+                f32::from_bits(v.to_bits() ^ (1 << self.bit))
+            }
+        };
+        word.copy_from_slice(&replaced.to_le_bytes());
+    }
 }
 
 /// Everything that goes wrong for one client in one round.
@@ -501,6 +525,47 @@ mod tests {
 
         // Empty uploads are left alone.
         c.apply(&mut []);
+    }
+
+    #[test]
+    fn byte_level_corruption_matches_in_process_corruption() {
+        // Exhaust all three modes across positions and bits: damaging
+        // the LE byte encoding must decode to exactly what `apply`
+        // produces on the vector (bit patterns included — NaNs compare
+        // by bits here).
+        let cases = [
+            (CorruptionMode::NanPoison, 0.0, 0),
+            (CorruptionMode::NanPoison, 0.73, 0),
+            (CorruptionMode::InfPoison, 0.999, 0),
+            (CorruptionMode::BitFlip, 0.5, 31),
+            (CorruptionMode::BitFlip, 0.25, 0),
+            (CorruptionMode::BitFlip, 0.9, 22),
+        ];
+        let v: Vec<f32> = (0..7).map(|i| i as f32 * 0.37 - 1.0).collect();
+        for (mode, pos_fraction, bit) in cases {
+            let corr = Corruption {
+                mode,
+                pos_fraction,
+                bit,
+            };
+            let mut in_process = v.clone();
+            corr.apply(&mut in_process);
+            let mut wire: Vec<u8> = v.iter().flat_map(|x| x.to_le_bytes()).collect();
+            corr.apply_bytes(&mut wire);
+            let decoded: Vec<f32> = wire
+                .chunks_exact(4)
+                .map(|w| f32::from_le_bytes(w.try_into().unwrap()))
+                .collect();
+            let bits = |s: &[f32]| s.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&decoded), bits(&in_process), "{mode:?}");
+        }
+        // Empty buffers are left alone on both seams.
+        let corr = Corruption {
+            mode: CorruptionMode::NanPoison,
+            pos_fraction: 0.5,
+            bit: 0,
+        };
+        corr.apply_bytes(&mut []);
     }
 
     #[test]

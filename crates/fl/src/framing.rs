@@ -1,0 +1,267 @@
+//! Length-prefixed frame layer — the unit of transmission on every
+//! transport backend.
+//!
+//! A frame is a 4-byte little-endian length header followed by exactly
+//! that many payload bytes. The header is capped at [`MAX_FRAME_BYTES`]
+//! so a corrupt or hostile length can never trigger a multi-gigabyte
+//! allocation: the cap is checked *before* any buffer is reserved, and
+//! a torn read (stream ends mid-header or mid-payload) is a typed
+//! [`FrameError::Truncated`], never a panic.
+//!
+//! Both transport backends move the same frame bytes — the channel
+//! backend ships encoded frames through an in-process queue, the socket
+//! backend writes them to a stream — so framing bugs and in-flight
+//! damage behave identically on both.
+
+use std::io::{Read, Write};
+
+/// Hard cap on a frame's payload length. Anything larger is rejected at
+/// encode time and, crucially, at decode time before allocation — a
+/// corrupted length header errors cleanly instead of attempting the
+/// allocation it claims to need.
+pub const MAX_FRAME_BYTES: usize = 64 * 1024 * 1024;
+
+/// Bytes of framing prepended to every payload (the length header).
+pub const FRAME_HEADER_BYTES: usize = 4;
+
+/// Errors in the frame layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// A length header larger than [`MAX_FRAME_BYTES`] — corrupt or
+    /// hostile. Rejected before any allocation happens.
+    Oversize {
+        /// The length the header claimed.
+        len: u64,
+    },
+    /// The stream or buffer ended mid-header or mid-payload (a torn
+    /// read / partial write on the other side).
+    Truncated,
+    /// The underlying transport failed.
+    Io(std::io::ErrorKind),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Oversize { len } => write!(
+                f,
+                "frame header claims {len} bytes (cap {MAX_FRAME_BYTES}) — corrupt or hostile"
+            ),
+            FrameError::Truncated => write!(f, "frame truncated mid-read"),
+            FrameError::Io(kind) => write!(f, "frame I/O failed: {kind}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> Self {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            FrameError::Truncated
+        } else {
+            FrameError::Io(e.kind())
+        }
+    }
+}
+
+/// Wrap a payload in a frame (header + payload) as one buffer.
+pub fn encode_frame(payload: &[u8]) -> Result<Vec<u8>, FrameError> {
+    if payload.len() > MAX_FRAME_BYTES {
+        return Err(FrameError::Oversize {
+            len: payload.len() as u64,
+        });
+    }
+    let mut buf = Vec::with_capacity(FRAME_HEADER_BYTES + payload.len());
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(payload);
+    Ok(buf)
+}
+
+/// Write one frame to a stream.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> Result<(), FrameError> {
+    if payload.len() > MAX_FRAME_BYTES {
+        return Err(FrameError::Oversize {
+            len: payload.len() as u64,
+        });
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one frame from a stream. `Ok(None)` is a clean close — the
+/// stream ended exactly on a frame boundary. A stream that ends after
+/// one or more header/payload bytes is [`FrameError::Truncated`].
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Vec<u8>>, FrameError> {
+    let mut header = [0u8; FRAME_HEADER_BYTES];
+    let mut got = 0usize;
+    while got < header.len() {
+        match r.read(&mut header[got..]) {
+            Ok(0) => {
+                return if got == 0 {
+                    Ok(None) // clean close at a frame boundary
+                } else {
+                    Err(FrameError::Truncated)
+                };
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let len = u32::from_le_bytes(header) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(FrameError::Oversize { len: len as u64 });
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// Incremental frame decoder for transports that deliver arbitrary byte
+/// chunks (interleaved partial reads). Feed bytes in any fragmentation;
+/// complete frames come out exactly as sent. An oversize header is
+/// reported as soon as the four header bytes are present — before the
+/// claimed payload is buffered.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+}
+
+impl FrameDecoder {
+    /// Fresh decoder with no buffered bytes.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append raw bytes from the transport.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pop the next complete frame, if one is fully buffered.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, FrameError> {
+        if self.buf.len() < FRAME_HEADER_BYTES {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(self.buf[..FRAME_HEADER_BYTES].try_into().unwrap()) as usize;
+        if len > MAX_FRAME_BYTES {
+            return Err(FrameError::Oversize { len: len as u64 });
+        }
+        if self.buf.len() < FRAME_HEADER_BYTES + len {
+            return Ok(None);
+        }
+        let payload = self.buf[FRAME_HEADER_BYTES..FRAME_HEADER_BYTES + len].to_vec();
+        self.buf.drain(..FRAME_HEADER_BYTES + len);
+        Ok(Some(payload))
+    }
+
+    /// Whether the decoder holds no partial data — a peer that closes
+    /// while this is `false` tore a frame mid-send.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrips_via_stream() {
+        let payload = b"hello frames".to_vec();
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload).unwrap();
+        assert_eq!(wire.len(), FRAME_HEADER_BYTES + payload.len());
+        let mut r = wire.as_slice();
+        assert_eq!(read_frame(&mut r).unwrap(), Some(payload));
+        assert_eq!(read_frame(&mut r).unwrap(), None, "clean close");
+    }
+
+    #[test]
+    fn empty_payload_roundtrips() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &[]).unwrap();
+        let mut r = wire.as_slice();
+        assert_eq!(read_frame(&mut r).unwrap(), Some(Vec::new()));
+    }
+
+    #[test]
+    fn oversize_header_rejected_before_allocation() {
+        // A header claiming u32::MAX bytes: must error, not allocate 4 GiB.
+        let wire = u32::MAX.to_le_bytes().to_vec();
+        let mut r = wire.as_slice();
+        assert_eq!(
+            read_frame(&mut r).unwrap_err(),
+            FrameError::Oversize {
+                len: u32::MAX as u64
+            }
+        );
+        let mut d = FrameDecoder::new();
+        d.feed(&wire);
+        assert!(matches!(
+            d.next_frame().unwrap_err(),
+            FrameError::Oversize { .. }
+        ));
+    }
+
+    #[test]
+    fn oversize_payload_rejected_at_encode() {
+        // Claim only — don't materialize 64 MiB; write_frame checks len.
+        let big = vec![0u8; MAX_FRAME_BYTES + 1];
+        assert!(matches!(
+            encode_frame(&big).unwrap_err(),
+            FrameError::Oversize { .. }
+        ));
+        let mut sink = Vec::new();
+        assert!(matches!(
+            write_frame(&mut sink, &big).unwrap_err(),
+            FrameError::Oversize { .. }
+        ));
+    }
+
+    #[test]
+    fn torn_reads_are_typed_errors() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"0123456789").unwrap();
+        for cut in 1..wire.len() {
+            let mut r = &wire[..cut];
+            assert_eq!(
+                read_frame(&mut r).unwrap_err(),
+                FrameError::Truncated,
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn decoder_handles_interleaved_partial_feeds() {
+        let frames: Vec<Vec<u8>> = vec![b"a".to_vec(), b"".to_vec(), vec![7u8; 300]];
+        let mut wire = Vec::new();
+        for f in &frames {
+            write_frame(&mut wire, f).unwrap();
+        }
+        // Feed one byte at a time — worst-case fragmentation.
+        let mut d = FrameDecoder::new();
+        let mut out = Vec::new();
+        for &b in &wire {
+            d.feed(&[b]);
+            while let Some(f) = d.next_frame().unwrap() {
+                out.push(f);
+            }
+        }
+        assert_eq!(out, frames);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn error_messages_name_the_problem() {
+        let shown = FrameError::Oversize { len: 1 << 40 }.to_string();
+        assert!(shown.contains("corrupt or hostile"), "{shown}");
+        assert!(FrameError::Truncated.to_string().contains("truncated"));
+        let io = FrameError::from(std::io::Error::from(std::io::ErrorKind::UnexpectedEof));
+        assert_eq!(io, FrameError::Truncated);
+    }
+}

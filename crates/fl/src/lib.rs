@@ -20,25 +20,39 @@
 //!   forgetting-rate definition (§V-D).
 //! * [`sim`] — the synchronized task/round/iteration loop, with clients
 //!   trained in parallel threads.
+//! * [`framing`] / [`proto`] / [`transport`] / [`actor`] — the
+//!   transport-backed federation: length-prefixed frames, typed wire
+//!   messages, swappable channel/TCP/Unix-socket backends with fault
+//!   injection at the wire seam, and the server/client actor threads
+//!   that reproduce the simulator's ledger bit-for-bit.
 
+pub mod actor;
 pub mod client;
 pub mod comm;
 pub mod device;
 pub mod faults;
+pub mod framing;
 pub mod metrics;
+pub mod proto;
+mod protocol;
 pub mod server;
 pub mod sim;
 pub mod trainer;
+pub mod transport;
 
+pub use actor::{ActorConfig, FederationRuntime};
 pub use client::{CommBytes, FclClient, IterationStats, ModelTemplate, Payload};
 pub use comm::{CommModel, InvalidBandwidth};
 pub use device::DeviceProfile;
 pub use faults::{
     Corruption, CorruptionMode, FaultConfig, FaultEvent, FaultKind, FaultPlan, RoundFaults,
 };
+pub use framing::{FrameDecoder, FrameError, FRAME_HEADER_BYTES, MAX_FRAME_BYTES};
 pub use metrics::{AccuracyMatrix, RowLengthMismatch};
+pub use proto::{DecodeError, Encoded, UploadMeta, WireMsg};
 pub use server::{AggregateError, Aggregation, RejectReason, RejectedUpload};
 pub use sim::{
     PhaseBreakdown, PhaseStat, SimCheckpoint, SimConfig, SimError, SimReport, Simulation,
 };
 pub use trainer::LocalTrainer;
+pub use transport::{TransportError, TransportKind, WireStats, WireStatsSnapshot};

@@ -1,0 +1,767 @@
+//! Typed messages of the federation wire protocol.
+//!
+//! Every exchange between the server actor and a client actor is one
+//! [`WireMsg`], encoded to a flat little-endian buffer and shipped as
+//! one frame (see [`framing`]). The encoding is designed so the
+//! *data-plane* portion of each message — model parameters and method
+//! payloads — occupies exactly the bytes the [`CommModel`] ledger
+//! charges for them (`4 · len` for a parameter vector, `16 + 8 · nnz`
+//! per payload), which is what makes the byte-accounting parity test
+//! possible: message tags, counts, and upload metadata are *overhead*,
+//! reported separately.
+//!
+//! Decoding never trusts the peer: lengths are validated against the
+//! remaining buffer before allocation, sparse payload indices are
+//! validated before constructing a [`SparseVec`], and any violation is
+//! a typed [`DecodeError`] the server quarantines — never a panic.
+//! Parameter values are deliberately *not* validated here: a NaN forged
+//! in flight must reach the aggregator's own quarantine, the same
+//! validation seam the in-process driver exercises.
+//!
+//! [`framing`]: crate::framing
+//! [`CommModel`]: crate::comm::CommModel
+
+use crate::client::Payload;
+use fedknow_math::SparseVec;
+
+/// Upload bookkeeping the ledger needs from the client even when the
+/// upload's data plane never arrives (all attempts lost): the FedAvg
+/// weight, round compute and loss, and the client's modeled comm sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct UploadMeta {
+    /// FedAvg weight (the client's training-sample count this task).
+    pub weight: u64,
+    /// FLOPs spent on local training this round.
+    pub flops: u64,
+    /// Sum of per-iteration losses this round.
+    pub loss_sum: f64,
+    /// Local iterations run this round.
+    pub iters: u64,
+    /// Modeled base model bytes up (one attempt).
+    pub base_up: u64,
+    /// Modeled base model bytes down (one broadcast).
+    pub base_down: u64,
+    /// Method extra bytes up this round.
+    pub extra_up: u64,
+    /// Method extra bytes down this round.
+    pub extra_down: u64,
+    /// Whether the client produced an upload at all — distinguishes "no
+    /// parameters to send" from "sent but lost on the wire".
+    pub had_params: bool,
+}
+
+/// One protocol message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireMsg {
+    /// First message on a fresh connection: who is calling.
+    Hello {
+        /// Client id.
+        client: u32,
+    },
+    /// First message on a *re*-connection after a crash. Carries the
+    /// client's modeled broadcast download size so the server can
+    /// charge the eventual resync exactly as the in-process ledger
+    /// does.
+    Rejoin {
+        /// Client id.
+        client: u32,
+        /// Modeled base model bytes down (one broadcast).
+        base_down: u64,
+    },
+    /// Server → client: begin the given task.
+    StartTask {
+        /// Task step.
+        task: u32,
+    },
+    /// Server → rejoining client: the broadcast it missed.
+    Resync {
+        /// Global round the resync happens in.
+        round: u64,
+        /// The current global model.
+        global: Vec<f32>,
+    },
+    /// Server → client: the round begins.
+    RoundStart {
+        /// Global round index.
+        round: u64,
+    },
+    /// Client → server: local training finished; parameters attached
+    /// (unless the client had none to send).
+    Upload {
+        /// Global round index.
+        round: u64,
+        /// Client id.
+        client: u32,
+        /// Ledger bookkeeping.
+        meta: UploadMeta,
+        /// Flat parameters; `None` when the method had nothing to send.
+        params: Option<Vec<f32>>,
+        /// Method payloads published this round.
+        payloads: Vec<Payload>,
+    },
+    /// Client → server control message: every transmission attempt of
+    /// the upload was lost; the bookkeeping (and payloads, which travel
+    /// the reliable control plane) still arrive.
+    UploadFailed {
+        /// Global round index.
+        round: u64,
+        /// Client id.
+        client: u32,
+        /// Ledger bookkeeping.
+        meta: UploadMeta,
+        /// Method payloads published this round.
+        payloads: Vec<Payload>,
+    },
+    /// Server → client: your upload was received this round.
+    Ack {
+        /// Global round index.
+        round: u64,
+        /// Client id.
+        client: u32,
+    },
+    /// Server → client: the round's aggregate and the payload set.
+    Broadcast {
+        /// Global round index.
+        round: u64,
+        /// The aggregated model; `None` when nothing was accepted.
+        global: Option<Vec<f32>>,
+        /// All payloads published this round (client order).
+        payloads: Vec<Payload>,
+    },
+    /// Server → client: consolidate the task.
+    FinishTask,
+    /// Client → server: task consolidated; retained bytes for the OOM
+    /// check.
+    TaskDone {
+        /// Client id.
+        client: u32,
+        /// Retained state bytes after consolidation.
+        retained: u64,
+    },
+    /// Server → client: evaluate tasks `0..=upto`.
+    Eval {
+        /// Last learned task step.
+        upto: u32,
+    },
+    /// Client → server: one accuracy-matrix row.
+    EvalRow {
+        /// Client id.
+        client: u32,
+        /// Accuracy per learned task.
+        row: Vec<f64>,
+    },
+    /// Server → client: the run is over.
+    Shutdown,
+}
+
+/// A message encoded for the wire, with the split the byte-accounting
+/// ledger needs: `data_bytes` is the portion the [`CommModel`] charges
+/// (parameters and payloads), everything else is framing/protocol
+/// overhead. `params_span` locates the flat parameter bytes inside
+/// `buf` so the wire fault injector can damage them in flight.
+///
+/// [`CommModel`]: crate::comm::CommModel
+#[derive(Debug, Clone)]
+pub struct Encoded {
+    /// The message bytes (unframed).
+    pub buf: Vec<u8>,
+    /// Data-plane bytes within `buf` (modeled by the comm ledger).
+    pub data_bytes: u64,
+    /// `(offset, len_bytes)` of the parameter vector inside `buf`.
+    pub params_span: Option<(usize, usize)>,
+}
+
+/// A peer sent bytes that do not decode to a [`WireMsg`]. The server
+/// treats this as a malformed frame and quarantines the connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer ended before the message did.
+    Truncated,
+    /// Unknown message tag.
+    BadTag(u8),
+    /// A structurally invalid field (e.g. non-increasing sparse
+    /// indices).
+    Invalid(&'static str),
+    /// Bytes left over after the message — a framing confusion.
+    TrailingBytes,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "message truncated"),
+            DecodeError::BadTag(t) => write!(f, "unknown message tag {t}"),
+            DecodeError::Invalid(what) => write!(f, "invalid field: {what}"),
+            DecodeError::TrailingBytes => write!(f, "trailing bytes after message"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+const TAG_HELLO: u8 = 0;
+const TAG_REJOIN: u8 = 1;
+const TAG_START_TASK: u8 = 2;
+const TAG_RESYNC: u8 = 3;
+const TAG_ROUND_START: u8 = 4;
+const TAG_UPLOAD: u8 = 5;
+const TAG_UPLOAD_FAILED: u8 = 6;
+const TAG_ACK: u8 = 7;
+const TAG_BROADCAST: u8 = 8;
+const TAG_FINISH_TASK: u8 = 9;
+const TAG_TASK_DONE: u8 = 10;
+const TAG_EVAL: u8 = 11;
+const TAG_EVAL_ROW: u8 = 12;
+const TAG_SHUTDOWN: u8 = 13;
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_meta(buf: &mut Vec<u8>, m: &UploadMeta) {
+    put_u64(buf, m.weight);
+    put_u64(buf, m.flops);
+    put_f64(buf, m.loss_sum);
+    put_u64(buf, m.iters);
+    put_u64(buf, m.base_up);
+    put_u64(buf, m.base_down);
+    put_u64(buf, m.extra_up);
+    put_u64(buf, m.extra_down);
+    buf.push(u8::from(m.had_params));
+}
+
+/// Append the flat parameter vector; returns its data-plane size
+/// (`4 · len`) — the `len` prefix itself is overhead.
+fn put_params(buf: &mut Vec<u8>, params: &[f32]) -> u64 {
+    put_u32(buf, params.len() as u32);
+    for v in params {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+    (params.len() * 4) as u64
+}
+
+/// Append one payload. Data-plane portion: a 16-byte header
+/// (from_client, tag, dense_len) plus `8 · nnz` index/value bytes —
+/// exactly [`Payload::size_bytes`]. The nnz count is overhead.
+fn put_payload(buf: &mut Vec<u8>, p: &Payload) -> u64 {
+    put_u32(buf, p.sparse.nnz() as u32); // overhead
+    put_u32(buf, p.from_client as u32);
+    put_u64(buf, p.tag);
+    put_u32(buf, p.sparse.dense_len() as u32);
+    for i in p.sparse.indices() {
+        put_u32(buf, *i);
+    }
+    for v in p.sparse.values() {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+    p.size_bytes()
+}
+
+fn put_payloads(buf: &mut Vec<u8>, ps: &[Payload]) -> u64 {
+    put_u32(buf, ps.len() as u32); // overhead
+    ps.iter().map(|p| put_payload(buf, p)).sum()
+}
+
+/// Encode a message for the wire.
+pub fn encode_msg(msg: &WireMsg) -> Encoded {
+    let mut buf = Vec::new();
+    let mut data_bytes = 0u64;
+    let mut params_span = None;
+    match msg {
+        WireMsg::Hello { client } => {
+            buf.push(TAG_HELLO);
+            put_u32(&mut buf, *client);
+        }
+        WireMsg::Rejoin { client, base_down } => {
+            buf.push(TAG_REJOIN);
+            put_u32(&mut buf, *client);
+            put_u64(&mut buf, *base_down);
+        }
+        WireMsg::StartTask { task } => {
+            buf.push(TAG_START_TASK);
+            put_u32(&mut buf, *task);
+        }
+        WireMsg::Resync { round, global } => {
+            buf.push(TAG_RESYNC);
+            put_u64(&mut buf, *round);
+            data_bytes += put_params(&mut buf, global);
+        }
+        WireMsg::RoundStart { round } => {
+            buf.push(TAG_ROUND_START);
+            put_u64(&mut buf, *round);
+        }
+        WireMsg::Upload {
+            round,
+            client,
+            meta,
+            params,
+            payloads,
+        } => {
+            buf.push(TAG_UPLOAD);
+            put_u64(&mut buf, *round);
+            put_u32(&mut buf, *client);
+            put_meta(&mut buf, meta);
+            match params {
+                Some(p) => {
+                    buf.push(1);
+                    let off = buf.len() + 4; // skip the len prefix
+                    data_bytes += put_params(&mut buf, p);
+                    params_span = Some((off, p.len() * 4));
+                }
+                None => buf.push(0),
+            }
+            data_bytes += put_payloads(&mut buf, payloads);
+        }
+        WireMsg::UploadFailed {
+            round,
+            client,
+            meta,
+            payloads,
+        } => {
+            buf.push(TAG_UPLOAD_FAILED);
+            put_u64(&mut buf, *round);
+            put_u32(&mut buf, *client);
+            put_meta(&mut buf, meta);
+            data_bytes += put_payloads(&mut buf, payloads);
+        }
+        WireMsg::Ack { round, client } => {
+            buf.push(TAG_ACK);
+            put_u64(&mut buf, *round);
+            put_u32(&mut buf, *client);
+        }
+        WireMsg::Broadcast {
+            round,
+            global,
+            payloads,
+        } => {
+            buf.push(TAG_BROADCAST);
+            put_u64(&mut buf, *round);
+            match global {
+                Some(g) => {
+                    buf.push(1);
+                    data_bytes += put_params(&mut buf, g);
+                }
+                None => buf.push(0),
+            }
+            data_bytes += put_payloads(&mut buf, payloads);
+        }
+        WireMsg::FinishTask => buf.push(TAG_FINISH_TASK),
+        WireMsg::TaskDone { client, retained } => {
+            buf.push(TAG_TASK_DONE);
+            put_u32(&mut buf, *client);
+            put_u64(&mut buf, *retained);
+        }
+        WireMsg::Eval { upto } => {
+            buf.push(TAG_EVAL);
+            put_u32(&mut buf, *upto);
+        }
+        WireMsg::EvalRow { client, row } => {
+            buf.push(TAG_EVAL_ROW);
+            put_u32(&mut buf, *client);
+            put_u32(&mut buf, row.len() as u32);
+            for v in row {
+                put_f64(&mut buf, *v);
+            }
+        }
+        WireMsg::Shutdown => buf.push(TAG_SHUTDOWN),
+    }
+    Encoded {
+        buf,
+        data_bytes,
+        params_span,
+    }
+}
+
+/// Cursor over an untrusted message buffer.
+struct Rd<'a> {
+    b: &'a [u8],
+}
+
+impl<'a> Rd<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.b.len() < n {
+            return Err(DecodeError::Truncated);
+        }
+        let (head, tail) = self.b.split_at(n);
+        self.b = tail;
+        Ok(head)
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, DecodeError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn meta(&mut self) -> Result<UploadMeta, DecodeError> {
+        Ok(UploadMeta {
+            weight: self.u64()?,
+            flops: self.u64()?,
+            loss_sum: self.f64()?,
+            iters: self.u64()?,
+            base_up: self.u64()?,
+            base_down: self.u64()?,
+            extra_up: self.u64()?,
+            extra_down: self.u64()?,
+            had_params: self.u8()? != 0,
+        })
+    }
+
+    /// A length-prefixed `f32` vector; the length is validated against
+    /// the remaining buffer *before* allocating.
+    fn params(&mut self) -> Result<Vec<f32>, DecodeError> {
+        let len = self.u32()? as usize;
+        let raw = self.take(len * 4)?;
+        Ok(raw
+            .chunks_exact(4)
+            .map(|w| f32::from_le_bytes(w.try_into().unwrap()))
+            .collect())
+    }
+
+    fn payload(&mut self) -> Result<Payload, DecodeError> {
+        let nnz = self.u32()? as usize;
+        let from_client = self.u32()? as usize;
+        let tag = self.u64()?;
+        let dense_len = self.u32()? as usize;
+        let raw_idx = self.take(nnz * 4)?;
+        let indices: Vec<u32> = raw_idx
+            .chunks_exact(4)
+            .map(|w| u32::from_le_bytes(w.try_into().unwrap()))
+            .collect();
+        // SparseVec::new asserts these invariants; an untrusted peer
+        // must get an error, not a panic.
+        for w in indices.windows(2) {
+            if w[0] >= w[1] {
+                return Err(DecodeError::Invalid("payload indices not increasing"));
+            }
+        }
+        if let Some(&last) = indices.last() {
+            if last as usize >= dense_len {
+                return Err(DecodeError::Invalid("payload index out of range"));
+            }
+        }
+        let raw_val = self.take(nnz * 4)?;
+        let values: Vec<f32> = raw_val
+            .chunks_exact(4)
+            .map(|w| f32::from_le_bytes(w.try_into().unwrap()))
+            .collect();
+        Ok(Payload {
+            from_client,
+            tag,
+            sparse: SparseVec::new(dense_len, indices, values),
+        })
+    }
+
+    fn payloads(&mut self) -> Result<Vec<Payload>, DecodeError> {
+        let n = self.u32()? as usize;
+        // Each payload needs ≥ 20 bytes; cap the preallocation by what
+        // the buffer could possibly hold.
+        let mut out = Vec::with_capacity(n.min(self.b.len() / 20 + 1));
+        for _ in 0..n {
+            out.push(self.payload()?);
+        }
+        Ok(out)
+    }
+}
+
+/// Decode one message. The whole buffer must be consumed.
+pub fn decode_msg(buf: &[u8]) -> Result<WireMsg, DecodeError> {
+    let mut rd = Rd { b: buf };
+    let tag = rd.u8()?;
+    let msg = match tag {
+        TAG_HELLO => WireMsg::Hello { client: rd.u32()? },
+        TAG_REJOIN => WireMsg::Rejoin {
+            client: rd.u32()?,
+            base_down: rd.u64()?,
+        },
+        TAG_START_TASK => WireMsg::StartTask { task: rd.u32()? },
+        TAG_RESYNC => WireMsg::Resync {
+            round: rd.u64()?,
+            global: rd.params()?,
+        },
+        TAG_ROUND_START => WireMsg::RoundStart { round: rd.u64()? },
+        TAG_UPLOAD => {
+            let round = rd.u64()?;
+            let client = rd.u32()?;
+            let meta = rd.meta()?;
+            let params = if rd.u8()? != 0 {
+                Some(rd.params()?)
+            } else {
+                None
+            };
+            let payloads = rd.payloads()?;
+            WireMsg::Upload {
+                round,
+                client,
+                meta,
+                params,
+                payloads,
+            }
+        }
+        TAG_UPLOAD_FAILED => WireMsg::UploadFailed {
+            round: rd.u64()?,
+            client: rd.u32()?,
+            meta: rd.meta()?,
+            payloads: rd.payloads()?,
+        },
+        TAG_ACK => WireMsg::Ack {
+            round: rd.u64()?,
+            client: rd.u32()?,
+        },
+        TAG_BROADCAST => {
+            let round = rd.u64()?;
+            let global = if rd.u8()? != 0 {
+                Some(rd.params()?)
+            } else {
+                None
+            };
+            let payloads = rd.payloads()?;
+            WireMsg::Broadcast {
+                round,
+                global,
+                payloads,
+            }
+        }
+        TAG_FINISH_TASK => WireMsg::FinishTask,
+        TAG_TASK_DONE => WireMsg::TaskDone {
+            client: rd.u32()?,
+            retained: rd.u64()?,
+        },
+        TAG_EVAL => WireMsg::Eval { upto: rd.u32()? },
+        TAG_EVAL_ROW => {
+            let client = rd.u32()?;
+            let n = rd.u32()? as usize;
+            let mut row = Vec::with_capacity(n.min(rd.b.len() / 8 + 1));
+            for _ in 0..n {
+                row.push(rd.f64()?);
+            }
+            WireMsg::EvalRow { client, row }
+        }
+        TAG_SHUTDOWN => WireMsg::Shutdown,
+        t => return Err(DecodeError::BadTag(t)),
+    };
+    if !rd.b.is_empty() {
+        return Err(DecodeError::TrailingBytes);
+    }
+    Ok(msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_payload(from: usize) -> Payload {
+        Payload {
+            from_client: from,
+            tag: 42,
+            sparse: SparseVec::new(10, vec![1, 3, 7], vec![0.5, -1.5, 3.25]),
+        }
+    }
+
+    fn roundtrip(msg: &WireMsg) -> Encoded {
+        let enc = encode_msg(msg);
+        let back = decode_msg(&enc.buf).expect("decodes");
+        assert_eq!(&back, msg);
+        enc
+    }
+
+    #[test]
+    fn all_messages_roundtrip() {
+        let meta = UploadMeta {
+            weight: 100,
+            flops: 12_345,
+            loss_sum: 1.5,
+            iters: 6,
+            base_up: 400,
+            base_down: 400,
+            extra_up: 8,
+            extra_down: 16,
+            had_params: true,
+        };
+        let msgs = vec![
+            WireMsg::Hello { client: 3 },
+            WireMsg::Rejoin {
+                client: 1,
+                base_down: 400,
+            },
+            WireMsg::StartTask { task: 2 },
+            WireMsg::Resync {
+                round: 7,
+                global: vec![1.0, -2.0, 3.5],
+            },
+            WireMsg::RoundStart { round: 9 },
+            WireMsg::Upload {
+                round: 9,
+                client: 0,
+                meta,
+                params: Some(vec![0.25; 5]),
+                payloads: vec![sample_payload(0)],
+            },
+            WireMsg::Upload {
+                round: 9,
+                client: 2,
+                meta,
+                params: None,
+                payloads: vec![],
+            },
+            WireMsg::UploadFailed {
+                round: 9,
+                client: 1,
+                meta,
+                payloads: vec![sample_payload(1), sample_payload(1)],
+            },
+            WireMsg::Ack {
+                round: 9,
+                client: 0,
+            },
+            WireMsg::Broadcast {
+                round: 9,
+                global: Some(vec![0.125; 4]),
+                payloads: vec![sample_payload(0), sample_payload(2)],
+            },
+            WireMsg::Broadcast {
+                round: 10,
+                global: None,
+                payloads: vec![],
+            },
+            WireMsg::FinishTask,
+            WireMsg::TaskDone {
+                client: 2,
+                retained: 9000,
+            },
+            WireMsg::Eval { upto: 2 },
+            WireMsg::EvalRow {
+                client: 1,
+                row: vec![0.5, 0.75, 0.875],
+            },
+            WireMsg::Shutdown,
+        ];
+        for m in &msgs {
+            roundtrip(m);
+        }
+    }
+
+    #[test]
+    fn data_plane_bytes_match_the_comm_model() {
+        // Upload: 4 bytes per parameter plus Payload::size_bytes per
+        // payload — exactly the ledger's modeled charge.
+        let enc = roundtrip(&WireMsg::Upload {
+            round: 0,
+            client: 0,
+            meta: UploadMeta::default(),
+            params: Some(vec![1.0; 100]),
+            payloads: vec![sample_payload(0)],
+        });
+        assert_eq!(enc.data_bytes, 400 + sample_payload(0).size_bytes());
+        // Broadcast mirrors it on the download side.
+        let enc = roundtrip(&WireMsg::Broadcast {
+            round: 0,
+            global: Some(vec![1.0; 100]),
+            payloads: vec![sample_payload(0), sample_payload(1)],
+        });
+        assert_eq!(enc.data_bytes, 400 + 2 * sample_payload(0).size_bytes());
+        // Control messages are pure overhead.
+        let enc = roundtrip(&WireMsg::Ack {
+            round: 1,
+            client: 2,
+        });
+        assert_eq!(enc.data_bytes, 0);
+        assert!(!enc.buf.is_empty());
+    }
+
+    #[test]
+    fn params_span_locates_the_parameter_bytes() {
+        let params = vec![1.5f32, -2.5, 4.0];
+        let enc = encode_msg(&WireMsg::Upload {
+            round: 3,
+            client: 1,
+            meta: UploadMeta::default(),
+            params: Some(params.clone()),
+            payloads: vec![],
+        });
+        let (off, len) = enc.params_span.expect("params present");
+        assert_eq!(len, 12);
+        let decoded: Vec<f32> = enc.buf[off..off + len]
+            .chunks_exact(4)
+            .map(|w| f32::from_le_bytes(w.try_into().unwrap()))
+            .collect();
+        assert_eq!(decoded, params);
+        // Damaging the span must surface in the decoded message.
+        let mut damaged = enc.buf.clone();
+        damaged[off..off + 4].copy_from_slice(&f32::NAN.to_le_bytes());
+        match decode_msg(&damaged).unwrap() {
+            WireMsg::Upload { params, .. } => {
+                assert!(params.unwrap()[0].is_nan(), "NaN must survive decode");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_is_a_typed_error_at_every_offset() {
+        let enc = encode_msg(&WireMsg::Upload {
+            round: 1,
+            client: 0,
+            meta: UploadMeta::default(),
+            params: Some(vec![1.0; 8]),
+            payloads: vec![sample_payload(0)],
+        });
+        for cut in 0..enc.buf.len() {
+            assert!(
+                decode_msg(&enc.buf[..cut]).is_err(),
+                "cut at {cut} must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn hostile_inputs_error_instead_of_panicking() {
+        // Unknown tag.
+        assert_eq!(decode_msg(&[200]), Err(DecodeError::BadTag(200)));
+        // Claimed huge vector with no bytes behind it: must not allocate.
+        let mut buf = vec![TAG_RESYNC];
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(decode_msg(&buf), Err(DecodeError::Truncated));
+        // Payload with non-increasing indices: SparseVec's assert must
+        // never be reached.
+        let bad = Payload {
+            from_client: 0,
+            tag: 0,
+            sparse: SparseVec::new(10, vec![1, 2], vec![1.0, 2.0]),
+        };
+        let mut enc = encode_msg(&WireMsg::UploadFailed {
+            round: 0,
+            client: 0,
+            meta: UploadMeta::default(),
+            payloads: vec![bad],
+        });
+        // Overwrite the second index (= first index bytes + 4) with 1,
+        // making indices [1, 1].
+        let idx_area = enc.buf.len() - 16; // 2 idx (8) + 2 val (8)
+        enc.buf[idx_area + 4..idx_area + 8].copy_from_slice(&1u32.to_le_bytes());
+        assert!(matches!(decode_msg(&enc.buf), Err(DecodeError::Invalid(_))));
+        // Trailing garbage is rejected.
+        let mut ok = encode_msg(&WireMsg::Shutdown).buf;
+        ok.push(0);
+        assert_eq!(decode_msg(&ok), Err(DecodeError::TrailingBytes));
+    }
+}

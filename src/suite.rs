@@ -5,8 +5,8 @@ use fedknow_baselines::factory::MethodConfig;
 use fedknow_baselines::{build_client, Method};
 use fedknow_data::{generate::generate, partition, DatasetSpec, PartitionConfig};
 use fedknow_fl::{
-    CommModel, DeviceProfile, FaultConfig, ModelTemplate, SimConfig, SimError, SimReport,
-    Simulation,
+    CommModel, DeviceProfile, FaultConfig, FederationRuntime, ModelTemplate, SimConfig, SimError,
+    SimReport, Simulation, TransportKind, WireStatsSnapshot,
 };
 use fedknow_nn::ModelKind;
 
@@ -87,6 +87,44 @@ impl RunSpec {
         sim.run()
     }
 
+    /// Run a single method over a real transport backend: server and
+    /// clients as actor threads exchanging framed messages, with faults
+    /// injected at the wire seam. The report is bit-identical to
+    /// [`Self::run`]'s for the same spec; the returned wire statistics
+    /// are the actual bytes the run put on the transport.
+    pub fn run_over(
+        &self,
+        method: Method,
+        transport: TransportKind,
+    ) -> Result<(SimReport, WireStatsSnapshot), SimError> {
+        self.run_over_on(
+            method,
+            DeviceProfile::uniform_cluster(self.num_clients),
+            CommModel::paper_default(),
+            transport,
+        )
+    }
+
+    /// [`Self::run_over`] on explicit devices and link model — the
+    /// transport-backed mirror of [`Self::run_on`].
+    pub fn run_over_on(
+        &self,
+        method: Method,
+        devices: Vec<DeviceProfile>,
+        comm: CommModel,
+        transport: TransportKind,
+    ) -> Result<(SimReport, WireStatsSnapshot), SimError> {
+        assert_eq!(
+            devices.len(),
+            self.num_clients,
+            "device count must match clients"
+        );
+        let dataset = generate(&self.dataset, self.seed);
+        let (clients, parts, cfg, model_bytes) = self.assemble(method, &dataset);
+        FederationRuntime::new(clients, parts, devices, comm, cfg, model_bytes, transport)
+            .run_with_stats()
+    }
+
     /// Build the simulation under this spec without running it — for
     /// callers that drive it manually (checkpoint/resume, inspection).
     /// Uses a uniform device cluster and the paper's default link.
@@ -113,6 +151,24 @@ impl RunSpec {
             self.num_clients,
             "device count must match clients"
         );
+        let (clients, parts, cfg, model_bytes) = self.assemble(method, dataset);
+        Simulation::new(clients, parts, devices, comm, cfg, model_bytes)
+    }
+
+    /// The shared assembly both drivers build from: method clients,
+    /// partitioned data, the simulation config, and the model's wire
+    /// size.
+    #[allow(clippy::type_complexity)]
+    fn assemble(
+        &self,
+        method: Method,
+        dataset: &fedknow_data::ContinualDataset,
+    ) -> (
+        Vec<Box<dyn fedknow_fl::FclClient>>,
+        Vec<fedknow_data::ClientDataset>,
+        SimConfig,
+        u64,
+    ) {
         let parts = partition(
             dataset,
             self.num_clients,
@@ -149,6 +205,6 @@ impl RunSpec {
             parallel: true,
             faults: self.faults,
         };
-        Simulation::new(clients, parts, devices, comm, cfg, template.size_bytes())
+        (clients, parts, cfg, template.size_bytes())
     }
 }

@@ -3,7 +3,7 @@
 //! metrics — for FedKNOW and representative baselines.
 
 use fedknow_baselines::Method;
-use fedknow_fl::{FaultConfig, FaultKind};
+use fedknow_fl::{FaultConfig, FaultKind, TransportKind};
 use fedknow_suite::RunSpec;
 
 #[test]
@@ -111,6 +111,36 @@ fn chaos_run_survives_thirty_percent_faults() {
         (clean_acc - chaos_acc).abs() <= 0.05,
         "chaos accuracy {chaos_acc} strayed more than 5 points from {clean_acc}"
     );
+}
+
+#[test]
+fn fedknow_is_bit_identical_over_the_socket_transport() {
+    // The actor runtime — server and clients as threads exchanging
+    // framed messages over a real stream socket, with 20% crash/loss
+    // faults realized at the wire seam — must reproduce the in-process
+    // simulator bit-for-bit: same accuracy matrix, same byte ledger,
+    // same fault-event log. Only the phase breakdown may differ (obs
+    // may be enabled by a sibling test in this process; it is
+    // attribution metadata, not protocol state).
+    let spec = RunSpec::quick(7).with_faults(FaultConfig::crash_loss(0.2));
+    let mut want = spec.run(Method::FedKnow).expect("simulated run");
+    let (mut got, stats) = spec
+        .run_over(Method::FedKnow, TransportKind::Tcp)
+        .expect("socket-backed run");
+    want.phase_breakdown = None;
+    got.phase_breakdown = None;
+    assert!(
+        !want.fault_log.is_empty(),
+        "crash_loss(0.2) must log faults"
+    );
+    assert_eq!(
+        got.fault_log, want.fault_log,
+        "wire-seam fault ledger diverged from the simulator"
+    );
+    assert_eq!(got, want, "socket transport diverged from the simulator");
+    // A real model crossed the wire, and framing cost real bytes.
+    assert!(stats.frames > 0, "no frames moved");
+    assert!(stats.payload > 0 && stats.overhead > 0);
 }
 
 #[test]
