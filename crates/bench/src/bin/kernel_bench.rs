@@ -359,10 +359,18 @@ fn main() {
     // (weight [32, 27] × col [27, 32·32]).
     bench_matmul(&opts, 96, 96, 96, &mut entries);
     bench_matmul(&opts, 32, 27, 1024, &mut entries);
+    // Large cache-bound squares: the shapes the blocked/packed GEMM is
+    // judged on (256³ fits L2 per panel, 512³ forces full MC/KC/NC
+    // blocking through L1/L2/L3).
+    bench_matmul(&opts, 256, 256, 256, &mut entries);
+    bench_matmul(&opts, 512, 512, 512, &mut entries);
     // SixCNN stem on CIFAR-sized inputs (Fig. 4) and a ResNet-18 inner
     // block at the reduced resolution the Fig. 9 zoo uses.
     bench_conv(&opts, 4, 3, 32, 32, &mut entries);
     bench_conv(&opts, 2, 64, 64, 8, &mut entries);
+    // A deep-layer workhorse shape: per-sample GEMM [64, 288] × [288, 256],
+    // big enough that panel packing and fused patch tiles dominate.
+    bench_conv(&opts, 4, 32, 64, 16, &mut entries);
     // Signature-task machinery: GEM dual QP, Wasserstein ranking, and
     // the server's weighted average.
     bench_qp(&opts, 8, 4096, &mut entries);

@@ -73,6 +73,28 @@ fn main() {
             );
             Some(out)
         }),
+        suite::matmul_tiles(seed, cases),
+        suite::conv_forward_tiles(seed, cases, |c| {
+            Some(
+                production_conv(c)
+                    .forward(input_tensor(c), false)
+                    .into_vec(),
+            )
+        }),
+        suite::conv_backward_tiles(seed, cases, |c| {
+            let s = &c.spec;
+            let mut conv = production_conv(c);
+            let _ = conv.forward(input_tensor(c), true);
+            let (oh, ow) = s.out_hw();
+            let gy = Tensor::from_vec(c.gy.clone(), &[s.batch, s.out_c, oh, ow]);
+            let mut out = conv.backward(gy).into_vec();
+            conv.visit_params(
+                &mut |_: &str, _: &[usize], _: &mut [f32], grads: &mut [f32]| {
+                    out.extend_from_slice(grads);
+                },
+            );
+            Some(out)
+        }),
         suite::qp(seed, cases),
         suite::qp_certify(seed, cases),
         suite::wasserstein(seed, cases),

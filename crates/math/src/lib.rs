@@ -14,7 +14,14 @@
 //! * [`distance`] — gradient-distance metrics (1-D Wasserstein, cosine,
 //!   Euclidean) used to pick the *most dissimilar* signature tasks,
 //! * [`rng`] — seeded sampling helpers (normal/uniform) so every experiment
-//!   is reproducible without pulling in `rand_distr`.
+//!   is reproducible without pulling in `rand_distr`,
+//! * [`gemm`] — the cache-blocked, register-tiled GEMM (packed A/B panels,
+//!   AVX-512/AVX2 microkernels with a portable fallback) that every matmul
+//!   and conv lowers onto,
+//! * [`parallel`] — the kernel thread-count policy and deterministic work
+//!   partitioner (`FEDKNOW_KERNEL_THREADS`),
+//! * [`pool`] — a thread-local buffer recycler that keeps the steady-state
+//!   training loop allocation-free.
 //!
 //! Everything here is deterministic given a seed and panics only on
 //! programmer error (shape mismatches); recoverable conditions return
@@ -22,6 +29,9 @@
 
 pub mod distance;
 pub mod flops;
+pub mod gemm;
+pub mod parallel;
+pub mod pool;
 pub mod qp;
 pub mod rng;
 pub mod sparse;

@@ -1,0 +1,207 @@
+//! Thread-local recycling pool for `f32` buffers.
+//!
+//! The training loop allocates the same handful of buffer sizes every
+//! iteration — activations, gradients, packed GEMM panels. Rather than
+//! thread an explicit arena through every layer signature, freed tensor
+//! buffers are parked here (keyed by exact length) and handed back on the
+//! next request of the same size, so the steady-state loop performs no
+//! heap allocation at all (pinned by `crates/nn/tests/alloc_steady_state`).
+//!
+//! Per-thread by construction: no locks, no cross-thread traffic, and the
+//! federation's per-client actor threads each recycle their own working
+//! set. Capacity is bounded (`MAX_PER_CLASS` buffers per size class,
+//! `MAX_POOL_BYTES` per thread); overflow simply drops the buffer, so the
+//! pool degrades to plain allocation under adversarial size churn.
+//!
+//! `set_enabled(false)` turns the pool into a pass-through (every take is
+//! a fresh allocation, every give a plain drop) — the property tests use
+//! this to pin pooled results bit-identical to fresh-allocation results.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// Max recycled buffers retained per size class.
+const MAX_PER_CLASS: usize = 8;
+/// Max bytes of recycled buffers retained per thread.
+const MAX_POOL_BYTES: usize = 64 << 20;
+
+#[derive(Default)]
+struct Pool {
+    classes: HashMap<usize, Vec<Vec<f32>>>,
+    bytes: usize,
+    disabled: bool,
+    hits: u64,
+    misses: u64,
+}
+
+thread_local! {
+    static POOL: RefCell<Pool> = RefCell::new(Pool::default());
+}
+
+/// Counters for tests and diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Takes served from a recycled buffer.
+    pub hits: u64,
+    /// Takes that fell through to a fresh allocation.
+    pub misses: u64,
+    /// Bytes currently parked in this thread's pool.
+    pub bytes: usize,
+}
+
+/// A buffer of exactly `len` elements with **unspecified contents** —
+/// either recycled or freshly allocated. Callers must overwrite every
+/// element they read.
+pub fn take(len: usize) -> Vec<f32> {
+    if len == 0 {
+        return Vec::new();
+    }
+    POOL.with(|p| {
+        let mut p = p.borrow_mut();
+        if !p.disabled {
+            if let Some(list) = p.classes.get_mut(&len) {
+                if let Some(buf) = list.pop() {
+                    p.bytes -= len * 4;
+                    p.hits += 1;
+                    debug_assert_eq!(buf.len(), len);
+                    return buf;
+                }
+            }
+        }
+        p.misses += 1;
+        vec![0.0; len]
+    })
+}
+
+/// A buffer of `len` elements, all set to `value`.
+pub fn take_filled(len: usize, value: f32) -> Vec<f32> {
+    let mut v = take(len);
+    v.fill(value);
+    v
+}
+
+/// A zeroed buffer of `len` elements.
+pub fn take_zeroed(len: usize) -> Vec<f32> {
+    take_filled(len, 0.0)
+}
+
+/// Return a buffer to this thread's pool (dropped if the pool is full,
+/// disabled, or the buffer is empty).
+pub fn give(buf: Vec<f32>) {
+    let len = buf.len();
+    if len == 0 {
+        return;
+    }
+    // `try_with`: drops arriving during thread teardown (after the TLS
+    // pool is destroyed) must not panic — the buffer just deallocates.
+    let _ = POOL.try_with(|p| {
+        let mut p = p.borrow_mut();
+        if p.disabled || p.bytes + len * 4 > MAX_POOL_BYTES {
+            return;
+        }
+        let list = p.classes.entry(len).or_default();
+        if list.len() < MAX_PER_CLASS {
+            list.push(buf);
+            p.bytes += len * 4;
+        }
+    });
+}
+
+/// Enable or disable recycling on this thread. Returns the previous
+/// setting. Disabling also drops everything currently parked.
+pub fn set_enabled(on: bool) -> bool {
+    POOL.with(|p| {
+        let mut p = p.borrow_mut();
+        let was = !p.disabled;
+        p.disabled = !on;
+        if !on {
+            p.classes.clear();
+            p.bytes = 0;
+        }
+        was
+    })
+}
+
+/// Whether recycling is enabled on this thread.
+pub fn enabled() -> bool {
+    POOL.with(|p| !p.borrow().disabled)
+}
+
+/// Hit/miss/occupancy counters for this thread.
+pub fn stats() -> PoolStats {
+    POOL.with(|p| {
+        let p = p.borrow();
+        PoolStats {
+            hits: p.hits,
+            misses: p.misses,
+            bytes: p.bytes,
+        }
+    })
+}
+
+/// Drop every buffer parked on this thread (keeps the enabled flag).
+pub fn clear() {
+    POOL.with(|p| {
+        let mut p = p.borrow_mut();
+        p.classes.clear();
+        p.bytes = 0;
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_give_recycles_exact_length() {
+        clear();
+        let before = stats();
+        let mut v = take(1234);
+        v[0] = 7.0;
+        let ptr = v.as_ptr();
+        give(v);
+        let v2 = take(1234);
+        assert_eq!(v2.len(), 1234);
+        assert_eq!(v2.as_ptr(), ptr, "same-length take should recycle");
+        let after = stats();
+        assert_eq!(after.hits, before.hits + 1);
+    }
+
+    #[test]
+    fn take_filled_overwrites_recycled_contents() {
+        clear();
+        let mut v = take_zeroed(64);
+        v.fill(9.0);
+        give(v);
+        let v2 = take_filled(64, 1.5);
+        assert!(v2.iter().all(|&x| x == 1.5));
+        let v3 = take_zeroed(64);
+        assert!(v3.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn disabled_pool_is_pass_through() {
+        clear();
+        let was = set_enabled(false);
+        let v = take(99);
+        give(v);
+        assert_eq!(stats().bytes, 0, "disabled pool retains nothing");
+        set_enabled(was);
+    }
+
+    #[test]
+    fn class_capacity_is_bounded() {
+        clear();
+        for _ in 0..3 * MAX_PER_CLASS {
+            give(vec![0.0; 50]);
+        }
+        assert!(stats().bytes <= MAX_PER_CLASS * 50 * 4);
+    }
+
+    #[test]
+    fn zero_length_is_a_no_op() {
+        let v = take(0);
+        assert!(v.is_empty());
+        give(v);
+    }
+}

@@ -24,7 +24,10 @@ impl Default for ReLU {
 impl Layer for ReLU {
     fn forward(&mut self, mut x: Tensor, train: bool) -> Tensor {
         if train {
-            self.mask = x.data().iter().map(|&v| v > 0.0).collect();
+            // clear + extend reuses the mask's capacity: steady-state
+            // training allocates nothing here after the first step.
+            self.mask.clear();
+            self.mask.extend(x.data().iter().map(|&v| v > 0.0));
         }
         for v in x.data_mut() {
             if *v < 0.0 {
@@ -83,7 +86,8 @@ impl Layer for Sigmoid {
             *v = 1.0 / (1.0 + (-*v).exp());
         }
         if train {
-            self.cached_out = x.data().to_vec();
+            self.cached_out.clear();
+            self.cached_out.extend_from_slice(x.data());
         }
         x
     }
@@ -174,11 +178,12 @@ impl Layer for Dropout {
         self.counter += 1;
         let keep = 1.0 - self.p;
         let scale = 1.0 / keep;
-        self.mask = x
-            .data()
-            .iter()
-            .map(|_| if rng.gen::<f32>() < keep { scale } else { 0.0 })
-            .collect();
+        self.mask.clear();
+        self.mask.extend(
+            x.data()
+                .iter()
+                .map(|_| if rng.gen::<f32>() < keep { scale } else { 0.0 }),
+        );
         for (v, &m) in x.data_mut().iter_mut().zip(&self.mask) {
             *v *= m;
         }

@@ -1,21 +1,236 @@
-//! 2-D convolution via im2col, with grouped and depthwise variants.
+//! 2-D convolution via **fused im2col + GEMM**, with grouped and depthwise
+//! variants.
 //!
 //! One implementation covers the whole model zoo: `groups = 1` is ordinary
 //! convolution, `groups = cardinality` gives ResNeXt's grouped convolution,
 //! and `groups = in_channels` gives MobileNet/ShuffleNet depthwise
 //! convolution.
+//!
+//! ## Fusion
+//!
+//! The classical im2col lowering materialises a `[cg·k², oh·ow]` column
+//! matrix per (sample, group) — `k²` times the input — and then runs a
+//! GEMM over it. Here the column matrix is never built: [`PatchPanels`]
+//! implements the GEMM's [`BPanels`] pack-source trait and fills each
+//! packed `KC × NR` panel tile-by-tile straight from the input planes
+//! (stride-1 rows degrade to `copy_from_slice`). The forward pass is one
+//! blocked GEMM per (sample, group) writing directly into the output
+//! tensor; the weight-gradient GEMM reads patches through the transposed
+//! source [`PatchPanelsT`]. Only the input-gradient path keeps a
+//! materialised column buffer (`gcol`), because col2im is a
+//! scatter-accumulate.
+//!
+//! The training cache is therefore just the input tensor itself (taken by
+//! ownership — `forward` consumes its argument), not `k²`-inflated column
+//! matrices.
+//!
+//! ## Parallelism and determinism
+//!
+//! When [`fedknow_math::parallel::threads`] > 1, the batch dimension is
+//! split across scoped threads (each sample's output/input-gradient region
+//! is disjoint) and the GEMM inside each worker is pinned serial. Weight
+//! gradients are computed into per-(sample, group) slots of a scratch
+//! buffer and reduced into `grad_weight` on the calling thread in
+//! ascending (sample, group) order — the same order, and therefore the
+//! same f32 rounding, as the serial path. With one thread the GEMM itself
+//! may parallelise over output rows, which is bit-identical by the GEMM's
+//! own determinism contract. `crates/nn/tests/properties.rs` pins
+//! bit-identity across thread counts.
 
 use crate::layer::{Layer, ParamVisitor};
+use fedknow_math::gemm::{self, BPanels, DenseA, DenseATrans, DenseB};
 use fedknow_math::rng::kaiming_vec;
-use fedknow_math::{flops, Tensor};
+use fedknow_math::{flops, parallel, pool, Tensor};
 use fedknow_obs::PerfCounter;
 use rand::rngs::StdRng;
 
-// The inner GEMMs go through the uncounted `matmul*_raw` entry points
-// and the whole pass is accounted here instead, so `flops.conv2d_*`
-// and `flops.matmul*` never double-count the same work.
+// The inner GEMMs go through the uncounted `matmul*_raw`-level entry
+// points and the whole pass is accounted here instead, so
+// `flops.conv2d_*` and `flops.matmul*` never double-count the same work.
 static PERF_CONV_FWD: PerfCounter = PerfCounter::new("conv2d_fwd");
 static PERF_CONV_BWD: PerfCounter = PerfCounter::new("conv2d_bwd");
+
+/// Convolution geometry shared by the patch-panel pack sources.
+#[derive(Clone, Copy)]
+struct PatchGeom {
+    k: usize,
+    stride: usize,
+    pad: usize,
+    h: usize,
+    w: usize,
+    ow: usize,
+}
+
+impl PatchGeom {
+    /// Decompose a row index of the logical column matrix into
+    /// (channel, ky, kx).
+    #[inline]
+    fn fan_split(&self, f: usize) -> (usize, usize, usize) {
+        let kk = self.k * self.k;
+        (f / kk, (f % kk) / self.k, f % self.k)
+    }
+}
+
+/// The logical im2col matrix `[cg·k², oh·ow]` of one (sample, group) as a
+/// GEMM pack source. `x` holds that group's `cg` input planes.
+struct PatchPanels<'a> {
+    x: &'a [f32],
+    g: PatchGeom,
+}
+
+impl BPanels for PatchPanels<'_> {
+    fn pack(&self, dst: &mut [f32], k0: usize, kc: usize, j0: usize, nc: usize, nr: usize) {
+        let PatchGeom {
+            k,
+            stride,
+            pad,
+            h,
+            w,
+            ow,
+        } = self.g;
+        let nstrips = nc.div_ceil(nr);
+        // All index decompositions walk incrementally — no div/mod in the
+        // hot loops, which matters when `ow` is small and segments short.
+        let (mut c0, mut ky0, mut kx0) = self.g.fan_split(k0);
+        let (oy0, ox0) = (j0 / ow, j0 % ow);
+        for p in 0..kc {
+            let (c, ky, kx) = (c0, ky0, kx0);
+            kx0 += 1;
+            if kx0 == k {
+                kx0 = 0;
+                ky0 += 1;
+                if ky0 == k {
+                    ky0 = 0;
+                    c0 += 1;
+                }
+            }
+            let plane = &self.x[c * h * w..(c + 1) * h * w];
+            let (mut oy, mut ox) = (oy0, ox0);
+            for s in 0..nstrips {
+                let wd = nr.min(nc - s * nr);
+                let drow = &mut dst[s * kc * nr + p * nr..s * kc * nr + p * nr + nr];
+                drow[wd..].fill(0.0);
+                // Columns are consecutive output positions; fill one
+                // output row (fixed oy) at a time so the stride-1 case is
+                // a bounds-clamped memcpy from the input row.
+                let mut j = 0;
+                while j < wd {
+                    let seg = (ow - ox).min(wd - j);
+                    let dseg = &mut drow[j..j + seg];
+                    let iy = (oy * stride + ky) as isize - pad as isize;
+                    if iy < 0 || iy >= h as isize {
+                        dseg.fill(0.0);
+                    } else {
+                        let irow = &plane[iy as usize * w..(iy as usize + 1) * w];
+                        if stride == 1 {
+                            // ix = ox + kx - pad; valid ox ∈ [a, b).
+                            let off = kx as isize - pad as isize;
+                            let a = (-off).max(0) as usize;
+                            let b = (w as isize - off).max(0) as usize;
+                            let lo = a.clamp(ox, ox + seg);
+                            let hi = b.clamp(ox, ox + seg);
+                            dseg[..lo - ox].fill(0.0);
+                            dseg[hi.max(lo) - ox..].fill(0.0);
+                            if hi > lo {
+                                let ix0 = (lo as isize + off) as usize;
+                                dseg[lo - ox..hi - ox].copy_from_slice(&irow[ix0..ix0 + (hi - lo)]);
+                            }
+                        } else {
+                            for (t, d) in dseg.iter_mut().enumerate() {
+                                let ix = ((ox + t) * stride + kx) as isize - pad as isize;
+                                *d = if ix >= 0 && (ix as usize) < w {
+                                    irow[ix as usize]
+                                } else {
+                                    0.0
+                                };
+                            }
+                        }
+                    }
+                    j += seg;
+                    ox += seg;
+                    if ox == ow {
+                        ox = 0;
+                        oy += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The *transposed* im2col matrix `[oh·ow, cg·k²]` of one (sample, group)
+/// as a GEMM pack source — the right operand of the weight-gradient GEMM
+/// `gW = gy · colᵀ`.
+struct PatchPanelsT<'a> {
+    x: &'a [f32],
+    g: PatchGeom,
+}
+
+impl BPanels for PatchPanelsT<'_> {
+    fn pack(&self, dst: &mut [f32], k0: usize, kc: usize, j0: usize, nc: usize, nr: usize) {
+        let PatchGeom {
+            k,
+            stride,
+            pad,
+            h,
+            w,
+            ow,
+        } = self.g;
+        let nstrips = nc.div_ceil(nr);
+        let (mut oy, mut ox) = (k0 / ow, k0 % ow);
+        for p in 0..kc {
+            let iy0 = (oy * stride) as isize - pad as isize;
+            let ix0 = (ox * stride) as isize - pad as isize;
+            ox += 1;
+            if ox == ow {
+                ox = 0;
+                oy += 1;
+            }
+            // Columns walk the fan dimension (c, ky, kx) with kx fastest;
+            // a constant-kx run is contiguous in the input row, so each
+            // (c, ky) sub-run is a bounds-clamped memcpy of ≤ k floats.
+            let (mut c, mut ky, mut kx) = self.g.fan_split(j0);
+            for s in 0..nstrips {
+                let wd = nr.min(nc - s * nr);
+                let drow = &mut dst[s * kc * nr + p * nr..s * kc * nr + p * nr + nr];
+                drow[wd..].fill(0.0);
+                let mut j = 0;
+                while j < wd {
+                    let run = (k - kx).min(wd - j);
+                    let dseg = &mut drow[j..j + run];
+                    let iy = iy0 + ky as isize;
+                    if iy < 0 || iy >= h as isize {
+                        dseg.fill(0.0);
+                    } else {
+                        // ix = ix0 + kx; valid kx ∈ [a, b).
+                        let a = (-ix0).max(0) as usize;
+                        let b = (w as isize - ix0).max(0) as usize;
+                        let lo = a.clamp(kx, kx + run);
+                        let hi = b.clamp(kx, kx + run);
+                        dseg[..lo - kx].fill(0.0);
+                        dseg[hi.max(lo) - kx..].fill(0.0);
+                        if hi > lo {
+                            let base = c * h * w + iy as usize * w;
+                            let s0 = (ix0 + lo as isize) as usize;
+                            dseg[lo - kx..hi - kx]
+                                .copy_from_slice(&self.x[base + s0..base + s0 + (hi - lo)]);
+                        }
+                    }
+                    j += run;
+                    kx += run;
+                    if kx == k {
+                        kx = 0;
+                        ky += 1;
+                        if ky == k {
+                            ky = 0;
+                            c += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
 
 /// 2-D convolution: input `[B, C, H, W]` → output `[B, OC, OH, OW]`.
 pub struct Conv2d {
@@ -30,9 +245,10 @@ pub struct Conv2d {
     bias: Tensor,
     grad_weight: Tensor,
     grad_bias: Tensor,
-    /// Cached per-sample im2col matrices from the training forward pass.
-    cached_cols: Vec<Tensor>,
-    cached_in_shape: Vec<usize>,
+    /// Input cached (by ownership) from the training forward pass — the
+    /// fused backward re-reads patches from it instead of from stored
+    /// column matrices.
+    cached_input: Option<Tensor>,
 }
 
 impl Conv2d {
@@ -70,8 +286,7 @@ impl Conv2d {
             bias: Tensor::zeros(&[out_channels]),
             grad_weight: Tensor::zeros(&[out_channels, fan_in]),
             grad_bias: Tensor::zeros(&[out_channels]),
-            cached_cols: Vec::new(),
-            cached_in_shape: Vec::new(),
+            cached_input: None,
         }
     }
 
@@ -96,6 +311,18 @@ impl Conv2d {
         (oh, ow)
     }
 
+    fn geom(&self, h: usize, w: usize) -> PatchGeom {
+        let (_, ow) = self.out_hw(h, w);
+        PatchGeom {
+            k: self.kernel,
+            stride: self.stride,
+            pad: self.padding,
+            h,
+            w,
+            ow,
+        }
+    }
+
     /// The cost-model shape of one invocation on a `[b, C, h, w]` input.
     fn cost_shape(&self, b: usize, h: usize, w: usize) -> flops::Conv2dShape {
         flops::Conv2dShape {
@@ -111,62 +338,131 @@ impl Conv2d {
         }
     }
 
-    /// im2col for the channel range `[c0, c0+cg)` of one sample.
-    /// Output `[cg*k*k, oh*ow]`.
-    fn im2col(&self, x: &[f32], c0: usize, cg: usize, h: usize, w: usize) -> Tensor {
+    /// Fused forward for one sample: per group, one blocked GEMM
+    /// `W_g [ocg, fan] × patches [fan, ncols]` written directly into this
+    /// sample's `[OC, ncols]` output slice, then the bias broadcast.
+    fn fwd_sample(&self, xs: &[f32], out_s: &mut [f32], h: usize, w: usize) {
+        let g = self.geom(h, w);
         let (oh, ow) = self.out_hw(h, w);
-        let k = self.kernel;
-        let mut col = vec![0.0f32; cg * k * k * oh * ow];
         let ncols = oh * ow;
-        for c in 0..cg {
-            let plane = &x[(c0 + c) * h * w..(c0 + c + 1) * h * w];
-            for ky in 0..k {
-                for kx in 0..k {
-                    let row = ((c * k + ky) * k + kx) * ncols;
-                    for oy in 0..oh {
-                        let iy = (oy * self.stride + ky) as isize - self.padding as isize;
-                        if iy < 0 || iy >= h as isize {
-                            continue;
-                        }
-                        let iy = iy as usize;
-                        for ox in 0..ow {
-                            let ix = (ox * self.stride + kx) as isize - self.padding as isize;
-                            if ix < 0 || ix >= w as isize {
-                                continue;
-                            }
-                            col[row + oy * ow + ox] = plane[iy * w + ix as usize];
-                        }
-                    }
-                }
+        let cg = self.in_channels / self.groups;
+        let ocg = self.out_channels / self.groups;
+        let fan = cg * self.kernel * self.kernel;
+        for gi in 0..self.groups {
+            let wg = &self.weight.data()[gi * ocg * fan..(gi + 1) * ocg * fan];
+            let patches = PatchPanels {
+                x: &xs[gi * cg * h * w..(gi + 1) * cg * h * w],
+                g,
+            };
+            gemm::gemm(
+                ocg,
+                fan,
+                ncols,
+                &DenseA { data: wg, k: fan },
+                &patches,
+                &mut out_s[gi * ocg * ncols..(gi + 1) * ocg * ncols],
+            );
+        }
+        for (oc, &bv) in self.bias.data().iter().enumerate() {
+            for o in &mut out_s[oc * ncols..(oc + 1) * ncols] {
+                *o += bv;
             }
         }
-        Tensor::from_vec(col, &[cg * k * k, ncols])
     }
 
-    /// Scatter-accumulate a col-gradient back into an input-gradient plane
-    /// range `[c0, c0+cg)` of one sample.
-    fn col2im(&self, col: &Tensor, gx: &mut [f32], c0: usize, cg: usize, h: usize, w: usize) {
+    /// Fused backward for one sample: writes the input gradient into
+    /// `gx_s` (zeroed on entry) and the per-group weight-gradient
+    /// contributions into `gw_s` (`groups·ocg·fan`, overwritten), using
+    /// `gcol` (`fan·ncols`) as scratch.
+    #[allow(clippy::too_many_arguments)]
+    fn bwd_sample(
+        &self,
+        xs: &[f32],
+        grad_s: &[f32],
+        gx_s: &mut [f32],
+        gw_s: &mut [f32],
+        gcol: &mut [f32],
+        h: usize,
+        w: usize,
+    ) {
+        let g = self.geom(h, w);
+        let (oh, ow) = self.out_hw(h, w);
+        let ncols = oh * ow;
+        let cg = self.in_channels / self.groups;
+        let ocg = self.out_channels / self.groups;
+        let fan = cg * self.kernel * self.kernel;
+        for gi in 0..self.groups {
+            let gy = &grad_s[gi * ocg * ncols..(gi + 1) * ocg * ncols];
+            let xg = &xs[gi * cg * h * w..(gi + 1) * cg * h * w];
+            // gW_g [ocg, fan] = gy [ocg, ncols] × patchesᵀ [ncols, fan]
+            gemm::gemm(
+                ocg,
+                ncols,
+                fan,
+                &DenseA { data: gy, k: ncols },
+                &PatchPanelsT { x: xg, g },
+                &mut gw_s[gi * ocg * fan..(gi + 1) * ocg * fan],
+            );
+            // gcol [fan, ncols] = W_gᵀ × gy, then scatter back to gx.
+            let wg = &self.weight.data()[gi * ocg * fan..(gi + 1) * ocg * fan];
+            gemm::gemm(
+                fan,
+                ocg,
+                ncols,
+                &DenseATrans { data: wg, m: fan },
+                &DenseB { data: gy, n: ncols },
+                gcol,
+            );
+            self.col2im(
+                gcol,
+                &mut gx_s[gi * cg * h * w..(gi + 1) * cg * h * w],
+                h,
+                w,
+            );
+        }
+    }
+
+    /// Scatter-accumulate a `[cg·k², oh·ow]` col-gradient into one group's
+    /// input-gradient planes.
+    fn col2im(&self, col: &[f32], gx: &mut [f32], h: usize, w: usize) {
         let (oh, ow) = self.out_hw(h, w);
         let k = self.kernel;
         let ncols = oh * ow;
-        let cd = col.data();
+        let cg = self.in_channels / self.groups;
+        let pad = self.padding;
         for c in 0..cg {
-            let plane = &mut gx[(c0 + c) * h * w..(c0 + c + 1) * h * w];
+            let plane = &mut gx[c * h * w..(c + 1) * h * w];
             for ky in 0..k {
                 for kx in 0..k {
                     let row = ((c * k + ky) * k + kx) * ncols;
                     for oy in 0..oh {
-                        let iy = (oy * self.stride + ky) as isize - self.padding as isize;
+                        let iy = (oy * self.stride + ky) as isize - pad as isize;
                         if iy < 0 || iy >= h as isize {
                             continue;
                         }
                         let iy = iy as usize;
-                        for ox in 0..ow {
-                            let ix = (ox * self.stride + kx) as isize - self.padding as isize;
-                            if ix < 0 || ix >= w as isize {
-                                continue;
+                        if self.stride == 1 {
+                            // ix = ox + kx - pad; valid ox ∈ [a, b) — a
+                            // contiguous accumulate on both sides.
+                            let off = kx as isize - pad as isize;
+                            let a = ((-off).max(0) as usize).min(ow);
+                            let b = (((w as isize - off).max(0)) as usize).min(ow);
+                            if b > a {
+                                let ix0 = (a as isize + off) as usize;
+                                let dst = &mut plane[iy * w + ix0..iy * w + ix0 + (b - a)];
+                                let src = &col[row + oy * ow + a..row + oy * ow + b];
+                                for (d, &v) in dst.iter_mut().zip(src) {
+                                    *d += v;
+                                }
                             }
-                            plane[iy * w + ix as usize] += cd[row + oy * ow + ox];
+                        } else {
+                            for ox in 0..ow {
+                                let ix = (ox * self.stride + kx) as isize - pad as isize;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                plane[iy * w + ix as usize] += col[row + oy * ow + ox];
+                            }
                         }
                     }
                 }
@@ -182,89 +478,143 @@ impl Layer for Conv2d {
         let (b, c, h, w) = (s[0], s[1], s[2], s[3]);
         assert_eq!(c, self.in_channels, "Conv2d channel mismatch");
         let (oh, ow) = self.out_hw(h, w);
-        let ncols = oh * ow;
-        let cg = self.in_channels / self.groups;
-        let ocg = self.out_channels / self.groups;
-        let fan = cg * self.kernel * self.kernel;
+        let sample_out = self.out_channels * oh * ow;
 
-        let mut out = vec![0.0f32; b * self.out_channels * ncols];
-        if train {
-            self.cached_cols.clear();
-            self.cached_in_shape = s.to_vec();
-        }
-        for bi in 0..b {
-            let xin = &x.data()[bi * c * h * w..(bi + 1) * c * h * w];
-            for g in 0..self.groups {
-                let col = self.im2col(xin, g * cg, cg, h, w);
-                // y_g [ocg, ncols] = W_g [ocg, fan] × col [fan, ncols]
-                let wg = Tensor::from_vec(
-                    self.weight.data()[g * ocg * fan..(g + 1) * ocg * fan].to_vec(),
-                    &[ocg, fan],
-                );
-                let y = wg.matmul_raw(&col);
-                let dst0 = bi * self.out_channels * ncols + g * ocg * ncols;
-                out[dst0..dst0 + ocg * ncols].copy_from_slice(y.data());
-                if train {
-                    self.cached_cols.push(col);
-                }
-            }
-        }
-        // Bias per output channel.
-        let bias = self.bias.data();
-        for bi in 0..b {
-            for (oc, &bv) in bias.iter().enumerate() {
-                let base = (bi * self.out_channels + oc) * ncols;
-                for o in &mut out[base..base + ncols] {
-                    *o += bv;
-                }
-            }
-        }
-        let c = flops::conv2d_fwd(&self.cost_shape(b, h, w));
-        PERF_CONV_FWD.op(c.flops, c.bytes);
-        Tensor::from_vec(out, &[b, self.out_channels, oh, ow])
-    }
-
-    fn backward(&mut self, grad: Tensor) -> Tensor {
-        let in_shape = self.cached_in_shape.clone();
-        assert!(!in_shape.is_empty(), "backward before forward(train)");
-        let (b, c, h, w) = (in_shape[0], in_shape[1], in_shape[2], in_shape[3]);
-        let (oh, ow) = self.out_hw(h, w);
-        let ncols = oh * ow;
-        let cg = self.in_channels / self.groups;
-        let ocg = self.out_channels / self.groups;
-        let fan = cg * self.kernel * self.kernel;
-
-        let mut gx = vec![0.0f32; b * c * h * w];
-        for bi in 0..b {
-            for g in 0..self.groups {
-                let col = &self.cached_cols[bi * self.groups + g];
-                let gbase = bi * self.out_channels * ncols + g * ocg * ncols;
-                let gy = Tensor::from_vec(
-                    grad.data()[gbase..gbase + ocg * ncols].to_vec(),
-                    &[ocg, ncols],
-                );
-                // gW_g [ocg, fan] += gy [ocg, ncols] × colᵀ
-                let gw = gy.matmul_nt_raw(col);
-                let wslice = &mut self.grad_weight.data_mut()[g * ocg * fan..(g + 1) * ocg * fan];
-                for (dst, &src) in wslice.iter_mut().zip(gw.data()) {
-                    *dst += src;
-                }
-                // gcol [fan, ncols] = W_gᵀ × gy
-                let wg = Tensor::from_vec(
-                    self.weight.data()[g * ocg * fan..(g + 1) * ocg * fan].to_vec(),
-                    &[ocg, fan],
-                );
-                let gcol = wg.matmul_tn_raw(&gy);
-                self.col2im(
-                    &gcol,
-                    &mut gx[bi * c * h * w..(bi + 1) * c * h * w],
-                    g * cg,
-                    cg,
+        let mut out = pool::take(b * sample_out);
+        // Serial fast path avoids building the (heap-allocated) chunk
+        // list: steady-state training must not allocate.
+        let nthreads = parallel::threads();
+        let chunks = if nthreads <= 1 || b <= 1 {
+            Vec::new()
+        } else {
+            parallel::chunks(b, 1, nthreads)
+        };
+        if chunks.len() <= 1 {
+            for bi in 0..b {
+                self.fwd_sample(
+                    &x.data()[bi * c * h * w..(bi + 1) * c * h * w],
+                    &mut out[bi * sample_out..(bi + 1) * sample_out],
                     h,
                     w,
                 );
             }
+        } else {
+            let this: &Conv2d = self;
+            let xd = x.data();
+            std::thread::scope(|sc| {
+                let mut rest = &mut out[..];
+                for &(b0, bl) in &chunks {
+                    let (mine, tail) = rest.split_at_mut(bl * sample_out);
+                    rest = tail;
+                    sc.spawn(move || {
+                        // Batch-level parallelism owns the cores; keep the
+                        // GEMM inside each worker serial.
+                        parallel::with_threads(1, || {
+                            for (i, o) in mine.chunks_mut(sample_out).enumerate() {
+                                let bi = b0 + i;
+                                this.fwd_sample(&xd[bi * c * h * w..(bi + 1) * c * h * w], o, h, w);
+                            }
+                        });
+                    });
+                }
+            });
         }
+
+        if train {
+            self.cached_input = Some(x);
+        }
+        let cst = flops::conv2d_fwd(&self.cost_shape(b, h, w));
+        PERF_CONV_FWD.op(cst.flops, cst.bytes);
+        Tensor::from_vec(out, &[b, self.out_channels, oh, ow])
+    }
+
+    fn backward(&mut self, grad: Tensor) -> Tensor {
+        let (b, c, h, w) = {
+            let x = self
+                .cached_input
+                .as_ref()
+                .expect("backward before forward(train)");
+            let s = x.shape();
+            (s[0], s[1], s[2], s[3])
+        };
+        let (oh, ow) = self.out_hw(h, w);
+        let ncols = oh * ow;
+        let ocg = self.out_channels / self.groups;
+        let fan = (self.in_channels / self.groups) * self.kernel * self.kernel;
+        let sample_grad = self.out_channels * ncols;
+        let sample_in = c * h * w;
+        let gw_len = self.groups * ocg * fan;
+
+        let mut gx = pool::take_zeroed(b * sample_in);
+        // Per-(sample, group) weight-gradient slots; reduced in fixed
+        // order below so the result is bit-identical for every thread
+        // count (including 1 — the serial path takes the same route).
+        let mut gw_parts = pool::take(b * gw_len);
+        {
+            let this: &Conv2d = self;
+            let gd = grad.data();
+            let xd = this.cached_input.as_ref().unwrap().data();
+            let nthreads = parallel::threads();
+            let chunks = if nthreads <= 1 || b <= 1 {
+                Vec::new()
+            } else {
+                parallel::chunks(b, 1, nthreads)
+            };
+            if chunks.len() <= 1 {
+                let mut gcol = pool::take(fan * ncols);
+                for bi in 0..b {
+                    this.bwd_sample(
+                        &xd[bi * sample_in..(bi + 1) * sample_in],
+                        &gd[bi * sample_grad..(bi + 1) * sample_grad],
+                        &mut gx[bi * sample_in..(bi + 1) * sample_in],
+                        &mut gw_parts[bi * gw_len..(bi + 1) * gw_len],
+                        &mut gcol,
+                        h,
+                        w,
+                    );
+                }
+                pool::give(gcol);
+            } else {
+                std::thread::scope(|sc| {
+                    let mut gx_rest = &mut gx[..];
+                    let mut gw_rest = &mut gw_parts[..];
+                    for &(b0, bl) in &chunks {
+                        let (gx_mine, gx_tail) = gx_rest.split_at_mut(bl * sample_in);
+                        gx_rest = gx_tail;
+                        let (gw_mine, gw_tail) = gw_rest.split_at_mut(bl * gw_len);
+                        gw_rest = gw_tail;
+                        sc.spawn(move || {
+                            parallel::with_threads(1, || {
+                                let mut gcol = pool::take(fan * ncols);
+                                for i in 0..bl {
+                                    let bi = b0 + i;
+                                    this.bwd_sample(
+                                        &xd[bi * sample_in..(bi + 1) * sample_in],
+                                        &gd[bi * sample_grad..(bi + 1) * sample_grad],
+                                        &mut gx_mine[i * sample_in..(i + 1) * sample_in],
+                                        &mut gw_mine[i * gw_len..(i + 1) * gw_len],
+                                        &mut gcol,
+                                        h,
+                                        w,
+                                    );
+                                }
+                                pool::give(gcol);
+                            });
+                        });
+                    }
+                });
+            }
+        }
+        // Fixed-order reduction: ascending sample index, then group —
+        // identical f32 addition sequence regardless of which thread
+        // produced each part.
+        let gwd = self.grad_weight.data_mut();
+        for part in gw_parts.chunks(gw_len) {
+            for (dst, &src) in gwd.iter_mut().zip(part) {
+                *dst += src;
+            }
+        }
+        pool::give(gw_parts);
         // Bias gradient: sum of grad over batch and spatial dims.
         let gb = self.grad_bias.data_mut();
         for bi in 0..b {
@@ -275,7 +625,7 @@ impl Layer for Conv2d {
         }
         let cst = flops::conv2d_bwd(&self.cost_shape(b, h, w));
         PERF_CONV_BWD.op(cst.flops, cst.bytes);
-        Tensor::from_vec(gx, &in_shape)
+        Tensor::from_vec(gx, &[b, c, h, w])
     }
 
     fn visit_params(&mut self, v: &mut dyn ParamVisitor) {
@@ -388,5 +738,84 @@ mod tests {
         let y = conv.forward(x, true);
         let gx = conv.backward(Tensor::full(y.shape(), 1.0));
         assert_eq!(gx.shape(), &[2, 3, 6, 6]);
+    }
+
+    /// Reference forward straight from the convolution definition —
+    /// no im2col, no GEMM — for differential checks on the fused path.
+    fn naive_forward(conv: &Conv2d, x: &Tensor) -> Tensor {
+        let s = x.shape();
+        let (b, _, h, w) = (s[0], s[1], s[2], s[3]);
+        let (oh, ow) = conv.out_hw(h, w);
+        let (k, st, pd) = (conv.kernel, conv.stride, conv.padding);
+        let cg = conv.in_channels / conv.groups;
+        let ocg = conv.out_channels / conv.groups;
+        let fan = cg * k * k;
+        let mut out = vec![0.0f32; b * conv.out_channels * oh * ow];
+        for bi in 0..b {
+            for oc in 0..conv.out_channels {
+                let gi = oc / ocg;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = conv.bias.data()[oc] as f64;
+                        for ci in 0..cg {
+                            for ky in 0..k {
+                                for kx in 0..k {
+                                    let iy = (oy * st + ky) as isize - pd as isize;
+                                    let ix = (ox * st + kx) as isize - pd as isize;
+                                    if iy < 0 || iy >= h as isize || ix < 0 || ix >= w as isize {
+                                        continue;
+                                    }
+                                    let xi = x.data()[((bi * conv.in_channels + gi * cg + ci) * h
+                                        + iy as usize)
+                                        * w
+                                        + ix as usize];
+                                    let wi = conv.weight.data()[oc * fan + (ci * k + ky) * k + kx];
+                                    acc += (xi as f64) * (wi as f64);
+                                }
+                            }
+                        }
+                        out[((bi * conv.out_channels + oc) * oh + oy) * ow + ox] = acc as f32;
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(out, &[b, conv.out_channels, oh, ow])
+    }
+
+    #[test]
+    #[allow(clippy::type_complexity)]
+    fn fused_forward_matches_definition_across_geometries() {
+        // Kernel/stride/pad/groups sweep including non-square inputs and
+        // 1×N degenerate spatial shapes.
+        let cases: &[(usize, usize, usize, usize, usize, usize, usize, usize)] = &[
+            // (cin, cout, k, stride, pad, groups, h, w)
+            (3, 8, 3, 1, 1, 1, 7, 7),
+            (4, 6, 3, 2, 1, 2, 9, 5),
+            (2, 2, 3, 1, 1, 2, 3, 11),
+            (5, 5, 1, 1, 0, 5, 4, 4),
+            (2, 4, 5, 2, 2, 1, 11, 8),
+            (1, 3, 2, 3, 0, 1, 10, 10),
+            (3, 3, 3, 1, 1, 1, 1, 9),
+        ];
+        for (i, &(cin, cout, k, st, pd, g, h, w)) in cases.iter().enumerate() {
+            let mut rng = seeded(42 + i as u64);
+            let mut conv = Conv2d::new(&mut rng, cin, cout, k, st, pd, g);
+            let n = 2 * cin * h * w;
+            let x = Tensor::from_vec(
+                (0..n)
+                    .map(|j| ((j * 37 + i) % 23) as f32 * 0.1 - 1.1)
+                    .collect(),
+                &[2, cin, h, w],
+            );
+            let got = conv.forward(x.clone(), false);
+            let want = naive_forward(&conv, &x);
+            assert_eq!(got.shape(), want.shape(), "case {i}");
+            for (p, (&a, &e)) in got.data().iter().zip(want.data()).enumerate() {
+                assert!(
+                    (a - e).abs() <= 1e-4 * (1.0 + e.abs()),
+                    "case {i} elem {p}: fused {a} vs naive {e}"
+                );
+            }
+        }
     }
 }

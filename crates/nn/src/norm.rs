@@ -1,7 +1,7 @@
 //! Batch normalisation.
 
 use crate::layer::{Layer, ParamVisitor};
-use fedknow_math::Tensor;
+use fedknow_math::{pool, Tensor};
 
 /// Per-channel batch normalisation over `[B, C, H, W]`.
 ///
@@ -47,18 +47,21 @@ impl BatchNorm2d {
 
 impl Layer for BatchNorm2d {
     fn forward(&mut self, x: Tensor, train: bool) -> Tensor {
-        let s = x.shape().to_vec();
-        assert_eq!(s.len(), 4, "BatchNorm2d expects [B,C,H,W]");
-        let (b, c, h, w) = (s[0], s[1], s[2], s[3]);
+        assert_eq!(x.shape().len(), 4, "BatchNorm2d expects [B,C,H,W]");
+        let (b, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
         assert_eq!(c, self.channels, "BatchNorm2d channel mismatch");
         let plane = h * w;
         let n = (b * plane) as f32;
         let mut out = x.into_vec();
 
         if train {
-            self.cached_shape = s.clone();
-            self.cached_inv_std = vec![0.0; c];
-            let mut xhat = vec![0.0f32; out.len()];
+            self.cached_shape.clear();
+            self.cached_shape.extend_from_slice(&[b, c, h, w]);
+            self.cached_inv_std.clear();
+            self.cached_inv_std.resize(c, 0.0);
+            let xhat = &mut self.cached_xhat;
+            xhat.clear();
+            xhat.resize(out.len(), 0.0);
             for ch in 0..c {
                 let mut mean = 0.0f32;
                 for bi in 0..b {
@@ -91,7 +94,6 @@ impl Layer for BatchNorm2d {
                     }
                 }
             }
-            self.cached_xhat = xhat;
         } else {
             for ch in 0..c {
                 let inv_std = 1.0 / (self.running_var[ch] + self.eps).sqrt();
@@ -105,17 +107,24 @@ impl Layer for BatchNorm2d {
                 }
             }
         }
-        Tensor::from_vec(out, &s)
+        Tensor::from_vec(out, &[b, c, h, w])
     }
 
     fn backward(&mut self, grad: Tensor) -> Tensor {
-        let s = self.cached_shape.clone();
-        assert!(!s.is_empty(), "backward before forward(train)");
-        let (b, c, h, w) = (s[0], s[1], s[2], s[3]);
+        assert!(
+            !self.cached_shape.is_empty(),
+            "backward before forward(train)"
+        );
+        let (b, c, h, w) = (
+            self.cached_shape[0],
+            self.cached_shape[1],
+            self.cached_shape[2],
+            self.cached_shape[3],
+        );
         let plane = h * w;
         let n = (b * plane) as f32;
         let gy = grad.data();
-        let mut gx = vec![0.0f32; gy.len()];
+        let mut gx = pool::take_zeroed(gy.len());
         for ch in 0..c {
             let g = self.gamma.data()[ch];
             let inv_std = self.cached_inv_std[ch];
@@ -140,7 +149,7 @@ impl Layer for BatchNorm2d {
                 }
             }
         }
-        Tensor::from_vec(gx, &s)
+        Tensor::from_vec(gx, &[b, c, h, w])
     }
 
     fn visit_params(&mut self, v: &mut dyn ParamVisitor) {

@@ -1,7 +1,12 @@
 //! Pooling and shape layers.
+//!
+//! All layers here keep persistent scratch (argmax indices, cached input
+//! shapes) and draw output buffers from [`fedknow_math::pool`], so the
+//! steady-state training loop performs no heap allocation (pinned by
+//! `crates/nn/tests/alloc_steady_state.rs`).
 
 use crate::layer::Layer;
-use fedknow_math::Tensor;
+use fedknow_math::{pool, Tensor};
 
 /// 2×2 (or k×k) max pooling with stride = kernel.
 pub struct MaxPool2d {
@@ -29,13 +34,18 @@ impl MaxPool2d {
 
 impl Layer for MaxPool2d {
     fn forward(&mut self, x: Tensor, train: bool) -> Tensor {
-        let s = x.shape().to_vec();
+        let s = x.shape();
         assert_eq!(s.len(), 4, "MaxPool2d expects [B,C,H,W]");
         let (b, c, h, w) = (s[0], s[1], s[2], s[3]);
         let (oh, ow) = self.out_hw(h, w);
         let k = self.kernel;
-        let mut out = vec![f32::NEG_INFINITY; b * c * oh * ow];
-        let mut argmax = vec![0u32; b * c * oh * ow];
+        let mut out = pool::take_filled(b * c * oh * ow, f32::NEG_INFINITY);
+        if train {
+            self.in_shape.clear();
+            self.in_shape.extend_from_slice(s);
+            self.argmax.clear();
+            self.argmax.resize(b * c * oh * ow, 0);
+        }
         let xd = x.data();
         for bc in 0..b * c {
             let plane = &xd[bc * h * w..(bc + 1) * h * w];
@@ -49,16 +59,14 @@ impl Layer for MaxPool2d {
                             let v = plane[iy * w + ix];
                             if v > out[oidx] {
                                 out[oidx] = v;
-                                argmax[oidx] = (bc * h * w + iy * w + ix) as u32;
+                                if train {
+                                    self.argmax[oidx] = (bc * h * w + iy * w + ix) as u32;
+                                }
                             }
                         }
                     }
                 }
             }
-        }
-        if train {
-            self.argmax = argmax;
-            self.in_shape = s;
         }
         Tensor::from_vec(out, &[b, c, oh, ow])
     }
@@ -109,16 +117,17 @@ impl Default for GlobalAvgPool {
 
 impl Layer for GlobalAvgPool {
     fn forward(&mut self, x: Tensor, train: bool) -> Tensor {
-        let s = x.shape().to_vec();
+        let s = x.shape();
         assert_eq!(s.len(), 4, "GlobalAvgPool expects [B,C,H,W]");
         let (b, c, h, w) = (s[0], s[1], s[2], s[3]);
+        if train {
+            self.in_shape.clear();
+            self.in_shape.extend_from_slice(s);
+        }
         let inv = 1.0 / (h * w) as f32;
-        let mut out = vec![0.0f32; b * c];
+        let mut out = pool::take(b * c);
         for (bc, o) in out.iter_mut().enumerate() {
             *o = x.data()[bc * h * w..(bc + 1) * h * w].iter().sum::<f32>() * inv;
-        }
-        if train {
-            self.in_shape = s;
         }
         Tensor::from_vec(out, &[b, c])
     }
@@ -170,11 +179,12 @@ impl Default for Flatten {
 
 impl Layer for Flatten {
     fn forward(&mut self, x: Tensor, train: bool) -> Tensor {
-        let s = x.shape().to_vec();
+        let s = x.shape();
         let b = s[0];
         let rest: usize = s[1..].iter().product();
         if train {
-            self.in_shape = s;
+            self.in_shape.clear();
+            self.in_shape.extend_from_slice(s);
         }
         x.reshape(&[b, rest])
     }
@@ -248,13 +258,17 @@ impl AvgPool2d {
 
 impl Layer for AvgPool2d {
     fn forward(&mut self, x: Tensor, train: bool) -> Tensor {
-        let s = x.shape().to_vec();
+        let s = x.shape();
         assert_eq!(s.len(), 4, "AvgPool2d expects [B,C,H,W]");
         let (b, c, h, w) = (s[0], s[1], s[2], s[3]);
+        if train {
+            self.in_shape.clear();
+            self.in_shape.extend_from_slice(s);
+        }
         let k = self.kernel;
         let (oh, ow) = (h / k, w / k);
         let inv = 1.0 / (k * k) as f32;
-        let mut out = vec![0.0f32; b * c * oh * ow];
+        let mut out = pool::take(b * c * oh * ow);
         let xd = x.data();
         for bc in 0..b * c {
             let plane = &xd[bc * h * w..(bc + 1) * h * w];
@@ -269,9 +283,6 @@ impl Layer for AvgPool2d {
                     out[bc * oh * ow + oy * ow + ox] = acc * inv;
                 }
             }
-        }
-        if train {
-            self.in_shape = s;
         }
         Tensor::from_vec(out, &[b, c, oh, ow])
     }

@@ -1,0 +1,138 @@
+//! Bit-identity properties of the kernel layer.
+//!
+//! Two invariants the training stack leans on:
+//!
+//! 1. **Workspace reuse is invisible.** Buffers recycled through
+//!    [`fedknow_math::pool`] must produce bit-identical results to fresh
+//!    allocation — recycling may never leak stale values into a result.
+//! 2. **Parallelism is invisible.** The batch-parallel conv and the
+//!    row-parallel GEMM accumulate every output element in the same
+//!    (ascending-k) order regardless of the thread count, so results for
+//!    1, 2, 4 and 8 threads are bit-identical. Federated rounds rely on
+//!    this: a client's update must not depend on how many cores its edge
+//!    device has.
+
+use fedknow_math::rng::seeded;
+use fedknow_math::{parallel, pool, Tensor};
+use fedknow_nn::conv::Conv2d;
+use fedknow_nn::loss::cross_entropy;
+use fedknow_nn::models::six_cnn;
+use fedknow_nn::Layer;
+
+fn input(shape: &[usize], seed: u64) -> Tensor {
+    let mut rng = seeded(seed);
+    let data = fedknow_math::rng::normal_vec(&mut rng, shape.iter().product(), 0.0, 1.0);
+    Tensor::from_vec(data, shape)
+}
+
+/// One conv forward+backward; returns `(y, gx, flat grads)` as raw bits.
+fn conv_round_trip(conv: &mut Conv2d, x: &Tensor) -> (Vec<u32>, Vec<u32>, Vec<u32>) {
+    conv.zero_grad();
+    let y = conv.forward(x.clone(), true);
+    let gx = conv.backward(y.clone());
+    let mut grads = Vec::new();
+    conv.visit_params(&mut |_: &str, _: &[usize], _: &mut [f32], g: &mut [f32]| {
+        grads.extend(g.iter().map(|v| v.to_bits()));
+    });
+    (
+        y.data().iter().map(|v| v.to_bits()).collect(),
+        gx.data().iter().map(|v| v.to_bits()).collect(),
+        grads,
+    )
+}
+
+#[test]
+fn conv_is_bit_identical_across_thread_counts() {
+    let mut rng = seeded(41);
+    // Batch 8 so every thread count {1,2,4,8} gets a non-trivial split;
+    // 17×13 input crosses the packed column tiles.
+    let mut conv = Conv2d::new(&mut rng, 3, 8, 3, 1, 1, 1);
+    let x = input(&[8, 3, 17, 13], 42);
+    let reference = parallel::with_threads(1, || conv_round_trip(&mut conv, &x));
+    for t in [2, 4, 8] {
+        let got = parallel::with_threads(t, || conv_round_trip(&mut conv, &x));
+        assert_eq!(got.0, reference.0, "forward differs at {t} threads");
+        assert_eq!(got.1, reference.1, "input grad differs at {t} threads");
+        assert_eq!(got.2, reference.2, "weight grad differs at {t} threads");
+    }
+}
+
+#[test]
+fn matmul_is_bit_identical_across_thread_counts() {
+    // Row count crosses several mr tiles for every ISA tier.
+    let a = input(&[67, 129], 43);
+    let b = input(&[129, 53], 44);
+    let reference = parallel::with_threads(1, || a.matmul(&b));
+    for t in [2, 4, 8] {
+        let got = parallel::with_threads(t, || a.matmul(&b));
+        assert_eq!(
+            got.data().iter().map(|v| v.to_bits()).collect::<Vec<u32>>(),
+            reference
+                .data()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<u32>>(),
+            "matmul differs at {t} threads"
+        );
+    }
+}
+
+/// A full train step on the paper's 6-CNN must produce bit-identical
+/// parameters for every thread count.
+#[test]
+fn train_step_is_bit_identical_across_thread_counts() {
+    let x = input(&[8, 3, 16, 16], 45);
+    let labels: Vec<usize> = (0..8).map(|i| i % 10).collect();
+    let step = |threads: usize| -> Vec<u32> {
+        parallel::with_threads(threads, || {
+            let mut rng = seeded(46);
+            let mut m = six_cnn(&mut rng, 3, 10, 1.0);
+            for _ in 0..2 {
+                let logits = m.forward(x.clone(), true);
+                let (_, grad) = cross_entropy(&logits, &labels);
+                m.zero_grad();
+                let _ = m.backward(grad);
+                m.sgd_step(0.05);
+            }
+            m.flat_params().iter().map(|v| v.to_bits()).collect()
+        })
+    };
+    let reference = step(1);
+    for t in [2, 4, 8] {
+        assert_eq!(step(t), reference, "trained params differ at {t} threads");
+    }
+}
+
+/// Recycled workspaces must be invisible: running with the buffer pool
+/// disabled (every take is a fresh allocation) gives bit-identical
+/// results to running with it enabled (buffers carry stale garbage that
+/// kernels must fully overwrite or zero).
+#[test]
+fn workspace_reuse_is_bit_identical_to_fresh_allocation() {
+    let x = input(&[4, 3, 16, 16], 47);
+    let labels: Vec<usize> = (0..4).map(|i| i % 10).collect();
+    let run = |pool_on: bool| -> (Vec<u32>, Vec<u32>) {
+        let was = pool::set_enabled(pool_on);
+        let mut rng = seeded(48);
+        let mut m = six_cnn(&mut rng, 3, 10, 1.0);
+        let mut logits_bits = Vec::new();
+        for _ in 0..3 {
+            let logits = m.forward(x.clone(), true);
+            logits_bits = logits.data().iter().map(|v| v.to_bits()).collect();
+            let (_, grad) = cross_entropy(&logits, &labels);
+            m.zero_grad();
+            let _ = m.backward(grad);
+            m.sgd_step(0.05);
+        }
+        let params = m.flat_params().iter().map(|v| v.to_bits()).collect();
+        pool::set_enabled(was);
+        (logits_bits, params)
+    };
+    // Warm the pool with one run first so the pooled run genuinely
+    // recycles dirty buffers rather than allocating fresh zeroed ones.
+    let _ = run(true);
+    let pooled = run(true);
+    let fresh = run(false);
+    assert_eq!(pooled.0, fresh.0, "logits differ with pooling enabled");
+    assert_eq!(pooled.1, fresh.1, "params differ with pooling enabled");
+}

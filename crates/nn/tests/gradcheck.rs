@@ -380,6 +380,65 @@ fn batchnorm_eval_mode_tracks_running_statistics() {
     );
 }
 
+/// The fused im2col+GEMM conv backward on a non-square input with deep
+/// padding and stride 2 — the regime where patch-panel packing has to
+/// clamp ragged row segments on both edges.
+#[test]
+fn gradcheck_conv_nonsquare_padded_strided() {
+    let mut rng = seeded(25);
+    let seq = Sequential::new()
+        .push(Conv2d::new(&mut rng, 2, 4, 3, 2, 2, 1))
+        .push(ReLU::new())
+        .push(GlobalAvgPool::new())
+        .push(Linear::new(&mut rng, 4, 3));
+    gradcheck(
+        Model::new(seq, &[2, 5, 7], 3),
+        input(&[2, 2, 5, 7], 26),
+        &[0, 1],
+        0.05,
+    );
+}
+
+/// Stride above the kernel on a 1×N input: output positions sample
+/// disjoint patches and most padded taps fall outside the input.
+#[test]
+fn gradcheck_conv_stride_exceeds_kernel_on_1xn_input() {
+    let mut rng = seeded(27);
+    let seq = Sequential::new()
+        .push(Conv2d::new(&mut rng, 3, 5, 2, 3, 1, 1))
+        .push(ReLU::new())
+        .push(GlobalAvgPool::new())
+        .push(Linear::new(&mut rng, 5, 3));
+    gradcheck(
+        Model::new(seq, &[3, 1, 9], 3),
+        input(&[2, 3, 1, 9], 28),
+        &[0, 1],
+        0.05,
+    );
+}
+
+/// Grouped conv with padding equal to the kernel size (every border
+/// patch is mostly zeros) on a non-square input.
+#[test]
+fn gradcheck_grouped_conv_full_padding() {
+    let mut rng = seeded(29);
+    // Sigmoid rather than ReLU: with padding == kernel, border outputs
+    // sit near the bias and a ReLU kink there makes the central finite
+    // difference lie; the conv gradient itself is pinned against the f64
+    // oracle by the tile-adversarial differential suite.
+    let seq = Sequential::new()
+        .push(Conv2d::new(&mut rng, 4, 6, 3, 1, 3, 2))
+        .push(Sigmoid::new())
+        .push(GlobalAvgPool::new())
+        .push(Linear::new(&mut rng, 6, 3));
+    gradcheck(
+        Model::new(seq, &[4, 3, 6], 3),
+        input(&[2, 4, 3, 6], 30),
+        &[1, 2],
+        0.05,
+    );
+}
+
 #[test]
 fn gradcheck_avgpool_and_dropout_free_path() {
     use fedknow_nn::pool::AvgPool2d;

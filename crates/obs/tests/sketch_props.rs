@@ -120,8 +120,8 @@ proptest! {
     ) {
         let hi = lo * hi_mult;
         let mut values: Vec<f64> = Vec::with_capacity(n_lo + n_hi);
-        values.extend(std::iter::repeat(lo).take(n_lo));
-        values.extend(std::iter::repeat(hi).take(n_hi));
+        values.extend(std::iter::repeat_n(lo, n_lo));
+        values.extend(std::iter::repeat_n(hi, n_hi));
         let s = sketch_of(&values);
         values.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let exact = oracle_quantile(&values, q);

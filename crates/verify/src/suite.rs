@@ -219,6 +219,215 @@ pub fn conv_backward(
     )
 }
 
+// ------------------------------------------------- tile-adversarial shapes
+//
+// The packed GEMM blocks over register tiles (`mr × nr`), KC-deep cache
+// slabs and NC-wide column panels; the fused conv packs patch panels in
+// the same strips. Every one of those boundaries is an off-by-one
+// opportunity that small random shapes (≤ 16) never reach. The
+// generators below draw shapes that sit *on* the boundaries: tile edges
+// ±1, primes that divide nothing, degenerate 1×N problems, the KC slab
+// edge, and conv stride/pad extremes.
+
+/// Dimension candidates that stress the packed-GEMM register tiling for
+/// the ISA actually selected at runtime: tile edges ±1, primes, 1.
+pub fn adversarial_dims() -> Vec<usize> {
+    let (mr, nr) = fedknow_math::gemm::tile_params();
+    let mut v = vec![
+        1,
+        2,
+        3,
+        5,
+        7,
+        13,
+        17,
+        31,
+        37,
+        mr - 1,
+        mr,
+        mr + 1,
+        2 * mr + 1,
+        nr - 1,
+        nr,
+        nr + 1,
+    ];
+    v.retain(|&d| d >= 1);
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+/// Contraction-length candidates: the register-tile set plus the KC
+/// cache-slab boundary ±1 (a k-loop off-by-one drops or double-counts
+/// exactly one rank-1 update at `k = KC + 1`).
+pub fn adversarial_ks() -> Vec<usize> {
+    let mut v = adversarial_dims();
+    v.extend_from_slice(&[
+        fedknow_math::gemm::KC - 1,
+        fedknow_math::gemm::KC,
+        fedknow_math::gemm::KC + 1,
+    ]);
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+/// Draw one tile-adversarial GEMM case: `m`, `n`, `k` from the boundary
+/// sets, random entry point, standard-normal values.
+pub fn gen_matmul_tiles(rng: &mut StdRng) -> MatmulCase {
+    let kind = match rng.gen_range(0..3u32) {
+        0 => MatmulKind::Plain,
+        1 => MatmulKind::TransposedLhs,
+        _ => MatmulKind::TransposedRhs,
+    };
+    let dims = adversarial_dims();
+    let ks = adversarial_ks();
+    let (m, k, n) = loop {
+        let m = dims[rng.gen_range(0..dims.len())];
+        let k = ks[rng.gen_range(0..ks.len())];
+        let n = dims[rng.gen_range(0..dims.len())];
+        // Keep the f64 triple-loop oracle affordable.
+        if m * k * n <= 1 << 21 {
+            break (m, k, n);
+        }
+    };
+    MatmulCase {
+        kind,
+        m,
+        k,
+        n,
+        a: normal_vec(rng, m * k, 0.0, 1.0),
+        b: normal_vec(rng, k * n, 0.0, 1.0),
+    }
+}
+
+/// Tile-adversarial GEMM suite against the naive `f64` oracle.
+pub fn matmul_tiles(seed: u64, cases: usize) -> FuzzReport {
+    matmul_tiles_with(seed, cases, matmul_production)
+}
+
+/// [`matmul_tiles`] with an injectable kernel (mutation testing).
+pub fn matmul_tiles_with(
+    seed: u64,
+    cases: usize,
+    run: impl Fn(&MatmulCase) -> Option<Vec<f32>>,
+) -> FuzzReport {
+    fuzz::fuzz(
+        "matmul.tiles",
+        seed,
+        cases,
+        gen_matmul_tiles,
+        run,
+        |c| Some(oracle::matmul(&c.a, &c.b, c.m, c.k, c.n)),
+        &Tol::f32_default(),
+    )
+}
+
+/// Draw one tile-adversarial conv2d case: stride/pad extremes (stride
+/// above the kernel, padding up to the kernel), 1×N and non-square
+/// inputs, depthwise groups, and widths that put `out_h · out_w` — the
+/// fused kernel's packed GEMM column count — exactly on the `nr`
+/// register-tile boundary.
+pub fn gen_conv_tiles(rng: &mut StdRng) -> ConvCase {
+    let (mr, nr) = fedknow_math::gemm::tile_params();
+    let spec = loop {
+        let kernel = [1usize, 2, 3, 5][rng.gen_range(0..4usize)];
+        let stride = rng.gen_range(1..=4usize);
+        let padding = rng.gen_range(0..=kernel);
+        // Groups: dense, small-grouped, or depthwise.
+        let (groups, in_cg) = match rng.gen_range(0..4u32) {
+            0 => (rng.gen_range(2..=3usize), rng.gen_range(1..=2usize)),
+            1 => (rng.gen_range(2..=4usize), 1), // depthwise-ish
+            _ => (1, rng.gen_range(1..=3usize)),
+        };
+        let in_c = groups * in_cg;
+        // Output channels on the mr row-tile boundary (capped).
+        let out_cg = [1, 2, mr - 1, mr, mr + 1][rng.gen_range(0..5usize)].min(9);
+        let out_c = groups * out_cg;
+        // Heights: degenerate 1, kernel-sized, small.
+        let h_opts = [1usize, 2, kernel, kernel + 1, 2 * kernel + 3];
+        let h = h_opts[rng.gen_range(0..h_opts.len())];
+        // Widths: small, or tuned so out_w lands on nr − 1 / nr / nr + 1.
+        let w = if rng.gen_range(0..2u32) == 0 {
+            let ow_target = [nr - 1, nr, nr + 1][rng.gen_range(0..3usize)];
+            ((ow_target - 1) * stride + kernel).saturating_sub(2 * padding)
+        } else {
+            [1usize, 2, kernel, kernel + 2, 7][rng.gen_range(0..5usize)]
+        };
+        if w == 0 || h + 2 * padding < kernel || w + 2 * padding < kernel {
+            continue;
+        }
+        let batch = rng.gen_range(1..=2usize);
+        let spec = ConvSpec {
+            batch,
+            in_c,
+            out_c,
+            kernel,
+            stride,
+            padding,
+            groups,
+            h,
+            w,
+        };
+        // Keep the direct-loop oracle affordable.
+        if spec.output_len() * in_cg * kernel * kernel <= 1 << 21 {
+            break spec;
+        }
+    };
+    ConvCase {
+        input: normal_vec(rng, spec.input_len(), 0.0, 1.0),
+        weight: normal_vec(rng, spec.weight_len(), 0.0, 0.5),
+        bias: normal_vec(rng, spec.out_c, 0.0, 0.5),
+        gy: normal_vec(rng, spec.output_len(), 0.0, 1.0),
+        spec,
+    }
+}
+
+/// Tile-adversarial conv forward suite (production kernel injected by
+/// the caller, as with [`conv_forward`]).
+pub fn conv_forward_tiles(
+    seed: u64,
+    cases: usize,
+    run: impl Fn(&ConvCase) -> Option<Vec<f32>>,
+) -> FuzzReport {
+    fuzz::fuzz(
+        "conv2d.forward.tiles",
+        seed,
+        cases,
+        gen_conv_tiles,
+        run,
+        |c| {
+            Some(oracle::conv2d_forward(
+                &c.spec, &c.input, &c.weight, &c.bias,
+            ))
+        },
+        &Tol::f32_default(),
+    )
+}
+
+/// Tile-adversarial conv backward suite: runner returns `gx ‖ gw ‖ gb`.
+pub fn conv_backward_tiles(
+    seed: u64,
+    cases: usize,
+    run: impl Fn(&ConvCase) -> Option<Vec<f32>>,
+) -> FuzzReport {
+    fuzz::fuzz(
+        "conv2d.backward.tiles",
+        seed,
+        cases,
+        gen_conv_tiles,
+        run,
+        |c| {
+            let g = oracle::conv2d_backward(&c.spec, &c.input, &c.weight, &c.gy);
+            let mut out = g.gx;
+            out.extend(g.gw);
+            out.extend(g.gb);
+            Some(out)
+        },
+        &Tol::f32_default(),
+    )
+}
+
 // -------------------------------------------------------------------- qp
 
 /// One randomized gradient-integration problem.
@@ -524,6 +733,45 @@ mod tests {
         r.assert_clean();
         assert!(r.compared() > 0, "exhaustive oracle never engaged");
         qp_certify(DEFAULT_SEED, 5).assert_clean();
+    }
+
+    #[test]
+    fn tile_adversarial_matmul_suite_agrees() {
+        let r = matmul_tiles(DEFAULT_SEED, 25);
+        r.assert_clean();
+        assert_eq!(r.compared(), 25);
+    }
+
+    #[test]
+    fn tile_adversarial_generators_hit_the_boundaries() {
+        let (mr, nr) = fedknow_math::gemm::tile_params();
+        let dims = adversarial_dims();
+        for d in [1, mr - 1, mr, mr + 1, nr - 1, nr, nr + 1] {
+            assert!(dims.contains(&d.max(1)), "missing boundary dim {d}");
+        }
+        assert!(adversarial_ks().contains(&(fedknow_math::gemm::KC + 1)));
+
+        let mut rng = rng::seeded(3);
+        let mut saw_wide = false;
+        let mut saw_stride_over_kernel = false;
+        let mut saw_big_pad = false;
+        let mut saw_degenerate_h = false;
+        for _ in 0..200 {
+            let c = gen_conv_tiles(&mut rng);
+            assert_eq!(c.input.len(), c.spec.input_len());
+            assert_eq!(c.weight.len(), c.spec.weight_len());
+            assert_eq!(c.gy.len(), c.spec.output_len());
+            let (oh, ow) = c.spec.out_hw();
+            assert!(oh > 0 && ow > 0);
+            saw_wide |= oh * ow >= nr;
+            saw_stride_over_kernel |= c.spec.stride > c.spec.kernel;
+            saw_big_pad |= c.spec.padding == c.spec.kernel && c.spec.kernel > 1;
+            saw_degenerate_h |= c.spec.h == 1;
+        }
+        assert!(saw_wide, "never crossed the nr column boundary");
+        assert!(saw_stride_over_kernel, "never drew stride > kernel");
+        assert!(saw_big_pad, "never drew padding == kernel");
+        assert!(saw_degenerate_h, "never drew a 1×N input");
     }
 
     #[test]

@@ -79,6 +79,41 @@ fn matmul_matches_naive_triple_loop() {
 }
 
 #[test]
+fn matmul_on_tile_boundaries_matches_naive_triple_loop() {
+    let r = suite::matmul_tiles(seed(), cases());
+    r.assert_clean();
+    assert_eq!(r.compared(), cases());
+}
+
+#[test]
+fn conv2d_forward_on_tile_boundaries_matches_oracle() {
+    suite::conv_forward_tiles(seed(), cases(), |c| {
+        let mut conv = production_conv(c);
+        Some(conv.forward(input_tensor(c), false).into_vec())
+    })
+    .assert_clean();
+}
+
+#[test]
+fn conv2d_backward_on_tile_boundaries_matches_oracle() {
+    suite::conv_backward_tiles(seed(), cases(), |c| {
+        let s = &c.spec;
+        let mut conv = production_conv(c);
+        let _ = conv.forward(input_tensor(c), true);
+        let (oh, ow) = s.out_hw();
+        let gy = Tensor::from_vec(c.gy.clone(), &[s.batch, s.out_c, oh, ow]);
+        let mut out = conv.backward(gy).into_vec();
+        conv.visit_params(
+            &mut |_: &str, _: &[usize], _: &mut [f32], grads: &mut [f32]| {
+                out.extend_from_slice(grads);
+            },
+        );
+        Some(out)
+    })
+    .assert_clean();
+}
+
+#[test]
 fn qp_matches_exhaustive_active_set_oracle() {
     let r = suite::qp(seed(), cases());
     r.assert_clean();

@@ -84,6 +84,136 @@ fn fedavg_weight_normalisation_bug_is_detected() {
     );
 }
 
+/// Reference f32 GEMM used to host injected tiling bugs. `col_shift_at`
+/// misaddresses B columns from that index on (a packed-panel pointer
+/// off-by-one); `k_cap` drops contraction terms past it (a cache-slab
+/// loop off-by-one).
+fn buggy_gemm(c: &suite::MatmulCase, col_shift_at: usize, k_cap: usize) -> Option<Vec<f32>> {
+    let kk = c.k.min(k_cap);
+    let mut out = vec![0.0f32; c.m * c.n];
+    for i in 0..c.m {
+        for j in 0..c.n {
+            let bj = if j >= col_shift_at { j - 1 } else { j };
+            let mut acc = 0.0f32;
+            for p in 0..kk {
+                acc += c.a[i * c.k + p] * c.b[p * c.n + bj];
+            }
+            out[i * c.n + j] = acc;
+        }
+    }
+    Some(out)
+}
+
+/// Bug 5: a GEMM whose second and later `nr`-wide column strips read the
+/// packed B panel one column off. Random small shapes never reach column
+/// `nr`, so the base suite *passes* — only the tile-adversarial shapes
+/// expose it. This pins the tile generators' added power.
+#[test]
+fn column_strip_off_by_one_needs_tile_adversarial_shapes() {
+    let (_, nr) = fedknow_math::gemm::tile_params();
+    let base = suite::matmul_with(DEFAULT_SEED, CASES, |c| buggy_gemm(c, nr, usize::MAX));
+    assert!(
+        base.ok(),
+        "base shapes unexpectedly reached column {nr}: {}",
+        base.render()
+    );
+    let tiles = suite::matmul_tiles_with(DEFAULT_SEED, CASES, |c| buggy_gemm(c, nr, usize::MAX));
+    assert!(
+        !tiles.ok(),
+        "column-strip off-by-one survived {} tile-adversarial cases",
+        tiles.compared()
+    );
+}
+
+/// Bug 6: the final partial KC cache slab is dropped when `k` is not a
+/// multiple of KC and exceeds it. Base shapes (`k ≤ 16`) pass; the tile
+/// suite draws `k = KC + 1` and catches the missing rank-1 update.
+#[test]
+fn dropped_partial_k_slab_needs_tile_adversarial_shapes() {
+    let kc = fedknow_math::gemm::KC;
+    let base = suite::matmul_with(DEFAULT_SEED, CASES, |c| buggy_gemm(c, usize::MAX, kc));
+    assert!(base.ok(), "base shapes unexpectedly exceeded KC");
+    let tiles =
+        suite::matmul_tiles_with(DEFAULT_SEED, 2 * CASES, |c| buggy_gemm(c, usize::MAX, kc));
+    assert!(
+        !tiles.ok(),
+        "dropped k-slab survived {} tile-adversarial cases",
+        tiles.compared()
+    );
+}
+
+/// Reference f32 conv forward with an injectable padding origin.
+fn naive_conv_forward(c: &suite::ConvCase, eff_pad: usize) -> Option<Vec<f32>> {
+    let s = &c.spec;
+    let (oh, ow) = s.out_hw();
+    let in_cg = s.in_c / s.groups;
+    let out_cg = s.out_c / s.groups;
+    let fan = in_cg * s.kernel * s.kernel;
+    let mut out = vec![0.0f32; s.batch * s.out_c * oh * ow];
+    for b in 0..s.batch {
+        for g in 0..s.groups {
+            for oc in 0..out_cg {
+                let oc_abs = g * out_cg + oc;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = c.bias[oc_abs];
+                        for ic in 0..in_cg {
+                            for ky in 0..s.kernel {
+                                for kx in 0..s.kernel {
+                                    let iy = (oy * s.stride + ky) as isize - eff_pad as isize;
+                                    let ix = (ox * s.stride + kx) as isize - eff_pad as isize;
+                                    if iy < 0 || ix < 0 || iy >= s.h as isize || ix >= s.w as isize
+                                    {
+                                        continue;
+                                    }
+                                    let ic_abs = g * in_cg + ic;
+                                    let xv = c.input[((b * s.in_c + ic_abs) * s.h + iy as usize)
+                                        * s.w
+                                        + ix as usize];
+                                    let wv = c.weight
+                                        [oc_abs * fan + (ic * s.kernel + ky) * s.kernel + kx];
+                                    acc += xv * wv;
+                                }
+                            }
+                        }
+                        out[((b * s.out_c + oc_abs) * oh + oy) * ow + ox] = acc;
+                    }
+                }
+            }
+        }
+    }
+    Some(out)
+}
+
+/// Bug 7: padding origin off by one, but only for `padding ≥ 2`. The
+/// base generator never draws padding above 1, so the bug is invisible
+/// there; the tile-adversarial generator pads up to the full kernel.
+#[test]
+fn deep_padding_origin_bug_needs_tile_adversarial_shapes() {
+    let mutated = |c: &suite::ConvCase| {
+        let p = c.spec.padding;
+        naive_conv_forward(c, if p >= 2 { p - 1 } else { p })
+    };
+    // Sanity: the un-mutated reference passes both suites.
+    suite::conv_forward(DEFAULT_SEED, CASES, |c| {
+        naive_conv_forward(c, c.spec.padding)
+    })
+    .assert_clean();
+    suite::conv_forward_tiles(DEFAULT_SEED, CASES, |c| {
+        naive_conv_forward(c, c.spec.padding)
+    })
+    .assert_clean();
+
+    let base = suite::conv_forward(DEFAULT_SEED, CASES, mutated);
+    assert!(base.ok(), "base generator unexpectedly drew padding ≥ 2");
+    let tiles = suite::conv_forward_tiles(DEFAULT_SEED, CASES, mutated);
+    assert!(
+        !tiles.ok(),
+        "deep-padding origin bug survived {} tile-adversarial cases",
+        tiles.compared()
+    );
+}
+
 /// Bug 4 (satellite of the invariant checker): a mutated integrator that
 /// skips the rotation entirely must fail KKT certification.
 #[test]
