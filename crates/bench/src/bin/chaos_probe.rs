@@ -11,7 +11,15 @@
 //! FEDKNOW_TRACE_DIR=out/ chaos_probe [--scale smoke|quick|paper] [--seed N]
 //!                                    [--panic-after-tasks N] [--force-violation]
 //!                                    [--transport channel|tcp|unix]
+//!                                    [--listen ADDR | --connect ADDR --client-id N]
 //! ```
+//!
+//! `--listen`/`--connect` split the probe across OS processes: one
+//! `--listen 127.0.0.1:PORT` server plus one `--connect` process per
+//! client, each dumping its own postmortem bundle into its own
+//! `FEDKNOW_TRACE_DIR`. `obs_trace merge` fuses the bundles into a
+//! single clock-aligned timeline with causal flow links across the
+//! processes.
 //!
 //! `--force-violation` switches the verify layer on (counting mode) and
 //! reports one deliberate violation before the run, so the bundle tail
@@ -30,9 +38,36 @@ fn main() {
     let mut panic_after: Option<usize> = None;
     let mut force_violation = false;
     let mut transport: Option<TransportKind> = None;
+    let mut listen: Option<String> = None;
+    let mut connect: Option<String> = None;
+    let mut client_id: Option<u32> = None;
     let mut i = 1;
     while i < argv.len() {
         match argv[i].as_str() {
+            "--listen" => {
+                i += 1;
+                listen = Some(
+                    argv.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| usage("--listen expects an address")),
+                );
+            }
+            "--connect" => {
+                i += 1;
+                connect = Some(
+                    argv.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| usage("--connect expects an address")),
+                );
+            }
+            "--client-id" => {
+                i += 1;
+                client_id = Some(
+                    argv.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage("--client-id expects an integer")),
+                );
+            }
             "--scale" => {
                 i += 1;
                 scale = argv
@@ -86,6 +121,46 @@ fn main() {
     let spec =
         scaled_spec(DatasetSpec::cifar100(), scale, seed).with_faults(FaultConfig::crash_loss(0.3));
 
+    // Multi-process roles: each process dumps its own bundle, named in
+    // its bundle context so the merged timeline labels its track.
+    if let Some(addr) = listen {
+        fedknow_obs::set_context("proc.name", "server");
+        let (report, stats) = spec
+            .serve_over(Method::FedKnow, &addr)
+            .expect("serve failed");
+        println!(
+            "[chaos_probe] serve {addr}: {} frames ({} dropped), {} data bytes, \
+             {} overhead, {} malformed quarantined",
+            stats.frames,
+            stats.frames_dropped,
+            stats.payload,
+            stats.overhead,
+            stats.malformed_frames
+        );
+        let tasks = report.accuracy.num_tasks();
+        println!(
+            "[chaos_probe] {} tasks, final accuracy {:.4}, faults: {} crashes, \
+             {} rejoins, {} lost uploads, {} quarantined",
+            tasks,
+            report.accuracy.avg_accuracy_after(tasks - 1),
+            report.fault_count(FaultKind::Crash),
+            report.fault_count(FaultKind::Rejoin),
+            report.fault_count(FaultKind::UploadLost),
+            report.fault_count(FaultKind::UploadRejected),
+        );
+        dump_probe_bundle();
+        return;
+    }
+    if let Some(addr) = connect {
+        let id = client_id.unwrap_or_else(|| usage("--connect requires --client-id"));
+        fedknow_obs::set_context("proc.name", &format!("client{id}"));
+        spec.join_over(Method::FedKnow, &addr, id)
+            .expect("join failed");
+        println!("[chaos_probe] client {id} finished against {addr}");
+        dump_probe_bundle();
+        return;
+    }
+
     if let Some(n) = panic_after {
         let mut sim = spec.build(Method::FedKnow);
         let ck = sim.checkpoint(n).expect("checkpoint failed");
@@ -129,6 +204,10 @@ fn main() {
         report.fault_count(FaultKind::UploadLost),
         report.fault_count(FaultKind::UploadRejected),
     );
+    dump_probe_bundle();
+}
+
+fn dump_probe_bundle() {
     match fedknow_obs::dump_now("probe") {
         Some(path) => println!("[chaos_probe] bundle {}", path.display()),
         None => println!("[chaos_probe] no bundle (FEDKNOW_TRACE_DIR unset)"),
@@ -139,7 +218,8 @@ fn usage(msg: &str) -> ! {
     eprintln!(
         "error: {msg}\n\
          usage: chaos_probe [--scale smoke|quick|paper] [--seed N] \
-         [--panic-after-tasks N] [--force-violation] [--transport channel|tcp|unix]"
+         [--panic-after-tasks N] [--force-violation] [--transport channel|tcp|unix] \
+         [--listen ADDR | --connect ADDR --client-id N]"
     );
     std::process::exit(2)
 }

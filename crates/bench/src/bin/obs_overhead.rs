@@ -2,7 +2,10 @@
 //! with the observability layer (spans + metrics + ring recorder) off,
 //! then on, then on with the scoped allocation tracker
 //! (`FEDKNOW_PROF_ALLOC`) armed too — min-of-k each, reported as
-//! relative overhead ratios against the all-off baseline.
+//! relative overhead ratios against the all-off baseline. The workload
+//! is the channel-transport federation, so the wire-tracing path —
+//! per-frame context stamping, the four-point message lifecycle,
+//! RTT/queue-depth instruments — is inside the measured region.
 //!
 //! The recorder ratio lands in `BENCH_obs_overhead.json` — in the
 //! `final_forgetting` slot, so the bench gate's "forgetting may not
@@ -18,7 +21,7 @@
 use fedknow_baselines::Method;
 use fedknow_bench::{parse_args, results_dir, scaled_spec, write_bench_record, BenchRecord};
 use fedknow_data::DatasetSpec;
-use fedknow_fl::SimReport;
+use fedknow_fl::{SimReport, TransportKind};
 use fedknow_suite::RunSpec;
 use std::time::Instant;
 
@@ -30,7 +33,12 @@ const RUNS: usize = 3;
 
 fn timed_run(spec: &RunSpec) -> (u64, SimReport) {
     let started = Instant::now();
-    let report = spec.run(Method::FedKnow).expect("simulation failed");
+    // Transport-backed so the wire path — frame tracing contexts, the
+    // four-point message lifecycle, RTT/queue-depth instruments — is
+    // inside the measured region, not just the training loop.
+    let (report, _stats) = spec
+        .run_over(Method::FedKnow, TransportKind::Channel)
+        .expect("simulation failed");
     (started.elapsed().as_nanos() as u64, report)
 }
 

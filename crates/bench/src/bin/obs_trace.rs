@@ -5,7 +5,17 @@
 //! obs_trace convert  <input> [-o trace.json]   # bundle/JSONL/trace -> trace
 //! obs_trace validate <input>                   # structural checks, exit 1 on bad
 //! obs_trace summary  <input> [--top N]         # top-N slice table
+//! obs_trace merge    <bundle...> -o out.json [--min-link F]
+//!                                              # clock-aligned multi-process trace
 //! ```
+//!
+//! `merge` fuses one postmortem bundle per process into a single
+//! Perfetto timeline: clocks are aligned from the send timestamps
+//! echoed in wire receive records, and every delivered frame is drawn
+//! as a causal flow arrow from sender to receiver. With `--min-link F`
+//! the exit code is 1 unless at least fraction `F` of delivered frames
+//! have a complete sender→receiver link — the CI gate for the chaos
+//! smoke.
 //!
 //! The input format is sniffed, not flagged: a JSON object with
 //! `traceEvents` is already a trace, one with `version` + `tracks` is a
@@ -31,6 +41,7 @@ fn run(argv: &[String]) -> i32 {
         "convert" => convert(argv),
         "validate" => validate(argv),
         "summary" => summary(argv),
+        "merge" => merge(argv),
         other => usage(&format!("unknown subcommand {other}")),
     }
 }
@@ -40,7 +51,8 @@ fn usage(msg: &str) -> i32 {
         "error: {msg}\n\
          usage: obs_trace convert  <bundle.json|trace.jsonl|trace.json> [-o out.json]\n\
          \x20      obs_trace validate <input>\n\
-         \x20      obs_trace summary  <input> [--top N]"
+         \x20      obs_trace summary  <input> [--top N]\n\
+         \x20      obs_trace merge    <bundle.json...> [-o out.json] [--min-link F]"
     );
     2
 }
@@ -104,12 +116,14 @@ fn validate(argv: &[String]) -> i32 {
     match load_trace(input).and_then(|t| trace::validate(&t)) {
         Ok(stats) => {
             println!(
-                "[obs_trace] OK: {} events ({} slices, {} instants, {} counter samples) \
-                 across {} tracks, span {:.3}ms",
+                "[obs_trace] OK: {} events ({} slices, {} instants, {} counter samples, \
+                 {} flows / {} finished) across {} tracks, span {:.3}ms",
                 stats.events,
                 stats.slices,
                 stats.instants,
                 stats.counters,
+                stats.flow_starts,
+                stats.flow_ends,
                 stats.tracks,
                 stats.max_ts_us / 1_000.0
             );
@@ -120,6 +134,105 @@ fn validate(argv: &[String]) -> i32 {
             1
         }
     }
+}
+
+fn merge(argv: &[String]) -> i32 {
+    let mut inputs: Vec<&String> = Vec::new();
+    let mut out: Option<&String> = None;
+    let mut min_link: Option<f64> = None;
+    let mut i = 2;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "-o" => {
+                out = argv.get(i + 1);
+                i += 2;
+            }
+            "--min-link" => {
+                let Some(f) = argv.get(i + 1).and_then(|s| s.parse::<f64>().ok()) else {
+                    return usage("--min-link expects a fraction in [0, 1]");
+                };
+                min_link = Some(f);
+                i += 2;
+            }
+            _ => {
+                inputs.push(&argv[i]);
+                i += 1;
+            }
+        }
+    }
+    if inputs.is_empty() {
+        return usage("merge expects at least one bundle file");
+    }
+    let mut bundles = Vec::with_capacity(inputs.len());
+    for path in &inputs {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: read {path}: {e}");
+                return 2;
+            }
+        };
+        match serde_json::from_str::<Value>(&text) {
+            Ok(doc) if doc.get("version").is_some() && doc.get("tracks").is_some() => {
+                bundles.push(doc);
+            }
+            Ok(_) => {
+                eprintln!("error: {path}: not a postmortem bundle (version + tracks)");
+                return 1;
+            }
+            Err(e) => {
+                eprintln!("error: {path}: not JSON: {e}");
+                return 1;
+            }
+        }
+    }
+    let (trace_doc, stats) = match trace::merge_bundles(&bundles) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: merge: {e}");
+            return 1;
+        }
+    };
+    if let Err(e) = trace::validate(&trace_doc) {
+        eprintln!("error: merged trace failed validation: {e}");
+        return 1;
+    }
+    let offsets: Vec<String> = stats
+        .offsets_us
+        .iter()
+        .map(|o| format!("{o:+.1}µs"))
+        .collect();
+    println!(
+        "[obs_trace] merged {} bundles: {} delivered frames, {} linked ({:.2}%), \
+         {} dropped, clock offsets [{}]",
+        stats.bundles,
+        stats.delivered,
+        stats.linked,
+        stats.link_fraction * 100.0,
+        stats.dropped,
+        offsets.join(", ")
+    );
+    let json = serde_json::to_string(&trace_doc).expect("serialise trace");
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &json) {
+                eprintln!("error: write {path}: {e}");
+                return 2;
+            }
+            eprintln!("[obs_trace] wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+    if let Some(min) = min_link {
+        if stats.link_fraction < min {
+            eprintln!(
+                "error: link fraction {:.4} below required {min}",
+                stats.link_fraction
+            );
+            return 1;
+        }
+    }
+    0
 }
 
 fn summary(argv: &[String]) -> i32 {

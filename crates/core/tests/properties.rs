@@ -2,7 +2,10 @@
 
 use fedknow::wire::{decode_knowledge, encode_framed_knowledge, encode_knowledge};
 use fedknow::{ExtractionStrategy, GradientIntegrator, GradientRestorer, KnowledgeExtractor};
-use fedknow_fl::framing::{read_frame, write_frame, FrameDecoder, FrameError, MAX_FRAME_BYTES};
+use fedknow_fl::framing::{
+    read_frame, read_frame_traced, write_frame, write_frame_traced, FrameDecoder, FrameError,
+    TraceCtx, FRAME_FLAG_CTX, MAX_FRAME_BYTES,
+};
 use fedknow_math::rng::seeded;
 use fedknow_math::{SparseVec, Tensor};
 use fedknow_nn::ModelKind;
@@ -171,11 +174,17 @@ proptest! {
     }
 
     /// Any length header beyond the cap is rejected before allocation,
-    /// on both the stream reader and the incremental decoder.
+    /// on both the stream reader and the incremental decoder. Bit 31 is
+    /// the v2 context flag, not part of the length: a hostile word with
+    /// it set is judged (and reported) on the *masked* length.
     #[test]
-    fn oversize_headers_always_rejected(extra in 1u64..u32::MAX as u64 - MAX_FRAME_BYTES as u64) {
+    fn oversize_headers_always_rejected(
+        extra in 1u64..(1u64 << 31) - MAX_FRAME_BYTES as u64,
+        flagged in any::<bool>(),
+    ) {
         let claimed = MAX_FRAME_BYTES as u64 + extra;
-        let wire = (claimed as u32).to_le_bytes().to_vec();
+        let word = claimed as u32 | if flagged { FRAME_FLAG_CTX } else { 0 };
+        let wire = word.to_le_bytes().to_vec();
         let mut r = wire.as_slice();
         prop_assert_eq!(
             read_frame(&mut r).unwrap_err(),
@@ -187,6 +196,78 @@ proptest! {
             d.next_frame().unwrap_err(),
             FrameError::Oversize { len: claimed }
         );
+    }
+
+    /// v1 (bare) and v2 (context-carrying) frames interleave freely on
+    /// one stream: the traced reader surfaces exactly the contexts that
+    /// were attached, the legacy reader sees the same payloads while
+    /// skipping the context blocks, and the incremental decoder agrees
+    /// under arbitrary fragmentation.
+    #[test]
+    fn mixed_version_frames_interoperate(
+        frames in prop::collection::vec(
+            (
+                prop::collection::vec(any::<u8>(), 0..200),
+                any::<bool>(),
+                (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+            ),
+            1..6
+        ),
+        chunk in 1usize..48,
+    ) {
+        let mut wire = Vec::new();
+        let mut want = Vec::new();
+        for (payload, traced, (trace, span, parent, round)) in &frames {
+            // Every u64 bit pattern is a valid context field, so a
+            // derived timestamp loses no coverage over a drawn one.
+            let ctx = traced.then(|| TraceCtx {
+                trace: *trace,
+                span: *span,
+                parent: *parent,
+                round: *round,
+                send_ts_ns: trace.rotate_left(17) ^ span,
+            });
+            write_frame_traced(&mut wire, payload, ctx.as_ref()).unwrap();
+            want.push((ctx, payload.clone()));
+        }
+        let mut r = wire.as_slice();
+        for w in &want {
+            prop_assert_eq!(read_frame_traced(&mut r).unwrap().as_ref(), Some(w));
+        }
+        prop_assert_eq!(read_frame_traced(&mut r).unwrap(), None);
+        let mut r = wire.as_slice();
+        for (_, p) in &want {
+            prop_assert_eq!(read_frame(&mut r).unwrap().as_ref(), Some(p));
+        }
+        let mut d = FrameDecoder::new();
+        let mut got = Vec::new();
+        for piece in wire.chunks(chunk) {
+            d.feed(piece);
+            while let Some(f) = d.next_frame_traced().unwrap() {
+                got.push(f);
+            }
+        }
+        prop_assert_eq!(got, want);
+        prop_assert!(d.is_empty());
+    }
+
+    /// Truncating a context-carrying frame at *every* byte offset —
+    /// inside the header, the context block, or the payload — is a
+    /// typed `Truncated` error, never a panic or a partial message.
+    #[test]
+    fn traced_frame_truncation_at_every_offset_errors(
+        payload in prop::collection::vec(any::<u8>(), 1..100),
+        ids in (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+    ) {
+        let (trace, span, parent, round) = ids;
+        let ctx = TraceCtx { trace, span, parent, round, send_ts_ns: trace ^ round };
+        let mut wire = Vec::new();
+        write_frame_traced(&mut wire, &payload, Some(&ctx)).unwrap();
+        for cut in 1..wire.len() {
+            let mut r = &wire[..cut];
+            let err = read_frame_traced(&mut r).unwrap_err();
+            prop_assert!(err == FrameError::Truncated, "cut at {cut}: {err:?}");
+        }
     }
 
     /// Framed knowledge blobs survive the full stack: knowledge →

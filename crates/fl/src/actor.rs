@@ -36,20 +36,22 @@ use crate::client::{CommBytes, FclClient, Payload};
 use crate::comm::CommModel;
 use crate::device::DeviceProfile;
 use crate::faults::{FaultEvent, FaultPlan, RoundFaults};
+use crate::framing::TraceCtx;
 use crate::metrics::{mean_matrix, AccuracyMatrix};
 use crate::proto::{UploadMeta, WireMsg};
 use crate::protocol;
 use crate::server::fedavg;
 use crate::sim::{PhaseBreakdown, SimConfig, SimError, SimReport};
 use crate::transport::{
-    bind, send_upload_faulty, MsgRx, MsgTx, Transport, TransportError, TransportKind, WireStats,
-    WireStatsSnapshot,
+    bind, send_upload_faulty, MsgRx, MsgTx, Transport, TransportError, TransportKind,
+    TransportListener, WireStats, WireStatsSnapshot,
 };
+use crate::wiretrace;
 use fedknow_data::ClientDataset;
 use fedknow_math::rng::substream;
 use rand::rngs::StdRng;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -93,6 +95,10 @@ enum NetEvent {
     Msg {
         client: u32,
         msg: WireMsg,
+        /// The frame's wire-trace context, when the peer sent one: the
+        /// server records the `handled` lifecycle point against it at
+        /// the moment the event leaves the inbox.
+        ctx: Option<TraceCtx>,
     },
     Closed {
         client: u32,
@@ -176,12 +182,43 @@ impl FederationRuntime {
         if fedknow_obs::is_enabled() {
             fedknow_obs::set_context("sim.transport", self.kind.label());
         }
-        let obs_before = fedknow_obs::snapshot();
-        let run_span = fedknow_obs::span("run");
-
         let stats = Arc::new(WireStats::new());
         let (transport, listener) =
             bind(self.kind, stats.clone()).map_err(|e| SimError::BadCheckpoint(e.to_string()))?;
+        self.run_inner(listener, stats, Some(transport))
+    }
+
+    /// Serve a multi-process federation: listen at a fixed TCP address
+    /// and wait for every client to dial in from its own process (see
+    /// [`run_remote_client`]) instead of spawning local actor threads.
+    /// The fault plan, ledger, and report are the same pure function of
+    /// the seed as [`Self::run_with_stats`] — only which side of the
+    /// wire the clients live on changes.
+    pub fn serve_at(self, addr: &str) -> Result<(SimReport, WireStatsSnapshot), SimError> {
+        fedknow_obs::init_from_env();
+        fedknow_verify::init_from_env();
+        if fedknow_obs::is_enabled() {
+            fedknow_obs::set_context("sim.transport", "tcp");
+        }
+        let stats = Arc::new(WireStats::new());
+        let listener = crate::transport::bind_tcp_at(addr, stats.clone())
+            .map_err(|e| SimError::BadCheckpoint(e.to_string()))?;
+        self.run_inner(listener, stats, None)
+    }
+
+    /// The shared server body behind [`Self::run_with_stats`] (local
+    /// actor threads over `transport`) and [`Self::serve_at`] (remote
+    /// client processes; `transport` is `None` and nothing local is
+    /// spawned).
+    fn run_inner(
+        self,
+        listener: Box<dyn TransportListener>,
+        stats: Arc<WireStats>,
+        transport: Option<Arc<dyn Transport>>,
+    ) -> Result<(SimReport, WireStatsSnapshot), SimError> {
+        wiretrace::seed_trace_id(self.cfg.seed);
+        let obs_before = fedknow_obs::snapshot();
+        let run_span = fedknow_obs::span("run");
 
         let n = self.clients.len();
         let method = self.clients[0].method_name().to_string();
@@ -192,32 +229,42 @@ impl FederationRuntime {
         let readers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
             Arc::new(Mutex::new(Vec::new()));
         let stop = Arc::new(AtomicBool::new(false));
+        let depth = Arc::new(AtomicU64::new(0));
         let (inbox_tx, inbox_rx) = mpsc::channel();
         let pump = {
-            let (inbox, readers, stop, stats) =
-                (inbox_tx, readers.clone(), stop.clone(), stats.clone());
-            std::thread::spawn(move || accept_pump(listener, inbox, readers, stop, stats))
+            let (inbox, readers, stop, stats, depth) = (
+                inbox_tx,
+                readers.clone(),
+                stop.clone(),
+                stats.clone(),
+                depth.clone(),
+            );
+            std::thread::spawn(move || accept_pump(listener, inbox, readers, stop, stats, depth))
         };
 
         // Spawn one actor thread per client; each owns its algorithm
-        // instance, dataset, and seeded RNG substream.
+        // instance, dataset, and seeded RNG substream. In serve mode
+        // the clients live in other processes and dial in instead.
         let num_tasks = self.data[0].tasks.len();
         let mut client_threads = Vec::with_capacity(n);
-        let mut data_iter = self.data.into_iter();
-        for (c, client) in self.clients.into_iter().enumerate() {
-            let actor = ClientActor {
-                id: c as u32,
-                client,
-                data: data_iter.next().expect("dataset per client"),
-                rng: substream(self.cfg.seed, 0xF1_0000 + c as u64),
-                plan: plan.clone(),
-                inert,
-                model_bytes: self.model_bytes,
-                iters_per_round: self.cfg.iters_per_round,
-                transport: transport.clone(),
-                straggle_delay: self.actor_cfg.straggle_delay,
-            };
-            client_threads.push(std::thread::spawn(move || actor.run()));
+        if let Some(transport) = transport {
+            let mut data_iter = self.data.into_iter();
+            for (c, client) in self.clients.into_iter().enumerate() {
+                let actor = ClientActor {
+                    id: c as u32,
+                    client,
+                    data: data_iter.next().expect("dataset per client"),
+                    rng: substream(self.cfg.seed, 0xF1_0000 + c as u64),
+                    plan: plan.clone(),
+                    inert,
+                    model_bytes: self.model_bytes,
+                    iters_per_round: self.cfg.iters_per_round,
+                    transport: transport.clone(),
+                    straggle_delay: self.actor_cfg.straggle_delay,
+                    upload_sent_at: None,
+                };
+                client_threads.push(std::thread::spawn(move || actor.run()));
+            }
         }
 
         let mut server = ServerActor {
@@ -230,6 +277,7 @@ impl FederationRuntime {
             inert,
             actor_cfg: self.actor_cfg,
             inbox: inbox_rx,
+            depth,
             txs: (0..n).map(|_| None).collect(),
             epoch_of: vec![0; n],
             rejoin_base_down: vec![0; n],
@@ -260,29 +308,79 @@ impl FederationRuntime {
     }
 }
 
+/// Run one client as its own OS process's worker: dial the server over
+/// `transport`, identify as client `id`, and play the protocol to
+/// `Shutdown`. The fault plan is rebuilt from `cfg` — the same pure
+/// function of the seed the server constructs — so a multi-process run
+/// injects the identical fault sequence as the in-process backends.
+pub fn run_remote_client(
+    transport: Arc<dyn Transport>,
+    id: u32,
+    client: Box<dyn FclClient>,
+    data: ClientDataset,
+    cfg: &SimConfig,
+    model_bytes: u64,
+    straggle_delay: Duration,
+) {
+    fedknow_obs::init_from_env();
+    wiretrace::seed_trace_id(cfg.seed);
+    let plan = FaultPlan::new(cfg.seed, cfg.faults);
+    let inert = plan.config().is_inert();
+    let actor = ClientActor {
+        id,
+        client,
+        data,
+        rng: substream(cfg.seed, 0xF1_0000 + u64::from(id)),
+        plan,
+        inert,
+        model_bytes,
+        iters_per_round: cfg.iters_per_round,
+        transport,
+        straggle_delay,
+        upload_sent_at: None,
+    };
+    actor.run();
+    fedknow_obs::flush();
+}
+
 /// Accept connections for the whole run, spawning a reader thread per
 /// connection. Each accept gets a fresh epoch.
 fn accept_pump(
-    mut listener: Box<dyn crate::transport::TransportListener>,
+    mut listener: Box<dyn TransportListener>,
     inbox: mpsc::Sender<NetEvent>,
     readers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
     stop: Arc<AtomicBool>,
     stats: Arc<WireStats>,
+    depth: Arc<AtomicU64>,
 ) {
     let mut epoch = 0u64;
     while !stop.load(Ordering::Relaxed) {
         match listener.accept(Duration::from_millis(25)) {
             Ok(conn) => {
                 epoch += 1;
-                let (inbox, stats) = (inbox.clone(), stats.clone());
-                let handle =
-                    std::thread::spawn(move || reader(conn.rx, conn.tx, epoch, inbox, stats));
+                let (inbox, stats, depth) = (inbox.clone(), stats.clone(), depth.clone());
+                let handle = std::thread::spawn(move || {
+                    reader(conn.rx, conn.tx, epoch, inbox, stats, depth)
+                });
                 readers.lock().expect("reader registry").push(handle);
             }
             Err(TransportError::AcceptTimeout) => continue,
             Err(_) => return,
         }
     }
+}
+
+/// Forward one event into the server inbox, growing the tracked queue
+/// depth. The matching decrement happens when the server pops it.
+/// `Err(())` means the server hung up and the reader should stop.
+fn inbox_push(inbox: &mpsc::Sender<NetEvent>, depth: &AtomicU64, ev: NetEvent) -> Result<(), ()> {
+    let d = depth.fetch_add(1, Ordering::Relaxed) + 1;
+    fedknow_obs::observe_queue_depth(d as f64);
+    if inbox.send(ev).is_err() {
+        depth.fetch_sub(1, Ordering::Relaxed);
+        return Err(());
+    }
+    Ok(())
 }
 
 /// Drain one connection into the server inbox. The first message must
@@ -292,30 +390,43 @@ fn accept_pump(
 /// — the connection is quarantined.
 fn reader(
     mut rx: MsgRx,
-    tx: MsgTx,
+    mut tx: MsgTx,
     epoch: u64,
     inbox: mpsc::Sender<NetEvent>,
     stats: Arc<WireStats>,
+    depth: Arc<AtomicU64>,
 ) {
-    let client = match rx.recv() {
-        Ok(Some(WireMsg::Hello { client })) => {
-            let _ = inbox.send(NetEvent::Connected {
-                client,
-                epoch,
-                rejoin: false,
-                base_down: 0,
-                tx: Box::new(tx),
-            });
+    let client = match rx.recv_traced() {
+        Ok(Some((WireMsg::Hello { client }, _))) => {
+            tx.set_peer(client);
+            rx.set_peer(client);
+            let _ = inbox_push(
+                &inbox,
+                &depth,
+                NetEvent::Connected {
+                    client,
+                    epoch,
+                    rejoin: false,
+                    base_down: 0,
+                    tx: Box::new(tx),
+                },
+            );
             client
         }
-        Ok(Some(WireMsg::Rejoin { client, base_down })) => {
-            let _ = inbox.send(NetEvent::Connected {
-                client,
-                epoch,
-                rejoin: true,
-                base_down,
-                tx: Box::new(tx),
-            });
+        Ok(Some((WireMsg::Rejoin { client, base_down }, _))) => {
+            tx.set_peer(client);
+            rx.set_peer(client);
+            let _ = inbox_push(
+                &inbox,
+                &depth,
+                NetEvent::Connected {
+                    client,
+                    epoch,
+                    rejoin: true,
+                    base_down,
+                    tx: Box::new(tx),
+                },
+            );
             client
         }
         Ok(Some(_)) | Err(_) => {
@@ -328,14 +439,14 @@ fn reader(
         Ok(None) => return,
     };
     loop {
-        match rx.recv() {
-            Ok(Some(msg)) => {
-                if inbox.send(NetEvent::Msg { client, msg }).is_err() {
+        match rx.recv_traced() {
+            Ok(Some((msg, ctx))) => {
+                if inbox_push(&inbox, &depth, NetEvent::Msg { client, msg, ctx }).is_err() {
                     return;
                 }
             }
             Ok(None) => {
-                let _ = inbox.send(NetEvent::Closed { client, epoch });
+                let _ = inbox_push(&inbox, &depth, NetEvent::Closed { client, epoch });
                 return;
             }
             Err(e) => {
@@ -344,7 +455,7 @@ fn reader(
                     "transport.quarantine client {client} epoch {epoch}: {e}"
                 ));
                 fedknow_obs::dump_trigger("transport_malformed");
-                let _ = inbox.send(NetEvent::Malformed { client, epoch });
+                let _ = inbox_push(&inbox, &depth, NetEvent::Malformed { client, epoch });
                 return;
             }
         }
@@ -366,11 +477,21 @@ struct ClientActor {
     iters_per_round: usize,
     transport: Arc<dyn Transport>,
     straggle_delay: Duration,
+    /// When the last round's upload (or its `UploadFailed` fallback)
+    /// hit the wire — the server's `Ack` closes the RTT sample.
+    upload_sent_at: Option<Instant>,
 }
 
 impl ClientActor {
+    fn connect(&self) -> Option<crate::transport::Conn> {
+        let mut conn = self.transport.connect().ok()?;
+        conn.tx.set_peer(self.id);
+        conn.rx.set_peer(self.id);
+        Some(conn)
+    }
+
     fn run(mut self) {
-        let Ok(mut conn) = self.transport.connect() else {
+        let Some(mut conn) = self.connect() else {
             return;
         };
         if conn.tx.send(&WireMsg::Hello { client: self.id }).is_err() {
@@ -378,9 +499,15 @@ impl ClientActor {
         }
         let mut step = 0usize;
         loop {
-            let msg = match conn.rx.recv() {
-                Ok(Some(m)) => m,
-                // Server gone or stream damaged: nothing left to do.
+            let msg = match conn.rx.recv_traced() {
+                Ok(Some((m, ctx))) => {
+                    // The client consumes synchronously: `handled`
+                    // immediately follows `in`.
+                    if let Some(c) = &ctx {
+                        wiretrace::record_recv("handled", c, Some(self.id), m.label(), 0);
+                    }
+                    m
+                }
                 // Server gone or stream damaged: nothing left to do.
                 _ => return,
             };
@@ -394,6 +521,10 @@ impl ClientActor {
                     self.client.receive_global(&global, &mut self.rng);
                 }
                 WireMsg::RoundStart { round } => {
+                    // Keep this process's ambient round current even
+                    // when the server lives in another process: sent
+                    // frames stamp it into their trace context.
+                    fedknow_obs::set_round(round);
                     let f = if self.inert {
                         RoundFaults::none()
                     } else {
@@ -404,9 +535,9 @@ impl ClientActor {
                         // real, then redial as a rejoiner. No training,
                         // no RNG draws — exactly the in-process skip.
                         drop(conn);
-                        conn = match self.transport.connect() {
-                            Ok(c) => c,
-                            Err(_) => return,
+                        conn = match self.connect() {
+                            Some(c) => c,
+                            None => return,
                         };
                         let base_down = self.client.base_comm(self.model_bytes).down;
                         let rejoin = WireMsg::Rejoin {
@@ -422,7 +553,19 @@ impl ClientActor {
                         return;
                     }
                 }
-                WireMsg::Ack { .. } => {}
+                WireMsg::Ack { .. } => {
+                    // Upload → Ack round trip: one RTT sample for the
+                    // health engine and this connection's cohort.
+                    if let Some(t0) = self.upload_sent_at.take() {
+                        let rtt = t0.elapsed();
+                        fedknow_obs::observe_message_rtt(rtt.as_secs_f64());
+                        fedknow_obs::client_value(
+                            "transport.conn.rtt_ns",
+                            u64::from(self.id),
+                            rtt.as_nanos() as f64,
+                        );
+                    }
+                }
                 WireMsg::Broadcast {
                     global, payloads, ..
                 } => {
@@ -500,16 +643,22 @@ impl ClientActor {
             extra_down: extra.down,
             had_params,
         };
+        // One logical upload per round: every frame it produces — lost
+        // retry attempts, the delivery, the UploadFailed fallback —
+        // shares this parent span, so the merged timeline groups them.
+        let _upload_scope = wiretrace::parent_scope(wiretrace::next_span_id());
         if !had_params {
             // Nothing to lose on the wire: the bookkeeping travels the
             // control plane untouched by upload faults.
-            return tx.send(&WireMsg::Upload {
+            tx.send(&WireMsg::Upload {
                 round,
                 client: self.id,
                 meta,
                 params: None,
                 payloads,
-            });
+            })?;
+            self.upload_sent_at = Some(Instant::now());
+            return Ok(());
         }
         let msg = WireMsg::Upload {
             round,
@@ -527,6 +676,7 @@ impl ClientActor {
                 payloads,
             })?;
         }
+        self.upload_sent_at = Some(Instant::now());
         Ok(())
     }
 }
@@ -548,6 +698,9 @@ struct ServerActor {
     inert: bool,
     actor_cfg: ActorConfig,
     inbox: mpsc::Receiver<NetEvent>,
+    /// Inbox backlog gauge; readers increment on push, [`Self::popped`]
+    /// decrements on pop.
+    depth: Arc<AtomicU64>,
     txs: Vec<Option<Box<MsgTx>>>,
     epoch_of: Vec<u64>,
     rejoin_base_down: Vec<u64>,
@@ -595,18 +748,36 @@ impl ServerActor {
         }
     }
 
+    /// Bookkeeping for an event leaving the inbox: shrink the backlog
+    /// gauge and close the message lifecycle — a traced `Msg` popped
+    /// here is `handled`, the fourth and final lifecycle point.
+    fn popped(&self, ev: &NetEvent) {
+        self.depth.fetch_sub(1, Ordering::Relaxed);
+        if let NetEvent::Msg {
+            client,
+            msg,
+            ctx: Some(ctx),
+        } = ev
+        {
+            wiretrace::record_recv("handled", ctx, Some(*client), msg.label(), 0);
+        }
+    }
+
     /// Wait until `deadline` for the next inbox event.
     fn recv_until(&mut self, deadline: Instant) -> Option<NetEvent> {
         let now = Instant::now();
         if now >= deadline {
             return None;
         }
-        self.inbox.recv_timeout(deadline - now).ok()
+        let ev = self.inbox.recv_timeout(deadline - now).ok()?;
+        self.popped(&ev);
+        Some(ev)
     }
 
     /// Drain events already queued, without blocking.
     fn drain_pending(&mut self) {
         while let Ok(ev) = self.inbox.try_recv() {
+            self.popped(&ev);
             self.handle(ev);
         }
     }
@@ -705,6 +876,10 @@ impl ServerActor {
                 let _round_span = fedknow_obs::obs_span!("round.{round}");
                 let global_round = (step * self.cfg.rounds_per_task + round) as u64;
                 fedknow_obs::set_round(global_round);
+                // Every server frame of this round — RoundStart fanout,
+                // upload Acks, the aggregate Broadcast — carries one
+                // round-scoped parent span.
+                let _round_scope = wiretrace::parent_scope(wiretrace::next_span_id());
 
                 let faults =
                     protocol::draw_round_faults(&self.plan, self.inert, &active, global_round);
@@ -888,6 +1063,7 @@ impl ServerActor {
                     uploads.iter().filter(|u| u.is_some()).count() as u64,
                     agg.rejected.len() as u64,
                     assess.round_compute + round_comm,
+                    self.depth.load(Ordering::Relaxed),
                 );
 
                 // Broadcast to every participant. The message always

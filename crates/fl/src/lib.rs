@@ -39,15 +39,18 @@ pub mod server;
 pub mod sim;
 pub mod trainer;
 pub mod transport;
+pub mod wiretrace;
 
-pub use actor::{ActorConfig, FederationRuntime};
+pub use actor::{run_remote_client, ActorConfig, FederationRuntime};
 pub use client::{CommBytes, FclClient, IterationStats, ModelTemplate, Payload};
 pub use comm::{CommModel, InvalidBandwidth};
 pub use device::DeviceProfile;
 pub use faults::{
     Corruption, CorruptionMode, FaultConfig, FaultEvent, FaultKind, FaultPlan, RoundFaults,
 };
-pub use framing::{FrameDecoder, FrameError, FRAME_HEADER_BYTES, MAX_FRAME_BYTES};
+pub use framing::{
+    FrameDecoder, FrameError, TraceCtx, FRAME_HEADER_BYTES, MAX_FRAME_BYTES, TRACE_CTX_BYTES,
+};
 pub use metrics::{AccuracyMatrix, RowLengthMismatch};
 pub use proto::{DecodeError, Encoded, UploadMeta, WireMsg};
 pub use server::{AggregateError, Aggregation, RejectReason, RejectedUpload};

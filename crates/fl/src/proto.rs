@@ -154,6 +154,29 @@ pub enum WireMsg {
     Shutdown,
 }
 
+impl WireMsg {
+    /// Stable short name for trace events and per-message telemetry —
+    /// a closed set, so it can never blow the metric-name budget.
+    pub fn label(&self) -> &'static str {
+        match self {
+            WireMsg::Hello { .. } => "hello",
+            WireMsg::Rejoin { .. } => "rejoin",
+            WireMsg::StartTask { .. } => "start_task",
+            WireMsg::Resync { .. } => "resync",
+            WireMsg::RoundStart { .. } => "round_start",
+            WireMsg::Upload { .. } => "upload",
+            WireMsg::UploadFailed { .. } => "upload_failed",
+            WireMsg::Ack { .. } => "ack",
+            WireMsg::Broadcast { .. } => "broadcast",
+            WireMsg::FinishTask => "finish_task",
+            WireMsg::TaskDone { .. } => "task_done",
+            WireMsg::Eval { .. } => "eval",
+            WireMsg::EvalRow { .. } => "eval_row",
+            WireMsg::Shutdown => "shutdown",
+        }
+    }
+}
+
 /// A message encoded for the wire, with the split the byte-accounting
 /// ledger needs: `data_bytes` is the portion the [`CommModel`] charges
 /// (parameters and payloads), everything else is framing/protocol

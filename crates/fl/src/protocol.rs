@@ -401,6 +401,8 @@ pub(crate) fn fold_aggregate_telemetry(
 /// Per-round telemetry fold: cohorted client compute times,
 /// slowest-decile anomaly marking (those clients' spans bypass head
 /// sampling), and the streaming health engine's SLO update.
+/// `queue_depth` is the server inbox backlog observed at fold time —
+/// zero for the in-process backend, whose "inbox" is a function call.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn fold_round_telemetry(
     round: u64,
@@ -411,10 +413,12 @@ pub(crate) fn fold_round_telemetry(
     completed: u64,
     quarantined: u64,
     round_seconds: f64,
+    queue_depth: u64,
 ) {
     if !fedknow_obs::is_enabled() {
         return;
     }
+    fedknow_obs::observe_queue_depth(queue_depth as f64);
     let n = active.len();
     let mut times: Vec<f64> = Vec::with_capacity(n);
     for (c, a) in actual.iter().enumerate() {

@@ -805,6 +805,7 @@ impl Simulation {
                     uploads.iter().filter(|u| u.is_some()).count() as u64,
                     agg.rejected.len() as u64,
                     assess.round_compute + round_comm,
+                    0,
                 );
 
                 // Broadcast the aggregated model and the payload set;

@@ -24,8 +24,12 @@
 //! [`CommModel`]: crate::comm::CommModel
 
 use crate::faults::RoundFaults;
-use crate::framing::{encode_frame, read_frame, FrameDecoder, FrameError, FRAME_HEADER_BYTES};
+use crate::framing::{
+    encode_frame_traced, read_frame_traced, FrameDecoder, FrameError, TraceCtx, FRAME_HEADER_BYTES,
+    TRACE_CTX_BYTES,
+};
 use crate::proto::{decode_msg, encode_msg, DecodeError, Encoded, WireMsg};
+use crate::wiretrace;
 use std::io::Write;
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -155,7 +159,7 @@ impl WireStats {
         Self::default()
     }
 
-    fn on_send(&self, data_bytes: u64, total_frame: u64, delivered: bool) {
+    fn on_send(&self, data_bytes: u64, total_frame: u64, delivered: bool, conn: Option<u32>) {
         let overhead = total_frame - data_bytes;
         self.payload.fetch_add(data_bytes, Ordering::Relaxed);
         self.overhead.fetch_add(overhead, Ordering::Relaxed);
@@ -163,10 +167,23 @@ impl WireStats {
         fedknow_obs::count("transport.bytes.payload", data_bytes);
         fedknow_obs::count("transport.bytes.overhead", overhead);
         fedknow_obs::count("transport.frames", 1);
+        // Per-connection attribution rides the cohort governor: bounded
+        // `FEDKNOW_OBS_COHORTS` slots however large the fleet, instead
+        // of one metric name per connection.
+        if let Some(c) = conn {
+            fedknow_obs::client_value("transport.conn.frame_bytes", c.into(), total_frame as f64);
+        }
         if !delivered {
             self.frames_dropped.fetch_add(1, Ordering::Relaxed);
             self.bytes_dropped.fetch_add(total_frame, Ordering::Relaxed);
             fedknow_obs::count("transport.frames_dropped", 1);
+            if let Some(c) = conn {
+                fedknow_obs::client_value(
+                    "transport.conn.dropped_bytes",
+                    c.into(),
+                    total_frame as f64,
+                );
+            }
         }
     }
 
@@ -207,28 +224,65 @@ enum TxInner {
 pub struct MsgTx {
     inner: TxInner,
     stats: Arc<WireStats>,
+    /// The peer's client id, once known (set after Hello/accept) —
+    /// used for per-connection telemetry and wire lifecycle records.
+    peer: Option<u32>,
 }
 
 impl MsgTx {
+    /// Attribute this half to a peer client id (per-connection
+    /// telemetry + trace events carry it from now on).
+    pub fn set_peer(&mut self, client: u32) {
+        self.peer = Some(client);
+    }
+
     /// Encode and send one message as one frame.
     pub fn send(&mut self, msg: &WireMsg) -> Result<(), TransportError> {
         let enc = encode_msg(msg);
-        self.send_encoded(&enc)
+        self.send_encoded_labeled(&enc, msg.label())
     }
 
     /// Send an already-encoded message. Counts the frame in the wire
     /// ledger whether or not the peer is still there to receive it.
     pub fn send_encoded(&mut self, enc: &Encoded) -> Result<(), TransportError> {
-        let frame = encode_frame(&enc.buf)?;
-        self.stats.on_send(enc.data_bytes, frame.len() as u64, true);
-        self.transmit(frame)
+        self.send_encoded_labeled(enc, "raw")
+    }
+
+    /// [`Self::send_encoded`] with a message-kind label for the wire
+    /// lifecycle records. Every frame leaves with a freshly stamped
+    /// trace context (v2 flagged frame); the context bytes count as
+    /// framing overhead, never data-plane bytes, so byte parity with
+    /// the comm model is untouched.
+    pub(crate) fn send_encoded_labeled(
+        &mut self,
+        enc: &Encoded,
+        label: &str,
+    ) -> Result<(), TransportError> {
+        let ctx = wiretrace::ctx_for_send();
+        wiretrace::record_send("enq", &ctx, self.peer, label, enc.data_bytes);
+        let frame = encode_frame_traced(&enc.buf, Some(&ctx))?;
+        self.stats
+            .on_send(enc.data_bytes, frame.len() as u64, true, self.peer);
+        self.transmit(frame)?;
+        wiretrace::record_send("out", &ctx, self.peer, label, enc.data_bytes);
+        Ok(())
     }
 
     /// Burn an encoded message's bytes without delivering it — the wire
     /// fault injector's dropped frame.
     pub fn drop_encoded(&mut self, enc: &Encoded) {
-        let total = (FRAME_HEADER_BYTES + enc.buf.len()) as u64;
-        self.stats.on_send(enc.data_bytes, total, false);
+        self.drop_encoded_labeled(enc, "raw");
+    }
+
+    /// [`Self::drop_encoded`] with a message-kind label. The dropped
+    /// attempt gets its own span id and a `drop` lifecycle record — in
+    /// a merged trace it shows up as a flow that starts and never
+    /// finishes (a terminated flow).
+    pub(crate) fn drop_encoded_labeled(&mut self, enc: &Encoded, label: &str) {
+        let ctx = wiretrace::ctx_for_send();
+        let total = (FRAME_HEADER_BYTES + TRACE_CTX_BYTES + enc.buf.len()) as u64;
+        self.stats.on_send(enc.data_bytes, total, false, self.peer);
+        wiretrace::record_send("drop", &ctx, self.peer, label, enc.data_bytes);
     }
 
     /// Retry a send a few times with a short real backoff — the
@@ -237,14 +291,14 @@ impl MsgTx {
     pub fn send_with_retry(&mut self, msg: &WireMsg, retries: u32) -> Result<(), TransportError> {
         let enc = encode_msg(msg);
         let mut wait = Duration::from_millis(1);
-        let mut last = self.send_encoded(&enc);
+        let mut last = self.send_encoded_labeled(&enc, msg.label());
         for _ in 0..retries {
             if last.is_ok() {
                 return Ok(());
             }
             std::thread::sleep(wait);
             wait *= 2;
-            last = self.send_encoded(&enc);
+            last = self.send_encoded_labeled(&enc, msg.label());
         }
         if last.is_err() {
             self.stats.on_send_failure();
@@ -287,16 +341,30 @@ enum RxInner {
 /// The receiving half of a connection.
 pub struct MsgRx {
     inner: RxInner,
+    /// The peer's client id, once known — tags wire-in records.
+    peer: Option<u32>,
 }
 
 impl MsgRx {
+    /// Attribute this half to a peer client id.
+    pub fn set_peer(&mut self, client: u32) {
+        self.peer = Some(client);
+    }
+
     /// Block for the next message. `Ok(None)` is a clean close (the
     /// peer shut the connection on a frame boundary); torn frames,
     /// oversize headers, and undecodable bytes are typed errors.
     pub fn recv(&mut self) -> Result<Option<WireMsg>, TransportError> {
-        let payload = match &mut self.inner {
+        Ok(self.recv_traced()?.map(|(msg, _)| msg))
+    }
+
+    /// [`Self::recv`], surfacing the frame's trace context so the
+    /// caller can record the `handled` lifecycle point. The `in` point
+    /// (frame off the wire, message decoded) is recorded here.
+    pub fn recv_traced(&mut self) -> Result<Option<(WireMsg, Option<TraceCtx>)>, TransportError> {
+        let (ctx, payload) = match &mut self.inner {
             RxInner::Channel { rx, decoder } => loop {
-                if let Some(frame) = decoder.next_frame()? {
+                if let Some(frame) = decoder.next_frame_traced()? {
                     break frame;
                 }
                 match rx.recv() {
@@ -309,17 +377,21 @@ impl MsgRx {
                     }
                 }
             },
-            RxInner::Tcp(s) => match read_frame(s)? {
+            RxInner::Tcp(s) => match read_frame_traced(s)? {
                 Some(p) => p,
                 None => return Ok(None),
             },
             #[cfg(unix)]
-            RxInner::Unix(s) => match read_frame(s)? {
+            RxInner::Unix(s) => match read_frame_traced(s)? {
                 Some(p) => p,
                 None => return Ok(None),
             },
         };
-        Ok(Some(decode_msg(&payload)?))
+        let msg = decode_msg(&payload)?;
+        if let Some(c) = &ctx {
+            wiretrace::record_recv("in", c, self.peer, msg.label(), payload.len() as u64);
+        }
+        Ok(Some((msg, ctx)))
     }
 }
 
@@ -378,6 +450,7 @@ pub fn bind(kind: TransportKind, stats: Arc<WireStats>) -> Result<Endpoint, Tran
                 Arc::new(TcpTransport {
                     addr,
                     stats: stats.clone(),
+                    dial_window: Duration::ZERO,
                 }),
                 Box::new(TcpAcceptor { listener, stats }),
             ))
@@ -411,6 +484,38 @@ pub fn bind(kind: TransportKind, stats: Arc<WireStats>) -> Result<Endpoint, Tran
     }
 }
 
+/// Bind a TCP listener at a *fixed* address for a multi-process
+/// federation server. Unlike [`bind`], which picks an ephemeral
+/// loopback port for same-process endpoints, this is the seam remote
+/// client processes dial.
+pub fn bind_tcp_at(
+    addr: &str,
+    stats: Arc<WireStats>,
+) -> Result<Box<dyn TransportListener>, TransportError> {
+    let listener = TcpListener::bind(addr).map_err(|e| TransportError::Setup(e.kind()))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| TransportError::Setup(e.kind()))?;
+    Ok(Box::new(TcpAcceptor { listener, stats }))
+}
+
+/// A TCP connector dialing a remote server at `addr` from a client
+/// process. Redials refused connections for up to ten seconds, so a
+/// client launched a beat before the server still joins.
+pub fn tcp_connector(
+    addr: &str,
+    stats: Arc<WireStats>,
+) -> Result<Arc<dyn Transport>, TransportError> {
+    let addr: std::net::SocketAddr = addr
+        .parse()
+        .map_err(|_| TransportError::Setup(std::io::ErrorKind::InvalidInput))?;
+    Ok(Arc::new(TcpTransport {
+        addr,
+        stats,
+        dial_window: Duration::from_secs(10),
+    }))
+}
+
 /// The two stream halves a channel `connect` hands the server side.
 type ChannelHalves = (mpsc::Sender<Vec<u8>>, mpsc::Receiver<Vec<u8>>);
 
@@ -433,12 +538,14 @@ impl Transport for ChannelTransport {
             tx: MsgTx {
                 inner: TxInner::Channel(to_server_tx),
                 stats: self.stats.clone(),
+                peer: None,
             },
             rx: MsgRx {
                 inner: RxInner::Channel {
                     rx: to_client_rx,
                     decoder: FrameDecoder::new(),
                 },
+                peer: None,
             },
         })
     }
@@ -463,12 +570,14 @@ impl TransportListener for ChannelListener {
             tx: MsgTx {
                 inner: TxInner::Channel(tx),
                 stats: self.stats.clone(),
+                peer: None,
             },
             rx: MsgRx {
                 inner: RxInner::Channel {
                     rx,
                     decoder: FrameDecoder::new(),
                 },
+                peer: None,
             },
         })
     }
@@ -477,11 +586,29 @@ impl TransportListener for ChannelListener {
 struct TcpTransport {
     addr: std::net::SocketAddr,
     stats: Arc<WireStats>,
+    /// How long `connect` keeps redialing a refused address. Zero for
+    /// same-process endpoints (the listener is already bound); a grace
+    /// window for remote client processes racing the server's bind.
+    dial_window: Duration,
 }
 
 impl Transport for TcpTransport {
     fn connect(&self) -> Result<Conn, TransportError> {
-        let stream = TcpStream::connect(self.addr).map_err(|e| TransportError::Setup(e.kind()))?;
+        let deadline = Instant::now() + self.dial_window;
+        let stream = loop {
+            match TcpStream::connect(self.addr) {
+                Ok(s) => break s,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::ConnectionRefused | std::io::ErrorKind::ConnectionReset
+                    ) && Instant::now() < deadline =>
+                {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(e) => return Err(TransportError::Setup(e.kind())),
+            }
+        };
         stream.set_nodelay(true).ok();
         tcp_conn(stream, self.stats.clone())
     }
@@ -499,9 +626,11 @@ fn tcp_conn(stream: TcpStream, stats: Arc<WireStats>) -> Result<Conn, TransportE
         tx: MsgTx {
             inner: TxInner::Tcp(stream),
             stats,
+            peer: None,
         },
         rx: MsgRx {
             inner: RxInner::Tcp(read_half),
+            peer: None,
         },
     })
 }
@@ -564,9 +693,11 @@ fn unix_conn(
         tx: MsgTx {
             inner: TxInner::Unix(stream),
             stats,
+            peer: None,
         },
         rx: MsgRx {
             inner: RxInner::Unix(read_half),
+            peer: None,
         },
     })
 }
@@ -640,12 +771,12 @@ pub fn send_upload_faulty(
         corr.apply_bytes(&mut enc.buf[off..off + len]);
     }
     for _ in 0..f.lost_attempts {
-        tx.drop_encoded(&enc);
+        tx.drop_encoded_labeled(&enc, msg.label());
     }
     if f.upload_lost {
         return Ok(false);
     }
-    tx.send_encoded(&enc)?;
+    tx.send_encoded_labeled(&enc, msg.label())?;
     Ok(true)
 }
 
@@ -806,6 +937,7 @@ mod tests {
         let (stream, _) = listener.accept().unwrap();
         let mut rx = MsgRx {
             inner: RxInner::Tcp(stream),
+            peer: None,
         };
         writer.join().unwrap();
         assert_eq!(

@@ -234,6 +234,10 @@ pub struct PostmortemBundle {
     /// Streaming health engine state at dump time (absent in
     /// pre-health bundles, or when no rounds were observed).
     pub health: Option<crate::health::HealthSnapshot>,
+    /// OS process id of the dumping process (absent in pre-tracing
+    /// bundles). The multi-process trace merger uses it to label and
+    /// separate per-process timelines.
+    pub pid: Option<u32>,
     /// One drained ring per recording thread.
     pub tracks: Vec<ThreadTrack>,
 }
@@ -296,6 +300,7 @@ pub fn collect_bundle(reason: &str) -> PostmortemBundle {
         context: context_entries(),
         metrics,
         health: crate::health_snapshot().filter(|h| h.rounds > 0),
+        pid: Some(std::process::id()),
         tracks,
     }
 }
@@ -460,6 +465,7 @@ mod tests {
                 });
                 Some(e.snapshot())
             },
+            pid: Some(4242),
             tracks: vec![ThreadTrack {
                 thread: "ThreadId(1)".to_string(),
                 dropped: 0,
@@ -489,5 +495,6 @@ mod tests {
         assert!(b.metrics.sketches.is_none());
         assert!(b.metrics.cohorts.is_none());
         assert!(b.health.is_none());
+        assert!(b.pid.is_none());
     }
 }

@@ -8,16 +8,22 @@
 //! weighted rates plus a quantile sketch of round times; nothing it
 //! holds grows with rounds or clients.
 //!
-//! Five SLOs are evaluated against fixed threshold rules after every
+//! Seven SLOs are evaluated against fixed threshold rules after every
 //! fold:
 //!
-//! | SLO                 | value                         | warn | critical |
-//! |---------------------|-------------------------------|------|----------|
-//! | `straggler_rate`    | EWMA of stragglers/expected   | 0.05 | 0.20     |
-//! | `quarantine_rate`   | EWMA of quarantined/expected  | 0.01 | 0.05     |
-//! | `upload_loss_rate`  | EWMA of lost/expected         | 0.05 | 0.20     |
-//! | `round_p99_ratio`   | round-time p99 / p50          | 4.0  | 10.0     |
-//! | `forgetting_drift`  | rise in avg forgetting / task | 0.05 | 0.15     |
+//! | SLO                     | value                         | warn | critical |
+//! |-------------------------|-------------------------------|------|----------|
+//! | `straggler_rate`        | EWMA of stragglers/expected   | 0.05 | 0.20     |
+//! | `quarantine_rate`       | EWMA of quarantined/expected  | 0.01 | 0.05     |
+//! | `upload_loss_rate`      | EWMA of lost/expected         | 0.05 | 0.20     |
+//! | `round_p99_ratio`       | round-time p99 / p50          | 4.0  | 10.0     |
+//! | `forgetting_drift`      | rise in avg forgetting / task | 0.05 | 0.15     |
+//! | `transport.rtt_p99`     | message RTT p99, seconds      | 1.0  | 10.0     |
+//! | `transport.queue_depth` | max server inbox depth        | 64   | 512      |
+//!
+//! The transport pair is fed per message by the actor runtime
+//! ([`crate::observe_message_rtt`], [`crate::observe_queue_depth`]) and
+//! published as `health.transport.*` gauges at the next round fold.
 //!
 //! The resulting [`HealthSnapshot`] is exposed through the obs facade
 //! ([`crate::health_snapshot`]), mirrored into `health.*` gauges (and
@@ -142,6 +148,8 @@ pub struct HealthEngine {
     loss_rate: f64,
     prev_forgetting: Option<f64>,
     forgetting_drift: f64,
+    msg_rtt: QuantileSketch,
+    queue_depth_max: f64,
 }
 
 impl Default for HealthEngine {
@@ -161,6 +169,8 @@ impl HealthEngine {
             loss_rate: 0.0,
             prev_forgetting: None,
             forgetting_drift: 0.0,
+            msg_rtt: QuantileSketch::default(),
+            queue_depth_max: 0.0,
         }
     }
 
@@ -182,6 +192,21 @@ impl HealthEngine {
         self.loss_rate = Self::ewma(self.loss_rate, o.uploads_lost as f64 / denom, first);
         self.round_time.insert(o.round_seconds.max(0.0));
         self.rounds += 1;
+    }
+
+    /// Fold one wire message's round-trip time (seconds) into the
+    /// transport RTT sketch — constant memory however many messages the
+    /// run moves.
+    pub fn observe_message_rtt(&mut self, rtt_seconds: f64) {
+        self.msg_rtt.insert(rtt_seconds.max(0.0));
+    }
+
+    /// Fold one observation of the server inbox depth; the SLO tracks
+    /// the maximum seen.
+    pub fn observe_queue_depth(&mut self, depth: f64) {
+        if depth > self.queue_depth_max {
+            self.queue_depth_max = depth;
+        }
     }
 
     /// Fold a task boundary's average forgetting; the SLO watches the
@@ -207,6 +232,8 @@ impl HealthEngine {
                 rule("quarantine_rate", self.quarantine_rate, 0.01, 0.05),
                 rule("round_p99_ratio", p99_ratio, 4.0, 10.0),
                 rule("straggler_rate", self.straggler_rate, 0.05, 0.20),
+                rule("transport.queue_depth", self.queue_depth_max, 64.0, 512.0),
+                rule("transport.rtt_p99", self.msg_rtt.quantile(0.99), 1.0, 10.0),
                 rule("upload_loss_rate", self.loss_rate, 0.05, 0.20),
             ],
         }
@@ -306,6 +333,41 @@ mod tests {
             SloState::Ok,
             "improvement clamps drift to zero"
         );
+    }
+
+    #[test]
+    fn transport_slos_track_rtt_tail_and_queue_peak() {
+        let mut e = HealthEngine::new();
+        // Idle engine: both transport SLOs exist and are Ok at zero.
+        let s = e.snapshot();
+        assert_eq!(s.slo("transport.rtt_p99").unwrap().state, SloState::Ok);
+        assert_eq!(s.slo("transport.queue_depth").unwrap().state, SloState::Ok);
+
+        // Sub-second RTTs stay Ok; a sustained multi-second tail trips
+        // the p99 rule.
+        for _ in 0..100 {
+            e.observe_message_rtt(0.002);
+        }
+        assert_eq!(
+            e.snapshot().slo("transport.rtt_p99").unwrap().state,
+            SloState::Ok
+        );
+        for _ in 0..100 {
+            e.observe_message_rtt(15.0);
+        }
+        assert_eq!(
+            e.snapshot().slo("transport.rtt_p99").unwrap().state,
+            SloState::Critical
+        );
+
+        // Queue depth holds the maximum, not the latest.
+        e.observe_queue_depth(3.0);
+        e.observe_queue_depth(100.0);
+        e.observe_queue_depth(1.0);
+        let slo = e.snapshot();
+        let q = slo.slo("transport.queue_depth").unwrap();
+        assert_eq!(q.value, 100.0);
+        assert_eq!(q.state, SloState::Warn);
     }
 
     #[test]

@@ -74,7 +74,7 @@ pub use registry::{
     Counter, Gauge, MetricsSnapshot, Registry, Series, DEFAULT_MAX_NAMES, ENV_MAX_NAMES,
     SERIES_POINT_CAP,
 };
-pub use ring::{RingBuf, RingData, RingRecord, DEFAULT_TRACE_CAP, ENV_TRACE_CAP};
+pub use ring::{now_ns, RingBuf, RingData, RingRecord, DEFAULT_TRACE_CAP, ENV_TRACE_CAP};
 pub use sink::{read_jsonl, Aggregate, JsonlSink, Sink, SpanStat, ENV_MAX_MB};
 pub use sketch::{QuantileSketch, Sketch, SketchSnapshot, DEFAULT_ALPHA};
 pub use span::{current_path, inherit_path, span, timer, PathGuard, SpanGuard, TimerGuard};
@@ -501,6 +501,59 @@ pub fn fault(client: u64, kind: &str, detail: u64) {
         kind: kind.to_string(),
         detail,
     });
+}
+
+/// Record one point of the wire message lifecycle into the flight
+/// recorder: `phase` is `enq`/`out`/`in`/`handled`/`drop`, `conn` the
+/// connection (client id), `trace`/`span`/`parent` the frame's trace
+/// context, `msg` the message-kind label, `bytes` the payload size and
+/// `peer_ts_ns` the sender's send timestamp on receive-side records
+/// (0 elsewhere). One relaxed load when the recorder is off.
+#[allow(clippy::too_many_arguments)]
+pub fn wire_event(
+    phase: &str,
+    conn: u64,
+    trace: u64,
+    span: u64,
+    parent: u64,
+    msg: &str,
+    bytes: u64,
+    peer_ts_ns: u64,
+) {
+    if !ring::ring_enabled() {
+        return;
+    }
+    ring::record(RingData::Wire {
+        phase: phase.to_string(),
+        conn,
+        trace,
+        span,
+        parent,
+        msg: msg.to_string(),
+        bytes,
+        peer_ts_ns,
+    });
+}
+
+/// Feed one message round-trip time (seconds) to the health engine's
+/// transport RTT SLO. The SLO gauges refresh at the next round fold
+/// ([`observe_round`]), so this stays cheap per message. No-op when
+/// disabled.
+pub fn observe_message_rtt(rtt_seconds: f64) {
+    if !is_enabled() {
+        return;
+    }
+    health_engine().lock().observe_message_rtt(rtt_seconds);
+}
+
+/// Feed the server inbox depth observed while handling a message to
+/// the health engine's queue-depth SLO (it tracks the maximum). No-op
+/// when disabled.
+pub fn observe_queue_depth(depth: f64) {
+    if !is_enabled() {
+        return;
+    }
+    health_engine().lock().observe_queue_depth(depth);
 }
 
 /// Record a runtime invariant violation into the flight recorder.

@@ -113,6 +113,31 @@ pub enum RingData {
         /// Marker text.
         note: String,
     },
+    /// One point of the four-phase wire message lifecycle
+    /// (`enq` → `out` → `in` → `handled`, plus `drop` for attempts
+    /// burned by the fault injector). `trace`/`span` tie the record to
+    /// the frame's embedded trace context (`fedknow_fl::framing::TraceCtx`);
+    /// `peer_ts_ns` carries the *sender's* send timestamp on
+    /// receive-side records (zero otherwise) for cross-process clock
+    /// alignment.
+    Wire {
+        /// Lifecycle phase: `enq`, `out`, `in`, `handled`, or `drop`.
+        phase: String,
+        /// Connection / client id the message moved on.
+        conn: u64,
+        /// Run-wide trace id.
+        trace: u64,
+        /// The frame's wire-span id.
+        span: u64,
+        /// Sender-side parent span id (0 = none).
+        parent: u64,
+        /// Message kind label (`upload`, `ack`, …).
+        msg: String,
+        /// Payload bytes of the message.
+        bytes: u64,
+        /// Sender's send timestamp (receive-side records; 0 otherwise).
+        peer_ts_ns: u64,
+    },
 }
 
 /// A fixed-capacity overwrite-oldest ring of [`RingRecord`]s.
@@ -228,6 +253,15 @@ pub(crate) fn enable_ring() {
 /// Nanoseconds since the recording epoch.
 pub(crate) fn epoch_ns() -> u64 {
     EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// Nanoseconds since this process's recording epoch — the timescale of
+/// every ring record and of the send timestamps embedded in wire trace
+/// contexts. Public so the transport can stamp frames on the same
+/// clock the recorder uses; each process has its own epoch, and the
+/// trace merger estimates the offsets between them.
+pub fn now_ns() -> u64 {
+    epoch_ns()
 }
 
 /// Record into the current thread's ring. No-op (one relaxed load)

@@ -125,6 +125,58 @@ impl RunSpec {
             .run_with_stats()
     }
 
+    /// Serve a multi-process federation at a fixed TCP address: the
+    /// server side of [`Self::run_over`], with every client expected to
+    /// dial in from its own process via [`Self::join_over`]. Because
+    /// both sides assemble from the same spec and seed, the report is
+    /// bit-identical to the single-process backends'.
+    pub fn serve_over(
+        &self,
+        method: Method,
+        addr: &str,
+    ) -> Result<(SimReport, WireStatsSnapshot), SimError> {
+        let devices = DeviceProfile::uniform_cluster(self.num_clients);
+        let comm = CommModel::paper_default();
+        let dataset = generate(&self.dataset, self.seed);
+        let (clients, parts, cfg, model_bytes) = self.assemble(method, &dataset);
+        FederationRuntime::new(
+            clients,
+            parts,
+            devices,
+            comm,
+            cfg,
+            model_bytes,
+            TransportKind::Tcp,
+        )
+        .serve_at(addr)
+    }
+
+    /// Join a multi-process federation as client `client_id`: assemble
+    /// the same spec the server assembled, keep only this client's
+    /// algorithm instance and data shard, and drive it against the
+    /// server at `addr` until `Shutdown`.
+    pub fn join_over(&self, method: Method, addr: &str, client_id: u32) -> Result<(), SimError> {
+        let dataset = generate(&self.dataset, self.seed);
+        let (mut clients, mut parts, cfg, model_bytes) = self.assemble(method, &dataset);
+        let c = client_id as usize;
+        assert!(c < clients.len(), "client id {client_id} out of range");
+        let client = clients.swap_remove(c);
+        let data = parts.swap_remove(c);
+        let stats = std::sync::Arc::new(fedknow_fl::transport::WireStats::new());
+        let transport = fedknow_fl::transport::tcp_connector(addr, stats)
+            .map_err(|e| SimError::BadCheckpoint(e.to_string()))?;
+        fedknow_fl::run_remote_client(
+            transport,
+            client_id,
+            client,
+            data,
+            &cfg,
+            model_bytes,
+            fedknow_fl::ActorConfig::default().straggle_delay,
+        );
+        Ok(())
+    }
+
     /// Build the simulation under this spec without running it — for
     /// callers that drive it manually (checkpoint/resume, inspection).
     /// Uses a uniform device cluster and the paper's default link.
